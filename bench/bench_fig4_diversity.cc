@@ -1,0 +1,171 @@
+// Regenerates Figure 4: FALCC result quality (accuracy, local bias) as a
+// function of model-pool diversity (non-pairwise entropy), with the
+// linear-regression trend the figure overlays.
+//
+// Pools of varying diversity are produced the way the paper describes:
+// by training AdaBoost and Random Forest ensembles under many different
+// hyperparameter settings and pool compositions, then running FALCC with
+// each pool on a fixed split. Three datasets: implicit30, social30, and
+// the COMPAS stand-in.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/benchmark_data.h"
+#include "datagen/synthetic.h"
+#include "eval/report.h"
+#include "fairness/loss.h"
+#include "util/math.h"
+
+namespace falcc {
+namespace {
+
+struct SweepPoint {
+  double entropy;
+  double accuracy;
+  double local_bias;
+};
+
+// Pool configurations spanning low to high diversity.
+std::vector<DiverseTrainerOptions> PoolConfigs() {
+  std::vector<DiverseTrainerOptions> configs;
+  const std::vector<std::vector<size_t>> estimator_grids = {
+      {5}, {20}, {5, 20}};
+  const std::vector<std::vector<size_t>> depth_grids = {{1}, {7}, {1, 7},
+                                                        {1, 4, 7}};
+  for (TrainerFamily family :
+       {TrainerFamily::kAdaBoost, TrainerFamily::kRandomForest}) {
+    for (const auto& est : estimator_grids) {
+      for (const auto& depth : depth_grids) {
+        DiverseTrainerOptions opt;
+        opt.family = family;
+        opt.estimator_grid = est;
+        opt.depth_grid = depth;
+        opt.pool_size = 5;
+        configs.push_back(opt);
+      }
+    }
+  }
+  return configs;
+}
+
+void RunDataset(const std::string& name, const Dataset& data) {
+  // Each pool configuration is evaluated on two splits and averaged —
+  // single-split trends are too noisy to read a slope from.
+  constexpr size_t kSeeds = 2;
+  std::vector<SweepPoint> points;
+  uint64_t seed = 100;
+  for (DiverseTrainerOptions trainer : PoolConfigs()) {
+    SweepPoint avg{0.0, 0.0, 0.0};
+    size_t runs = 0;
+    for (size_t s = 0; s < kSeeds; ++s) {
+      const TrainValTest splits =
+          SplitDatasetDefault(data, 31 + s).value();
+      const GroupIndex index = GroupIndex::Build(splits.test).value();
+      const std::vector<size_t> groups =
+          index.GroupsOf(splits.test).value();
+      trainer.seed = seed++;
+      Result<DiversePool> pool =
+          TrainDiversePool(splits.train, splits.validation, trainer);
+      if (!pool.ok()) continue;
+      ModelPool model_pool;
+      const double entropy = pool.value().entropy;
+      for (auto& m : pool.value().models) model_pool.Add(std::move(m));
+
+      FalccOptions opt;
+      opt.seed = 31 + s;
+      opt.fixed_k = 6;
+      Result<FalccModel> model = FalccModel::TrainWithPool(
+          std::move(model_pool), splits.validation, opt, entropy);
+      if (!model.ok()) continue;
+
+      const std::vector<int> preds =
+          model.value().ClassifyAll(splits.test);
+      GroupedPredictions in;
+      in.labels = splits.test.labels();
+      in.predictions = preds;
+      in.groups = groups;
+      in.num_groups = index.num_groups();
+      std::vector<size_t> regions(splits.test.num_rows());
+      for (size_t i = 0; i < splits.test.num_rows(); ++i) {
+        regions[i] = model.value().MatchCluster(splits.test.Row(i));
+      }
+      const LossBreakdown global =
+          CombinedLoss(in, FairnessMetric::kDemographicParity, 0.5).value();
+      const LossBreakdown local =
+          LocalLoss(in, regions, model.value().num_clusters(),
+                    FairnessMetric::kDemographicParity, 0.5)
+              .value();
+      avg.entropy += entropy;
+      avg.accuracy += 1.0 - global.inaccuracy;
+      avg.local_bias += local.combined;
+      ++runs;
+    }
+    if (runs == 0) continue;
+    avg.entropy /= static_cast<double>(runs);
+    avg.accuracy /= static_cast<double>(runs);
+    avg.local_bias /= static_cast<double>(runs);
+    points.push_back(avg);
+  }
+
+  std::printf("--- %s (%zu pool configurations) ---\n", name.c_str(),
+              points.size());
+  TextTable table({"entropy", "accuracy%", "local-bias%"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({FormatDouble(p.entropy, 3), FormatPercent(p.accuracy, 1),
+                  FormatPercent(p.local_bias, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // The figure's regression lines.
+  std::vector<double> xs, acc, bias;
+  for (const SweepPoint& p : points) {
+    xs.push_back(p.entropy);
+    acc.push_back(p.accuracy);
+    bias.push_back(p.local_bias);
+  }
+  const LinearFit acc_fit = FitLine(xs, acc);
+  const LinearFit bias_fit = FitLine(xs, bias);
+  std::printf("trend: accuracy slope %+.4f / entropy unit, "
+              "local-bias slope %+.4f / entropy unit\n\n",
+              acc_fit.slope, bias_fit.slope);
+}
+
+}  // namespace
+}  // namespace falcc
+
+int main() {
+  using namespace falcc;
+
+  const char* rows_env = std::getenv("FALCC_F4_ROWS");
+  const size_t rows = rows_env != nullptr ? std::atol(rows_env) : 2000;
+
+  std::printf("=== Figure 4: result quality vs model-pool diversity "
+              "(demographic parity) ===\n\n");
+
+  SyntheticConfig implicit_cfg;
+  implicit_cfg.num_samples = rows;
+  implicit_cfg.seed = 41;
+  RunDataset("implicit30", GenerateImplicitBias(implicit_cfg).value());
+
+  SyntheticConfig social_cfg = implicit_cfg;
+  social_cfg.seed = 43;
+  RunDataset("social30", GenerateSocialBias(social_cfg).value());
+
+  const BenchmarkDataSpec compas = CompasSpec();
+  RunDataset("COMPAS",
+             GenerateBenchmarkDataset(
+                 compas, 47,
+                 static_cast<double>(rows) /
+                     static_cast<double>(compas.num_samples))
+                 .value());
+
+  std::printf("Expected shape (paper): on most datasets the local-bias "
+              "trend slopes downward with rising entropy (diversity "
+              "helps fairness); social30 stays low and flat; accuracy "
+              "may dip slightly, but the accuracy-fairness tradeoff "
+              "improves overall.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Regenerates Figure 5: effect of the proxy-discrimination mitigation
+// strategies — (1) none, (2) reweighing, (3) removal — on the Implicit
+// synthetic dataset while sweeping the injected bias degree. Reports
+// global bias, local bias, and inaccuracy per strategy and bias level
+// (demographic parity, averaged over seeds).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/kmeans.h"
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "eval/report.h"
+#include "fairness/loss.h"
+
+namespace falcc {
+namespace {
+
+struct Cell {
+  double global_bias = 0.0;
+  double local_bias = 0.0;
+  double inaccuracy = 0.0;
+};
+
+Cell RunOnce(double bias, ProxyMitigation strategy, uint64_t seed,
+             size_t rows) {
+  SyntheticConfig cfg;
+  cfg.num_samples = rows;
+  cfg.bias = bias;
+  cfg.seed = 900 + seed;
+  const Dataset data = GenerateImplicitBias(cfg).value();
+  const TrainValTest splits = SplitDatasetDefault(data, seed).value();
+
+  FalccOptions opt;
+  opt.seed = seed;
+  opt.proxy.strategy = strategy;
+  opt.proxy.removal_threshold = 0.3;
+  const FalccModel model =
+      FalccModel::Train(splits.train, splits.validation, opt).value();
+
+  // Local bias is measured on a strategy-independent evaluation
+  // clustering of the test set (standardized, sensitive attributes
+  // dropped, no mitigation) so the three strategies are comparable.
+  const Dataset& test = splits.test;
+  ColumnTransform eval_transform = ColumnTransform::Standardize(test);
+  eval_transform.DropColumns(test.sensitive_features());
+  constexpr size_t kEvalClusters = 8;
+  KMeansOptions km;
+  km.seed = seed;
+  const KMeansResult eval_clustering =
+      RunKMeans(eval_transform.ApplyAll(test), kEvalClusters, km).value();
+
+  const std::vector<int> preds = model.ClassifyAll(test);
+  const GroupIndex index = GroupIndex::Build(test).value();
+  GroupedPredictions in;
+  in.labels = test.labels();
+  in.predictions = preds;
+  const std::vector<size_t> groups = index.GroupsOf(test).value();
+  in.groups = groups;
+  in.num_groups = index.num_groups();
+
+  const LossBreakdown global =
+      CombinedLoss(in, FairnessMetric::kDemographicParity, 0.5).value();
+  const LossBreakdown local =
+      LocalLoss(in, eval_clustering.assignment, kEvalClusters,
+                FairnessMetric::kDemographicParity, 0.5)
+          .value();
+  return {global.bias, local.combined, global.inaccuracy};
+}
+
+}  // namespace
+}  // namespace falcc
+
+int main() {
+  using namespace falcc;
+
+  const char* rows_env = std::getenv("FALCC_F5_ROWS");
+  const size_t rows = rows_env != nullptr ? std::atol(rows_env) : 2500;
+  constexpr size_t kSeeds = 2;
+  const double bias_levels[] = {0.1, 0.2, 0.3, 0.4, 0.5};
+  const ProxyMitigation strategies[] = {ProxyMitigation::kNone,
+                                        ProxyMitigation::kReweigh,
+                                        ProxyMitigation::kRemove};
+  const char* strategy_names[] = {"none", "reweigh", "remove"};
+
+  std::printf("=== Figure 5: proxy-discrimination mitigation on the "
+              "Implicit dataset (%zu rows, %zu seeds) ===\n\n",
+              rows, kSeeds);
+
+  TextTable table({"bias-degree", "strategy", "global-bias%", "local-bias%",
+                   "inaccuracy%"});
+  for (double bias : bias_levels) {
+    for (int s = 0; s < 3; ++s) {
+      Cell avg;
+      for (size_t seed = 1; seed <= kSeeds; ++seed) {
+        const Cell c = RunOnce(bias, strategies[s], seed, rows);
+        avg.global_bias += c.global_bias / kSeeds;
+        avg.local_bias += c.local_bias / kSeeds;
+        avg.inaccuracy += c.inaccuracy / kSeeds;
+      }
+      table.AddRow({FormatDouble(bias, 1), strategy_names[s],
+                    FormatPercent(avg.global_bias, 1),
+                    FormatPercent(avg.local_bias, 1),
+                    FormatPercent(avg.inaccuracy, 1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected shape (paper): at moderate-to-high injected bias "
+              "both mitigation strategies reduce global bias versus "
+              "'none' (most clearly at high bias); local bias stays "
+              "roughly stable; inaccuracy rises slightly but less than "
+              "the bias falls.\n");
+  return 0;
+}

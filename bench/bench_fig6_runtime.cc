@@ -1,0 +1,141 @@
+// Regenerates Figure 6: online-phase runtime per sample of FALCC vs
+// FALCES-FASTEST (the pre-filtered FALCES variant) vs OTHER-FASTEST (a
+// plain classifier call, the cheapest competitor) across datasets,
+// including the Adult configuration with 2 and with 4 sensitive groups.
+//
+// google-benchmark measures a single online classification; the trained
+// pipelines are built once per dataset and cached.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/falces.h"
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/benchmark_data.h"
+#include "datagen/synthetic.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+namespace {
+
+// Trained pipelines for one dataset, built lazily and cached.
+struct Pipelines {
+  Dataset test;
+  std::unique_ptr<FalccModel> falcc;
+  std::unique_ptr<FalcesModel> falces_fastest;
+  std::unique_ptr<DecisionTree> other_fastest;
+};
+
+Dataset MakeDataset(const std::string& name) {
+  const size_t target_rows = 4000;
+  if (name == "implicit30") {
+    SyntheticConfig cfg;
+    cfg.num_samples = target_rows;
+    cfg.seed = 61;
+    return GenerateImplicitBias(cfg).value();
+  }
+  for (const BenchmarkDataSpec& spec : AllBenchmarkSpecs()) {
+    if (spec.name == name) {
+      const double scale = static_cast<double>(target_rows) /
+                           static_cast<double>(spec.num_samples);
+      return GenerateBenchmarkDataset(spec, 61, scale).value();
+    }
+  }
+  FALCC_CHECK(false, "unknown dataset name");
+  return {};
+}
+
+const Pipelines& GetPipelines(const std::string& name) {
+  static std::map<std::string, Pipelines>* cache =
+      new std::map<std::string, Pipelines>();
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+
+  const Dataset data = MakeDataset(name);
+  const TrainValTest splits = SplitDatasetDefault(data, 61).value();
+
+  Pipelines p;
+  p.test = splits.test;
+
+  FalccOptions falcc_opt;
+  falcc_opt.seed = 61;
+  falcc_opt.trainer.estimator_grid = {5};
+  falcc_opt.trainer.pool_size = 5;
+  p.falcc = std::make_unique<FalccModel>(
+      FalccModel::Train(splits.train, splits.validation, falcc_opt).value());
+
+  FalcesOptions falces_opt;
+  falces_opt.prefilter = true;  // FALCES-FASTEST
+  falces_opt.seed = 61;
+  p.falces_fastest = std::make_unique<FalcesModel>(
+      FalcesModel::Train(splits.train, splits.validation, falces_opt)
+          .value());
+
+  DecisionTreeOptions dt;
+  dt.max_depth = 7;
+  p.other_fastest = std::make_unique<DecisionTree>(dt);
+  FALCC_CHECK(p.other_fastest->Fit(splits.train).ok(),
+              "tree training failed");
+
+  return cache->emplace(name, std::move(p)).first->second;
+}
+
+void BM_FalccOnline(benchmark::State& state, const std::string& dataset) {
+  const Pipelines& p = GetPipelines(dataset);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.falcc->Classify(p.test.Row(i)));
+    i = (i + 1) % p.test.num_rows();
+  }
+}
+
+void BM_FalcesFastestOnline(benchmark::State& state,
+                            const std::string& dataset) {
+  const Pipelines& p = GetPipelines(dataset);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.falces_fastest->Classify(p.test.Row(i)));
+    i = (i + 1) % p.test.num_rows();
+  }
+}
+
+void BM_OtherFastestOnline(benchmark::State& state,
+                           const std::string& dataset) {
+  const Pipelines& p = GetPipelines(dataset);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.other_fastest->Predict(p.test.Row(i)));
+    i = (i + 1) % p.test.num_rows();
+  }
+}
+
+// Dataset list of the paper's Fig. 6: synthetic, COMPAS, Credit, and
+// Adult with 2 and 4 sensitive groups.
+const char* kDatasets[] = {"implicit30", "COMPAS", "CreditCard", "AdultSex",
+                           "AdultSexRace"};
+
+struct Registrar {
+  Registrar() {
+    for (const char* d : kDatasets) {
+      benchmark::RegisterBenchmark(
+          (std::string("FALCC/") + d).c_str(),
+          [d](benchmark::State& s) { BM_FalccOnline(s, d); });
+      benchmark::RegisterBenchmark(
+          (std::string("FALCES-FASTEST/") + d).c_str(),
+          [d](benchmark::State& s) { BM_FalcesFastestOnline(s, d); });
+      benchmark::RegisterBenchmark(
+          (std::string("OTHER-FASTEST/") + d).c_str(),
+          [d](benchmark::State& s) { BM_OtherFastestOnline(s, d); });
+    }
+  }
+};
+const Registrar registrar;
+
+}  // namespace
+}  // namespace falcc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Credit scoring with proxy-discrimination mitigation.
+//
+// Uses the Credit Card Clients stand-in dataset (Tab. 4 metadata) and
+// compares FALCC under the three proxy strategies (none / reweigh /
+// remove), reporting accuracy, global bias, and local loss for each —
+// a per-dataset slice of the paper's Fig. 5 experiment.
+
+#include <cstdio>
+
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/benchmark_data.h"
+#include "fairness/loss.h"
+
+namespace {
+
+const char* StrategyName(falcc::ProxyMitigation s) {
+  switch (s) {
+    case falcc::ProxyMitigation::kNone:
+      return "none";
+    case falcc::ProxyMitigation::kReweigh:
+      return "reweigh";
+    case falcc::ProxyMitigation::kRemove:
+      return "remove";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace falcc;
+
+  BenchmarkDataSpec spec = CreditCardSpec();
+  spec.num_proxies = 3;       // strengthen the redlining structure
+  spec.proxy_strength = 1.0;
+  const Dataset data = GenerateBenchmarkDataset(spec, 21, 0.2).value();
+  const TrainValTest splits = SplitDatasetDefault(data, 21).value();
+  std::printf("== Credit scoring (%zu applicants, sensitive: %s) ==\n\n",
+              data.num_rows(), data.feature_names().back().c_str());
+  std::printf("%-8s  %-9s  %-11s  %-10s\n", "strategy", "accuracy",
+              "global-bias", "local-loss");
+
+  for (ProxyMitigation strategy :
+       {ProxyMitigation::kNone, ProxyMitigation::kReweigh,
+        ProxyMitigation::kRemove}) {
+    FalccOptions options;
+    options.proxy.strategy = strategy;
+    options.proxy.removal_threshold = 0.3;
+    options.seed = 21;
+    const FalccModel model =
+        FalccModel::Train(splits.train, splits.validation, options).value();
+
+    const Dataset& test = splits.test;
+    const std::vector<int> predictions = model.ClassifyAll(test);
+    const GroupIndex index = GroupIndex::Build(test).value();
+    GroupedPredictions in;
+    in.labels = test.labels();
+    in.predictions = predictions;
+    const std::vector<size_t> groups = index.GroupsOf(test).value();
+    in.groups = groups;
+    in.num_groups = index.num_groups();
+
+    const LossBreakdown global =
+        CombinedLoss(in, options.metric, options.lambda).value();
+    std::vector<size_t> regions(test.num_rows());
+    for (size_t i = 0; i < test.num_rows(); ++i) {
+      regions[i] = model.MatchCluster(test.Row(i));
+    }
+    const LossBreakdown local =
+        LocalLoss(in, regions, model.num_clusters(), options.metric,
+                  options.lambda)
+            .value();
+
+    std::printf("%-8s  %8.1f%%  %11.3f  %10.3f\n", StrategyName(strategy),
+                100.0 * (1.0 - global.inaccuracy), global.bias,
+                local.combined);
+  }
+
+  std::printf("\nExpected shape (paper Fig. 5): the mitigation strategies "
+              "lower global bias on proxy-ridden data while local loss "
+              "stays roughly stable.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The paper's running example (§3.2): deciding employee raises fairly.
+//
+// A company wants a decision-support model for raises. The historical
+// data is biased against one gender, and "sick leave days" acts as a
+// proxy for gender. This example builds that scenario synthetically,
+// walks FALCC's offline phase component by component (diverse training,
+// proxy analysis, clustering, model assessment), and then classifies two
+// near-identical employees of different gender — showing that each is
+// served by the model chosen for (their local region, their group).
+
+#include <cstdio>
+
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "fairness/proxy.h"
+
+int main() {
+  using namespace falcc;
+
+  // "Employees": 8 attributes (sickLeave-like proxy features first) plus
+  // the protected attribute gender; raises historically biased.
+  SyntheticConfig config;
+  config.num_samples = 5000;
+  config.num_proxies = 2;  // e.g. sickLeave correlates with gender
+  config.bias = 0.35;
+  config.seed = 3;
+  const Dataset employees = GenerateImplicitBias(config).value();
+  const TrainValTest splits = SplitDatasetDefault(employees, 9).value();
+
+  std::printf("== Employee raise decisions (paper running example) ==\n\n");
+
+  // Component 1: proxy analysis — which attributes leak the gender?
+  ProxyOptions proxy_options;
+  proxy_options.strategy = ProxyMitigation::kRemove;
+  proxy_options.removal_threshold = 0.2;
+  const auto reports =
+      AnalyzeProxies(splits.validation, proxy_options).value();
+  std::printf("proxy analysis of the validation data:\n");
+  for (const auto& r : reports) {
+    std::printf("  %-8s |rho| = %.3f  weight = %.3f%s\n",
+                employees.feature_names()[r.column].c_str(),
+                r.mean_abs_correlation, r.weight,
+                r.removed ? "  [flagged as proxy]" : "");
+  }
+
+  // Components 2-4: the full offline phase with proxy removal.
+  FalccOptions options;
+  options.proxy = proxy_options;
+  options.seed = 9;
+  const FalccModel model =
+      FalccModel::Train(splits.train, splits.validation, options).value();
+  std::printf("\noffline phase: %zu diverse models, %zu local regions\n",
+              model.pool().size(), model.num_clusters());
+  for (size_t c = 0; c < model.num_clusters(); ++c) {
+    std::printf("  region %zu best combination:", c);
+    for (size_t g = 0; g < model.num_groups(); ++g) {
+      std::printf(" group%zu->%s", g,
+                  model.pool()
+                      .model(model.selected_combinations()[c][g])
+                      .Name()
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Online phase: two near-identical employees, different gender.
+  // (Example 3.5: t of group g_d and t' of group g_f.)
+  std::vector<double> t(splits.test.Row(0).begin(), splits.test.Row(0).end());
+  std::vector<double> t_prime = t;
+  const size_t gender_col = employees.sensitive_features()[0];
+  t[gender_col] = 1.0;        // discriminated group
+  t_prime[gender_col] = 0.0;  // favored group
+
+  const size_t cluster_t = model.MatchCluster(t);
+  const size_t cluster_tp = model.MatchCluster(t_prime);
+  std::printf("\nemployee t  (gender=1): region %zu, raise prediction %d\n",
+              cluster_t, model.Classify(t));
+  std::printf("employee t' (gender=0): region %zu, raise prediction %d\n",
+              cluster_tp, model.Classify(t_prime));
+  std::printf("\n(cluster matching ignores gender: t and t' share a region"
+              "%s)\n",
+              cluster_t == cluster_tp ? " - confirmed" : "");
+  return 0;
+}

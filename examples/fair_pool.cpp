@@ -1,0 +1,98 @@
+// The FALCC* configuration (paper §4.2.2): feeding classifiers that were
+// themselves optimized for fairness — LFR, Fair-SMOTE, FaX, plus the
+// classic 2NB, AdaFair and Reweighing methods — into FALCC's ensemble
+// selection via TrainWithPool, then comparing against the default
+// diverse-AdaBoost configuration.
+
+#include <cstdio>
+
+#include "baselines/fair_ensembles.h"
+#include "baselines/fair_smote.h"
+#include "baselines/fax.h"
+#include "baselines/lfr.h"
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/benchmark_data.h"
+#include "eval/report.h"
+#include "fairness/audit.h"
+
+int main() {
+  using namespace falcc;
+
+  const Dataset data =
+      GenerateBenchmarkDataset(AdultSexSpec(), 55, 0.05).value();
+  const TrainValTest splits = SplitDatasetDefault(data, 55).value();
+  std::printf("== FALCC with fair classifiers as input (Adult stand-in, "
+              "%zu rows) ==\n\n",
+              data.num_rows());
+
+  // Build the fair pool. Every method implements Classifier, so the pool
+  // is just a list.
+  ModelPool pool;
+  {
+    LfrOptions lfr;
+    lfr.seed = 55;
+    auto model = std::make_unique<LfrClassifier>(lfr);
+    if (!model->Fit(splits.train).ok()) return 1;
+    pool.Add(std::move(model));
+  }
+  {
+    FairSmoteOptions opt;
+    opt.seed = 55;
+    auto model = std::make_unique<FairSmote>(opt);
+    if (!model->Fit(splits.train).ok()) return 1;
+    pool.Add(std::move(model));
+  }
+  {
+    FaxOptions opt;
+    opt.seed = 55;
+    auto model = std::make_unique<FaxClassifier>(opt);
+    if (!model->Fit(splits.train).ok()) return 1;
+    pool.Add(std::move(model));
+  }
+  {
+    auto model = std::make_unique<TwoNaiveBayes>();
+    if (!model->Fit(splits.train).ok()) return 1;
+    pool.Add(std::move(model));
+  }
+  {
+    AdaFairOptions opt;
+    opt.seed = 55;
+    auto model = std::make_unique<AdaFair>(opt);
+    if (!model->Fit(splits.train).ok()) return 1;
+    pool.Add(std::move(model));
+  }
+  {
+    ReweighingOptions opt;
+    opt.seed = 55;
+    auto model = std::make_unique<ReweighingClassifier>(opt);
+    if (!model->Fit(splits.train).ok()) return 1;
+    pool.Add(std::move(model));
+  }
+  std::printf("fair pool: %zu classifiers\n", pool.size());
+
+  FalccOptions options;
+  options.seed = 55;
+
+  const FalccModel star =
+      FalccModel::TrainWithPool(std::move(pool), splits.validation, options)
+          .value();
+  const FalccModel plain =
+      FalccModel::Train(splits.train, splits.validation, options).value();
+
+  for (const auto& [name, model] :
+       {std::pair<const char*, const FalccModel*>{"FALCC*", &star},
+        {"FALCC", &plain}}) {
+    const FairnessAudit audit =
+        AuditPredictions(splits.test, model->ClassifyAll(splits.test))
+            .value();
+    std::printf("\n--- %s (%zu clusters) ---\n%s", name,
+                model->num_clusters(), FormatAudit(audit).c_str());
+  }
+  std::printf("\nExpected shape (paper): FALCC* strengthens global "
+              "fairness (all pool members were built for it) while FALCC "
+              "with the non-fair diverse pool stays nearly as good — "
+              "'a non-fairness-induced diverse model ensemble set can be "
+              "nearly as effective'.\n");
+  return 0;
+}

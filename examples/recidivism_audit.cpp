@@ -1,0 +1,54 @@
+// Auditing classifiers for local fairness on a COMPAS-like dataset.
+//
+// Plays the role of an auditor: trains several fairness interventions on
+// the COMPAS stand-in (Tab. 4 metadata) and compares them across all four
+// fairness notions the paper evaluates — accuracy, global bias, local
+// loss, and individual bias — on a shared evaluation geometry, mirroring
+// one column of Fig. 3.
+
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "datagen/benchmark_data.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace falcc;
+
+  const Dataset data =
+      GenerateBenchmarkDataset(CompasSpec(), 33, 0.5).value();
+  std::printf("== Recidivism audit (COMPAS stand-in, %zu defendants) ==\n\n",
+              data.num_rows());
+
+  ExperimentOptions options;
+  options.metric = FairnessMetric::kDemographicParity;
+  options.seed = 33;
+  const Experiment experiment = Experiment::Create(data, options).value();
+  std::printf("shared evaluation: %zu local regions on the test split\n\n",
+              experiment.num_eval_regions());
+
+  TextTable table({"algorithm", "acc%", "global", "local", "indiv",
+                   "us/sample"});
+  for (Algorithm algorithm :
+       {Algorithm::kFairSmote, Algorithm::kFaX, Algorithm::kDecouple,
+        Algorithm::kFalcc}) {
+    Result<EvalMeasurement> m = experiment.Run(algorithm);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   AlgorithmName(algorithm).c_str(),
+                   m.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({AlgorithmName(algorithm),
+                  FormatPercent(m.value().accuracy, 1),
+                  FormatDouble(m.value().global_bias, 3),
+                  FormatDouble(m.value().local_bias, 3),
+                  FormatDouble(m.value().individual_bias, 3),
+                  FormatDouble(m.value().online_micros_per_sample, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Reading guide: lower bias columns are fairer; FALCC should "
+              "be strongest on the 'local' column while staying cheap "
+              "per sample.\n");
+  return 0;
+}

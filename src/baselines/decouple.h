@@ -1,0 +1,66 @@
+// Decouple baseline (Dwork, Immorlica, Kalai, Leiserson — FAT* 2018).
+//
+// Decoupled classifiers: enumerate all model combinations (one classifier
+// per sensitive group) and keep the single combination minimizing a joint
+// accuracy+fairness objective over the whole validation set. This equals
+// FALCC's model assessment with exactly one global region, which is why
+// the paper describes Decouple as the global-fairness point of the design
+// space. The online phase is a group lookup plus one prediction.
+
+#ifndef FALCC_BASELINES_DECOUPLE_H_
+#define FALCC_BASELINES_DECOUPLE_H_
+
+#include "core/assessment.h"
+#include "core/model_pool.h"
+#include "data/groups.h"
+#include "ml/grid_search.h"
+
+namespace falcc {
+
+/// Decouple configuration. Like FALCC, the metric slot accepts any of the
+/// Tab. 3 definitions (the paper adapts Decouple the same way).
+struct DecoupleOptions {
+  double lambda = 0.5;
+  FairnessMetric metric = FairnessMetric::kDemographicParity;
+  /// Additionally train one model per sensitive group (decoupled
+  /// training, the original paper's setting) next to the shared pool.
+  bool per_group_models = true;
+  uint64_t seed = 1;
+};
+
+/// Trained Decouple classifier.
+class DecoupleModel {
+ public:
+  DecoupleModel(DecoupleModel&&) = default;
+  DecoupleModel& operator=(DecoupleModel&&) = default;
+
+  /// Trains the five standard classifiers on `train` (plus per-group
+  /// decision trees if configured) and selects the best combination on
+  /// `validation`.
+  static Result<DecoupleModel> Train(const Dataset& train,
+                                     const Dataset& validation,
+                                     const DecoupleOptions& options = {});
+
+  /// Uses an externally supplied pool (e.g. fair classifiers for the
+  /// Decouple* variant).
+  static Result<DecoupleModel> TrainWithPool(ModelPool pool,
+                                             const Dataset& validation,
+                                             const DecoupleOptions& options);
+
+  int Classify(std::span<const double> features) const;
+  std::vector<int> ClassifyAll(const Dataset& data) const;
+
+  const ModelCombination& selected_combination() const { return selected_; }
+  size_t num_groups() const { return group_index_.num_groups(); }
+
+ private:
+  DecoupleModel() = default;
+
+  ModelPool pool_;
+  GroupIndex group_index_;
+  ModelCombination selected_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_DECOUPLE_H_

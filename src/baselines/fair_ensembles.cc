@@ -1,0 +1,248 @@
+#include "baselines/fair_ensembles.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace falcc {
+
+// ---------------------------------------------------------------------
+// TwoNaiveBayes
+
+Status TwoNaiveBayes::Fit(const Dataset& data,
+                          std::span<const double> sample_weights) {
+  if (!sample_weights.empty()) {
+    return Status::InvalidArgument("2NB does not support sample weights");
+  }
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  group_index_ = std::move(index).value();
+  const size_t num_groups = group_index_.num_groups();
+
+  Result<std::vector<std::vector<size_t>>> buckets =
+      RowsByGroup(group_index_, data);
+  if (!buckets.ok()) return buckets.status();
+
+  per_group_.assign(num_groups, GaussianNaiveBayes());
+  offsets_.assign(num_groups, 0.0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (buckets.value()[g].size() < 5) {
+      return Status::FailedPrecondition(
+          "2NB: group " + std::to_string(g) + " has too few samples");
+    }
+    const Dataset partition = data.Subset(buckets.value()[g]);
+    FALCC_RETURN_IF_ERROR(per_group_[g].Fit(partition));
+  }
+
+  // Post-hoc prior balancing: iteratively shift the logit of the groups
+  // whose positive rate is below/above the overall rate until the dp gap
+  // on the training data is within tolerance.
+  for (size_t iter = 0; iter < options_.max_adjust_iterations; ++iter) {
+    std::vector<double> group_pos(num_groups, 0.0);
+    std::vector<double> group_n(num_groups, 0.0);
+    double overall_pos = 0.0;
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      const int z = Predict(data.Row(i));
+      const size_t g = group_index_.GroupOfOrNearest(data.Row(i));
+      group_pos[g] += z;
+      group_n[g] += 1.0;
+      overall_pos += z;
+    }
+    const double overall =
+        overall_pos / static_cast<double>(data.num_rows());
+    double max_gap = 0.0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (group_n[g] <= 0.0) continue;
+      const double gap = group_pos[g] / group_n[g] - overall;
+      max_gap = std::max(max_gap, std::fabs(gap));
+      // Push the group toward the overall rate.
+      offsets_[g] -= options_.adjust_step * (gap > 0.0 ? 1.0 : -1.0) *
+                     (std::fabs(gap) > 1e-12 ? 1.0 : 0.0);
+    }
+    if (max_gap < options_.dp_tolerance) break;
+  }
+  return Status::OK();
+}
+
+double TwoNaiveBayes::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!per_group_.empty(), "2NB::PredictProba before Fit");
+  const size_t g = group_index_.GroupOfOrNearest(features);
+  const double p = per_group_[g].PredictProba(features);
+  // Apply the group's logit offset.
+  const double clipped = Clamp(p, 1e-9, 1.0 - 1e-9);
+  const double logit = std::log(clipped / (1.0 - clipped)) + offsets_[g];
+  return Sigmoid(logit);
+}
+
+std::unique_ptr<Classifier> TwoNaiveBayes::Clone() const {
+  return std::make_unique<TwoNaiveBayes>(*this);
+}
+
+// ---------------------------------------------------------------------
+// AdaFair
+
+Status AdaFair::Fit(const Dataset& data,
+                    std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("AdaFair: empty training data");
+  }
+  if (options_.num_estimators == 0) {
+    return Status::InvalidArgument("AdaFair: num_estimators must be > 0");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  Result<std::vector<size_t>> groups_r = index.value().GroupsOf(data);
+  if (!groups_r.ok()) return groups_r.status();
+  const std::vector<size_t>& groups = groups_r.value();
+  const size_t num_groups = index.value().num_groups();
+
+  const size_t n = data.num_rows();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  if (!sample_weights.empty()) {
+    double sum = 0.0;
+    for (double w : sample_weights) sum += w;
+    for (size_t i = 0; i < n; ++i) weights[i] = sample_weights[i] / sum;
+  }
+
+  trees_.clear();
+  alphas_.clear();
+  std::vector<int> predictions(n);
+  std::vector<double> margins(n, 0.0);  // cumulative ensemble margin
+
+  for (size_t t = 0; t < options_.num_estimators; ++t) {
+    DecisionTreeOptions base = options_.base;
+    base.seed = options_.seed + t;
+    DecisionTree weak(base);
+    FALCC_RETURN_IF_ERROR(weak.Fit(data, weights));
+
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      predictions[i] = weak.Predict(data.Row(i));
+      if (predictions[i] != data.Label(i)) err += weights[i];
+    }
+    if (err >= 0.5) {
+      if (trees_.empty()) {
+        trees_.push_back(std::move(weak));
+        alphas_.push_back(1.0);
+      }
+      break;
+    }
+    const double eps = std::max(err, 1e-10);
+    const double alpha = std::log((1.0 - eps) / eps);
+    trees_.push_back(std::move(weak));
+    alphas_.push_back(alpha);
+
+    // Cumulative fairness: positive rates of the *partial ensemble*.
+    for (size_t i = 0; i < n; ++i) {
+      margins[i] += alpha * (predictions[i] == 1 ? 1.0 : -1.0);
+    }
+    std::vector<double> group_pos(num_groups, 0.0), group_n(num_groups, 0.0);
+    double overall_pos = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const int z = margins[i] >= 0.0 ? 1 : 0;
+      group_pos[groups[i]] += z;
+      group_n[groups[i]] += 1.0;
+      overall_pos += z;
+    }
+    const double overall = overall_pos / static_cast<double>(n);
+
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double factor = 1.0;
+      if (predictions[i] != data.Label(i)) factor *= std::exp(alpha);
+      // Fairness boost: positives of under-served groups and negatives
+      // of over-served groups get extra weight so the next round pulls
+      // the ensemble toward parity.
+      const size_t g = groups[i];
+      if (group_n[g] > 0.0) {
+        const double gap = group_pos[g] / group_n[g] - overall;
+        const int z = margins[i] >= 0.0 ? 1 : 0;
+        if ((gap < 0.0 && z == 0 && data.Label(i) == 1) ||
+            (gap > 0.0 && z == 1 && data.Label(i) == 0)) {
+          factor *= std::exp(options_.fairness_epsilon * std::fabs(gap));
+        }
+      }
+      weights[i] *= factor;
+      sum += weights[i];
+    }
+    if (sum <= 0.0) break;
+    for (double& w : weights) w /= sum;
+  }
+  return Status::OK();
+}
+
+double AdaFair::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!trees_.empty(), "AdaFair::PredictProba before Fit");
+  double margin = 0.0, alpha_sum = 0.0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    margin += alphas_[t] * (trees_[t].Predict(features) == 1 ? 1.0 : -1.0);
+    alpha_sum += std::fabs(alphas_[t]);
+  }
+  if (alpha_sum <= 0.0) return 0.5;
+  return 0.5 * (margin / alpha_sum + 1.0);
+}
+
+std::unique_ptr<Classifier> AdaFair::Clone() const {
+  return std::make_unique<AdaFair>(*this);
+}
+
+// ---------------------------------------------------------------------
+// Reweighing
+
+Result<std::vector<double>> ReweighingWeights(const Dataset& data) {
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  Result<std::vector<size_t>> groups_r = index.value().GroupsOf(data);
+  if (!groups_r.ok()) return groups_r.status();
+  const std::vector<size_t>& groups = groups_r.value();
+  const size_t num_groups = index.value().num_groups();
+  const double n = static_cast<double>(data.num_rows());
+  if (n <= 0.0) return Status::InvalidArgument("reweighing: empty data");
+
+  // Cell counts over (group, label).
+  std::vector<double> cell(num_groups * 2, 0.0);
+  std::vector<double> group_count(num_groups, 0.0);
+  double pos = 0.0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    cell[groups[i] * 2 + data.Label(i)] += 1.0;
+    group_count[groups[i]] += 1.0;
+    pos += data.Label(i);
+  }
+  const double label_p[2] = {(n - pos) / n, pos / n};
+
+  std::vector<double> weights(data.num_rows(), 1.0);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const size_t g = groups[i];
+    const int y = data.Label(i);
+    const double observed = cell[g * 2 + y] / n;
+    const double expected = (group_count[g] / n) * label_p[y];
+    weights[i] = observed > 0.0 ? expected / observed : 1.0;
+  }
+  return weights;
+}
+
+Status ReweighingClassifier::Fit(const Dataset& data,
+                                 std::span<const double> sample_weights) {
+  if (!sample_weights.empty()) {
+    return Status::InvalidArgument(
+        "Reweighing computes its own sample weights");
+  }
+  Result<std::vector<double>> weights = ReweighingWeights(data);
+  if (!weights.ok()) return weights.status();
+  DecisionTreeOptions base = options_.base;
+  base.seed = options_.seed;
+  tree_ = DecisionTree(base);
+  return tree_.Fit(data, weights.value());
+}
+
+double ReweighingClassifier::PredictProba(
+    std::span<const double> features) const {
+  return tree_.PredictProba(features);
+}
+
+std::unique_ptr<Classifier> ReweighingClassifier::Clone() const {
+  return std::make_unique<ReweighingClassifier>(*this);
+}
+
+}  // namespace falcc

@@ -1,0 +1,119 @@
+// Classic fair-ensemble and pre-processing methods from the paper's
+// related-work survey (Tab. 1), implemented as additional pool members /
+// reference points:
+//
+//  * TwoNaiveBayes — Calders & Verwer (DMKD 2010): one Gaussian naive
+//    Bayes per sensitive group; after training, the models' priors are
+//    iteratively adjusted until the demographic-parity gap on the
+//    training data vanishes ("modifying probabilities of the
+//    classifiers").
+//  * AdaFair — Iosifidis & Ntoutsi (CIKM 2019): AdaBoost whose sample
+//    weights are additionally boosted by a cumulative-fairness term: in
+//    each round, members of the group currently disadvantaged by the
+//    *partial ensemble* get extra weight.
+//  * ReweighingClassifier — Kamiran & Calders (KAIS 2012): the classic
+//    pre-processing that weights every (group, label) cell by
+//    P(g)·P(y)/P(g,y) so groups and labels become statistically
+//    independent, then trains any weighted classifier.
+
+#ifndef FALCC_BASELINES_FAIR_ENSEMBLES_H_
+#define FALCC_BASELINES_FAIR_ENSEMBLES_H_
+
+#include "data/groups.h"
+#include "ml/decision_tree.h"
+#include "ml/naive_bayes.h"
+
+namespace falcc {
+
+/// Calders–Verwer two-naive-Bayes options.
+struct TwoNaiveBayesOptions {
+  size_t max_adjust_iterations = 50;
+  /// Per-iteration multiplicative step on the group-conditional
+  /// positive-class prior.
+  double adjust_step = 0.05;
+  /// Stop when the training dp gap falls below this.
+  double dp_tolerance = 0.01;
+};
+
+/// Group-decoupled naive Bayes with post-hoc prior balancing.
+class TwoNaiveBayes final : public Classifier {
+ public:
+  explicit TwoNaiveBayes(const TwoNaiveBayesOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "2NB"; }
+
+  /// Per-group logit offsets after balancing (diagnostics).
+  const std::vector<double>& prior_offsets() const { return offsets_; }
+
+ private:
+  TwoNaiveBayesOptions options_;
+  GroupIndex group_index_;
+  std::vector<GaussianNaiveBayes> per_group_;
+  std::vector<double> offsets_;  // logit shift per group
+};
+
+/// AdaFair options.
+struct AdaFairOptions {
+  size_t num_estimators = 20;
+  DecisionTreeOptions base = {.max_depth = 3};
+  /// Strength of the cumulative-fairness weight boost.
+  double fairness_epsilon = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Cumulative-fairness adaptive boosting.
+class AdaFair final : public Classifier {
+ public:
+  explicit AdaFair(const AdaFairOptions& options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "AdaFair"; }
+
+ private:
+  AdaFairOptions options_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+};
+
+/// Kamiran–Calders reweighing options.
+struct ReweighingOptions {
+  DecisionTreeOptions base = {.max_depth = 7};
+  uint64_t seed = 1;
+};
+
+/// Reweighing pre-processing wrapped around a decision tree.
+class ReweighingClassifier final : public Classifier {
+ public:
+  explicit ReweighingClassifier(const ReweighingOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "Reweighing"; }
+
+ private:
+  ReweighingOptions options_;
+  DecisionTree tree_;
+};
+
+/// The Kamiran–Calders cell weights: weight[i] for each row so that
+/// group and label become independent under the weighted distribution.
+/// Exposed for tests and for use with other learners.
+Result<std::vector<double>> ReweighingWeights(const Dataset& data);
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_FAIR_ENSEMBLES_H_

@@ -1,0 +1,94 @@
+#include "baselines/fair_smote.h"
+
+#include <algorithm>
+
+#include "cluster/kdtree.h"
+#include "data/groups.h"
+#include "util/rng.h"
+
+namespace falcc {
+
+Result<Dataset> BalanceSubgroups(const Dataset& data, size_t k,
+                                 uint64_t seed) {
+  if (k == 0) return Status::InvalidArgument("Fair-SMOTE: k must be > 0");
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  Result<std::vector<size_t>> groups = index.value().GroupsOf(data);
+  if (!groups.ok()) return groups.status();
+  const size_t num_groups = index.value().num_groups();
+
+  // Buckets by (group, label).
+  std::vector<std::vector<size_t>> buckets(num_groups * 2);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    buckets[groups.value()[i] * 2 + data.Label(i)].push_back(i);
+  }
+  size_t target = 0;
+  for (const auto& b : buckets) target = std::max(target, b.size());
+
+  Rng rng(seed);
+  Dataset balanced = data;  // copy; synthetic rows appended below
+  std::vector<double> synthetic(data.num_features());
+  const std::vector<size_t>& sens = data.sensitive_features();
+
+  for (const auto& bucket : buckets) {
+    if (bucket.empty() || bucket.size() >= target) continue;
+    // Neighbor index within the subgroup (raw feature space).
+    std::vector<std::vector<double>> points;
+    points.reserve(bucket.size());
+    for (size_t row : bucket) {
+      const auto r = data.Row(row);
+      points.emplace_back(r.begin(), r.end());
+    }
+    Result<KdTree> tree = KdTree::Build(points);
+    if (!tree.ok()) return tree.status();
+
+    const int label = data.Label(bucket[0]);
+    for (size_t need = target - bucket.size(); need > 0; --need) {
+      const size_t a = rng.UniformInt(bucket.size());
+      // k+1 because `a` is its own nearest neighbor.
+      const std::vector<size_t> nn =
+          tree.value().Nearest(points[a], std::min(k + 1, bucket.size()));
+      size_t b = a;
+      if (nn.size() > 1) {
+        // Draw among neighbors other than a itself.
+        const size_t pick = 1 + rng.UniformInt(nn.size() - 1);
+        b = nn[pick];
+      }
+      const double t = rng.Uniform();
+      for (size_t j = 0; j < data.num_features(); ++j) {
+        synthetic[j] = points[a][j] + t * (points[b][j] - points[a][j]);
+      }
+      // Sensitive attributes are categorical: copy, don't interpolate.
+      for (size_t s : sens) synthetic[s] = points[a][s];
+      balanced.AppendRow(synthetic, label);
+    }
+  }
+  return balanced;
+}
+
+Status FairSmote::Fit(const Dataset& data,
+                      std::span<const double> sample_weights) {
+  if (!sample_weights.empty()) {
+    return Status::InvalidArgument(
+        "Fair-SMOTE does not support sample weights");
+  }
+  Result<Dataset> balanced =
+      BalanceSubgroups(data, options_.k, options_.seed);
+  if (!balanced.ok()) return balanced.status();
+  num_synthetic_ = balanced.value().num_rows() - data.num_rows();
+
+  DecisionTreeOptions base = options_.base;
+  base.seed = options_.seed;
+  tree_ = DecisionTree(base);
+  return tree_.Fit(balanced.value());
+}
+
+double FairSmote::PredictProba(std::span<const double> features) const {
+  return tree_.PredictProba(features);
+}
+
+std::unique_ptr<Classifier> FairSmote::Clone() const {
+  return std::make_unique<FairSmote>(*this);
+}
+
+}  // namespace falcc

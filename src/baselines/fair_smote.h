@@ -1,0 +1,54 @@
+// Fair-SMOTE baseline (Chakraborty, Majumder, Menzies — ESEC/FSE 2021):
+// "Bias in machine learning software: why? how? what to do?".
+//
+// Balances every (sensitive group × label) subgroup to the size of the
+// largest subgroup by SMOTE-style interpolation (new samples are convex
+// combinations of a subgroup member and one of its k nearest subgroup
+// neighbors; sensitive attributes are copied, not interpolated), then
+// trains a single classifier on the balanced data.
+
+#ifndef FALCC_BASELINES_FAIR_SMOTE_H_
+#define FALCC_BASELINES_FAIR_SMOTE_H_
+
+#include "ml/decision_tree.h"
+
+namespace falcc {
+
+/// Fair-SMOTE hyperparameters.
+struct FairSmoteOptions {
+  size_t k = 5;  ///< interpolation neighbors within a subgroup
+  DecisionTreeOptions base = {.max_depth = 7};
+  uint64_t seed = 1;
+};
+
+/// Subgroup-balanced classifier.
+class FairSmote final : public Classifier {
+ public:
+  explicit FairSmote(const FairSmoteOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "Fair-SMOTE"; }
+
+  /// Number of synthetic rows generated during the last Fit.
+  size_t num_synthetic() const { return num_synthetic_; }
+
+ private:
+  FairSmoteOptions options_;
+  DecisionTree tree_;
+  size_t num_synthetic_ = 0;
+};
+
+/// Standalone balancing step (exposed for tests): returns `data` plus
+/// synthetic rows so that every (group × label) subgroup has the size of
+/// the largest one.
+Result<Dataset> BalanceSubgroups(const Dataset& data, size_t k,
+                                 uint64_t seed);
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_FAIR_SMOTE_H_

@@ -1,0 +1,112 @@
+#include "baselines/fairboost.h"
+
+#include <cmath>
+
+#include "cluster/kdtree.h"
+#include "data/transforms.h"
+
+namespace falcc {
+
+Status FairBoost::Fit(const Dataset& data,
+                      std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("FairBoost: empty training data");
+  }
+  if (options_.num_estimators == 0 || options_.k == 0) {
+    return Status::InvalidArgument("FairBoost: bad hyperparameters");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+
+  // Situation-testing neighborhoods, computed once over the
+  // sensitive-attribute-free standardized feature space.
+  ColumnTransform transform = ColumnTransform::Standardize(data);
+  transform.DropColumns(data.sensitive_features());
+  Result<KdTree> tree = KdTree::Build(transform.ApplyAll(data));
+  if (!tree.ok()) return tree.status();
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<size_t> nn =
+        tree.value().Nearest(transform.Apply(data.Row(i)), options_.k + 1);
+    for (size_t j : nn) {
+      if (j != i && neighbors[i].size() < options_.k) {
+        neighbors[i].push_back(j);
+      }
+    }
+  }
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  if (!sample_weights.empty()) {
+    double sum = 0.0;
+    for (double w : sample_weights) sum += w;
+    for (size_t i = 0; i < n; ++i) weights[i] = sample_weights[i] / sum;
+  }
+
+  trees_.clear();
+  alphas_.clear();
+  std::vector<int> predictions(n);
+
+  for (size_t t = 0; t < options_.num_estimators; ++t) {
+    DecisionTreeOptions base = options_.base;
+    base.seed = options_.seed + t;
+    DecisionTree weak(base);
+    FALCC_RETURN_IF_ERROR(weak.Fit(data, weights));
+
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      predictions[i] = weak.Predict(data.Row(i));
+      if (predictions[i] != data.Label(i)) err += weights[i];
+    }
+    if (err >= 0.5) {
+      if (trees_.empty()) {
+        trees_.push_back(std::move(weak));
+        alphas_.push_back(1.0);
+      }
+      break;
+    }
+    const double eps = std::max(err, 1e-10);
+    const double alpha = std::log((1.0 - eps) / eps);
+    trees_.push_back(std::move(weak));
+    alphas_.push_back(alpha);
+
+    // Combined update: misclassification (AdaBoost) + situation-testing
+    // unfairness boost.
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double factor = 1.0;
+      if (predictions[i] != data.Label(i)) factor *= std::exp(alpha);
+      if (!neighbors[i].empty()) {
+        double mean = 0.0;
+        for (size_t j : neighbors[i]) mean += predictions[j];
+        mean /= static_cast<double>(neighbors[i].size());
+        if (std::fabs(static_cast<double>(predictions[i]) - mean) >
+            options_.unfairness_threshold) {
+          factor *= std::exp(alpha * options_.fairness_boost);
+        }
+      }
+      weights[i] *= factor;
+      sum += weights[i];
+    }
+    if (sum <= 0.0) break;
+    for (double& w : weights) w /= sum;
+  }
+  return Status::OK();
+}
+
+double FairBoost::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!trees_.empty(), "FairBoost::PredictProba before Fit");
+  double margin = 0.0, alpha_sum = 0.0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    margin += alphas_[t] * (trees_[t].Predict(features) == 1 ? 1.0 : -1.0);
+    alpha_sum += std::fabs(alphas_[t]);
+  }
+  if (alpha_sum <= 0.0) return 0.5;
+  return 0.5 * (margin / alpha_sum + 1.0);
+}
+
+std::unique_ptr<Classifier> FairBoost::Clone() const {
+  return std::make_unique<FairBoost>(*this);
+}
+
+}  // namespace falcc

@@ -1,0 +1,55 @@
+// FairBoost baseline ("Proposed Ensemble Fair Learning Method",
+// Bhaskaruni, Hu, Lan — ICTAI 2019).
+//
+// AdaBoost-style ensemble targeting *individual* fairness: in every
+// boosting round, samples the current model treats inconsistently with
+// their k nearest neighbors (situation testing over the
+// sensitive-attribute-free feature space; the paper's setup uses k = 30,
+// not split per group) get their weights boosted in addition to the usual
+// misclassification update.
+//
+// Implements the Classifier interface so it can also serve as a pool
+// member.
+
+#ifndef FALCC_BASELINES_FAIRBOOST_H_
+#define FALCC_BASELINES_FAIRBOOST_H_
+
+#include "ml/decision_tree.h"
+
+namespace falcc {
+
+/// FairBoost hyperparameters.
+struct FairBoostOptions {
+  size_t num_estimators = 10;
+  size_t k = 30;  ///< neighborhood size for situation testing
+  /// Threshold on |prediction − neighborhood mean prediction| above which
+  /// a sample counts as unfairly treated.
+  double unfairness_threshold = 0.5;
+  /// Extra weight factor applied to unfairly treated samples.
+  double fairness_boost = 1.0;
+  DecisionTreeOptions base = {.max_depth = 3};
+  uint64_t seed = 1;
+};
+
+/// Fairness-aware boosted ensemble.
+class FairBoost final : public Classifier {
+ public:
+  explicit FairBoost(const FairBoostOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "FairBoost"; }
+
+ private:
+  FairBoostOptions options_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_FAIRBOOST_H_

@@ -1,0 +1,87 @@
+// FALCES family (Lässig, Oppold, Herschel — BTW 2021 / Datenbank-Spektrum
+// 2022): the state-of-the-art locally fair predecessor FALCC is compared
+// against.
+//
+// FALCES also combines dynamic and fair model ensembles, but determines
+// the local region *online*: for every new sample it retrieves the k
+// nearest validation samples of each sensitive group (k = 15 per group in
+// the paper's setup), assesses all retained model combinations on that
+// neighborhood with L̂, and classifies with the winner. This makes
+// prediction accurate but slow — the motivation for FALCC's offline
+// precomputation (Fig. 6 measures the gap).
+//
+// The four paper variants map to two flags:
+//   * prefilter      — "efficient" variants globally pre-filter the
+//                      combination set to the top-q by global L̂;
+//   * split_training — "SBT" variants additionally train per-group
+//                      models on group partitions.
+// FALCES-FASTEST (Fig. 6) = prefilter on.
+
+#ifndef FALCC_BASELINES_FALCES_H_
+#define FALCC_BASELINES_FALCES_H_
+
+#include <optional>
+
+#include "cluster/kdtree.h"
+#include "core/assessment.h"
+#include "core/model_pool.h"
+#include "data/groups.h"
+#include "data/transforms.h"
+
+namespace falcc {
+
+/// FALCES configuration.
+struct FalcesOptions {
+  double lambda = 0.5;
+  FairnessMetric metric = FairnessMetric::kDemographicParity;
+  size_t k = 15;  ///< neighbors per sensitive group
+  bool prefilter = false;
+  size_t prefilter_keep = 10;
+  bool split_training = false;
+  uint64_t seed = 1;
+};
+
+/// Trained FALCES classifier (pool + validation index); the expensive
+/// part happens inside Classify.
+class FalcesModel {
+ public:
+  FalcesModel(FalcesModel&&) = default;
+  FalcesModel& operator=(FalcesModel&&) = default;
+
+  /// Trains the standard pool (plus per-group models if split_training)
+  /// and indexes the validation data.
+  static Result<FalcesModel> Train(const Dataset& train,
+                                   const Dataset& validation,
+                                   const FalcesOptions& options = {});
+
+  /// Externally supplied pool (FALCES* variant).
+  static Result<FalcesModel> TrainWithPool(ModelPool pool,
+                                           const Dataset& validation,
+                                           const FalcesOptions& options);
+
+  /// Online phase: per-group kNN lookup + combination assessment +
+  /// prediction.
+  int Classify(std::span<const double> features) const;
+  std::vector<int> ClassifyAll(const Dataset& data) const;
+
+  size_t num_groups() const { return group_index_.num_groups(); }
+  size_t num_retained_combinations() const { return combinations_.size(); }
+
+ private:
+  FalcesModel() = default;
+
+  ModelPool pool_;
+  GroupIndex group_index_;
+  ColumnTransform transform_;  // standardized, sensitive attrs dropped
+  std::optional<KdTree> tree_;
+  std::vector<std::vector<bool>> group_masks_;  // per group over val rows
+  std::vector<std::vector<int>> votes_;         // model x val row
+  std::vector<int> val_labels_;
+  std::vector<size_t> val_groups_;
+  std::vector<ModelCombination> combinations_;  // retained candidates
+  FalcesOptions options_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_FALCES_H_

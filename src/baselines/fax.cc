@@ -1,0 +1,105 @@
+#include "baselines/fax.h"
+
+#include <algorithm>
+
+#include "fairness/proxy.h"
+#include "util/rng.h"
+
+namespace falcc {
+
+Status FaxClassifier::Fit(const Dataset& data,
+                          std::span<const double> sample_weights) {
+  if (data.num_rows() < 3) {
+    return Status::InvalidArgument("FaX: too few training rows");
+  }
+  if (options_.num_interventions == 0) {
+    return Status::InvalidArgument("FaX: num_interventions must be > 0");
+  }
+
+  // Inner feature space: everything but the sensitive attributes.
+  kept_columns_.clear();
+  const std::vector<size_t>& sens = data.sensitive_features();
+  for (size_t c = 0; c < data.num_features(); ++c) {
+    if (std::find(sens.begin(), sens.end(), c) == sens.end()) {
+      kept_columns_.push_back(c);
+    }
+  }
+  if (kept_columns_.empty()) {
+    return Status::InvalidArgument("FaX: no non-sensitive features");
+  }
+
+  // Detect proxies among the kept columns.
+  ProxyOptions proxy_options;
+  proxy_options.removal_threshold = options_.proxy_threshold;
+  Result<std::vector<ProxyReport>> reports =
+      AnalyzeProxies(data, proxy_options);
+  if (!reports.ok()) return reports.status();
+  proxy_columns_.clear();
+  for (const ProxyReport& r : reports.value()) {
+    if (r.removed) proxy_columns_.push_back(r.column);
+  }
+
+  // Build the inner training dataset (non-sensitive columns only).
+  std::vector<std::string> names;
+  for (size_t c : kept_columns_) names.push_back(data.feature_names()[c]);
+  std::vector<double> features;
+  features.reserve(data.num_rows() * kept_columns_.size());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t c : kept_columns_) features.push_back(row[c]);
+  }
+  Result<Dataset> inner =
+      Dataset::Create(std::move(names), std::move(features),
+                      kept_columns_.size(), data.labels(), {});
+  if (!inner.ok()) return inner.status();
+
+  DecisionTreeOptions base = options_.base;
+  base.seed = options_.seed;
+  tree_ = DecisionTree(base);
+  FALCC_RETURN_IF_ERROR(tree_.Fit(inner.value(), sample_weights));
+
+  // Reference proxy rows drawn from the training marginal (seeded).
+  reference_.clear();
+  if (!proxy_columns_.empty()) {
+    Rng rng(options_.seed);
+    const size_t r = std::min<size_t>(options_.num_interventions,
+                                      data.num_rows());
+    for (size_t i = 0; i < r; ++i) {
+      const size_t row = rng.UniformInt(data.num_rows());
+      std::vector<double> values;
+      values.reserve(proxy_columns_.size());
+      for (size_t c : proxy_columns_) values.push_back(data.Feature(row, c));
+      reference_.push_back(std::move(values));
+    }
+  }
+  return Status::OK();
+}
+
+double FaxClassifier::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!kept_columns_.empty(), "FaX::PredictProba before Fit");
+  std::vector<double> inner(kept_columns_.size());
+  for (size_t j = 0; j < kept_columns_.size(); ++j) {
+    inner[j] = features[kept_columns_[j]];
+  }
+  if (reference_.empty()) {
+    return tree_.PredictProba(inner);
+  }
+
+  // Positions of the proxy columns inside the inner feature vector.
+  double total = 0.0;
+  for (const std::vector<double>& ref : reference_) {
+    for (size_t p = 0; p < proxy_columns_.size(); ++p) {
+      const auto it = std::find(kept_columns_.begin(), kept_columns_.end(),
+                                proxy_columns_[p]);
+      inner[static_cast<size_t>(it - kept_columns_.begin())] = ref[p];
+    }
+    total += tree_.PredictProba(inner);
+  }
+  return total / static_cast<double>(reference_.size());
+}
+
+std::unique_ptr<Classifier> FaxClassifier::Clone() const {
+  return std::make_unique<FaxClassifier>(*this);
+}
+
+}  // namespace falcc

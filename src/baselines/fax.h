@@ -1,0 +1,61 @@
+// FaX baseline (Grabowicz, Perello, Mishra — FAccT 2022): "Marrying
+// fairness and explainability in supervised learning".
+//
+// Removes both direct discrimination and redlining (proxy influence) via
+// a marginal interventional mixture: the inner model is trained without
+// the sensitive attributes, and at prediction time the influence of the
+// detected proxy attributes is marginalized out by averaging the model's
+// output over interventions that replace the sample's proxy values with
+// reference values drawn from their training marginal. This makes
+// predictions insensitive to proxies, which is why FaX scores well on
+// consistency (individual fairness) in the paper's evaluation.
+
+#ifndef FALCC_BASELINES_FAX_H_
+#define FALCC_BASELINES_FAX_H_
+
+#include "data/transforms.h"
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+
+/// FaX hyperparameters.
+struct FaxOptions {
+  /// |Pearson ρ| above which a non-sensitive attribute counts as a proxy
+  /// subject to marginalization.
+  double proxy_threshold = 0.4;
+  /// Number of reference rows the marginal intervention averages over.
+  size_t num_interventions = 20;
+  DecisionTreeOptions base = {.max_depth = 7};
+  uint64_t seed = 1;
+};
+
+/// Marginal-interventional-mixture classifier.
+class FaxClassifier final : public Classifier {
+ public:
+  explicit FaxClassifier(const FaxOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "FaX"; }
+
+  /// Detected proxy columns (indices in the original feature space).
+  const std::vector<size_t>& proxy_columns() const { return proxy_columns_; }
+
+ private:
+  FaxOptions options_;
+  DecisionTree tree_;                   // trained on non-sensitive features
+  std::vector<size_t> kept_columns_;    // original -> inner feature map
+  std::vector<size_t> proxy_columns_;   // subset of kept columns (original ids)
+  /// Reference proxy values: reference_[r][p] replaces proxy p in
+  /// intervention r.
+  std::vector<std::vector<double>> reference_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_FAX_H_

@@ -1,0 +1,185 @@
+#include "baselines/ifair.h"
+
+#include <cmath>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace falcc {
+
+namespace {
+
+std::vector<double> SoftAssignments(
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& prototypes) {
+  const size_t k = prototypes.size();
+  std::vector<double> z(k);
+  double z_max = -1e300;
+  for (size_t j = 0; j < k; ++j) {
+    z[j] = -SquaredDistance(x, prototypes[j]);
+    z_max = std::max(z_max, z[j]);
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    z[j] = std::exp(z[j] - z_max);
+    sum += z[j];
+  }
+  for (size_t j = 0; j < k; ++j) z[j] /= sum;
+  return z;
+}
+
+std::vector<double> Reconstruct(
+    const std::vector<double>& m,
+    const std::vector<std::vector<double>>& prototypes, size_t d) {
+  std::vector<double> xhat(d, 0.0);
+  for (size_t k = 0; k < prototypes.size(); ++k) {
+    for (size_t j = 0; j < d; ++j) xhat[j] += m[k] * prototypes[k][j];
+  }
+  return xhat;
+}
+
+}  // namespace
+
+Status IFairClassifier::Fit(const Dataset& data,
+                            std::span<const double> sample_weights) {
+  if (!sample_weights.empty()) {
+    return Status::InvalidArgument("iFair does not support sample weights");
+  }
+  if (data.num_rows() < 10) {
+    return Status::InvalidArgument("iFair: too few training rows");
+  }
+  if (options_.num_prototypes < 2) {
+    return Status::InvalidArgument("iFair: need at least 2 prototypes");
+  }
+
+  transform_ = ColumnTransform::Standardize(data);
+  transform_.DropColumns(data.sensitive_features());
+
+  Rng rng(options_.seed);
+  std::vector<size_t> rows(data.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  if (options_.max_train_rows > 0 && rows.size() > options_.max_train_rows) {
+    rng.Shuffle(&rows);
+    rows.resize(options_.max_train_rows);
+  }
+  const size_t n = rows.size();
+  std::vector<std::vector<double>> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = transform_.Apply(data.Row(rows[i]));
+  const size_t d = x[0].size();
+  const size_t K = options_.num_prototypes;
+
+  // Fixed seeded pair sample with original-space distances.
+  size_t num_pairs = options_.num_pairs;
+  if (num_pairs == 0) num_pairs = std::min<size_t>(5 * n, 20000);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<double> pair_dist;
+  pairs.reserve(num_pairs);
+  pair_dist.reserve(num_pairs);
+  for (size_t p = 0; p < num_pairs; ++p) {
+    const size_t i = rng.UniformInt(n);
+    size_t j = rng.UniformInt(n);
+    if (i == j) j = (j + 1) % n;
+    pairs.emplace_back(i, j);
+    pair_dist.push_back(EuclideanDistance(x[i], x[j]));
+  }
+
+  prototypes_.assign(K, std::vector<double>(d, 0.0));
+  for (size_t k = 0; k < K; ++k) {
+    const auto& base = x[rng.UniformInt(n)];
+    for (size_t j = 0; j < d; ++j) {
+      prototypes_[k][j] = base[j] + rng.Normal(0.0, 0.1);
+    }
+  }
+
+  std::vector<std::vector<double>> m(n), xhat(n);
+  std::vector<std::vector<double>> upstream(n, std::vector<double>(d));
+  std::vector<std::vector<double>> grad_v(K, std::vector<double>(d));
+  std::vector<double> g(K);
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = SoftAssignments(x[i], prototypes_);
+      xhat[i] = Reconstruct(m[i], prototypes_, d);
+    }
+
+    // Upstream gradients u_i = ∂L/∂x̂_i.
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        upstream[i][j] = 2.0 * inv_n * (xhat[i][j] - x[i][j]);  // L_util
+      }
+    }
+    const double inv_p = 1.0 / static_cast<double>(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const auto [i, j] = pairs[p];
+      const double dist = EuclideanDistance(xhat[i], xhat[j]);
+      if (dist <= 1e-9) continue;
+      const double coef = options_.lambda_fair * 2.0 * inv_p *
+                          (dist - pair_dist[p]) / dist;
+      for (size_t c = 0; c < d; ++c) {
+        const double diff = xhat[i][c] - xhat[j][c];
+        upstream[i][c] += coef * diff;
+        upstream[j][c] -= coef * diff;
+      }
+    }
+
+    // Backward through x̂_i = Σ_k M_{ik} v_k (softmax chain as in LFR).
+    for (auto& gv : grad_v) std::fill(gv.begin(), gv.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < K; ++k) {
+        double dot = 0.0;
+        for (size_t j = 0; j < d; ++j) dot += upstream[i][j] * prototypes_[k][j];
+        g[k] = dot;
+      }
+      double gbar = 0.0;
+      for (size_t k = 0; k < K; ++k) gbar += g[k] * m[i][k];
+      for (size_t k = 0; k < K; ++k) {
+        const double coef = m[i][k] * (g[k] - gbar);
+        for (size_t j = 0; j < d; ++j) {
+          grad_v[k][j] += coef * 2.0 * (x[i][j] - prototypes_[k][j]) +
+                          m[i][k] * upstream[i][j];
+        }
+      }
+    }
+    for (size_t k = 0; k < K; ++k) {
+      for (size_t j = 0; j < d; ++j) {
+        prototypes_[k][j] -= options_.learning_rate * grad_v[k][j];
+      }
+    }
+  }
+
+  // Downstream classifier on the representations of the full dataset.
+  std::vector<double> rep_features;
+  rep_features.reserve(data.num_rows() * d);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const std::vector<double> xi = transform_.Apply(data.Row(i));
+    const std::vector<double> mi = SoftAssignments(xi, prototypes_);
+    const std::vector<double> ri = Reconstruct(mi, prototypes_, d);
+    rep_features.insert(rep_features.end(), ri.begin(), ri.end());
+  }
+  std::vector<std::string> names(d);
+  for (size_t j = 0; j < d; ++j) names[j] = "z" + std::to_string(j);
+  Result<Dataset> rep = Dataset::Create(std::move(names),
+                                        std::move(rep_features), d,
+                                        data.labels(), {});
+  if (!rep.ok()) return rep.status();
+  return downstream_.Fit(rep.value());
+}
+
+std::vector<double> IFairClassifier::Representation(
+    std::span<const double> features) const {
+  FALCC_CHECK(!prototypes_.empty(), "iFair::Representation before Fit");
+  const std::vector<double> x = transform_.Apply(features);
+  const std::vector<double> m = SoftAssignments(x, prototypes_);
+  return Reconstruct(m, prototypes_, x.size());
+}
+
+double IFairClassifier::PredictProba(std::span<const double> features) const {
+  return downstream_.PredictProba(Representation(features));
+}
+
+std::unique_ptr<Classifier> IFairClassifier::Clone() const {
+  return std::make_unique<IFairClassifier>(*this);
+}
+
+}  // namespace falcc

@@ -1,0 +1,64 @@
+// iFair baseline (Lahoti, Gummadi, Weikum — ICDE 2019): individually fair
+// data representations.
+//
+// Learns K prototypes over the protected-attribute-free feature space and
+// maps every sample to its soft prototype reconstruction
+// x̂_n = Σ_k M_{nk} v_k. The prototypes minimize
+//   L = L_util + λ · L_fair
+// where L_util is the reconstruction error and L_fair preserves pairwise
+// distances of the original (protected-free) space in the representation
+// — the individual-fairness objective — over a fixed seeded sample of
+// pairs. A logistic-regression classifier is then trained on the
+// representations. Mirroring the original implementation's cost profile,
+// this is by far the slowest baseline; the paper (and our Table 5 bench)
+// skips it on the largest datasets.
+
+#ifndef FALCC_BASELINES_IFAIR_H_
+#define FALCC_BASELINES_IFAIR_H_
+
+#include "data/transforms.h"
+#include "ml/classifier.h"
+#include "ml/logistic_regression.h"
+
+namespace falcc {
+
+/// iFair hyperparameters.
+struct IFairOptions {
+  size_t num_prototypes = 10;
+  double lambda_fair = 1.0;
+  size_t max_iterations = 100;
+  double learning_rate = 0.05;
+  /// Number of sampled pairs for the distance-preservation term
+  /// (0 = 5·n, capped at 20000).
+  size_t num_pairs = 0;
+  size_t max_train_rows = 3000;
+  uint64_t seed = 1;
+};
+
+/// Individually fair representation + downstream classifier.
+class IFairClassifier final : public Classifier {
+ public:
+  explicit IFairClassifier(const IFairOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "iFair"; }
+
+  /// The learned representation of one sample (protected-free soft
+  /// reconstruction).
+  std::vector<double> Representation(std::span<const double> features) const;
+
+ private:
+  LogisticRegression downstream_;
+  IFairOptions options_;
+  ColumnTransform transform_;
+  std::vector<std::vector<double>> prototypes_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_BASELINES_IFAIR_H_

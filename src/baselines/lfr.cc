@@ -1,0 +1,257 @@
+#include "baselines/lfr.h"
+
+#include <cmath>
+
+#include "data/groups.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace falcc {
+
+namespace {
+
+constexpr double kProbaClip = 1e-6;
+
+// Softmax over -squared distances to the prototypes.
+std::vector<double> SoftAssignments(
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& prototypes) {
+  const size_t k = prototypes.size();
+  std::vector<double> z(k);
+  double z_max = -1e300;
+  for (size_t j = 0; j < k; ++j) {
+    z[j] = -SquaredDistance(x, prototypes[j]);
+    z_max = std::max(z_max, z[j]);
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    z[j] = std::exp(z[j] - z_max);
+    sum += z[j];
+  }
+  for (size_t j = 0; j < k; ++j) z[j] /= sum;
+  return z;
+}
+
+}  // namespace
+
+Status LfrClassifier::Fit(const Dataset& data,
+                          std::span<const double> sample_weights) {
+  if (!sample_weights.empty()) {
+    return Status::InvalidArgument(
+        "LFR does not support sample weights");
+  }
+  if (data.num_rows() < 10) {
+    return Status::InvalidArgument("LFR: too few training rows");
+  }
+  if (options_.num_prototypes < 2) {
+    return Status::InvalidArgument("LFR: need at least 2 prototypes");
+  }
+
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  Result<std::vector<size_t>> groups_r = index.value().GroupsOf(data);
+  if (!groups_r.ok()) return groups_r.status();
+
+  // Representation input: standardized non-sensitive features.
+  transform_ = ColumnTransform::Standardize(data);
+  transform_.DropColumns(data.sensitive_features());
+
+  Rng rng(options_.seed);
+  std::vector<size_t> rows(data.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  if (options_.max_train_rows > 0 &&
+      rows.size() > options_.max_train_rows) {
+    rng.Shuffle(&rows);
+    rows.resize(options_.max_train_rows);
+  }
+
+  const size_t n = rows.size();
+  std::vector<std::vector<double>> x(n);
+  std::vector<int> y(n);
+  std::vector<size_t> group(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = transform_.Apply(data.Row(rows[i]));
+    y[i] = data.Label(rows[i]);
+    group[i] = groups_r.value()[rows[i]];
+  }
+  const size_t d = x[0].size();
+  const size_t num_groups = index.value().num_groups();
+  std::vector<double> group_count(num_groups, 0.0);
+  for (size_t i = 0; i < n; ++i) group_count[group[i]] += 1.0;
+
+  // Initialize prototypes at random training points plus noise; w at 0.5.
+  const size_t K = options_.num_prototypes;
+  prototypes_.assign(K, std::vector<double>(d, 0.0));
+  for (size_t k = 0; k < K; ++k) {
+    const auto& base = x[rng.UniformInt(n)];
+    for (size_t j = 0; j < d; ++j) {
+      prototypes_[k][j] = base[j] + rng.Normal(0.0, 0.1);
+    }
+  }
+  w_.assign(K, 0.5);
+  for (size_t k = 0; k < K; ++k) w_[k] += rng.Normal(0.0, 0.05);
+
+  std::vector<std::vector<double>> m(n);          // soft assignments
+  std::vector<std::vector<double>> grad_v(K, std::vector<double>(d));
+  std::vector<double> grad_w(K);
+  std::vector<double> xhat(d);
+  std::vector<double> g(K);  // dL/dM_{n,k} for the current sample
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Forward: assignments and group means of M.
+    std::vector<std::vector<double>> mean_group(
+        num_groups, std::vector<double>(K, 0.0));
+    std::vector<double> mean_all(K, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = SoftAssignments(x[i], prototypes_);
+      for (size_t k = 0; k < K; ++k) {
+        mean_group[group[i]][k] += m[i][k];
+        mean_all[k] += m[i][k];
+      }
+    }
+    for (size_t gi = 0; gi < num_groups; ++gi) {
+      for (size_t k = 0; k < K; ++k) {
+        if (group_count[gi] > 0.0) mean_group[gi][k] /= group_count[gi];
+      }
+    }
+    for (size_t k = 0; k < K; ++k) mean_all[k] /= static_cast<double>(n);
+
+    // Parity signs s_{g,k} = sign(M̄^g_k − M̄_k) and their per-prototype
+    // sums (needed for the −1/n term of the L_z gradient).
+    std::vector<std::vector<double>> sign_gk(num_groups,
+                                             std::vector<double>(K, 0.0));
+    std::vector<double> sign_sum(K, 0.0);
+    for (size_t gi = 0; gi < num_groups; ++gi) {
+      for (size_t k = 0; k < K; ++k) {
+        const double diff = mean_group[gi][k] - mean_all[k];
+        sign_gk[gi][k] = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);
+        sign_sum[k] += sign_gk[gi][k];
+      }
+    }
+
+    // Backward.
+    for (auto& gv : grad_v) std::fill(gv.begin(), gv.end(), 0.0);
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    const double inv_groups = 1.0 / static_cast<double>(num_groups);
+
+    for (size_t i = 0; i < n; ++i) {
+      // Reconstruction and prediction.
+      std::fill(xhat.begin(), xhat.end(), 0.0);
+      double yhat = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        yhat += m[i][k] * w_[k];
+        for (size_t j = 0; j < d; ++j) xhat[j] += m[i][k] * prototypes_[k][j];
+      }
+      const double yc = Clamp(yhat, kProbaClip, 1.0 - kProbaClip);
+      const double dy = (yc - static_cast<double>(y[i])) / (yc * (1.0 - yc));
+
+      // g_k = dL/dM_{i,k} (through M only; x̂'s direct v-dependence is
+      // handled below).
+      for (size_t k = 0; k < K; ++k) {
+        double gk = options_.a_y * inv_n * dy * w_[k];
+        double dot = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+          dot += (xhat[j] - x[i][j]) * prototypes_[k][j];
+        }
+        gk += options_.a_x * inv_n * 2.0 * dot;
+        gk += options_.a_z * inv_groups *
+              (sign_gk[group[i]][k] / group_count[group[i]] -
+               sign_sum[k] * inv_n);
+        g[k] = gk;
+        grad_w[k] += options_.a_y * inv_n * dy * m[i][k];
+      }
+      double gbar = 0.0;
+      for (size_t k = 0; k < K; ++k) gbar += g[k] * m[i][k];
+      for (size_t k = 0; k < K; ++k) {
+        // Softmax chain: dz_k/dv_k = 2(x − v_k).
+        const double coef = m[i][k] * (g[k] - gbar);
+        const double direct = options_.a_x * inv_n * 2.0 * m[i][k];
+        for (size_t j = 0; j < d; ++j) {
+          grad_v[k][j] += coef * 2.0 * (x[i][j] - prototypes_[k][j]) +
+                          direct * (xhat[j] - x[i][j]);
+        }
+      }
+    }
+
+    for (size_t k = 0; k < K; ++k) {
+      w_[k] = Clamp(w_[k] - options_.learning_rate * grad_w[k], 0.0, 1.0);
+      for (size_t j = 0; j < d; ++j) {
+        prototypes_[k][j] -= options_.learning_rate * grad_v[k][j];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LfrClassifier::Assignments(
+    const std::vector<double>& x) const {
+  return SoftAssignments(x, prototypes_);
+}
+
+std::vector<double> LfrClassifier::Representation(
+    std::span<const double> features) const {
+  FALCC_CHECK(!prototypes_.empty(), "LFR::Representation before Fit");
+  return Assignments(transform_.Apply(features));
+}
+
+double LfrClassifier::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!prototypes_.empty(), "LFR::PredictProba before Fit");
+  const std::vector<double> m = Assignments(transform_.Apply(features));
+  double yhat = 0.0;
+  for (size_t k = 0; k < m.size(); ++k) yhat += m[k] * w_[k];
+  return Clamp(yhat, 0.0, 1.0);
+}
+
+Result<double> LfrClassifier::EvaluateLoss(const Dataset& data) const {
+  if (prototypes_.empty()) {
+    return Status::FailedPrecondition("LFR::EvaluateLoss before Fit");
+  }
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  Result<std::vector<size_t>> groups_r = index.value().GroupsOf(data);
+  if (!groups_r.ok()) return groups_r.status();
+  const size_t n = data.num_rows();
+  const size_t K = prototypes_.size();
+  const size_t num_groups = index.value().num_groups();
+
+  std::vector<std::vector<double>> mean_group(num_groups,
+                                              std::vector<double>(K, 0.0));
+  std::vector<double> mean_all(K, 0.0);
+  std::vector<double> group_count(num_groups, 0.0);
+  double l_x = 0.0, l_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> x = transform_.Apply(data.Row(i));
+    const std::vector<double> m = Assignments(x);
+    double yhat = 0.0;
+    std::vector<double> xhat(x.size(), 0.0);
+    for (size_t k = 0; k < K; ++k) {
+      yhat += m[k] * w_[k];
+      for (size_t j = 0; j < x.size(); ++j) xhat[j] += m[k] * prototypes_[k][j];
+      mean_group[groups_r.value()[i]][k] += m[k];
+      mean_all[k] += m[k];
+    }
+    group_count[groups_r.value()[i]] += 1.0;
+    l_x += SquaredDistance(x, xhat);
+    const double yc = Clamp(yhat, kProbaClip, 1.0 - kProbaClip);
+    l_y -= data.Label(i) * std::log(yc) +
+           (1 - data.Label(i)) * std::log(1.0 - yc);
+  }
+  double l_z = 0.0;
+  for (size_t k = 0; k < K; ++k) {
+    mean_all[k] /= static_cast<double>(n);
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (group_count[g] <= 0.0) continue;
+      l_z += std::fabs(mean_group[g][k] / group_count[g] - mean_all[k]) /
+             static_cast<double>(num_groups);
+    }
+  }
+  return options_.a_x * l_x / static_cast<double>(n) +
+         options_.a_y * l_y / static_cast<double>(n) + options_.a_z * l_z;
+}
+
+std::unique_ptr<Classifier> LfrClassifier::Clone() const {
+  return std::make_unique<LfrClassifier>(*this);
+}
+
+}  // namespace falcc

@@ -1,0 +1,149 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace falcc {
+
+namespace {
+
+// k-means++ seeding: first center uniform, subsequent centers sampled
+// proportionally to squared distance from the nearest chosen center.
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, size_t k, Rng* rng) {
+  const size_t n = points.size();
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->UniformInt(n)]);
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d2 = SquaredDistance(points[i], centers.back());
+      if (d2 < dist2[i]) dist2[i] = d2;
+      total += dist2[i];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      // All points coincide with chosen centers; pick any.
+      chosen = rng->UniformInt(n);
+    } else {
+      double target = rng->Uniform() * total;
+      chosen = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const std::vector<std::vector<double>>& points,
+                               size_t k, const KMeansOptions& options) {
+  const size_t n = points.size();
+  if (n == 0) return Status::InvalidArgument("k-means: no points");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k-means: k must be in [1, n]");
+  }
+  const size_t dims = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dims) {
+      return Status::InvalidArgument("k-means: inconsistent dimensionality");
+    }
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(points, k, &rng);
+  result.assignment.assign(n, 0);
+
+  double prev_sse = std::numeric_limits<double>::max();
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+  std::vector<size_t> counts(k, 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = NearestCentroid(result.centroids, points[i]);
+      result.assignment[i] = c;
+      sse += SquaredDistance(points[i], result.centroids[c]);
+    }
+    result.sse = sse;
+
+    // Update step.
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = result.assignment[i];
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the point farthest from its center.
+        size_t farthest = 0;
+        double worst = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double d2 =
+              SquaredDistance(points[i], result.centroids[result.assignment[i]]);
+          if (d2 > worst) {
+            worst = d2;
+            farthest = i;
+          }
+        }
+        result.centroids[c] = points[farthest];
+        continue;
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prev_sse - sse <= options.tolerance * std::max(prev_sse, 1e-12)) {
+      break;
+    }
+    prev_sse = sse;
+  }
+
+  // Final assignment against the last centroid update.
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = NearestCentroid(result.centroids, points[i]);
+    result.assignment[i] = c;
+    sse += SquaredDistance(points[i], result.centroids[c]);
+  }
+  result.sse = sse;
+  return result;
+}
+
+size_t NearestCentroid(const std::vector<std::vector<double>>& centroids,
+                       std::span<const double> point) {
+  FALCC_CHECK(!centroids.empty(), "NearestCentroid: no centroids");
+  size_t best = 0;
+  double best_d2 = SquaredDistance(point, centroids[0]);
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    const double d2 = SquaredDistance(point, centroids[c]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace falcc

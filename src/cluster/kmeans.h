@@ -1,0 +1,47 @@
+// k-means clustering (Lloyd's algorithm with k-means++ initialization).
+//
+// FALCC's offline phase clusters the validation dataset into local
+// regions (paper §3.5). The framework allows any clustering algorithm;
+// this implementation mirrors the paper's choice of k-means with
+// automatic k selection (see logmeans.h).
+
+#ifndef FALCC_CLUSTER_KMEANS_H_
+#define FALCC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace falcc {
+
+/// Outcome of a k-means run.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k centers
+  std::vector<size_t> assignment;              ///< cluster id per point
+  double sse = 0.0;          ///< sum of squared distances to centers
+  size_t iterations = 0;     ///< Lloyd iterations executed
+};
+
+/// Options for a k-means run.
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  /// Relative SSE improvement below which iteration stops.
+  double tolerance = 1e-6;
+  uint64_t seed = 1;
+};
+
+/// Runs k-means++ / Lloyd on `points` (all same dimensionality).
+/// k must be in [1, points.size()]. Deterministic for a fixed seed.
+Result<KMeansResult> RunKMeans(const std::vector<std::vector<double>>& points,
+                               size_t k, const KMeansOptions& options = {});
+
+/// Index of the centroid closest to `point` (ties: lowest index).
+/// This is FALCC's online cluster-matching step (paper §3.7 step 2).
+size_t NearestCentroid(const std::vector<std::vector<double>>& centroids,
+                       std::span<const double> point);
+
+}  // namespace falcc
+
+#endif  // FALCC_CLUSTER_KMEANS_H_

@@ -1,0 +1,116 @@
+#include "cluster/logmeans.h"
+
+#include <algorithm>
+#include <map>
+
+namespace falcc {
+
+namespace {
+
+Status ValidateOptions(const std::vector<std::vector<double>>& points,
+                       const KEstimationOptions& options) {
+  if (points.empty()) return Status::InvalidArgument("k estimation: no points");
+  if (options.k_min < 1 || options.k_min > options.k_max) {
+    return Status::InvalidArgument("k estimation: need 1 <= k_min <= k_max");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KEstimate> EstimateKLogMeans(
+    const std::vector<std::vector<double>>& points,
+    const KEstimationOptions& options) {
+  FALCC_RETURN_IF_ERROR(ValidateOptions(points, options));
+  const size_t k_max = std::min(options.k_max, points.size());
+  const size_t k_min = std::min(options.k_min, k_max);
+
+  KEstimate estimate;
+  std::map<size_t, double> sse;  // evaluated k -> SSE, sorted by k
+
+  auto evaluate = [&](size_t k) -> Status {
+    if (sse.count(k) > 0) return Status::OK();
+    Result<KMeansResult> r = RunKMeans(points, k, options.kmeans);
+    if (!r.ok()) return r.status();
+    sse[k] = r.value().sse;
+    estimate.evaluated.emplace_back(k, r.value().sse);
+    return Status::OK();
+  };
+
+  // Phase 1: exponential probing k_min, 2*k_min, 4*k_min, ..., k_max.
+  // k = 1 is always probed as an anchor: without it the SSE drop into
+  // k_min is invisible and pure noise among larger k would decide the
+  // estimate when the true cluster count is k_min itself.
+  FALCC_RETURN_IF_ERROR(evaluate(1));
+  for (size_t k = k_min;; k *= 2) {
+    if (k >= k_max) {
+      FALCC_RETURN_IF_ERROR(evaluate(k_max));
+      break;
+    }
+    FALCC_RETURN_IF_ERROR(evaluate(k));
+  }
+
+  if (sse.size() == 1) {
+    estimate.k = sse.begin()->first;
+    return estimate;
+  }
+
+  // Phase 2: repeatedly bisect the adjacent interval with the largest SSE
+  // ratio until that interval has width 1. The elbow is the right end of
+  // the max-ratio interval (the smallest k after the steep drop).
+  while (true) {
+    auto max_it = sse.begin();
+    double max_ratio = -1.0;
+    for (auto it = sse.begin(); std::next(it) != sse.end(); ++it) {
+      const double hi = it->second;
+      const double lo = std::next(it)->second;
+      const double ratio = lo > 0.0 ? hi / lo : (hi > 0.0 ? 1e18 : 1.0);
+      if (ratio > max_ratio) {
+        max_ratio = ratio;
+        max_it = it;
+      }
+    }
+    const size_t k_left = max_it->first;
+    const size_t k_right = std::next(max_it)->first;
+    if (k_right - k_left <= 1) {
+      estimate.k = k_right;
+      return estimate;
+    }
+    FALCC_RETURN_IF_ERROR(evaluate(k_left + (k_right - k_left) / 2));
+  }
+}
+
+Result<KEstimate> EstimateKElbow(
+    const std::vector<std::vector<double>>& points,
+    const KEstimationOptions& options) {
+  FALCC_RETURN_IF_ERROR(ValidateOptions(points, options));
+  const size_t k_max = std::min(options.k_max, points.size());
+  const size_t k_min = std::min(options.k_min, k_max);
+
+  KEstimate estimate;
+  std::vector<double> sses;
+  for (size_t k = k_min; k <= k_max; ++k) {
+    Result<KMeansResult> r = RunKMeans(points, k, options.kmeans);
+    if (!r.ok()) return r.status();
+    sses.push_back(r.value().sse);
+    estimate.evaluated.emplace_back(k, r.value().sse);
+  }
+  if (sses.size() < 3) {
+    estimate.k = k_min;
+    return estimate;
+  }
+  // Largest positive curvature SSE(k-1) - 2 SSE(k) + SSE(k+1).
+  size_t best = 1;
+  double best_curv = -1e300;
+  for (size_t i = 1; i + 1 < sses.size(); ++i) {
+    const double curv = sses[i - 1] - 2.0 * sses[i] + sses[i + 1];
+    if (curv > best_curv) {
+      best_curv = curv;
+      best = i;
+    }
+  }
+  estimate.k = k_min + best;
+  return estimate;
+}
+
+}  // namespace falcc

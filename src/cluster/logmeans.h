@@ -1,0 +1,49 @@
+// Automatic estimation of the k-means parameter k.
+//
+// FALCC's clustering component selects k automatically; the paper uses
+// LOG-Means (Fritz, Behringer, Schwarz — VLDB 2020), which evaluates SSE
+// at exponentially spaced k values and then narrows in on the "elbow" (the
+// largest ratio of adjacent SSE values) via bisection, requiring only
+// O(log k_max) k-means runs instead of k_max. The classical elbow method
+// is provided as a slower reference implementation for tests/ablations.
+
+#ifndef FALCC_CLUSTER_LOGMEANS_H_
+#define FALCC_CLUSTER_LOGMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/status.h"
+
+namespace falcc {
+
+/// Options shared by the k-estimation routines.
+struct KEstimationOptions {
+  size_t k_min = 2;
+  size_t k_max = 64;
+  KMeansOptions kmeans;  ///< options for each inner k-means run
+};
+
+/// Estimated k plus diagnostics.
+struct KEstimate {
+  size_t k = 0;
+  /// SSE for each evaluated k, as (k, sse) pairs in evaluation order.
+  std::vector<std::pair<size_t, double>> evaluated;
+};
+
+/// LOG-Means: exponential probing of SSE(k) followed by bisection of the
+/// interval with the largest adjacent SSE ratio.
+Result<KEstimate> EstimateKLogMeans(
+    const std::vector<std::vector<double>>& points,
+    const KEstimationOptions& options = {});
+
+/// Classical elbow method: evaluates every k in [k_min, k_max] and picks
+/// the k with the largest second difference of SSE. Reference/ablation.
+Result<KEstimate> EstimateKElbow(
+    const std::vector<std::vector<double>>& points,
+    const KEstimationOptions& options = {});
+
+}  // namespace falcc
+
+#endif  // FALCC_CLUSTER_LOGMEANS_H_

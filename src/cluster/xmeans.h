@@ -1,0 +1,35 @@
+// X-Means (Pelleg & Moore, ICML 2000): k-means with automatic selection
+// of k by recursive BIC-scored cluster splitting. One of the parameter
+// estimation alternatives the paper's clustering component names
+// (§3.5) next to LOG-Means and the elbow method.
+
+#ifndef FALCC_CLUSTER_XMEANS_H_
+#define FALCC_CLUSTER_XMEANS_H_
+
+#include "cluster/kmeans.h"
+#include "util/status.h"
+
+namespace falcc {
+
+/// X-Means options.
+struct XMeansOptions {
+  size_t k_min = 2;
+  size_t k_max = 64;
+  KMeansOptions kmeans;
+};
+
+/// Runs X-Means: starts with k_min centroids, then repeatedly splits
+/// clusters whose 2-means sub-division improves the BIC, until no split
+/// helps or k_max is reached. Returns the final clustering.
+Result<KMeansResult> RunXMeans(const std::vector<std::vector<double>>& points,
+                               const XMeansOptions& options = {});
+
+/// Bayesian Information Criterion of a k-means clustering under the
+/// identical-spherical-Gaussian model of the X-Means paper. Higher is
+/// better. Exposed for tests.
+double KMeansBic(const std::vector<std::vector<double>>& points,
+                 const KMeansResult& clustering);
+
+}  // namespace falcc
+
+#endif  // FALCC_CLUSTER_XMEANS_H_

@@ -1,0 +1,160 @@
+#include "core/assessment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace falcc {
+
+namespace {
+
+Status ValidateContext(const AssessmentContext& ctx) {
+  if (ctx.votes == nullptr || ctx.votes->empty()) {
+    return Status::InvalidArgument("assessment: missing vote matrix");
+  }
+  const size_t n = ctx.labels.size();
+  if (n == 0) return Status::InvalidArgument("assessment: no labels");
+  if (ctx.groups.size() != n) {
+    return Status::InvalidArgument("assessment: groups size mismatch");
+  }
+  for (const auto& v : *ctx.votes) {
+    if (v.size() != n) {
+      return Status::InvalidArgument("assessment: vote row size mismatch");
+    }
+  }
+  if (ctx.num_groups == 0) {
+    return Status::InvalidArgument("assessment: num_groups must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> AssessCombination(const AssessmentContext& ctx,
+                                 const ModelCombination& combination,
+                                 std::span<const size_t> rows) {
+  FALCC_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (combination.size() != ctx.num_groups) {
+    return Status::InvalidArgument("combination size != num_groups");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("assessment: empty region");
+  }
+
+  std::vector<int> labels, predictions;
+  std::vector<size_t> groups;
+  labels.reserve(rows.size());
+  predictions.reserve(rows.size());
+  groups.reserve(rows.size());
+  for (size_t row : rows) {
+    if (row >= ctx.labels.size()) {
+      return Status::InvalidArgument("assessment: row out of range");
+    }
+    const size_t g = ctx.groups[row];
+    const size_t m = combination[g];
+    if (m >= ctx.votes->size()) {
+      return Status::InvalidArgument("assessment: model index out of range");
+    }
+    labels.push_back(ctx.labels[row]);
+    predictions.push_back((*ctx.votes)[m][row]);
+    groups.push_back(g);
+  }
+
+  if (ctx.mode == AssessmentMode::kConsistency) {
+    // Individual fairness: unfairness = 1 − consistency, where each
+    // sample's neighborhood is the rest of the region (cluster-as-kNN
+    // approximation, paper §3.6).
+    const size_t n = predictions.size();
+    double wrong = 0.0, pos = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (predictions[i] != labels[i]) ++wrong;
+      pos += predictions[i];
+    }
+    double inconsistency = 0.0;
+    if (n > 1) {
+      for (size_t i = 0; i < n; ++i) {
+        const double others_mean =
+            (pos - predictions[i]) / static_cast<double>(n - 1);
+        inconsistency +=
+            std::fabs(static_cast<double>(predictions[i]) - others_mean);
+      }
+      inconsistency /= static_cast<double>(n);
+    }
+    return ctx.lambda * wrong / static_cast<double>(n) +
+           (1.0 - ctx.lambda) * inconsistency;
+  }
+
+  GroupedPredictions in;
+  in.labels = labels;
+  in.predictions = predictions;
+  in.groups = groups;
+  in.num_groups = ctx.num_groups;
+  Result<LossBreakdown> loss = CombinedLoss(in, ctx.metric, ctx.lambda);
+  if (!loss.ok()) return loss.status();
+  return loss.value().combined;
+}
+
+Result<std::vector<size_t>> SelectBestCombinations(
+    const AssessmentContext& ctx,
+    const std::vector<ModelCombination>& combinations,
+    const std::vector<std::vector<size_t>>& region_rows) {
+  if (combinations.empty()) {
+    return Status::InvalidArgument("assessment: no combinations");
+  }
+  std::vector<size_t> best(region_rows.size(), 0);
+  for (size_t r = 0; r < region_rows.size(); ++r) {
+    if (region_rows[r].empty()) {
+      return Status::InvalidArgument("assessment: region " +
+                                     std::to_string(r) + " is empty");
+    }
+    double best_loss = 1e300;
+    for (size_t c = 0; c < combinations.size(); ++c) {
+      Result<double> loss =
+          AssessCombination(ctx, combinations[c], region_rows[r]);
+      if (!loss.ok()) return loss.status();
+      if (loss.value() < best_loss) {
+        best_loss = loss.value();
+        best[r] = c;
+      }
+    }
+  }
+  return best;
+}
+
+Result<size_t> SelectGlobalBest(const AssessmentContext& ctx,
+                                const std::vector<ModelCombination>& combos) {
+  std::vector<size_t> all(ctx.labels.size());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<std::vector<size_t>> one_region = {std::move(all)};
+  Result<std::vector<size_t>> best =
+      SelectBestCombinations(ctx, combos, one_region);
+  if (!best.ok()) return best.status();
+  return best.value()[0];
+}
+
+Result<std::vector<size_t>> FilterTopCombinations(
+    const AssessmentContext& ctx, const std::vector<ModelCombination>& combos,
+    size_t keep) {
+  if (keep == 0) {
+    return Status::InvalidArgument("FilterTopCombinations: keep must be > 0");
+  }
+  std::vector<size_t> all(ctx.labels.size());
+  std::iota(all.begin(), all.end(), 0);
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(combos.size());
+  for (size_t c = 0; c < combos.size(); ++c) {
+    Result<double> loss = AssessCombination(ctx, combos[c], all);
+    if (!loss.ok()) return loss.status();
+    scored.emplace_back(loss.value(), c);
+  }
+  std::sort(scored.begin(), scored.end());
+  scored.resize(std::min(keep, scored.size()));
+
+  std::vector<size_t> kept;
+  kept.reserve(scored.size());
+  for (const auto& [loss, idx] : scored) kept.push_back(idx);
+  return kept;
+}
+
+}  // namespace falcc

@@ -1,0 +1,66 @@
+// Model assessment (paper §3.6): evaluating candidate model combinations
+// against the combined loss L̂ inside local regions, and retaining the
+// best combination per region.
+
+#ifndef FALCC_CORE_ASSESSMENT_H_
+#define FALCC_CORE_ASSESSMENT_H_
+
+#include "core/model_pool.h"
+#include "fairness/loss.h"
+
+namespace falcc {
+
+/// What the unfairness part of L̂ measures during assessment.
+enum class AssessmentMode {
+  /// Group fairness: one of the Tab. 3 mean-difference metrics inside
+  /// the region (the paper's default).
+  kGroupFairness,
+  /// Individual fairness: 1 − consistency, with the region itself used
+  /// as each sample's neighborhood — the paper's §3.6 "leverage clusters
+  /// as substitutes for kNN" approximation.
+  kConsistency,
+};
+
+/// Precomputed context for assessing combinations on validation data.
+struct AssessmentContext {
+  /// votes[m][row]: prediction of model m on validation row `row`.
+  const std::vector<std::vector<int>>* votes = nullptr;
+  /// True labels of the validation rows.
+  std::span<const int> labels;
+  /// Sensitive group of each validation row.
+  std::span<const size_t> groups;
+  size_t num_groups = 0;
+  AssessmentMode mode = AssessmentMode::kGroupFairness;
+  FairnessMetric metric = FairnessMetric::kDemographicParity;
+  double lambda = 0.5;
+};
+
+/// L̂ of one combination over the validation rows in `rows` (a local
+/// region, possibly gap-filled with neighbors of missing groups).
+Result<double> AssessCombination(const AssessmentContext& ctx,
+                                 const ModelCombination& combination,
+                                 std::span<const size_t> rows);
+
+/// For each region, the index (into `combinations`) of the combination
+/// minimizing L̂ over that region's rows. Ties go to the lower index, so
+/// results are deterministic.
+Result<std::vector<size_t>> SelectBestCombinations(
+    const AssessmentContext& ctx,
+    const std::vector<ModelCombination>& combinations,
+    const std::vector<std::vector<size_t>>& region_rows);
+
+/// Globally best combination (single region = whole validation set);
+/// returns the index into `combinations`. This implements the Decouple
+/// baseline's selection and FALCES's global pre-filtering.
+Result<size_t> SelectGlobalBest(const AssessmentContext& ctx,
+                                const std::vector<ModelCombination>& combos);
+
+/// Indices of the `keep` combinations with lowest global L̂, ascending by
+/// loss (FALCES pre-filtering step).
+Result<std::vector<size_t>> FilterTopCombinations(
+    const AssessmentContext& ctx, const std::vector<ModelCombination>& combos,
+    size_t keep);
+
+}  // namespace falcc
+
+#endif  // FALCC_CORE_ASSESSMENT_H_

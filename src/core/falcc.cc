@@ -1,0 +1,339 @@
+#include "core/falcc.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "cluster/kdtree.h"
+#include "ml/adaboost.h"
+#include "util/math.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+Result<FalccModel> FalccModel::Train(const Dataset& train,
+                                     const Dataset& validation,
+                                     const FalccOptions& options) {
+  DiverseTrainerOptions trainer = options.trainer;
+  trainer.seed = options.seed;
+  Result<DiversePool> diverse = TrainDiversePool(train, validation, trainer);
+  if (!diverse.ok()) return diverse.status();
+
+  ModelPool pool;
+  for (auto& model : diverse.value().models) {
+    pool.Add(std::move(model));
+  }
+
+  if (trainer.split_by_group) {
+    // Split training (paper §3.1): one additional ensemble per sensitive
+    // group, trained on that group's partition and applicable to it
+    // only. Applicability is expressed in validation group ids since the
+    // assessment and the online phase operate on those.
+    Result<GroupIndex> train_index = GroupIndex::Build(train);
+    if (!train_index.ok()) return train_index.status();
+    Result<std::vector<std::vector<size_t>>> buckets =
+        RowsByGroup(train_index.value(), train);
+    if (!buckets.ok()) return buckets.status();
+    Result<GroupIndex> val_index = GroupIndex::Build(validation);
+    if (!val_index.ok()) return val_index.status();
+
+    for (size_t g = 0; g < buckets.value().size(); ++g) {
+      const std::vector<size_t>& rows = buckets.value()[g];
+      if (rows.size() < trainer.min_group_rows) continue;
+      const Dataset partition = train.Subset(rows);
+      AdaBoostOptions boost;
+      boost.num_estimators = 20;
+      boost.base.max_depth = 4;
+      boost.base.seed = options.seed + 300 + g;
+      auto model = std::make_unique<AdaBoost>(boost);
+      FALCC_RETURN_IF_ERROR(model->Fit(partition));
+      const size_t val_g =
+          val_index.value().GroupOfOrNearest(partition.Row(0));
+      pool.Add(std::move(model), {val_g});
+    }
+  }
+
+  return RunOfflinePhase(std::move(pool), validation, options,
+                         diverse.value().entropy);
+}
+
+Result<FalccModel> FalccModel::TrainWithPool(ModelPool pool,
+                                             const Dataset& validation,
+                                             const FalccOptions& options,
+                                             double pool_entropy) {
+  return RunOfflinePhase(std::move(pool), validation, options, pool_entropy);
+}
+
+Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
+                                               const Dataset& validation,
+                                               const FalccOptions& options,
+                                               double pool_entropy) {
+  if (validation.num_rows() < 2) {
+    return Status::InvalidArgument("FALCC: validation data too small");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    return Status::InvalidArgument("FALCC: lambda must be in [0,1]");
+  }
+  if (pool.size() == 0) {
+    return Status::InvalidArgument("FALCC: empty model pool");
+  }
+
+  FalccModel model;
+  model.pool_ = std::move(pool);
+  model.pool_entropy_ = pool_entropy;
+
+  // Sensitive groups observed in the validation data.
+  Result<GroupIndex> group_index = GroupIndex::Build(validation);
+  if (!group_index.ok()) return group_index.status();
+  model.group_index_ = std::move(group_index).value();
+  const size_t num_groups = model.group_index_.num_groups();
+
+  // Sample processing for the clustering space: standardization, proxy
+  // mitigation, and projection of the sensitive attributes.
+  ColumnTransform base = options.standardize
+                             ? ColumnTransform::Standardize(validation)
+                             : ColumnTransform::Identity(
+                                   validation.num_features());
+  Result<ColumnTransform> transform =
+      BuildClusteringTransform(validation, options.proxy, std::move(base));
+  if (!transform.ok()) return transform.status();
+  model.clustering_transform_ = std::move(transform).value();
+
+  const std::vector<std::vector<double>> points =
+      model.clustering_transform_.ApplyAll(validation);
+
+  // Clustering: fixed k, or automatic estimation with the configured
+  // estimator (LOG-Means by default).
+  size_t k = options.fixed_k;
+  if (k == 0) {
+    KEstimationOptions est = options.k_estimation;
+    est.kmeans.seed = options.seed;
+    est.k_max = std::min(est.k_max, validation.num_rows());
+    switch (options.k_selection) {
+      case FalccOptions::KSelection::kLogMeans: {
+        Result<KEstimate> estimate = EstimateKLogMeans(points, est);
+        if (!estimate.ok()) return estimate.status();
+        k = estimate.value().k;
+        break;
+      }
+      case FalccOptions::KSelection::kElbow: {
+        Result<KEstimate> estimate = EstimateKElbow(points, est);
+        if (!estimate.ok()) return estimate.status();
+        k = estimate.value().k;
+        break;
+      }
+      case FalccOptions::KSelection::kXMeans: {
+        XMeansOptions xm;
+        xm.k_min = est.k_min;
+        xm.k_max = est.k_max;
+        xm.kmeans = est.kmeans;
+        Result<KMeansResult> estimate = RunXMeans(points, xm);
+        if (!estimate.ok()) return estimate.status();
+        k = estimate.value().centroids.size();
+        break;
+      }
+    }
+  }
+  if (k > validation.num_rows()) {
+    return Status::InvalidArgument("FALCC: k exceeds validation size");
+  }
+  KMeansOptions kmeans_options;
+  kmeans_options.seed = options.seed;
+  Result<KMeansResult> clustering = RunKMeans(points, k, kmeans_options);
+  if (!clustering.ok()) return clustering.status();
+  model.centroids_ = std::move(clustering.value().centroids);
+  model.assignment_ = std::move(clustering.value().assignment);
+
+  // Region row sets, gap-filled: every cluster must contain
+  // representatives of every sensitive group (§3.5).
+  Result<std::vector<size_t>> val_groups =
+      model.group_index_.GroupsOf(validation);
+  if (!val_groups.ok()) return val_groups.status();
+  const std::vector<size_t>& groups = val_groups.value();
+
+  std::vector<std::vector<size_t>> region_rows(k);
+  for (size_t i = 0; i < validation.num_rows(); ++i) {
+    region_rows[model.assignment_[i]].push_back(i);
+  }
+
+  // Per-group kd-trees are built lazily: most clusters cover all groups.
+  std::vector<std::vector<bool>> group_masks(num_groups);
+  Result<KdTree> tree = KdTree::Build(points);
+  if (!tree.ok()) return tree.status();
+  auto group_mask = [&](size_t g) -> const std::vector<bool>& {
+    if (group_masks[g].empty()) {
+      group_masks[g].assign(validation.num_rows(), false);
+      for (size_t i = 0; i < validation.num_rows(); ++i) {
+        group_masks[g][i] = groups[i] == g;
+      }
+    }
+    return group_masks[g];
+  };
+
+  for (size_t c = 0; c < k; ++c) {
+    if (region_rows[c].empty()) continue;  // empty cluster: nothing to fill
+    std::vector<bool> present(num_groups, false);
+    for (size_t row : region_rows[c]) present[groups[row]] = true;
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (present[g]) continue;
+      // Pull the gap_fill_k nearest validation samples of group g to the
+      // cluster centroid into this cluster's assessment rows.
+      const std::vector<size_t> nn = tree.value().NearestWhere(
+          model.centroids_[c], options.gap_fill_k, group_mask(g));
+      region_rows[c].insert(region_rows[c].end(), nn.begin(), nn.end());
+    }
+  }
+  // Drop empty regions from assessment but keep centroid indexing intact
+  // by assigning them the globally best combination later.
+  const std::vector<std::vector<int>> votes =
+      model.pool_.PredictMatrix(validation);
+
+  AssessmentContext ctx;
+  ctx.votes = &votes;
+  ctx.labels = validation.labels();
+  ctx.groups = groups;
+  ctx.num_groups = num_groups;
+  ctx.mode = options.assessment_mode;
+  ctx.metric = options.metric;
+  ctx.lambda = options.lambda;
+
+  Result<std::vector<ModelCombination>> combos =
+      EnumerateCombinations(model.pool_, num_groups);
+  if (!combos.ok()) return combos.status();
+
+  Result<size_t> global_best = SelectGlobalBest(ctx, combos.value());
+  if (!global_best.ok()) return global_best.status();
+
+  model.selected_.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    if (region_rows[c].empty()) {
+      model.selected_[c] = combos.value()[global_best.value()];
+      continue;
+    }
+    std::vector<std::vector<size_t>> one = {region_rows[c]};
+    Result<std::vector<size_t>> best =
+        SelectBestCombinations(ctx, combos.value(), one);
+    if (!best.ok()) return best.status();
+    model.selected_[c] = combos.value()[best.value()[0]];
+  }
+  return model;
+}
+
+namespace {
+constexpr char kModelHeader[] = "falcc-model-v1";
+}  // namespace
+
+Status FalccModel::Save(std::ostream* out) const {
+  io::PrepareStream(out);
+  *out << kModelHeader << '\n';
+  *out << pool_entropy_ << '\n';
+  FALCC_RETURN_IF_ERROR(pool_.Serialize(out));
+  FALCC_RETURN_IF_ERROR(group_index_.Serialize(out));
+  FALCC_RETURN_IF_ERROR(clustering_transform_.Serialize(out));
+  *out << centroids_.size() << '\n';
+  for (const auto& c : centroids_) io::WriteVector(out, c);
+  *out << selected_.size() << '\n';
+  for (const auto& combo : selected_) io::WriteVector(out, combo);
+  if (!*out) return Status::IOError("FalccModel serialization failed");
+  return Status::OK();
+}
+
+Result<FalccModel> FalccModel::Load(std::istream* in) {
+  FALCC_RETURN_IF_ERROR(io::Expect(in, kModelHeader));
+  FalccModel model;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &model.pool_entropy_));
+
+  Result<ModelPool> pool = ModelPool::Deserialize(in);
+  if (!pool.ok()) return pool.status();
+  model.pool_ = std::move(pool).value();
+
+  Result<GroupIndex> index = GroupIndex::Deserialize(in);
+  if (!index.ok()) return index.status();
+  model.group_index_ = std::move(index).value();
+
+  Result<ColumnTransform> transform = ColumnTransform::Deserialize(in);
+  if (!transform.ok()) return transform.status();
+  model.clustering_transform_ = std::move(transform).value();
+
+  size_t num_centroids = 0;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &num_centroids));
+  if (num_centroids == 0 || num_centroids > 10000000) {
+    return Status::InvalidArgument("FalccModel: implausible centroid count");
+  }
+  model.centroids_.resize(num_centroids);
+  for (auto& c : model.centroids_) {
+    FALCC_RETURN_IF_ERROR(io::ReadVector(in, &c));
+    if (c.size() != model.clustering_transform_.num_output_features()) {
+      return Status::InvalidArgument("FalccModel: centroid width mismatch");
+    }
+  }
+
+  size_t num_selected = 0;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &num_selected));
+  if (num_selected != num_centroids) {
+    return Status::InvalidArgument(
+        "FalccModel: combination count != centroid count");
+  }
+  model.selected_.resize(num_selected);
+  for (auto& combo : model.selected_) {
+    FALCC_RETURN_IF_ERROR(io::ReadVector(in, &combo));
+    if (combo.size() != model.group_index_.num_groups()) {
+      return Status::InvalidArgument("FalccModel: combination width");
+    }
+    for (size_t m : combo) {
+      if (m >= model.pool_.size()) {
+        return Status::InvalidArgument("FalccModel: model index range");
+      }
+    }
+  }
+  return model;
+}
+
+Status FalccModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  FALCC_RETURN_IF_ERROR(Save(&out));
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<FalccModel> FalccModel::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(&in);
+}
+
+size_t FalccModel::MatchCluster(std::span<const double> features) const {
+  const std::vector<double> processed = clustering_transform_.Apply(features);
+  return NearestCentroid(centroids_, processed);
+}
+
+Result<size_t> FalccModel::GroupOf(std::span<const double> features) const {
+  return group_index_.GroupOfOrNearest(features);
+}
+
+int FalccModel::Classify(std::span<const double> features) const {
+  const size_t cluster = MatchCluster(features);
+  const size_t group = group_index_.GroupOfOrNearest(features);
+  const size_t m = selected_[cluster][group];
+  return pool_.model(m).Predict(features);
+}
+
+double FalccModel::ClassifyProba(std::span<const double> features) const {
+  const size_t cluster = MatchCluster(features);
+  const size_t group = group_index_.GroupOfOrNearest(features);
+  const size_t m = selected_[cluster][group];
+  return pool_.model(m).PredictProba(features);
+}
+
+std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
+  std::vector<int> out(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out[i] = Classify(data.Row(i));
+  }
+  return out;
+}
+
+}  // namespace falcc

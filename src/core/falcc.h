@@ -1,0 +1,149 @@
+// FALCC: Fair and Accurate Local Classifications by leveraging Clusters.
+//
+// The paper's primary contribution (§3). The offline phase precomputes,
+// per local region of the validation data, the model combination
+// minimizing the combined accuracy/fairness loss L̂; the online phase
+// reduces classification of a new sample to (1) applying the stored
+// sample-processing transform, (2) a nearest-centroid lookup, and (3) a
+// single prediction with the model stored for (cluster, group).
+//
+// Offline pipeline:
+//   diverse model training (or an externally supplied pool)
+//     → proxy-discrimination mitigation (none / reweigh / remove)
+//     → clustering of the validation data (k-means; k via LOG-Means or
+//       fixed — k = 1 recovers global fairness, paper §3.1)
+//     → cluster gap-filling (missing sensitive groups get k nearest
+//       representatives, §3.5)
+//     → model assessment (best combination per cluster, §3.6)
+
+#ifndef FALCC_CORE_FALCC_H_
+#define FALCC_CORE_FALCC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/logmeans.h"
+#include "cluster/xmeans.h"
+#include "core/assessment.h"
+#include "core/model_pool.h"
+#include "data/groups.h"
+#include "data/transforms.h"
+#include "fairness/proxy.h"
+#include "ml/grid_search.h"
+
+namespace falcc {
+
+/// Configuration of the full FALCC pipeline. Defaults follow the paper's
+/// evaluation: λ = 0.5, demographic parity, automatic k via LOG-Means,
+/// 15-NN gap filling, AdaBoost-based diverse training.
+struct FalccOptions {
+  double lambda = 0.5;
+  /// Group-fairness assessment (default) or the consistency-based
+  /// individual-fairness assessment of §3.6 (kConsistency ignores
+  /// `metric`).
+  AssessmentMode assessment_mode = AssessmentMode::kGroupFairness;
+  FairnessMetric metric = FairnessMetric::kDemographicParity;
+  ProxyOptions proxy;
+
+  /// How the cluster count is estimated when fixed_k == 0.
+  enum class KSelection { kLogMeans, kElbow, kXMeans };
+  KSelection k_selection = KSelection::kLogMeans;
+
+  /// 0 = estimate k with the selected estimator; otherwise use this
+  /// fixed k (k = 1 yields the global-fairness special case).
+  size_t fixed_k = 0;
+  KEstimationOptions k_estimation;
+
+  /// Neighbors pulled in per missing sensitive group of a cluster.
+  size_t gap_fill_k = 15;
+
+  /// Standardize features before clustering (scale robustness).
+  bool standardize = true;
+
+  DiverseTrainerOptions trainer;
+  uint64_t seed = 1;
+};
+
+/// A trained FALCC classifier (offline phase output + online phase).
+class FalccModel {
+ public:
+  FalccModel(FalccModel&&) = default;
+  FalccModel& operator=(FalccModel&&) = default;
+
+  /// Full offline phase: trains a diverse pool on `train`, then runs
+  /// mitigation, clustering, and assessment on `validation`.
+  static Result<FalccModel> Train(const Dataset& train,
+                                  const Dataset& validation,
+                                  const FalccOptions& options = {});
+
+  /// Offline phase with an externally supplied model pool (framework
+  /// generality, §3.1; e.g. fair classifiers for the FALCC* variant).
+  /// `pool_entropy` is optional metadata for reporting.
+  static Result<FalccModel> TrainWithPool(ModelPool pool,
+                                          const Dataset& validation,
+                                          const FalccOptions& options = {},
+                                          double pool_entropy = 0.0);
+
+  /// Serializes the full trained model (pool, transform, centroids,
+  /// group index, per-cluster combinations). Requires every pool model's
+  /// type to support serialization (true for everything the built-in
+  /// diverse trainer produces). Training-time diagnostics
+  /// (validation_assignment) are not persisted — a loaded model
+  /// classifies identically but reports an empty assignment.
+  Status Save(std::ostream* out) const;
+  static Result<FalccModel> Load(std::istream* in);
+  /// File-path convenience wrappers.
+  Status SaveToFile(const std::string& path) const;
+  static Result<FalccModel> LoadFromFile(const std::string& path);
+
+  /// Online phase: classifies one sample given its original features.
+  int Classify(std::span<const double> features) const;
+
+  /// P(y = 1) from the model selected for (sample's region, sample's
+  /// group) — the probabilistic form of Classify.
+  double ClassifyProba(std::span<const double> features) const;
+
+  /// Hard labels for every row of `data`.
+  std::vector<int> ClassifyAll(const Dataset& data) const;
+
+  /// Online steps exposed for tests and the runtime benchmark.
+  size_t MatchCluster(std::span<const double> features) const;
+  Result<size_t> GroupOf(std::span<const double> features) const;
+
+  size_t num_clusters() const { return centroids_.size(); }
+  size_t num_groups() const { return group_index_.num_groups(); }
+  const ModelPool& pool() const { return pool_; }
+  double pool_entropy() const { return pool_entropy_; }
+  /// Chosen combination per cluster.
+  const std::vector<ModelCombination>& selected_combinations() const {
+    return selected_;
+  }
+  /// Cluster id of each validation row (diagnostics / tests).
+  const std::vector<size_t>& validation_assignment() const {
+    return assignment_;
+  }
+
+ private:
+  FalccModel() = default;
+
+  static Result<FalccModel> RunOfflinePhase(ModelPool pool,
+                                            const Dataset& validation,
+                                            const FalccOptions& options,
+                                            double pool_entropy);
+
+  ModelPool pool_;
+  double pool_entropy_ = 0.0;
+  GroupIndex group_index_;
+  ColumnTransform clustering_transform_;  // §3.7 step 1 (sample processing)
+  std::vector<std::vector<double>> centroids_;
+  std::vector<size_t> assignment_;            // validation rows -> cluster
+  std::vector<ModelCombination> selected_;    // cluster -> combination
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_CORE_FALCC_H_

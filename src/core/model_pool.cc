@@ -1,0 +1,110 @@
+#include "core/model_pool.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "ml/serialize.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+void ModelPool::Add(std::unique_ptr<Classifier> model,
+                    std::vector<size_t> applicable_groups) {
+  FALCC_CHECK(model != nullptr, "ModelPool::Add: null model");
+  models_.push_back(std::move(model));
+  applicable_.push_back(std::move(applicable_groups));
+}
+
+bool ModelPool::Applicable(size_t m, size_t g) const {
+  FALCC_CHECK(m < models_.size(), "ModelPool::Applicable: model out of range");
+  const auto& groups = applicable_[m];
+  if (groups.empty()) return true;
+  return std::find(groups.begin(), groups.end(), g) != groups.end();
+}
+
+std::vector<std::vector<int>> ModelPool::PredictMatrix(
+    const Dataset& data) const {
+  std::vector<std::vector<int>> votes;
+  votes.reserve(models_.size());
+  for (const auto& model : models_) {
+    votes.push_back(PredictAll(*model, data));
+  }
+  return votes;
+}
+
+Status ModelPool::Serialize(std::ostream* out) const {
+  io::PrepareStream(out);
+  *out << models_.size() << '\n';
+  for (size_t m = 0; m < models_.size(); ++m) {
+    io::WriteVector(out, applicable_[m]);
+    FALCC_RETURN_IF_ERROR(SerializeClassifier(*models_[m], out));
+  }
+  if (!*out) return Status::IOError("ModelPool serialization failed");
+  return Status::OK();
+}
+
+Result<ModelPool> ModelPool::Deserialize(std::istream* in) {
+  size_t num_models = 0;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &num_models));
+  if (num_models == 0 || num_models > 100000) {
+    return Status::InvalidArgument("ModelPool: implausible model count");
+  }
+  ModelPool pool;
+  for (size_t m = 0; m < num_models; ++m) {
+    std::vector<size_t> applicable;
+    FALCC_RETURN_IF_ERROR(io::ReadVector(in, &applicable));
+    Result<std::unique_ptr<Classifier>> model = DeserializeClassifier(in);
+    if (!model.ok()) return model.status();
+    pool.Add(std::move(model).value(), std::move(applicable));
+  }
+  return pool;
+}
+
+Result<std::vector<ModelCombination>> EnumerateCombinations(
+    const ModelPool& pool, size_t num_groups, size_t max_combinations) {
+  if (pool.size() == 0) {
+    return Status::InvalidArgument("EnumerateCombinations: empty pool");
+  }
+  if (num_groups == 0) {
+    return Status::InvalidArgument("EnumerateCombinations: no groups");
+  }
+
+  // Applicable models per group.
+  std::vector<std::vector<size_t>> options(num_groups);
+  size_t total = 1;
+  for (size_t g = 0; g < num_groups; ++g) {
+    for (size_t m = 0; m < pool.size(); ++m) {
+      if (pool.Applicable(m, g)) options[g].push_back(m);
+    }
+    if (options[g].empty()) {
+      return Status::FailedPrecondition(
+          "no applicable model for group " + std::to_string(g));
+    }
+    if (total > max_combinations / options[g].size()) {
+      return Status::OutOfRange("combination count exceeds limit");
+    }
+    total *= options[g].size();
+  }
+
+  std::vector<ModelCombination> combos;
+  combos.reserve(total);
+  ModelCombination current(num_groups, 0);
+  // Odometer enumeration over the per-group option lists.
+  std::vector<size_t> cursor(num_groups, 0);
+  while (true) {
+    for (size_t g = 0; g < num_groups; ++g) {
+      current[g] = options[g][cursor[g]];
+    }
+    combos.push_back(current);
+    size_t g = 0;
+    while (g < num_groups && ++cursor[g] == options[g].size()) {
+      cursor[g] = 0;
+      ++g;
+    }
+    if (g == num_groups) break;
+  }
+  return combos;
+}
+
+}  // namespace falcc

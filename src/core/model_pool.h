@@ -1,0 +1,67 @@
+// Model pool and model-combination enumeration (paper §3.3).
+//
+// A ModelPool owns trained classifiers and records which sensitive groups
+// each model may serve: models trained on the whole dataset apply to all
+// groups, models trained on a group partition (split-by-group training,
+// as in Decouple and the FALCES-SBT variants) apply only to their group.
+// A ModelCombination assigns one applicable model to every sensitive
+// group; EnumerateCombinations produces the candidate set MC_cand.
+
+#ifndef FALCC_CORE_MODEL_POOL_H_
+#define FALCC_CORE_MODEL_POOL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace falcc {
+
+/// One candidate assignment: entry g is the pool index of the model that
+/// classifies sensitive group g.
+using ModelCombination = std::vector<size_t>;
+
+/// Owning collection of trained classifiers with group applicability.
+class ModelPool {
+ public:
+  ModelPool() = default;
+  ModelPool(ModelPool&&) = default;
+  ModelPool& operator=(ModelPool&&) = default;
+
+  /// Adds a trained model. `applicable_groups` empty = applies to every
+  /// group; otherwise the listed group ids only.
+  void Add(std::unique_ptr<Classifier> model,
+           std::vector<size_t> applicable_groups = {});
+
+  size_t size() const { return models_.size(); }
+  const Classifier& model(size_t i) const { return *models_[i]; }
+
+  /// Whether model `m` may serve group `g`.
+  bool Applicable(size_t m, size_t g) const;
+
+  /// Hard predictions of every model on every row: votes[m][row].
+  /// This is the precomputation that makes offline assessment cheap
+  /// (the grey Pr_m columns of Tab. 2 in the paper).
+  std::vector<std::vector<int>> PredictMatrix(const Dataset& data) const;
+
+  /// Serializes every model plus its group applicability. Fails if any
+  /// model's type does not support serialization (see ml/serialize.h).
+  Status Serialize(std::ostream* out) const;
+  static Result<ModelPool> Deserialize(std::istream* in);
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> models_;
+  std::vector<std::vector<size_t>> applicable_;  // empty = all groups
+};
+
+/// All combinations assigning one applicable model per group
+/// (MC_cand). Fails if some group has no applicable model or the
+/// candidate count would exceed `max_combinations`.
+Result<std::vector<ModelCombination>> EnumerateCombinations(
+    const ModelPool& pool, size_t num_groups,
+    size_t max_combinations = 200000);
+
+}  // namespace falcc
+
+#endif  // FALCC_CORE_MODEL_POOL_H_

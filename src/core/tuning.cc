@@ -1,0 +1,101 @@
+#include "core/tuning.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace falcc {
+
+namespace {
+
+// Cluster-weighted L̂ of `model` on `tune` using the model's own regions.
+Result<double> ScoreOnTuneSet(const FalccModel& model, const Dataset& tune,
+                              const GroupIndex& index,
+                              FairnessMetric metric, double lambda) {
+  const std::vector<int> predictions = model.ClassifyAll(tune);
+  Result<std::vector<size_t>> groups_r = index.GroupsOf(tune);
+  if (!groups_r.ok()) return groups_r.status();
+  std::vector<size_t> regions(tune.num_rows());
+  for (size_t i = 0; i < tune.num_rows(); ++i) {
+    regions[i] = model.MatchCluster(tune.Row(i));
+  }
+  GroupedPredictions in;
+  in.labels = tune.labels();
+  in.predictions = predictions;
+  in.groups = groups_r.value();
+  in.num_groups = index.num_groups();
+  Result<LossBreakdown> loss =
+      LocalLoss(in, regions, model.num_clusters(), metric, lambda);
+  if (!loss.ok()) return loss.status();
+  return loss.value().combined;
+}
+
+}  // namespace
+
+Result<TuneResult> TuneFalcc(const Dataset& train, const Dataset& validation,
+                             const TuneOptions& options) {
+  if (options.lambdas.empty() || options.proxy_strategies.empty() ||
+      options.cluster_counts.empty()) {
+    return Status::InvalidArgument("TuneFalcc: empty search space");
+  }
+  if (options.tune_fraction <= 0.0 || options.tune_fraction >= 1.0) {
+    return Status::InvalidArgument("TuneFalcc: tune_fraction in (0,1)");
+  }
+  const size_t n = validation.num_rows();
+  const size_t n_tune =
+      static_cast<size_t>(std::floor(options.tune_fraction * n));
+  if (n_tune < 10 || n - n_tune < 10) {
+    return Status::InvalidArgument("TuneFalcc: validation data too small");
+  }
+
+  // Seeded split of the validation data into assess/tune partitions.
+  Rng rng(options.seed);
+  const std::vector<size_t> perm = rng.Permutation(n);
+  const std::span<const size_t> all(perm);
+  const Dataset assess = validation.Subset(all.subspan(n_tune));
+  const Dataset tune = validation.Subset(all.subspan(0, n_tune));
+
+  Result<GroupIndex> index = GroupIndex::Build(tune);
+  if (!index.ok()) return index.status();
+
+  FalccOptions best_options;
+  double best_score = 1e300;
+  size_t evaluated = 0;
+  for (double lambda : options.lambdas) {
+    for (ProxyMitigation strategy : options.proxy_strategies) {
+      for (size_t k : options.cluster_counts) {
+        FalccOptions candidate;
+        candidate.lambda = lambda;
+        candidate.metric = options.metric;
+        candidate.proxy.strategy = strategy;
+        candidate.fixed_k = k;
+        candidate.seed = options.seed;
+        Result<FalccModel> model =
+            FalccModel::Train(train, assess, candidate);
+        if (!model.ok()) return model.status();
+        Result<double> score =
+            ScoreOnTuneSet(model.value(), tune, index.value(),
+                           options.metric, options.scoring_lambda);
+        if (!score.ok()) return score.status();
+        ++evaluated;
+        if (score.value() < best_score) {
+          best_score = score.value();
+          best_options = candidate;
+        }
+      }
+    }
+  }
+
+  // Retrain the winner on the full validation set.
+  Result<FalccModel> final_model =
+      FalccModel::Train(train, validation, best_options);
+  if (!final_model.ok()) return final_model.status();
+
+  TuneResult result(std::move(final_model).value());
+  result.best_options = best_options;
+  result.best_score = best_score;
+  result.num_evaluated = evaluated;
+  return result;
+}
+
+}  // namespace falcc

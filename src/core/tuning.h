@@ -1,0 +1,53 @@
+// Automatic FALCC configuration (the paper's outlook, §5: "investigate
+// how to simplify the configuration of FALCC using parameter estimation
+// techniques").
+//
+// TuneFalcc grid-searches over candidate configurations (λ, proxy
+// strategy, cluster-count selection): each candidate is trained on the
+// training data with a *reduced* validation set and scored by the
+// cluster-weighted combined loss L̂ on a held-out tune partition carved
+// from the validation data. The winner is retrained on the full
+// validation set.
+
+#ifndef FALCC_CORE_TUNING_H_
+#define FALCC_CORE_TUNING_H_
+
+#include "core/falcc.h"
+
+namespace falcc {
+
+/// The tuning search space and protocol.
+struct TuneOptions {
+  std::vector<double> lambdas = {0.3, 0.5, 0.7};
+  std::vector<ProxyMitigation> proxy_strategies = {
+      ProxyMitigation::kNone, ProxyMitigation::kReweigh,
+      ProxyMitigation::kRemove};
+  /// Cluster counts to try; 0 = automatic (LOG-Means).
+  std::vector<size_t> cluster_counts = {0};
+  FairnessMetric metric = FairnessMetric::kDemographicParity;
+  /// Fraction of the validation data held out for scoring candidates.
+  double tune_fraction = 0.3;
+  /// λ used for *scoring* candidates (how much the tuner itself values
+  /// accuracy vs bias; candidates' own λ only affects their training).
+  double scoring_lambda = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Outcome of a tuning run.
+struct TuneResult {
+  FalccOptions best_options;
+  double best_score = 0.0;   ///< held-out L̂ of the winner
+  size_t num_evaluated = 0;  ///< configurations tried
+  FalccModel model;          ///< winner retrained on the full validation set
+
+  TuneResult(FalccModel m) : model(std::move(m)) {}  // NOLINT
+};
+
+/// Runs the grid search. Fails if the search space is empty or the data
+/// cannot support the tune split.
+Result<TuneResult> TuneFalcc(const Dataset& train, const Dataset& validation,
+                             const TuneOptions& options = {});
+
+}  // namespace falcc
+
+#endif  // FALCC_CORE_TUNING_H_

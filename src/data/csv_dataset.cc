@@ -1,0 +1,97 @@
+#include "data/csv_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace falcc {
+
+Result<Dataset> DatasetFromCsv(const CsvTable& table,
+                               const std::string& label_column,
+                               const std::vector<std::string>& sensitive) {
+  const auto find_column = [&](const std::string& name) -> int {
+    const auto it =
+        std::find(table.header.begin(), table.header.end(), name);
+    return it == table.header.end()
+               ? -1
+               : static_cast<int>(it - table.header.begin());
+  };
+
+  const int label_idx = find_column(label_column);
+  if (label_idx < 0) {
+    return Status::InvalidArgument("label column '" + label_column +
+                                   "' not found");
+  }
+  if (table.header.size() < 2) {
+    return Status::InvalidArgument("CSV needs at least one feature column");
+  }
+
+  // Feature columns = all but the label, in CSV order.
+  std::vector<size_t> feature_cols;
+  std::vector<std::string> feature_names;
+  for (size_t c = 0; c < table.header.size(); ++c) {
+    if (static_cast<int>(c) == label_idx) continue;
+    feature_cols.push_back(c);
+    feature_names.push_back(table.header[c]);
+  }
+
+  std::vector<size_t> sensitive_cols;
+  for (const std::string& name : sensitive) {
+    if (name == label_column) {
+      return Status::InvalidArgument("label column cannot be sensitive");
+    }
+    const auto it =
+        std::find(feature_names.begin(), feature_names.end(), name);
+    if (it == feature_names.end()) {
+      return Status::InvalidArgument("sensitive column '" + name +
+                                     "' not found");
+    }
+    sensitive_cols.push_back(
+        static_cast<size_t>(it - feature_names.begin()));
+  }
+
+  std::vector<double> features;
+  features.reserve(table.num_rows() * feature_cols.size());
+  std::vector<int> labels;
+  labels.reserve(table.num_rows());
+  for (const auto& row : table.rows) {
+    const double y = row[static_cast<size_t>(label_idx)];
+    if (y != 0.0 && y != 1.0) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    labels.push_back(static_cast<int>(y));
+    for (size_t c : feature_cols) features.push_back(row[c]);
+  }
+
+  return Dataset::Create(std::move(feature_names), std::move(features),
+                         feature_cols.size(), std::move(labels),
+                         std::move(sensitive_cols));
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const std::string& label_column,
+                               const std::vector<std::string>& sensitive) {
+  Result<CsvTable> table = ReadCsvFile(path);
+  if (!table.ok()) return table.status();
+  return DatasetFromCsv(table.value(), label_column, sensitive);
+}
+
+CsvTable DatasetToCsv(const Dataset& data, const std::string& label_column) {
+  CsvTable table;
+  table.header = data.feature_names();
+  table.header.push_back(label_column);
+  table.rows.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    std::vector<double> out(row.begin(), row.end());
+    out.push_back(static_cast<double>(data.Label(i)));
+    table.rows.push_back(std::move(out));
+  }
+  return table;
+}
+
+Status WriteDatasetCsv(const std::string& path, const Dataset& data,
+                       const std::string& label_column) {
+  return WriteCsvFile(path, DatasetToCsv(data, label_column));
+}
+
+}  // namespace falcc

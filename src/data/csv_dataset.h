@@ -1,0 +1,39 @@
+// Bridging CSV tables and Datasets, for the CLI tool and for users with
+// on-disk data: a dataset is a CSV file with a header row, one numeric
+// label column (binary), and any number of numeric feature columns, some
+// of which are declared sensitive by name.
+
+#ifndef FALCC_DATA_CSV_DATASET_H_
+#define FALCC_DATA_CSV_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/csv.h"
+
+namespace falcc {
+
+/// Converts a parsed CSV table to a Dataset. `label_column` names the
+/// binary label; `sensitive_columns` names the protected attributes
+/// (all must exist; the label may not be sensitive).
+Result<Dataset> DatasetFromCsv(const CsvTable& table,
+                               const std::string& label_column,
+                               const std::vector<std::string>& sensitive);
+
+/// Reads a CSV file from disk and converts it.
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const std::string& label_column,
+                               const std::vector<std::string>& sensitive);
+
+/// Converts a Dataset back to a CSV table (features + a trailing label
+/// column named `label_column`).
+CsvTable DatasetToCsv(const Dataset& data, const std::string& label_column);
+
+/// Writes a dataset to disk as CSV.
+Status WriteDatasetCsv(const std::string& path, const Dataset& data,
+                       const std::string& label_column);
+
+}  // namespace falcc
+
+#endif  // FALCC_DATA_CSV_DATASET_H_

@@ -1,0 +1,53 @@
+#include "data/split.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace falcc {
+
+Result<TrainValTest> SplitDataset(const Dataset& data, double train_frac,
+                                  double val_frac, double test_frac,
+                                  uint64_t seed) {
+  if (train_frac <= 0.0 || val_frac <= 0.0 || test_frac <= 0.0) {
+    return Status::InvalidArgument("split fractions must be positive");
+  }
+  if (train_frac + val_frac + test_frac > 1.0 + 1e-9) {
+    return Status::InvalidArgument("split fractions sum to more than 1");
+  }
+  const size_t n = data.num_rows();
+  if (n < 3) {
+    return Status::InvalidArgument("dataset too small to split three ways");
+  }
+
+  Rng rng(seed);
+  const std::vector<size_t> perm = rng.Permutation(n);
+
+  const auto n_train = static_cast<size_t>(
+      std::floor(train_frac * static_cast<double>(n)));
+  const auto n_val =
+      static_cast<size_t>(std::floor(val_frac * static_cast<double>(n)));
+  auto n_test =
+      static_cast<size_t>(std::floor(test_frac * static_cast<double>(n)));
+  // If the three fractions cover the whole dataset, assign rounding
+  // leftovers to the test partition.
+  if (train_frac + val_frac + test_frac > 1.0 - 1e-9) {
+    n_test = n - n_train - n_val;
+  }
+  if (n_train == 0 || n_val == 0 || n_test == 0) {
+    return Status::InvalidArgument("a split partition would be empty");
+  }
+
+  const std::span<const size_t> all(perm);
+  TrainValTest out;
+  out.train = data.Subset(all.subspan(0, n_train));
+  out.validation = data.Subset(all.subspan(n_train, n_val));
+  out.test = data.Subset(all.subspan(n_train + n_val, n_test));
+  return out;
+}
+
+Result<TrainValTest> SplitDatasetDefault(const Dataset& data, uint64_t seed) {
+  return SplitDataset(data, 0.50, 0.35, 0.15, seed);
+}
+
+}  // namespace falcc

@@ -1,0 +1,35 @@
+// Seeded random dataset splits. The paper's evaluation uses a
+// 50% train / 35% validation / 15% test split with four random states per
+// configuration (§4.1.1).
+
+#ifndef FALCC_DATA_SPLIT_H_
+#define FALCC_DATA_SPLIT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace falcc {
+
+/// The three partitions used by the FALCC pipeline.
+struct TrainValTest {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+/// Randomly permutes rows with the given seed and splits them into
+/// train/validation/test by the given fractions. Fractions must be
+/// positive and sum to at most 1 (the remainder, if any, is dropped —
+/// matching scikit-learn's sequential splits).
+Result<TrainValTest> SplitDataset(const Dataset& data, double train_frac,
+                                  double val_frac, double test_frac,
+                                  uint64_t seed);
+
+/// Paper-default split: 50/35/15.
+Result<TrainValTest> SplitDatasetDefault(const Dataset& data, uint64_t seed);
+
+}  // namespace falcc
+
+#endif  // FALCC_DATA_SPLIT_H_

@@ -1,0 +1,152 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace falcc {
+
+namespace {
+
+Status ValidateConfig(const SyntheticConfig& config) {
+  if (config.num_samples < 10) {
+    return Status::InvalidArgument("num_samples must be >= 10");
+  }
+  if (config.num_features == 0) {
+    return Status::InvalidArgument("num_features must be positive");
+  }
+  if (config.bias < 0.0 || config.bias >= 1.0) {
+    return Status::InvalidArgument("bias must be in [0, 1)");
+  }
+  if (config.pr_favored <= 0.0 || config.pr_favored >= 1.0) {
+    return Status::InvalidArgument("pr_favored must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FeatureNames(size_t num_features) {
+  std::vector<std::string> names;
+  names.reserve(num_features + 1);
+  for (size_t j = 0; j < num_features; ++j) {
+    names.push_back("f" + std::to_string(j));
+  }
+  names.push_back("sens");
+  return names;
+}
+
+// Per-feature label signal strengths: varied so features differ in
+// informativeness, deterministic so generation is reproducible.
+double SignalStrength(size_t j) {
+  static const double kStrengths[] = {0.9, 0.5, 0.7, 0.3, 0.8, 0.4, 0.6, 0.2};
+  return kStrengths[j % (sizeof(kStrengths) / sizeof(kStrengths[0]))];
+}
+
+}  // namespace
+
+Result<Dataset> GenerateSocialBias(const SyntheticConfig& config) {
+  FALCC_RETURN_IF_ERROR(ValidateConfig(config));
+  Rng rng(config.seed);
+
+  const double rate_favored = 0.5 + config.bias / 2.0;      // s = 0
+  const double rate_discriminated = 0.5 - config.bias / 2.0;  // s = 1
+
+  const size_t cols = config.num_features + 1;  // + sensitive column
+  std::vector<double> features;
+  features.reserve(config.num_samples * cols);
+  std::vector<int> labels;
+  labels.reserve(config.num_samples);
+
+  for (size_t i = 0; i < config.num_samples; ++i) {
+    const bool discriminated = rng.Bernoulli(1.0 - config.pr_favored);
+    const double rate = discriminated ? rate_discriminated : rate_favored;
+    const int y = rng.Bernoulli(rate) ? 1 : 0;
+    const double dir = y == 1 ? 1.0 : -1.0;
+    // Odd features interact with their predecessor (the label shift
+    // flips with the predecessor's sign) so the data is not linearly
+    // separable — see datagen/benchmark_data.cc for the rationale.
+    double prev = 1.0;
+    for (size_t j = 0; j < config.num_features; ++j) {
+      const double direction = (j % 2 == 1 && prev < 0.0) ? -dir : dir;
+      const double v = rng.Normal(SignalStrength(j) * direction, 1.0);
+      features.push_back(v);
+      prev = v;
+    }
+    features.push_back(discriminated ? 1.0 : 0.0);
+    labels.push_back(y);
+  }
+
+  return Dataset::Create(FeatureNames(config.num_features),
+                         std::move(features), cols, std::move(labels),
+                         {config.num_features});
+}
+
+Result<Dataset> GenerateImplicitBias(const SyntheticConfig& config) {
+  FALCC_RETURN_IF_ERROR(ValidateConfig(config));
+  if (config.num_proxies == 0 || config.num_proxies > config.num_features) {
+    return Status::InvalidArgument(
+        "num_proxies must be in [1, num_features]");
+  }
+  Rng rng(config.seed);
+
+  // Label model: y = 1{ Σ_j w_j f_j + w_x f_a f_b + ε > 0 }, ε ~ N(0, σ²),
+  // where f_a, f_b are the last two non-proxy features — the interaction
+  // keeps the data from being linearly separable (real data is not).
+  // Proxies are shifted by ±α depending on the group; α is chosen so the
+  // analytic positive-rate gap equals config.bias:
+  //   P(y=1 | s) = Φ(± α·W_p / sqrt(V)),  V = Σ w_j² + w_x² + σ²
+  // (f_a f_b has mean 0 and variance 1 for independent standard normals,
+  // so the calibration stays exact).
+  std::vector<double> weights(config.num_features);
+  double proxy_weight_sum = 0.0;
+  double variance = 0.0;
+  constexpr double kNoiseSigma = 0.5;
+  constexpr double kInteractionWeight = 0.8;
+  for (size_t j = 0; j < config.num_features; ++j) {
+    weights[j] = SignalStrength(j);
+    variance += weights[j] * weights[j];
+    if (j < config.num_proxies) proxy_weight_sum += weights[j];
+  }
+  const bool has_interaction = config.num_features >= config.num_proxies + 2;
+  if (has_interaction) variance += kInteractionWeight * kInteractionWeight;
+  variance += kNoiseSigma * kNoiseSigma;
+
+  double alpha = 0.0;
+  if (config.bias > 0.0) {
+    const double z = NormalQuantile(0.5 + config.bias / 2.0);
+    alpha = z * std::sqrt(variance) / proxy_weight_sum;
+  }
+
+  const size_t cols = config.num_features + 1;
+  std::vector<double> features;
+  features.reserve(config.num_samples * cols);
+  std::vector<int> labels;
+  labels.reserve(config.num_samples);
+  std::vector<double> row(config.num_features);
+
+  for (size_t i = 0; i < config.num_samples; ++i) {
+    const bool discriminated = rng.Bernoulli(1.0 - config.pr_favored);
+    const double shift = discriminated ? -alpha : alpha;
+    double score = rng.Normal(0.0, kNoiseSigma);
+    for (size_t j = 0; j < config.num_features; ++j) {
+      const double mean = j < config.num_proxies ? shift : 0.0;
+      row[j] = rng.Normal(mean, 1.0);
+      score += weights[j] * row[j];
+    }
+    if (has_interaction) {
+      score += kInteractionWeight * row[config.num_features - 1] *
+               row[config.num_features - 2];
+    }
+    features.insert(features.end(), row.begin(), row.end());
+    features.push_back(discriminated ? 1.0 : 0.0);
+    labels.push_back(score > 0.0 ? 1 : 0);
+  }
+
+  return Dataset::Create(FeatureNames(config.num_features),
+                         std::move(features), cols, std::move(labels),
+                         {config.num_features});
+}
+
+}  // namespace falcc

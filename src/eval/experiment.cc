@@ -1,0 +1,327 @@
+#include "eval/experiment.h"
+
+#include "baselines/fair_smote.h"
+#include "baselines/fairboost.h"
+#include "baselines/fax.h"
+#include "baselines/ifair.h"
+#include "baselines/lfr.h"
+#include "cluster/kdtree.h"
+#include "cluster/logmeans.h"
+#include "util/timer.h"
+
+namespace falcc {
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFairBoost:
+      return "FairBoost";
+    case Algorithm::kLfr:
+      return "LFR";
+    case Algorithm::kIFair:
+      return "iFair";
+    case Algorithm::kFaX:
+      return "FaX";
+    case Algorithm::kFairSmote:
+      return "Fair-SMOTE";
+    case Algorithm::kDecouple:
+      return "Decouple";
+    case Algorithm::kFalcesBest:
+      return "FALCES-BEST";
+    case Algorithm::kFalcc:
+      return "FALCC";
+    case Algorithm::kDecoupleFair:
+      return "Decouple-FAIR";
+    case Algorithm::kFalcesFairBest:
+      return "FALCES-FAIR-BEST";
+    case Algorithm::kFalccFair:
+      return "FALCC-FAIR";
+  }
+  return "unknown";
+}
+
+std::vector<Algorithm> DefaultAlgorithms() {
+  return {Algorithm::kFairBoost, Algorithm::kLfr,        Algorithm::kIFair,
+          Algorithm::kFaX,       Algorithm::kFairSmote,  Algorithm::kDecouple,
+          Algorithm::kFalcesBest, Algorithm::kFalcc};
+}
+
+std::vector<Algorithm> FairInputAlgorithms() {
+  return {Algorithm::kDecoupleFair, Algorithm::kFalcesFairBest,
+          Algorithm::kFalccFair};
+}
+
+Result<Experiment> Experiment::Create(const Dataset& data,
+                                      const ExperimentOptions& options) {
+  Experiment exp;
+  exp.options_ = options;
+
+  Result<TrainValTest> splits = SplitDatasetDefault(data, options.seed);
+  if (!splits.ok()) return splits.status();
+  exp.splits_ = std::move(splits).value();
+
+  Result<Dataset> full =
+      ConcatDatasets(exp.splits_.train, exp.splits_.validation);
+  if (!full.ok()) return full.status();
+  exp.train_full_ = std::move(full).value();
+
+  const Dataset& test = exp.splits_.test;
+  Result<GroupIndex> index = GroupIndex::Build(test);
+  if (!index.ok()) return index.status();
+  exp.test_groups_index_ = std::move(index).value();
+  Result<std::vector<size_t>> groups =
+      exp.test_groups_index_.GroupsOf(test);
+  if (!groups.ok()) return groups.status();
+  exp.test_groups_ = std::move(groups).value();
+
+  // Shared evaluation geometry over standardized non-sensitive features.
+  ColumnTransform transform = ColumnTransform::Standardize(test);
+  transform.DropColumns(test.sensitive_features());
+  const std::vector<std::vector<double>> points = transform.ApplyAll(test);
+
+  size_t k = options.eval_clusters;
+  if (k == 0) {
+    KEstimationOptions est;
+    est.k_max = std::min<size_t>(32, test.num_rows());
+    est.kmeans.seed = options.seed;
+    Result<KEstimate> estimate = EstimateKLogMeans(points, est);
+    if (!estimate.ok()) return estimate.status();
+    k = estimate.value().k;
+  }
+  KMeansOptions km;
+  km.seed = options.seed;
+  Result<KMeansResult> clustering = RunKMeans(points, k, km);
+  if (!clustering.ok()) return clustering.status();
+  exp.eval_regions_ = std::move(clustering.value().assignment);
+  exp.eval_regions_count_ = k;
+
+  // Consistency neighborhoods.
+  Result<KdTree> tree = KdTree::Build(points);
+  if (!tree.ok()) return tree.status();
+  exp.consistency_neighbors_.resize(test.num_rows());
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    const std::vector<size_t> nn =
+        tree.value().Nearest(points[i], options.consistency_k + 1);
+    for (size_t j : nn) {
+      if (j != i &&
+          exp.consistency_neighbors_[i].size() < options.consistency_k) {
+        exp.consistency_neighbors_[i].push_back(j);
+      }
+    }
+  }
+  return exp;
+}
+
+Result<EvalMeasurement> Experiment::Measure(
+    const std::vector<int>& predictions, double online_seconds) const {
+  const Dataset& test = splits_.test;
+  if (predictions.size() != test.num_rows()) {
+    return Status::InvalidArgument("Measure: prediction count mismatch");
+  }
+
+  GroupedPredictions in;
+  in.labels = test.labels();
+  in.predictions = predictions;
+  in.groups = test_groups_;
+  in.num_groups = test_groups_index_.num_groups();
+
+  EvalMeasurement out;
+  Result<LossBreakdown> global = CombinedLoss(in, options_.metric,
+                                              options_.lambda);
+  if (!global.ok()) return global.status();
+  out.accuracy = 1.0 - global.value().inaccuracy;
+  out.global_bias = global.value().bias;
+
+  Result<LossBreakdown> local =
+      LocalLoss(in, eval_regions_, eval_regions_count_, options_.metric,
+                options_.lambda);
+  if (!local.ok()) return local.status();
+  out.local_bias = local.value().combined;
+
+  Result<double> consistency =
+      Consistency(predictions, consistency_neighbors_);
+  if (!consistency.ok()) return consistency.status();
+  out.individual_bias = 1.0 - consistency.value();
+
+  out.online_micros_per_sample =
+      online_seconds * 1e6 / static_cast<double>(test.num_rows());
+  return out;
+}
+
+Result<ModelPool> Experiment::TrainFairPool() const {
+  // Trained on the train partition only: the ensemble algorithms assess
+  // these models on the validation partition, which must stay held out
+  // for the assessment to be honest.
+  const Dataset& train = splits_.train;
+  ModelPool pool;
+
+  LfrOptions lfr;
+  lfr.seed = options_.seed;
+  auto lfr_model = std::make_unique<LfrClassifier>(lfr);
+  FALCC_RETURN_IF_ERROR(lfr_model->Fit(train));
+  pool.Add(std::move(lfr_model));
+
+  FairSmoteOptions smote;
+  smote.seed = options_.seed;
+  auto smote_model = std::make_unique<FairSmote>(smote);
+  FALCC_RETURN_IF_ERROR(smote_model->Fit(train));
+  pool.Add(std::move(smote_model));
+
+  FaxOptions fax;
+  fax.seed = options_.seed;
+  auto fax_model = std::make_unique<FaxClassifier>(fax);
+  FALCC_RETURN_IF_ERROR(fax_model->Fit(train));
+  pool.Add(std::move(fax_model));
+
+  return pool;
+}
+
+namespace {
+
+// Classifies the test set with a plain Classifier and measures it.
+Result<EvalMeasurement> MeasureClassifier(const Experiment& exp,
+                                          const Classifier& model) {
+  Timer timer;
+  const std::vector<int> predictions =
+      PredictAll(model, exp.splits().test);
+  return exp.Measure(predictions, timer.ElapsedSeconds());
+}
+
+}  // namespace
+
+Result<EvalMeasurement> Experiment::Run(Algorithm algorithm) const {
+  const Dataset& train = splits_.train;
+  const Dataset& validation = splits_.validation;
+  const Dataset& test = splits_.test;
+  const uint64_t seed = options_.seed;
+
+  switch (algorithm) {
+    case Algorithm::kFairBoost: {
+      FairBoostOptions opt;
+      opt.k = 2 * options_.falces_k;  // paper: k = 30 (not per group)
+      opt.seed = seed;
+      FairBoost model(opt);
+      FALCC_RETURN_IF_ERROR(model.Fit(train_full_));
+      return MeasureClassifier(*this, model);
+    }
+    case Algorithm::kLfr: {
+      LfrOptions opt;
+      opt.seed = seed;
+      LfrClassifier model(opt);
+      FALCC_RETURN_IF_ERROR(model.Fit(train_full_));
+      return MeasureClassifier(*this, model);
+    }
+    case Algorithm::kIFair: {
+      IFairOptions opt;
+      opt.seed = seed;
+      IFairClassifier model(opt);
+      FALCC_RETURN_IF_ERROR(model.Fit(train_full_));
+      return MeasureClassifier(*this, model);
+    }
+    case Algorithm::kFaX: {
+      FaxOptions opt;
+      opt.seed = seed;
+      FaxClassifier model(opt);
+      FALCC_RETURN_IF_ERROR(model.Fit(train_full_));
+      return MeasureClassifier(*this, model);
+    }
+    case Algorithm::kFairSmote: {
+      FairSmoteOptions opt;
+      opt.seed = seed;
+      FairSmote model(opt);
+      FALCC_RETURN_IF_ERROR(model.Fit(train_full_));
+      return MeasureClassifier(*this, model);
+    }
+    case Algorithm::kDecouple: {
+      DecoupleOptions opt;
+      opt.metric = options_.metric;
+      opt.lambda = options_.lambda;
+      opt.seed = seed;
+      Result<DecoupleModel> model = DecoupleModel::Train(train, validation,
+                                                         opt);
+      if (!model.ok()) return model.status();
+      Timer timer;
+      const std::vector<int> predictions = model.value().ClassifyAll(test);
+      return Measure(predictions, timer.ElapsedSeconds());
+    }
+    case Algorithm::kDecoupleFair: {
+      Result<ModelPool> pool = TrainFairPool();
+      if (!pool.ok()) return pool.status();
+      DecoupleOptions opt;
+      opt.metric = options_.metric;
+      opt.lambda = options_.lambda;
+      opt.seed = seed;
+      Result<DecoupleModel> model = DecoupleModel::TrainWithPool(
+          std::move(pool).value(), validation, opt);
+      if (!model.ok()) return model.status();
+      Timer timer;
+      const std::vector<int> predictions = model.value().ClassifyAll(test);
+      return Measure(predictions, timer.ElapsedSeconds());
+    }
+    case Algorithm::kFalcesBest:
+    case Algorithm::kFalcesFairBest: {
+      // Train the 4 FALCES variants (2 flags x 2) and report the variant
+      // with the least local bias (paper §4.1.2). For the FAIR variant
+      // the pool is fixed, so split training does not apply and the
+      // variants collapse to {plain, prefiltered}.
+      const bool fair = algorithm == Algorithm::kFalcesFairBest;
+      Result<EvalMeasurement> best = Status::Internal("no FALCES variant ran");
+      for (const bool prefilter : {false, true}) {
+        for (const bool split_training : fair
+                 ? std::vector<bool>{false}
+                 : std::vector<bool>{false, true}) {
+          FalcesOptions opt;
+          opt.metric = options_.metric;
+          opt.lambda = options_.lambda;
+          opt.k = options_.falces_k;
+          opt.prefilter = prefilter;
+          opt.split_training = split_training;
+          opt.seed = seed;
+          Result<FalcesModel> model =
+              fair ? [&]() -> Result<FalcesModel> {
+                      Result<ModelPool> pool = TrainFairPool();
+                      if (!pool.ok()) return pool.status();
+                      return FalcesModel::TrainWithPool(
+                          std::move(pool).value(), validation, opt);
+                    }()
+                   : FalcesModel::Train(train, validation, opt);
+          if (!model.ok()) return model.status();
+          Timer timer;
+          const std::vector<int> predictions =
+              model.value().ClassifyAll(test);
+          Result<EvalMeasurement> measured =
+              Measure(predictions, timer.ElapsedSeconds());
+          if (!measured.ok()) return measured.status();
+          if (!best.ok() ||
+              measured.value().local_bias < best.value().local_bias) {
+            best = measured;
+          }
+        }
+      }
+      return best;
+    }
+    case Algorithm::kFalcc:
+    case Algorithm::kFalccFair: {
+      FalccOptions opt;
+      opt.metric = options_.metric;
+      opt.lambda = options_.lambda;
+      opt.gap_fill_k = options_.falces_k;
+      opt.seed = seed;
+      Result<FalccModel> model = [&]() -> Result<FalccModel> {
+        if (algorithm == Algorithm::kFalccFair) {
+          Result<ModelPool> pool = TrainFairPool();
+          if (!pool.ok()) return pool.status();
+          return FalccModel::TrainWithPool(std::move(pool).value(),
+                                           validation, opt);
+        }
+        return FalccModel::Train(train, validation, opt);
+      }();
+      if (!model.ok()) return model.status();
+      Timer timer;
+      const std::vector<int> predictions = model.value().ClassifyAll(test);
+      return Measure(predictions, timer.ElapsedSeconds());
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace falcc

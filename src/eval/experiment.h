@@ -1,0 +1,111 @@
+// Experiment runner shared by the quality benchmarks (Tab. 5, Fig. 3)
+// and the examples: trains any of the evaluated algorithms on one
+// dataset split and measures accuracy, global bias, local bias,
+// individual bias (1 − consistency), and the online per-sample latency.
+//
+// All algorithms are measured against the *same* evaluation geometry per
+// split: local bias uses one shared clustering of the test samples
+// (k-means over standardized non-sensitive features, LOG-Means k), and
+// consistency uses one shared kNN structure — so differences in the
+// numbers come from the algorithms, not from evaluation noise.
+
+#ifndef FALCC_EVAL_EXPERIMENT_H_
+#define FALCC_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "baselines/decouple.h"
+#include "baselines/falces.h"
+#include "core/falcc.h"
+#include "data/split.h"
+
+namespace falcc {
+
+/// The algorithms of the paper's evaluation (§4.1.2). The *Fair variants
+/// feed fair classifiers (LFR, Fair-SMOTE, FaX) into the ensemble
+/// algorithms, matching the asterisked configurations of Tab. 5.
+enum class Algorithm {
+  kFairBoost,
+  kLfr,
+  kIFair,
+  kFaX,
+  kFairSmote,
+  kDecouple,
+  kFalcesBest,
+  kFalcc,
+  kDecoupleFair,
+  kFalcesFairBest,
+  kFalccFair,
+};
+
+/// Display name, e.g. "FALCC" or "FALCES-BEST".
+std::string AlgorithmName(Algorithm algorithm);
+
+/// All algorithms of the default (left) half of Tab. 5.
+std::vector<Algorithm> DefaultAlgorithms();
+/// All algorithms of the fair-input (right) half of Tab. 5.
+std::vector<Algorithm> FairInputAlgorithms();
+
+/// Quality + runtime of one algorithm on one split.
+struct EvalMeasurement {
+  double accuracy = 0.0;
+  double global_bias = 0.0;
+  /// Cluster-weighted Eq. 2 over the shared test regions (λ = lambda).
+  double local_bias = 0.0;
+  /// 1 − consistency over k nearest test neighbors.
+  double individual_bias = 0.0;
+  double online_micros_per_sample = 0.0;
+};
+
+/// Experiment configuration.
+struct ExperimentOptions {
+  FairnessMetric metric = FairnessMetric::kDemographicParity;
+  double lambda = 0.5;
+  /// k for the shared evaluation clustering; 0 = LOG-Means.
+  size_t eval_clusters = 0;
+  size_t consistency_k = 15;
+  /// FALCES neighborhood size (k per group); FairBoost uses 2k.
+  size_t falces_k = 15;
+  uint64_t seed = 1;
+};
+
+/// A dataset split plus the shared evaluation geometry.
+class Experiment {
+ public:
+  /// Splits `data` 50/35/15 with the option seed and precomputes the
+  /// shared evaluation structures.
+  static Result<Experiment> Create(const Dataset& data,
+                                   const ExperimentOptions& options);
+
+  /// Trains `algorithm` and measures it on the test partition.
+  Result<EvalMeasurement> Run(Algorithm algorithm) const;
+
+  const TrainValTest& splits() const { return splits_; }
+  const ExperimentOptions& options() const { return options_; }
+  size_t num_eval_regions() const { return eval_regions_count_; }
+
+  /// Measures an externally produced prediction vector (one label per
+  /// test row) — used by tests and by algorithm variants not covered by
+  /// Run. `online_seconds` is the total classification time.
+  Result<EvalMeasurement> Measure(const std::vector<int>& predictions,
+                                  double online_seconds) const;
+
+ private:
+  Experiment() = default;
+
+  /// Trains the {LFR, Fair-SMOTE, FaX} pool used by the *Fair variants.
+  Result<ModelPool> TrainFairPool() const;
+
+  ExperimentOptions options_;
+  TrainValTest splits_;
+  Dataset train_full_;  // train + validation, for single-model baselines
+  GroupIndex test_groups_index_;
+  std::vector<size_t> test_groups_;
+  std::vector<size_t> eval_regions_;  // region id per test row
+  size_t eval_regions_count_ = 0;
+  std::vector<std::vector<size_t>> consistency_neighbors_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_EVAL_EXPERIMENT_H_

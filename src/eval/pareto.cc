@@ -1,0 +1,39 @@
+#include "eval/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace falcc {
+
+std::vector<bool> ParetoFront(std::span<const QualityPoint> points) {
+  const size_t n = points.size();
+  std::vector<bool> optimal(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n && optimal[i]; ++j) {
+      if (i == j) continue;
+      const bool weakly_dominates = points[j].accuracy >= points[i].accuracy &&
+                                    points[j].bias <= points[i].bias;
+      const bool strictly = points[j].accuracy > points[i].accuracy ||
+                            points[j].bias < points[i].bias;
+      if (weakly_dominates && strictly) optimal[i] = false;
+    }
+  }
+  return optimal;
+}
+
+std::vector<size_t> TopKByLoss(std::span<const QualityPoint> points,
+                               size_t k, double lambda) {
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double la = lambda * (1.0 - points[a].accuracy) +
+                      (1.0 - lambda) * points[a].bias;
+    const double lb = lambda * (1.0 - points[b].accuracy) +
+                      (1.0 - lambda) * points[b].bias;
+    return la < lb;
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace falcc

@@ -1,0 +1,31 @@
+// Pareto-front and ranking utilities for the comparative evaluation
+// (Tab. 5 reports, per configuration, whether an algorithm's
+// (accuracy, bias) point is Pareto-optimal and whether it ranks in the
+// top-3 by the combined loss L̂).
+
+#ifndef FALCC_EVAL_PARETO_H_
+#define FALCC_EVAL_PARETO_H_
+
+#include <span>
+#include <vector>
+
+namespace falcc {
+
+/// One algorithm's quality in a configuration.
+struct QualityPoint {
+  double accuracy = 0.0;
+  double bias = 0.0;
+};
+
+/// Pareto-optimality flags: point i is optimal iff no other point has
+/// accuracy >= and bias <= with at least one strict inequality.
+std::vector<bool> ParetoFront(std::span<const QualityPoint> points);
+
+/// Indices of the `k` points with lowest L̂ = λ(1−accuracy) + (1−λ)bias,
+/// ascending by loss (ties: lower index first).
+std::vector<size_t> TopKByLoss(std::span<const QualityPoint> points,
+                               size_t k, double lambda);
+
+}  // namespace falcc
+
+#endif  // FALCC_EVAL_PARETO_H_

@@ -1,0 +1,56 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace falcc {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  FALCC_CHECK(cells.size() == rows_[0].size(),
+              "TextTable row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += "  ";
+      out += rows_[r][c];
+      out.append(widths[c] - rows_[r][c].size(), ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c > 0 ? 2 : 0);
+      }
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatPercent(double value, int decimals) {
+  return FormatDouble(value * 100.0, decimals);
+}
+
+}  // namespace falcc

@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark binaries, which print the
+// same rows/series the paper's tables and figures report.
+
+#ifndef FALCC_EVAL_REPORT_H_
+#define FALCC_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace falcc {
+
+/// Fixed-width text table with a header row and a separator line.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with columns padded to the widest cell.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] = header
+};
+
+/// "12.3" style fixed-decimal formatting.
+std::string FormatDouble(double value, int decimals = 3);
+
+/// value in [0,1] rendered as a percentage, e.g. 0.123 -> "12.3".
+std::string FormatPercent(double value, int decimals = 1);
+
+}  // namespace falcc
+
+#endif  // FALCC_EVAL_REPORT_H_

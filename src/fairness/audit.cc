@@ -1,0 +1,116 @@
+#include "fairness/audit.h"
+
+#include <sstream>
+
+#include "data/transforms.h"
+#include "eval/report.h"
+
+namespace falcc {
+
+Result<FairnessAudit> AuditPredictions(const Dataset& data,
+                                       std::span<const int> predictions,
+                                       size_t consistency_k) {
+  if (predictions.size() != data.num_rows()) {
+    return Status::InvalidArgument("audit: prediction count mismatch");
+  }
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("audit: empty dataset");
+  }
+  Result<GroupIndex> index = GroupIndex::Build(data);
+  if (!index.ok()) return index.status();
+  Result<std::vector<size_t>> groups_r = index.value().GroupsOf(data);
+  if (!groups_r.ok()) return groups_r.status();
+  const std::vector<size_t>& groups = groups_r.value();
+  const size_t num_groups = index.value().num_groups();
+
+  GroupedPredictions in;
+  in.labels = data.labels();
+  in.predictions = predictions;
+  in.groups = groups;
+  in.num_groups = num_groups;
+
+  FairnessAudit audit;
+  Result<double> dp = DemographicParity(in);
+  if (!dp.ok()) return dp.status();
+  audit.demographic_parity = dp.value();
+  audit.equalized_odds = EqualizedOdds(in).value();
+  audit.equal_opportunity = EqualOpportunity(in).value();
+  audit.treatment_equality = TreatmentEquality(in).value();
+
+  // Consistency over the standardized non-sensitive feature space.
+  ColumnTransform transform = ColumnTransform::Standardize(data);
+  transform.DropColumns(data.sensitive_features());
+  Result<double> consistency =
+      ConsistencyKnn(predictions, transform.ApplyAll(data), consistency_k);
+  if (!consistency.ok()) return consistency.status();
+  audit.consistency = consistency.value();
+
+  // Per-group confusion statistics.
+  struct Counts {
+    double n = 0, pos_label = 0, pos_pred = 0, correct = 0;
+    double tp = 0, fp = 0, fn = 0, tn = 0;
+  };
+  std::vector<Counts> counts(num_groups);
+  double total_correct = 0.0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    Counts& c = counts[groups[i]];
+    const int y = data.Label(i);
+    const int z = predictions[i];
+    c.n += 1.0;
+    c.pos_label += y;
+    c.pos_pred += z;
+    if (y == z) {
+      c.correct += 1.0;
+      total_correct += 1.0;
+    }
+    if (y == 1 && z == 1) c.tp += 1.0;
+    if (y == 0 && z == 1) c.fp += 1.0;
+    if (y == 1 && z == 0) c.fn += 1.0;
+    if (y == 0 && z == 0) c.tn += 1.0;
+  }
+  audit.accuracy = total_correct / static_cast<double>(data.num_rows());
+  for (size_t g = 0; g < num_groups; ++g) {
+    const Counts& c = counts[g];
+    GroupAudit group;
+    group.name = index.value().GroupName(g, data);
+    group.size = static_cast<size_t>(c.n);
+    if (c.n > 0.0) {
+      group.base_rate = c.pos_label / c.n;
+      group.positive_rate = c.pos_pred / c.n;
+      group.accuracy = c.correct / c.n;
+    }
+    if (c.tp + c.fn > 0.0) group.tpr = c.tp / (c.tp + c.fn);
+    if (c.fp + c.tn > 0.0) group.fpr = c.fp / (c.fp + c.tn);
+    audit.groups.push_back(std::move(group));
+  }
+  return audit;
+}
+
+std::string FormatAudit(const FairnessAudit& audit) {
+  std::ostringstream out;
+  out << "accuracy:            " << FormatPercent(audit.accuracy, 1)
+      << "%\n";
+  out << "demographic parity:  " << FormatDouble(audit.demographic_parity, 4)
+      << '\n';
+  out << "equalized odds:      " << FormatDouble(audit.equalized_odds, 4)
+      << '\n';
+  out << "equal opportunity:   " << FormatDouble(audit.equal_opportunity, 4)
+      << '\n';
+  out << "treatment equality:  " << FormatDouble(audit.treatment_equality, 4)
+      << '\n';
+  out << "consistency:         " << FormatDouble(audit.consistency, 4)
+      << '\n';
+  TextTable table({"group", "size", "base-rate%", "pos-rate%", "acc%",
+                   "TPR%", "FPR%"});
+  for (const GroupAudit& g : audit.groups) {
+    table.AddRow({g.name, std::to_string(g.size),
+                  FormatPercent(g.base_rate, 1),
+                  FormatPercent(g.positive_rate, 1),
+                  FormatPercent(g.accuracy, 1), FormatPercent(g.tpr, 1),
+                  FormatPercent(g.fpr, 1)});
+  }
+  out << table.ToString();
+  return out.str();
+}
+
+}  // namespace falcc

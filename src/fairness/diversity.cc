@@ -1,0 +1,35 @@
+#include "fairness/diversity.h"
+
+#include <cmath>
+
+namespace falcc {
+
+Result<double> EnsembleEntropy(const std::vector<std::vector<int>>& votes) {
+  if (votes.empty()) {
+    return Status::InvalidArgument("EnsembleEntropy: no models");
+  }
+  const size_t n = votes[0].size();
+  if (n == 0) {
+    return Status::InvalidArgument("EnsembleEntropy: no samples");
+  }
+  for (const auto& v : votes) {
+    if (v.size() != n) {
+      return Status::InvalidArgument("EnsembleEntropy: ragged vote matrix");
+    }
+  }
+  const double num_models = static_cast<double>(votes.size());
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double ones = 0.0;
+    for (const auto& v : votes) ones += v[i];
+    const double p = ones / num_models;
+    double h = 0.0;
+    if (p > 0.0) h -= p * std::log2(p);
+    if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+    total += h;  // log2 => already normalized to [0,1] for binary votes
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace falcc

@@ -1,0 +1,29 @@
+// Ensemble-diversity measurement.
+//
+// FALCC's diverse-model-training component tunes its pool of classifiers
+// to maximize diversity, measured with the non-pairwise entropy of
+// Cunningham & Carney (ECML 2000), the measure the paper selects (§3.3)
+// and the x-axis of the Fig. 4 experiment. For each sample the Shannon
+// entropy of the ensemble's vote distribution is computed; the ensemble
+// score is the mean over samples, normalized to [0, 1].
+
+#ifndef FALCC_FAIRNESS_DIVERSITY_H_
+#define FALCC_FAIRNESS_DIVERSITY_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace falcc {
+
+/// Non-pairwise (entropy) diversity of an ensemble.
+///
+/// `votes[m][i]` is the binary prediction of model m on sample i; all
+/// models must have voted on the same samples. Returns a value in [0, 1]:
+/// 0 when all models always agree, 1 when every sample splits the
+/// ensemble evenly.
+Result<double> EnsembleEntropy(const std::vector<std::vector<int>>& votes);
+
+}  // namespace falcc
+
+#endif  // FALCC_FAIRNESS_DIVERSITY_H_

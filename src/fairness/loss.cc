@@ -1,0 +1,77 @@
+#include "fairness/loss.h"
+
+namespace falcc {
+
+Result<LossBreakdown> CombinedLoss(const GroupedPredictions& in,
+                                   FairnessMetric metric, double lambda) {
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0,1]");
+  }
+  const size_t n = in.labels.size();
+  if (n == 0) return Status::InvalidArgument("CombinedLoss: no samples");
+
+  double wrong = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (in.labels[i] != in.predictions[i]) ++wrong;
+  }
+  Result<double> bias = ComputeBias(metric, in);
+  if (!bias.ok()) return bias.status();
+
+  LossBreakdown out;
+  out.inaccuracy = wrong / static_cast<double>(n);
+  out.bias = bias.value();
+  out.combined = lambda * out.inaccuracy + (1.0 - lambda) * out.bias;
+  return out;
+}
+
+Result<LossBreakdown> LocalLoss(const GroupedPredictions& in,
+                                std::span<const size_t> regions,
+                                size_t num_regions, FairnessMetric metric,
+                                double lambda) {
+  const size_t n = in.labels.size();
+  if (regions.size() != n) {
+    return Status::InvalidArgument("LocalLoss: regions size mismatch");
+  }
+  if (num_regions == 0) {
+    return Status::InvalidArgument("LocalLoss: num_regions must be positive");
+  }
+
+  // Bucket sample indices by region.
+  std::vector<std::vector<size_t>> buckets(num_regions);
+  for (size_t i = 0; i < n; ++i) {
+    if (regions[i] >= num_regions) {
+      return Status::InvalidArgument("LocalLoss: region id out of range");
+    }
+    buckets[regions[i]].push_back(i);
+  }
+
+  LossBreakdown total;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    std::vector<int> labels, predictions;
+    std::vector<size_t> groups;
+    labels.reserve(bucket.size());
+    predictions.reserve(bucket.size());
+    groups.reserve(bucket.size());
+    for (size_t i : bucket) {
+      labels.push_back(in.labels[i]);
+      predictions.push_back(in.predictions[i]);
+      groups.push_back(in.groups[i]);
+    }
+    GroupedPredictions region;
+    region.labels = labels;
+    region.predictions = predictions;
+    region.groups = groups;
+    region.num_groups = in.num_groups;
+    Result<LossBreakdown> local = CombinedLoss(region, metric, lambda);
+    if (!local.ok()) return local.status();
+    const double weight =
+        static_cast<double>(bucket.size()) / static_cast<double>(n);
+    total.inaccuracy += weight * local.value().inaccuracy;
+    total.bias += weight * local.value().bias;
+    total.combined += weight * local.value().combined;
+  }
+  return total;
+}
+
+}  // namespace falcc

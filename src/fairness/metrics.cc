@@ -1,0 +1,185 @@
+#include "fairness/metrics.h"
+
+#include <cmath>
+
+#include "cluster/kdtree.h"
+
+namespace falcc {
+
+namespace {
+
+Status Validate(const GroupedPredictions& in) {
+  const size_t n = in.labels.size();
+  if (n == 0) return Status::InvalidArgument("metric: no samples");
+  if (in.predictions.size() != n || in.groups.size() != n) {
+    return Status::InvalidArgument("metric: input size mismatch");
+  }
+  if (in.num_groups == 0) {
+    return Status::InvalidArgument("metric: num_groups must be positive");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (in.groups[i] >= in.num_groups) {
+      return Status::InvalidArgument("metric: group id out of range");
+    }
+    if ((in.labels[i] != 0 && in.labels[i] != 1) ||
+        (in.predictions[i] != 0 && in.predictions[i] != 1)) {
+      return Status::InvalidArgument("metric: labels must be binary");
+    }
+  }
+  return Status::OK();
+}
+
+// Mean over groups of |rate_j − rate_overall| where rate is the positive-
+// prediction rate among samples with mask true. Groups with no masked
+// samples contribute 0 (they have no measurable rate).
+double MeanRateDeviation(const GroupedPredictions& in,
+                         const std::vector<bool>& mask) {
+  std::vector<double> group_pos(in.num_groups, 0.0);
+  std::vector<double> group_count(in.num_groups, 0.0);
+  double pos = 0.0, count = 0.0;
+  for (size_t i = 0; i < in.labels.size(); ++i) {
+    if (!mask[i]) continue;
+    ++count;
+    group_count[in.groups[i]] += 1.0;
+    if (in.predictions[i] == 1) {
+      ++pos;
+      group_pos[in.groups[i]] += 1.0;
+    }
+  }
+  if (count <= 0.0) return 0.0;
+  const double overall = pos / count;
+  double dev = 0.0;
+  for (size_t g = 0; g < in.num_groups; ++g) {
+    if (group_count[g] <= 0.0) continue;
+    dev += std::fabs(group_pos[g] / group_count[g] - overall);
+  }
+  return dev / static_cast<double>(in.num_groups);
+}
+
+}  // namespace
+
+std::string FairnessMetricName(FairnessMetric metric) {
+  switch (metric) {
+    case FairnessMetric::kDemographicParity:
+      return "dp";
+    case FairnessMetric::kEqualizedOdds:
+      return "eq_od";
+    case FairnessMetric::kEqualOpportunity:
+      return "eq_op";
+    case FairnessMetric::kTreatmentEquality:
+      return "tr_eq";
+  }
+  return "unknown";
+}
+
+Result<double> DemographicParity(const GroupedPredictions& in) {
+  FALCC_RETURN_IF_ERROR(Validate(in));
+  std::vector<bool> all(in.labels.size(), true);
+  return MeanRateDeviation(in, all);
+}
+
+Result<double> EqualizedOdds(const GroupedPredictions& in) {
+  FALCC_RETURN_IF_ERROR(Validate(in));
+  double total = 0.0;
+  for (int y = 0; y <= 1; ++y) {
+    std::vector<bool> mask(in.labels.size());
+    for (size_t i = 0; i < in.labels.size(); ++i) {
+      mask[i] = in.labels[i] == y;
+    }
+    total += MeanRateDeviation(in, mask);
+  }
+  return total / 2.0;
+}
+
+Result<double> EqualOpportunity(const GroupedPredictions& in) {
+  FALCC_RETURN_IF_ERROR(Validate(in));
+  std::vector<bool> mask(in.labels.size());
+  for (size_t i = 0; i < in.labels.size(); ++i) {
+    mask[i] = in.labels[i] == 1;
+  }
+  return MeanRateDeviation(in, mask);
+}
+
+Result<double> TreatmentEquality(const GroupedPredictions& in) {
+  FALCC_RETURN_IF_ERROR(Validate(in));
+  std::vector<double> fp(in.num_groups, 0.0), fn(in.num_groups, 0.0);
+  double fp_total = 0.0, fn_total = 0.0;
+  for (size_t i = 0; i < in.labels.size(); ++i) {
+    if (in.predictions[i] == 1 && in.labels[i] == 0) {
+      fp[in.groups[i]] += 1.0;
+      fp_total += 1.0;
+    } else if (in.predictions[i] == 0 && in.labels[i] == 1) {
+      fn[in.groups[i]] += 1.0;
+      fn_total += 1.0;
+    }
+  }
+  // With no errors at all, treatment is trivially equal.
+  if (fp_total + fn_total <= 0.0) return 0.0;
+  const double overall = fp_total / (fp_total + fn_total);
+  double dev = 0.0;
+  for (size_t g = 0; g < in.num_groups; ++g) {
+    const double denom = fp[g] + fn[g];
+    if (denom <= 0.0) continue;  // group has no errors: skip (no ratio)
+    dev += std::fabs(fp[g] / denom - overall);
+  }
+  return dev / static_cast<double>(in.num_groups);
+}
+
+Result<double> ComputeBias(FairnessMetric metric,
+                           const GroupedPredictions& in) {
+  switch (metric) {
+    case FairnessMetric::kDemographicParity:
+      return DemographicParity(in);
+    case FairnessMetric::kEqualizedOdds:
+      return EqualizedOdds(in);
+    case FairnessMetric::kEqualOpportunity:
+      return EqualOpportunity(in);
+    case FairnessMetric::kTreatmentEquality:
+      return TreatmentEquality(in);
+  }
+  return Status::InvalidArgument("unknown fairness metric");
+}
+
+Result<double> Consistency(std::span<const int> predictions,
+                           const std::vector<std::vector<size_t>>& neighbors) {
+  const size_t n = predictions.size();
+  if (n == 0) return Status::InvalidArgument("consistency: no samples");
+  if (neighbors.size() != n) {
+    return Status::InvalidArgument("consistency: neighbor list size mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (neighbors[i].empty()) continue;  // isolated sample: consistent
+    double mean = 0.0;
+    for (size_t j : neighbors[i]) {
+      if (j >= n) {
+        return Status::InvalidArgument("consistency: neighbor out of range");
+      }
+      mean += predictions[j];
+    }
+    mean /= static_cast<double>(neighbors[i].size());
+    total += std::fabs(static_cast<double>(predictions[i]) - mean);
+  }
+  return 1.0 - total / static_cast<double>(n);
+}
+
+Result<double> ConsistencyKnn(std::span<const int> predictions,
+                              const std::vector<std::vector<double>>& points,
+                              size_t k) {
+  if (points.size() != predictions.size()) {
+    return Status::InvalidArgument("consistency: points size mismatch");
+  }
+  Result<KdTree> tree = KdTree::Build(points);
+  if (!tree.ok()) return tree.status();
+  std::vector<std::vector<size_t>> neighbors(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    // k+1 because the query point itself is its own nearest neighbor.
+    std::vector<size_t> nn = tree.value().Nearest(points[i], k + 1);
+    for (size_t j : nn) {
+      if (j != i && neighbors[i].size() < k) neighbors[i].push_back(j);
+    }
+  }
+  return Consistency(predictions, neighbors);
+}
+
+}  // namespace falcc

@@ -1,0 +1,88 @@
+#include "fairness/proxy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace falcc {
+
+Result<std::vector<ProxyReport>> AnalyzeProxies(const Dataset& data,
+                                                const ProxyOptions& options) {
+  if (data.num_rows() < 3) {
+    return Status::InvalidArgument("proxy analysis needs >= 3 rows");
+  }
+  const std::vector<size_t>& sens = data.sensitive_features();
+  if (sens.empty()) {
+    return Status::InvalidArgument("proxy analysis needs sensitive features");
+  }
+  if (options.removal_threshold < 0.0 || options.removal_threshold > 1.0) {
+    return Status::InvalidArgument("removal_threshold must be in [0,1]");
+  }
+
+  std::vector<std::vector<double>> sens_cols;
+  sens_cols.reserve(sens.size());
+  for (size_t s : sens) sens_cols.push_back(data.Column(s));
+
+  std::vector<ProxyReport> reports;
+  for (size_t a = 0; a < data.num_features(); ++a) {
+    if (std::find(sens.begin(), sens.end(), a) != sens.end()) continue;
+    const std::vector<double> col = data.Column(a);
+    ProxyReport report;
+    report.column = a;
+    double weight_sum = 0.0;
+    double abs_sum = 0.0;
+    bool significant_strong = false;
+    for (const auto& s_col : sens_cols) {
+      const double r = PearsonCorrelation(s_col, col);
+      weight_sum += 1.0 - std::fabs(r);
+      abs_sum += std::fabs(r);
+      const double p = PearsonPValue(r, col.size());
+      if (std::fabs(r) > options.removal_threshold &&
+          p < options.significance) {
+        significant_strong = true;
+      }
+    }
+    report.weight = weight_sum / static_cast<double>(sens_cols.size());
+    report.mean_abs_correlation =
+        abs_sum / static_cast<double>(sens_cols.size());
+    report.removed = significant_strong;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+Result<ColumnTransform> BuildClusteringTransform(const Dataset& data,
+                                                 const ProxyOptions& options,
+                                                 ColumnTransform base) {
+  if (base.num_input_features() != data.num_features()) {
+    return Status::InvalidArgument(
+        "base transform width does not match dataset");
+  }
+  // Clustering never sees sensitive attributes.
+  base.DropColumns(data.sensitive_features());
+
+  if (options.strategy == ProxyMitigation::kNone) return base;
+
+  Result<std::vector<ProxyReport>> reports = AnalyzeProxies(data, options);
+  if (!reports.ok()) return reports.status();
+
+  if (options.strategy == ProxyMitigation::kReweigh) {
+    for (const ProxyReport& r : reports.value()) {
+      base.ScaleColumn(r.column, r.weight);
+    }
+    return base;
+  }
+
+  // kRemove: drop flagged proxies; keep everything else untouched.
+  for (const ProxyReport& r : reports.value()) {
+    if (r.removed) base.DropColumn(r.column);
+  }
+  if (base.num_output_features() == 0) {
+    return Status::FailedPrecondition(
+        "proxy removal dropped every clustering feature");
+  }
+  return base;
+}
+
+}  // namespace falcc

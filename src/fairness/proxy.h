@@ -1,0 +1,63 @@
+// Proxy-discrimination mitigation (paper §3.4).
+//
+// Both strategies rely on the Pearson correlation between each sensitive
+// attribute and every other attribute:
+//  * kReweigh — every non-sensitive attribute is scaled by
+//    weight(a, Sens) = (1/|Sens|) Σ_s (1 − |ρ(s, a)|)  (Eq. 1)
+//    before clustering, so strongly group-correlated (proxy) attributes
+//    contribute less to the distances that define local regions. The
+//    paper prints Eq. 1 with (1 − ρ); we use |ρ| so the stated codomain
+//    [0, 1] and the intended "stronger correlation ⇒ lower weight"
+//    semantics also hold for negative correlations.
+//  * kRemove — attributes with |ρ| > δ (default 0.5) at significance
+//    p < 0.05 (two-sided t-test) are dropped for clustering entirely.
+//
+// The models themselves always see the original attributes; only the
+// feature space used for local-region identification is altered.
+
+#ifndef FALCC_FAIRNESS_PROXY_H_
+#define FALCC_FAIRNESS_PROXY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/transforms.h"
+#include "util/status.h"
+
+namespace falcc {
+
+/// Mitigation strategy selector.
+enum class ProxyMitigation { kNone, kReweigh, kRemove };
+
+/// Correlation diagnostics of one non-sensitive attribute.
+struct ProxyReport {
+  size_t column = 0;
+  double mean_abs_correlation = 0.0;  ///< mean |ρ| over sensitive attrs
+  double weight = 1.0;                ///< Eq. 1 reweighing factor
+  bool removed = false;               ///< flagged by the removal strategy
+};
+
+/// Options for proxy analysis.
+struct ProxyOptions {
+  ProxyMitigation strategy = ProxyMitigation::kNone;
+  double removal_threshold = 0.5;  ///< δ on |ρ|
+  double significance = 0.05;      ///< p-value bound for removal
+};
+
+/// Analyzes every non-sensitive attribute of `data` against the sensitive
+/// attributes. The report always carries weights and removal flags for
+/// both strategies so callers can inspect either.
+Result<std::vector<ProxyReport>> AnalyzeProxies(const Dataset& data,
+                                                const ProxyOptions& options);
+
+/// Builds the clustering-space transform implementing `options.strategy`
+/// on top of `base` (typically a standardizing transform fitted on the
+/// validation data). Sensitive columns are always dropped — clustering
+/// operates on Π_{R∖Sens} (paper §3.5) regardless of strategy.
+Result<ColumnTransform> BuildClusteringTransform(const Dataset& data,
+                                                 const ProxyOptions& options,
+                                                 ColumnTransform base);
+
+}  // namespace falcc
+
+#endif  // FALCC_FAIRNESS_PROXY_H_

@@ -1,0 +1,138 @@
+#include "ml/adaboost.h"
+
+#include <cmath>
+
+#include "util/math.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+Status AdaBoost::Fit(const Dataset& data,
+                     std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("AdaBoost: empty training data");
+  }
+  if (options_.num_estimators == 0) {
+    return Status::InvalidArgument("AdaBoost: num_estimators must be > 0");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+  std::vector<double> weights;
+  if (sample_weights.empty()) {
+    weights.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    weights.assign(sample_weights.begin(), sample_weights.end());
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    for (double& w : weights) w /= sum;
+  }
+
+  trees_.clear();
+  alphas_.clear();
+  std::vector<int> predictions(n);
+
+  for (size_t t = 0; t < options_.num_estimators; ++t) {
+    DecisionTreeOptions base = options_.base;
+    base.seed = options_.base.seed + t;  // vary RF-style subsampling streams
+    DecisionTree tree(base);
+    FALCC_RETURN_IF_ERROR(tree.Fit(data, weights));
+
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      predictions[i] = tree.Predict(data.Row(i));
+      if (predictions[i] != data.Label(i)) err += weights[i];
+    }
+
+    if (err >= 0.5) {
+      // Weak learner no better than chance: stop, but make sure the
+      // ensemble is non-empty.
+      if (trees_.empty()) {
+        trees_.push_back(std::move(tree));
+        alphas_.push_back(1.0);
+      }
+      break;
+    }
+
+    // Cap near-zero error so alpha stays finite.
+    const double eps = std::max(err, 1e-10);
+    const double alpha =
+        options_.learning_rate * std::log((1.0 - eps) / eps);
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+
+    if (err <= 0.0) break;  // perfect fit: further rounds are no-ops
+
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (predictions[i] != data.Label(i)) {
+        weights[i] *= std::exp(alpha);
+      }
+      sum += weights[i];
+    }
+    for (double& w : weights) w /= sum;
+  }
+
+  return Status::OK();
+}
+
+double AdaBoost::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!trees_.empty(), "AdaBoost::PredictProba before Fit");
+  double margin = 0.0;  // Σ alpha_t * (2 h_t - 1), normalized below
+  double alpha_sum = 0.0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const int h = trees_[t].Predict(features);
+    margin += alphas_[t] * (h == 1 ? 1.0 : -1.0);
+    alpha_sum += std::fabs(alphas_[t]);
+  }
+  if (alpha_sum <= 0.0) return 0.5;
+  // Map the normalized margin in [-1, 1] to a probability in [0, 1].
+  return 0.5 * (margin / alpha_sum + 1.0);
+}
+
+std::unique_ptr<Classifier> AdaBoost::Clone() const {
+  return std::make_unique<AdaBoost>(*this);
+}
+
+Status AdaBoost::SerializePayload(std::ostream* out) const {
+  io::PrepareStream(out);
+  *out << options_.num_estimators << ' ' << options_.learning_rate << '\n';
+  io::WriteVector(out, alphas_);
+  *out << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) {
+    FALCC_RETURN_IF_ERROR(tree.SerializePayload(out));
+  }
+  if (!*out) return Status::IOError("AdaBoost serialization failed");
+  return Status::OK();
+}
+
+Result<AdaBoost> AdaBoost::DeserializePayload(std::istream* in) {
+  AdaBoostOptions opt;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &opt.num_estimators));
+  FALCC_RETURN_IF_ERROR(io::Read(in, &opt.learning_rate));
+  AdaBoost model(opt);
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.alphas_));
+  size_t num_trees = 0;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &num_trees));
+  if (num_trees != model.alphas_.size()) {
+    return Status::InvalidArgument("AdaBoost: alpha/tree count mismatch");
+  }
+  model.trees_.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    Result<DecisionTree> tree = DecisionTree::DeserializePayload(in);
+    if (!tree.ok()) return tree.status();
+    model.trees_.push_back(std::move(tree).value());
+  }
+  return model;
+}
+
+std::string AdaBoost::Name() const {
+  std::string name = "AdaBoost(T=" + std::to_string(options_.num_estimators);
+  name += ",depth=" + std::to_string(options_.base.max_depth);
+  name +=
+      options_.base.criterion == SplitCriterion::kGini ? ",gini" : ",entropy";
+  name += ")";
+  return name;
+}
+
+}  // namespace falcc

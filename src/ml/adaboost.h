@@ -1,0 +1,50 @@
+// AdaBoost (discrete SAMME) over decision-tree base estimators.
+//
+// The default trainer of FALCC's diverse-model-training component
+// (paper §3.3): boosting is the paper's preferred way to induce a diverse
+// pool of classifiers, with the grid search of ml/grid_search.h sweeping
+// the number of estimators, tree depth, and split criterion.
+
+#ifndef FALCC_ML_ADABOOST_H_
+#define FALCC_ML_ADABOOST_H_
+
+#include "ml/decision_tree.h"
+
+namespace falcc {
+
+/// AdaBoost hyperparameters. Paper grid: num_estimators ∈ {5, 20},
+/// tree depth ∈ {1, 7}, criterion ∈ {gini, entropy}.
+struct AdaBoostOptions {
+  size_t num_estimators = 20;
+  DecisionTreeOptions base;
+  double learning_rate = 1.0;
+};
+
+/// Boosted ensemble of weighted decision trees (binary SAMME).
+class AdaBoost final : public Classifier {
+ public:
+  explicit AdaBoost(const AdaBoostOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+  std::string TypeTag() const override { return "adaboost"; }
+  Status SerializePayload(std::ostream* out) const override;
+  static Result<AdaBoost> DeserializePayload(std::istream* in);
+
+  /// Number of estimators actually fitted (early stop on perfect fit).
+  size_t num_fitted() const { return trees_.size(); }
+
+ private:
+  AdaBoostOptions options_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_ML_ADABOOST_H_

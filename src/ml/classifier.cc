@@ -1,0 +1,45 @@
+#include "ml/classifier.h"
+
+#include <ostream>
+
+namespace falcc {
+
+Status Classifier::SerializePayload(std::ostream* /*out*/) const {
+  return Status::FailedPrecondition("serialization not supported for " +
+                                    Name());
+}
+
+std::vector<int> PredictAll(const Classifier& model, const Dataset& data) {
+  std::vector<int> out(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out[i] = model.Predict(data.Row(i));
+  }
+  return out;
+}
+
+double Accuracy(const Classifier& model, const Dataset& data) {
+  if (data.num_rows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    if (model.Predict(data.Row(i)) == data.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+Status ValidateWeights(const Dataset& data, std::span<const double> weights) {
+  if (weights.empty()) return Status::OK();
+  if (weights.size() != data.num_rows()) {
+    return Status::InvalidArgument("sample_weights size != num_rows");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative sample weight");
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("sample weights sum to zero");
+  }
+  return Status::OK();
+}
+
+}  // namespace falcc

@@ -1,0 +1,76 @@
+// CART-style decision tree for binary classification.
+//
+// The base estimator of the diverse-model-training component (paper §3.3,
+// which boosts decision trees with AdaBoost) and of the Random Forest
+// alternative. Supports weighted samples, gini/entropy split criteria,
+// depth and leaf-size limits, and per-node random feature subsampling
+// (used by Random Forest).
+
+#ifndef FALCC_ML_DECISION_TREE_H_
+#define FALCC_ML_DECISION_TREE_H_
+
+#include <cstdint>
+
+#include "ml/classifier.h"
+
+namespace falcc {
+
+/// Split quality criterion (the paper's grid searches over both).
+enum class SplitCriterion { kGini, kEntropy };
+
+/// Decision-tree hyperparameters.
+struct DecisionTreeOptions {
+  size_t max_depth = 7;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  SplitCriterion criterion = SplitCriterion::kGini;
+  /// Features considered per split: 0 = all, otherwise a random subset of
+  /// this size (Random Forest mode).
+  size_t max_features = 0;
+  uint64_t seed = 1;
+};
+
+/// Weighted CART decision tree.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(const DecisionTreeOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+  std::string TypeTag() const override { return "decision_tree"; }
+  Status SerializePayload(std::ostream* out) const override;
+  static Result<DecisionTree> DeserializePayload(std::istream* in);
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Depth of the fitted tree (0 = single leaf).
+  size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    double proba = 0.5;  // P(y=1) at this node (weighted)
+  };
+
+  // Builds the subtree over rows [begin, end) of indices_; returns node id.
+  int BuildNode(const Dataset& data, std::span<const double> weights,
+                size_t begin, size_t end, size_t depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<size_t> indices_;  // scratch during build
+  size_t depth_ = 0;
+  uint64_t rng_state_ = 0;  // feature-subsampling stream during build
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_ML_DECISION_TREE_H_

@@ -1,0 +1,163 @@
+#include "ml/grid_search.h"
+
+#include <algorithm>
+
+#include "fairness/diversity.h"
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/knn_classifier.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace falcc {
+
+namespace {
+
+std::unique_ptr<Classifier> MakeCandidate(TrainerFamily family,
+                                          size_t estimators, size_t depth,
+                                          SplitCriterion criterion,
+                                          uint64_t seed) {
+  DecisionTreeOptions base;
+  base.max_depth = depth;
+  base.criterion = criterion;
+  base.seed = seed;
+  if (family == TrainerFamily::kAdaBoost) {
+    AdaBoostOptions opt;
+    opt.num_estimators = estimators;
+    opt.base = base;
+    return std::make_unique<AdaBoost>(opt);
+  }
+  RandomForestOptions opt;
+  opt.num_trees = estimators;
+  opt.base = base;
+  opt.seed = seed;
+  return std::make_unique<RandomForest>(opt);
+}
+
+}  // namespace
+
+Result<DiversePool> TrainDiversePool(const Dataset& train,
+                                     const Dataset& validation,
+                                     const DiverseTrainerOptions& options) {
+  if (options.pool_size == 0) {
+    return Status::InvalidArgument("pool_size must be positive");
+  }
+  std::vector<SplitCriterion> criteria;
+  if (options.try_gini) criteria.push_back(SplitCriterion::kGini);
+  if (options.try_entropy) criteria.push_back(SplitCriterion::kEntropy);
+  if (criteria.empty() || options.estimator_grid.empty() ||
+      options.depth_grid.empty()) {
+    return Status::InvalidArgument("hyperparameter grid is empty");
+  }
+  if (validation.num_rows() == 0) {
+    return Status::InvalidArgument("validation data is empty");
+  }
+
+  // Train every grid configuration and collect validation votes.
+  std::vector<std::unique_ptr<Classifier>> candidates;
+  std::vector<std::vector<int>> votes;
+  std::vector<double> accuracies;
+  uint64_t seed = options.seed;
+  for (size_t estimators : options.estimator_grid) {
+    for (size_t depth : options.depth_grid) {
+      for (SplitCriterion criterion : criteria) {
+        std::unique_ptr<Classifier> model = MakeCandidate(
+            options.family, estimators, depth, criterion, seed++);
+        FALCC_RETURN_IF_ERROR(model->Fit(train));
+        votes.push_back(PredictAll(*model, validation));
+        accuracies.push_back(Accuracy(*model, validation));
+        candidates.push_back(std::move(model));
+      }
+    }
+  }
+
+  // Greedy forward selection maximizing pool entropy, seeded with the
+  // most accurate candidate (quality anchor, then diversify around it).
+  // Candidates far below the anchor's accuracy are excluded up front.
+  const size_t target =
+      std::min(options.pool_size, candidates.size());
+  std::vector<size_t> selected;
+  std::vector<bool> used(candidates.size(), false);
+  {
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (accuracies[i] > accuracies[best]) best = i;
+    }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (accuracies[i] + options.accuracy_tolerance < accuracies[best]) {
+        used[i] = true;  // pruned: never selected
+      }
+    }
+    selected.push_back(best);
+    used[best] = true;
+  }
+  while (selected.size() < target) {
+    double best_entropy = -1.0;
+    size_t best_idx = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<std::vector<int>> trial;
+      trial.reserve(selected.size() + 1);
+      for (size_t s : selected) trial.push_back(votes[s]);
+      trial.push_back(votes[i]);
+      Result<double> entropy = EnsembleEntropy(trial);
+      if (!entropy.ok()) return entropy.status();
+      // Ties broken toward higher accuracy.
+      if (entropy.value() > best_entropy + 1e-12 ||
+          (entropy.value() > best_entropy - 1e-12 &&
+           best_idx < candidates.size() &&
+           accuracies[i] > accuracies[best_idx])) {
+        best_entropy = entropy.value();
+        best_idx = i;
+      }
+    }
+    if (best_idx >= candidates.size()) break;
+    selected.push_back(best_idx);
+    used[best_idx] = true;
+  }
+
+  // Pruned candidates are never backfilled: a pool smaller than
+  // pool_size made of competent models beats a full pool padded with
+  // weak ones (the per-cluster assessment would otherwise trade real
+  // accuracy for validation-noise fairness).
+
+  DiversePool pool;
+  std::vector<std::vector<int>> selected_votes;
+  for (size_t s : selected) {
+    pool.models.push_back(std::move(candidates[s]));
+    selected_votes.push_back(std::move(votes[s]));
+  }
+  Result<double> entropy = EnsembleEntropy(selected_votes);
+  if (!entropy.ok()) return entropy.status();
+  pool.entropy = entropy.value();
+  return pool;
+}
+
+Result<std::vector<std::unique_ptr<Classifier>>> TrainStandardPool(
+    const Dataset& train, uint64_t seed) {
+  std::vector<std::unique_ptr<Classifier>> pool;
+
+  DecisionTreeOptions dt1;
+  dt1.max_depth = 7;
+  dt1.criterion = SplitCriterion::kGini;
+  dt1.seed = seed;
+  pool.push_back(std::make_unique<DecisionTree>(dt1));
+
+  DecisionTreeOptions dt2;
+  dt2.max_depth = 4;
+  dt2.criterion = SplitCriterion::kEntropy;
+  dt2.seed = seed + 1;
+  pool.push_back(std::make_unique<DecisionTree>(dt2));
+
+  pool.push_back(std::make_unique<LogisticRegression>());
+  pool.push_back(std::make_unique<GaussianNaiveBayes>());
+  pool.push_back(std::make_unique<KnnClassifier>());
+
+  for (auto& model : pool) {
+    FALCC_RETURN_IF_ERROR(model->Fit(train));
+  }
+  return pool;
+}
+
+}  // namespace falcc

@@ -1,0 +1,121 @@
+#include "ml/knn_classifier.h"
+
+#include "util/math.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+KnnClassifier::KnnClassifier(const KnnClassifier& other) = default;
+KnnClassifier& KnnClassifier::operator=(const KnnClassifier& other) = default;
+
+Status KnnClassifier::Fit(const Dataset& data,
+                          std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("kNN: empty training data");
+  }
+  if (options_.k == 0) {
+    return Status::InvalidArgument("kNN: k must be positive");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t d = data.num_features();
+  offsets_.assign(d, 0.0);
+  scales_.assign(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    const std::vector<double> col = data.Column(j);
+    offsets_[j] = Mean(col);
+    const double sd = StdDev(col);
+    scales_[j] = sd > 0.0 ? 1.0 / sd : 1.0;
+  }
+
+  std::vector<std::vector<double>> points;
+  points.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    points.push_back(Standardize(data.Row(i)));
+  }
+  Result<KdTree> tree = KdTree::Build(std::move(points));
+  if (!tree.ok()) return tree.status();
+  tree_ = std::move(tree).value();
+
+  labels_ = data.labels();
+  if (sample_weights.empty()) {
+    vote_weights_.assign(data.num_rows(), 1.0);
+  } else {
+    vote_weights_.assign(sample_weights.begin(), sample_weights.end());
+  }
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::Standardize(
+    std::span<const double> features) const {
+  std::vector<double> out(features.size());
+  for (size_t j = 0; j < features.size(); ++j) {
+    out[j] = (features[j] - offsets_[j]) * scales_[j];
+  }
+  return out;
+}
+
+double KnnClassifier::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(tree_.has_value(), "kNN::PredictProba before Fit");
+  const std::vector<double> q = Standardize(features);
+  const std::vector<size_t> nn = tree_->Nearest(q, options_.k);
+  double pos = 0.0, total = 0.0;
+  for (size_t idx : nn) {
+    total += vote_weights_[idx];
+    if (labels_[idx] == 1) pos += vote_weights_[idx];
+  }
+  return total > 0.0 ? pos / total : 0.5;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::Clone() const {
+  return std::make_unique<KnnClassifier>(*this);
+}
+
+Status KnnClassifier::SerializePayload(std::ostream* out) const {
+  if (!tree_.has_value()) {
+    return Status::FailedPrecondition("kNN: serialize before Fit");
+  }
+  io::PrepareStream(out);
+  *out << options_.k << '\n';
+  io::WriteVector(out, offsets_);
+  io::WriteVector(out, scales_);
+  io::WriteVector(out, labels_);
+  io::WriteVector(out, vote_weights_);
+  const auto& points = tree_->points();
+  *out << points.size() << ' ' << tree_->dimensions() << '\n';
+  for (const auto& p : points) {
+    for (size_t j = 0; j < p.size(); ++j) {
+      *out << (j > 0 ? " " : "") << p[j];
+    }
+    *out << '\n';
+  }
+  if (!*out) return Status::IOError("kNN serialization failed");
+  return Status::OK();
+}
+
+Result<KnnClassifier> KnnClassifier::DeserializePayload(std::istream* in) {
+  KnnClassifierOptions opt;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &opt.k));
+  KnnClassifier model(opt);
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.offsets_));
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.scales_));
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.labels_));
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.vote_weights_));
+  size_t n = 0, d = 0;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &n));
+  FALCC_RETURN_IF_ERROR(io::Read(in, &d));
+  if (n != model.labels_.size() || n != model.vote_weights_.size() ||
+      d != model.offsets_.size() || n > 100000000) {
+    return Status::InvalidArgument("kNN: inconsistent serialized sizes");
+  }
+  std::vector<std::vector<double>> points(n, std::vector<double>(d));
+  for (auto& p : points) {
+    for (double& v : p) FALCC_RETURN_IF_ERROR(io::Read(in, &v));
+  }
+  Result<KdTree> tree = KdTree::Build(std::move(points));
+  if (!tree.ok()) return tree.status();
+  model.tree_ = std::move(tree).value();
+  return model;
+}
+
+}  // namespace falcc

@@ -1,0 +1,55 @@
+// k-nearest-neighbor classifier backed by the kd-tree index.
+// Completes the pool of standard classifiers for Decouple/FALCES.
+// Sample weights enter as vote weights of the retrieved neighbors.
+
+#ifndef FALCC_ML_KNN_CLASSIFIER_H_
+#define FALCC_ML_KNN_CLASSIFIER_H_
+
+#include <optional>
+
+#include "cluster/kdtree.h"
+#include "ml/classifier.h"
+
+namespace falcc {
+
+/// kNN hyperparameters.
+struct KnnClassifierOptions {
+  size_t k = 15;
+};
+
+/// Majority vote over the k nearest training samples (standardized
+/// feature space).
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(const KnnClassifierOptions& options = {})
+      : options_(options) {}
+
+  KnnClassifier(const KnnClassifier& other);
+  KnnClassifier& operator=(const KnnClassifier& other);
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override {
+    return "kNN(k=" + std::to_string(options_.k) + ")";
+  }
+  std::string TypeTag() const override { return "knn"; }
+  Status SerializePayload(std::ostream* out) const override;
+  static Result<KnnClassifier> DeserializePayload(std::istream* in);
+
+ private:
+  std::vector<double> Standardize(std::span<const double> features) const;
+
+  KnnClassifierOptions options_;
+  std::optional<KdTree> tree_;
+  std::vector<int> labels_;
+  std::vector<double> vote_weights_;
+  std::vector<double> offsets_;
+  std::vector<double> scales_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_ML_KNN_CLASSIFIER_H_

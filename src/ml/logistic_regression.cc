@@ -1,0 +1,123 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/math.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+Status LogisticRegression::Fit(const Dataset& data,
+                               std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("LogisticRegression: empty training data");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+  const size_t d = data.num_features();
+
+  // Standardize features for a scale-robust fixed step size.
+  offsets_.assign(d, 0.0);
+  scales_.assign(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    const std::vector<double> col = data.Column(j);
+    offsets_[j] = Mean(col);
+    const double sd = StdDev(col);
+    scales_[j] = sd > 0.0 ? 1.0 / sd : 1.0;
+  }
+
+  std::vector<double> weights(n, 1.0);
+  if (!sample_weights.empty()) {
+    weights.assign(sample_weights.begin(), sample_weights.end());
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  // Pre-standardize the design matrix once.
+  std::vector<double> x(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      x[i * d + j] = (row[j] - offsets_[j]) * scales_[j];
+    }
+  }
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(d);
+  double prev_loss = 1e300;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * x[i * d + j];
+      const double p = Sigmoid(z);
+      const double y = static_cast<double>(data.Label(i));
+      const double err = (p - y) * weights[i] / weight_sum;
+      for (size_t j = 0; j < d; ++j) grad[j] += err * x[i * d + j];
+      grad_b += err;
+      // Cross-entropy (clipped for numerical safety).
+      const double pc = Clamp(p, 1e-12, 1.0 - 1e-12);
+      loss -= weights[i] / weight_sum *
+              (y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc));
+    }
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] += options_.l2 * weights_[j];
+      loss += 0.5 * options_.l2 * weights_[j] * weights_[j];
+      weights_[j] -= options_.learning_rate * grad[j];
+    }
+    bias_ -= options_.learning_rate * grad_b;
+
+    if (prev_loss - loss < options_.tolerance) break;
+    prev_loss = loss;
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(
+    std::span<const double> features) const {
+  FALCC_CHECK(!weights_.empty(), "LogisticRegression::PredictProba before Fit");
+  FALCC_CHECK(features.size() == weights_.size(),
+              "LogisticRegression: feature width mismatch");
+  double z = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    z += weights_[j] * (features[j] - offsets_[j]) * scales_[j];
+  }
+  return Sigmoid(z);
+}
+
+std::unique_ptr<Classifier> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(*this);
+}
+
+Status LogisticRegression::SerializePayload(std::ostream* out) const {
+  io::PrepareStream(out);
+  *out << bias_ << '\n';
+  io::WriteVector(out, weights_);
+  io::WriteVector(out, offsets_);
+  io::WriteVector(out, scales_);
+  if (!*out) {
+    return Status::IOError("LogisticRegression serialization failed");
+  }
+  return Status::OK();
+}
+
+Result<LogisticRegression> LogisticRegression::DeserializePayload(
+    std::istream* in) {
+  LogisticRegression model;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &model.bias_));
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.weights_));
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.offsets_));
+  FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.scales_));
+  if (model.offsets_.size() != model.weights_.size() ||
+      model.scales_.size() != model.weights_.size()) {
+    return Status::InvalidArgument("LogisticRegression: width mismatch");
+  }
+  return model;
+}
+
+}  // namespace falcc

@@ -1,0 +1,54 @@
+// L2-regularized logistic regression trained by gradient descent.
+//
+// One of the "standard classifiers" used by the Decouple and FALCES
+// baselines (the paper trains five off-the-shelf scikit-learn models for
+// them), and the downstream learner applied on top of the representation
+// baselines (LFR, iFair, Fair-SMOTE).
+
+#ifndef FALCC_ML_LOGISTIC_REGRESSION_H_
+#define FALCC_ML_LOGISTIC_REGRESSION_H_
+
+#include "ml/classifier.h"
+
+namespace falcc {
+
+/// Logistic-regression hyperparameters.
+struct LogisticRegressionOptions {
+  size_t max_iterations = 200;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  double tolerance = 1e-7;  ///< stop when the loss improves less than this
+};
+
+/// Linear model P(y=1|x) = sigmoid(w·x̃ + b) over internally standardized
+/// features (standardization makes the fixed learning rate robust across
+/// datasets with very different scales).
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(const LogisticRegressionOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "LogisticRegression"; }
+  std::string TypeTag() const override { return "logistic_regression"; }
+  Status SerializePayload(std::ostream* out) const override;
+  static Result<LogisticRegression> DeserializePayload(std::istream* in);
+
+  /// Fitted coefficients in the standardized space (empty before Fit).
+  const std::vector<double>& coefficients() const { return weights_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> offsets_;  // per-feature standardization
+  std::vector<double> scales_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,119 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/math.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+Status GaussianNaiveBayes::Fit(const Dataset& data,
+                               std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("GaussianNB: empty training data");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+  const size_t d = data.num_features();
+  std::vector<double> w(n, 1.0);
+  if (!sample_weights.empty()) w.assign(sample_weights.begin(),
+                                        sample_weights.end());
+
+  double class_weight[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    means_[c].assign(d, 0.0);
+    vars_[c].assign(d, 0.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int c = data.Label(i);
+    class_weight[c] += w[i];
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) means_[c][j] += w[i] * row[j];
+  }
+  const double total = class_weight[0] + class_weight[1];
+  // Laplace-style prior smoothing so an absent class never has -inf prior.
+  log_prior_[0] = std::log((class_weight[0] + 1.0) / (total + 2.0));
+  log_prior_[1] = std::log((class_weight[1] + 1.0) / (total + 2.0));
+
+  for (int c = 0; c < 2; ++c) {
+    if (class_weight[c] <= 0.0) {
+      // Class absent: neutral likelihood (prior dominates).
+      means_[c].assign(d, 0.0);
+      vars_[c].assign(d, 1.0);
+      continue;
+    }
+    for (size_t j = 0; j < d; ++j) means_[c][j] /= class_weight[c];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int c = data.Label(i);
+    if (class_weight[c] <= 0.0) continue;
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - means_[c][j];
+      vars_[c][j] += w[i] * diff * diff;
+    }
+  }
+  constexpr double kVarSmoothing = 1e-9;
+  for (int c = 0; c < 2; ++c) {
+    if (class_weight[c] <= 0.0) continue;
+    for (size_t j = 0; j < d; ++j) {
+      vars_[c][j] = vars_[c][j] / class_weight[c] + kVarSmoothing;
+    }
+  }
+  return Status::OK();
+}
+
+double GaussianNaiveBayes::PredictProba(
+    std::span<const double> features) const {
+  FALCC_CHECK(!means_[0].empty(), "GaussianNB::PredictProba before Fit");
+  FALCC_CHECK(features.size() == means_[0].size(),
+              "GaussianNB: feature width mismatch");
+  double log_like[2];
+  for (int c = 0; c < 2; ++c) {
+    double acc = log_prior_[c];
+    for (size_t j = 0; j < features.size(); ++j) {
+      const double diff = features[j] - means_[c][j];
+      acc += -0.5 * std::log(2.0 * M_PI * vars_[c][j]) -
+             diff * diff / (2.0 * vars_[c][j]);
+    }
+    log_like[c] = acc;
+  }
+  // P(1) = 1 / (1 + exp(ll0 - ll1)), computed stably.
+  return Sigmoid(log_like[1] - log_like[0]);
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::Clone() const {
+  return std::make_unique<GaussianNaiveBayes>(*this);
+}
+
+Status GaussianNaiveBayes::SerializePayload(std::ostream* out) const {
+  io::PrepareStream(out);
+  *out << log_prior_[0] << ' ' << log_prior_[1] << '\n';
+  for (int c = 0; c < 2; ++c) {
+    io::WriteVector(out, means_[c]);
+    io::WriteVector(out, vars_[c]);
+  }
+  if (!*out) return Status::IOError("GaussianNB serialization failed");
+  return Status::OK();
+}
+
+Result<GaussianNaiveBayes> GaussianNaiveBayes::DeserializePayload(
+    std::istream* in) {
+  GaussianNaiveBayes model;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &model.log_prior_[0]));
+  FALCC_RETURN_IF_ERROR(io::Read(in, &model.log_prior_[1]));
+  for (int c = 0; c < 2; ++c) {
+    FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.means_[c]));
+    FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.vars_[c]));
+    if (model.vars_[c].size() != model.means_[c].size()) {
+      return Status::InvalidArgument("GaussianNB: width mismatch");
+    }
+  }
+  if (model.means_[0].size() != model.means_[1].size()) {
+    return Status::InvalidArgument("GaussianNB: class width mismatch");
+  }
+  return model;
+}
+
+}  // namespace falcc

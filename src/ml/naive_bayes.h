@@ -1,0 +1,37 @@
+// Gaussian naive Bayes. Another of the standard classifiers for the
+// Decouple/FALCES pools; also the model family of Calders & Verwer's
+// classic fair-ensemble work the paper discusses.
+
+#ifndef FALCC_ML_NAIVE_BAYES_H_
+#define FALCC_ML_NAIVE_BAYES_H_
+
+#include "ml/classifier.h"
+
+namespace falcc {
+
+/// Gaussian naive Bayes with weighted sufficient statistics and variance
+/// smoothing.
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  GaussianNaiveBayes() = default;
+
+  Status Fit(const Dataset& data,
+             std::span<const double> sample_weights) override;
+  using Classifier::Fit;
+  double PredictProba(std::span<const double> features) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "GaussianNB"; }
+  std::string TypeTag() const override { return "gaussian_nb"; }
+  Status SerializePayload(std::ostream* out) const override;
+  static Result<GaussianNaiveBayes> DeserializePayload(std::istream* in);
+
+ private:
+  // Per class c in {0,1}: log prior and per-feature mean/variance.
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> means_[2];
+  std::vector<double> vars_[2];
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_ML_NAIVE_BAYES_H_

@@ -1,0 +1,117 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+Status RandomForest::Fit(const Dataset& data,
+                         std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("RandomForest: empty training data");
+  }
+  if (options_.num_trees == 0) {
+    return Status::InvalidArgument("RandomForest: num_trees must be > 0");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+
+  const size_t max_features =
+      options_.max_features > 0
+          ? options_.max_features
+          : static_cast<size_t>(
+                std::max(1.0, std::floor(std::sqrt(
+                                  static_cast<double>(data.num_features())))));
+
+  // Bootstrap resampling implemented via multiplicity weights, composed
+  // with any caller-provided weights.
+  std::vector<double> boot_weights(n);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::fill(boot_weights.begin(), boot_weights.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      boot_weights[rng.UniformInt(n)] += 1.0;
+    }
+    if (!sample_weights.empty()) {
+      for (size_t i = 0; i < n; ++i) boot_weights[i] *= sample_weights[i];
+    }
+    double sum = 0.0;
+    for (double w : boot_weights) sum += w;
+    if (sum <= 0.0) {
+      // Degenerate draw (possible with sparse caller weights): fall back
+      // to the caller weights / uniform.
+      for (size_t i = 0; i < n; ++i) {
+        boot_weights[i] = sample_weights.empty() ? 1.0 : sample_weights[i];
+      }
+    }
+
+    DecisionTreeOptions base = options_.base;
+    base.max_features = max_features;
+    base.seed = rng.Next();
+    DecisionTree tree(base);
+    FALCC_RETURN_IF_ERROR(tree.Fit(data, boot_weights));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(std::span<const double> features) const {
+  FALCC_CHECK(!trees_.empty(), "RandomForest::PredictProba before Fit");
+  double votes = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    votes += tree.Predict(features);
+  }
+  return votes / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Classifier> RandomForest::Clone() const {
+  return std::make_unique<RandomForest>(*this);
+}
+
+Status RandomForest::SerializePayload(std::ostream* out) const {
+  io::PrepareStream(out);
+  *out << options_.num_trees << ' ' << options_.max_features << ' '
+       << options_.seed << '\n';
+  *out << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) {
+    FALCC_RETURN_IF_ERROR(tree.SerializePayload(out));
+  }
+  if (!*out) return Status::IOError("RandomForest serialization failed");
+  return Status::OK();
+}
+
+Result<RandomForest> RandomForest::DeserializePayload(std::istream* in) {
+  RandomForestOptions opt;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &opt.num_trees));
+  FALCC_RETURN_IF_ERROR(io::Read(in, &opt.max_features));
+  FALCC_RETURN_IF_ERROR(io::Read(in, &opt.seed));
+  RandomForest model(opt);
+  size_t num_trees = 0;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &num_trees));
+  if (num_trees == 0 || num_trees > 1000000) {
+    return Status::InvalidArgument("RandomForest: implausible tree count");
+  }
+  model.trees_.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    Result<DecisionTree> tree = DecisionTree::DeserializePayload(in);
+    if (!tree.ok()) return tree.status();
+    model.trees_.push_back(std::move(tree).value());
+  }
+  return model;
+}
+
+std::string RandomForest::Name() const {
+  std::string name = "RandomForest(B=" + std::to_string(options_.num_trees);
+  name += ",depth=" + std::to_string(options_.base.max_depth);
+  name +=
+      options_.base.criterion == SplitCriterion::kGini ? ",gini" : ",entropy";
+  name += ")";
+  return name;
+}
+
+}  // namespace falcc

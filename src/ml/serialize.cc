@@ -1,0 +1,51 @@
+#include "ml/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/knn_classifier.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "util/serialize.h"
+
+namespace falcc {
+
+Status SerializeClassifier(const Classifier& model, std::ostream* out) {
+  const std::string tag = model.TypeTag();
+  if (tag.empty()) {
+    return Status::FailedPrecondition("serialization not supported for " +
+                                      model.Name());
+  }
+  *out << tag << '\n';
+  return model.SerializePayload(out);
+}
+
+namespace {
+
+template <typename T>
+Result<std::unique_ptr<Classifier>> Load(std::istream* in) {
+  Result<T> model = T::DeserializePayload(in);
+  if (!model.ok()) return model.status();
+  return std::unique_ptr<Classifier>(
+      std::make_unique<T>(std::move(model).value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Classifier>> DeserializeClassifier(std::istream* in) {
+  std::string tag;
+  FALCC_RETURN_IF_ERROR(io::Read(in, &tag));
+  if (tag == "decision_tree") return Load<DecisionTree>(in);
+  if (tag == "adaboost") return Load<AdaBoost>(in);
+  if (tag == "random_forest") return Load<RandomForest>(in);
+  if (tag == "logistic_regression") return Load<LogisticRegression>(in);
+  if (tag == "gaussian_nb") return Load<GaussianNaiveBayes>(in);
+  if (tag == "knn") return Load<KnnClassifier>(in);
+  return Status::InvalidArgument("unknown classifier type tag '" + tag +
+                                 "'");
+}
+
+}  // namespace falcc

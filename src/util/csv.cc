@@ -1,0 +1,117 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace falcc {
+
+namespace {
+
+// Splits one CSV line honoring double quotes ("" escapes a quote).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  CsvTable table;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (table.header.empty()) {
+      table.header = std::move(fields);
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(table.header.size()));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(f.c_str(), &end);
+      if (end == f.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": non-numeric cell '" + f + "'");
+      }
+      row.push_back(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  if (table.header.empty()) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string ToCsv(const CsvTable& table) {
+  std::ostringstream out;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ToCsv(table);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace falcc

@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing for numeric tables with a header row.
+// Supports quoted fields on input; output writes plain numeric cells.
+
+#ifndef FALCC_UTIL_CSV_H_
+#define FALCC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace falcc {
+
+/// A parsed CSV file: one header row plus numeric data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return header.size(); }
+};
+
+/// Parses CSV text (first line = header, remaining lines numeric).
+/// Fails with InvalidArgument on ragged rows or non-numeric cells.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table to CSV text.
+std::string ToCsv(const CsvTable& table);
+
+/// Writes a table to disk as CSV.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace falcc
+
+#endif  // FALCC_UTIL_CSV_H_

@@ -1,0 +1,66 @@
+// Token-stream helpers for the text serialization format.
+//
+// The format is whitespace-separated tokens; doubles are written with 17
+// significant digits so they round-trip bit-exactly through the decimal
+// representation. Readers return Status instead of relying on stream
+// exceptions.
+
+#ifndef FALCC_UTIL_SERIALIZE_H_
+#define FALCC_UTIL_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace falcc {
+namespace io {
+
+/// Sets up `out` for lossless double output. Call once per stream.
+inline void PrepareStream(std::ostream* out) { out->precision(17); }
+
+template <typename T>
+Status Read(std::istream* in, T* value) {
+  if (!(*in >> *value)) {
+    return Status::InvalidArgument("serialized stream truncated or corrupt");
+  }
+  return Status::OK();
+}
+
+/// Reads a token and fails unless it equals `expected`.
+inline Status Expect(std::istream* in, const std::string& expected) {
+  std::string token;
+  FALCC_RETURN_IF_ERROR(Read(in, &token));
+  if (token != expected) {
+    return Status::InvalidArgument("expected token '" + expected +
+                                   "', got '" + token + "'");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void WriteVector(std::ostream* out, const std::vector<T>& values) {
+  *out << values.size();
+  for (const T& v : values) *out << ' ' << v;
+  *out << '\n';
+}
+
+template <typename T>
+Status ReadVector(std::istream* in, std::vector<T>* values,
+                  size_t max_size = 100000000) {
+  size_t n = 0;
+  FALCC_RETURN_IF_ERROR(Read(in, &n));
+  if (n > max_size) {
+    return Status::InvalidArgument("serialized vector implausibly large");
+  }
+  values->resize(n);
+  for (T& v : *values) FALCC_RETURN_IF_ERROR(Read(in, &v));
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace falcc
+
+#endif  // FALCC_UTIL_SERIALIZE_H_

@@ -1,0 +1,149 @@
+// Status / Result error handling for the falcc library.
+//
+// Library code does not throw exceptions (database-systems idiom, cf.
+// RocksDB/Arrow). Fallible operations return Status or Result<T>; logic
+// errors that indicate a broken invariant abort via FALCC_CHECK.
+
+#ifndef FALCC_UTIL_STATUS_H_
+#define FALCC_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace falcc {
+
+/// Error category of a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message describing what went wrong.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of a fallible operation that produces a T on success.
+///
+/// Holds either a value or an error Status. Accessing the value of an
+/// errored Result aborts, so callers must check ok() first (or use
+/// ValueOr for a fallback).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error status keeps call
+  /// sites terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : rep_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(rep_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace falcc
+
+/// Aborts with a diagnostic if `cond` is false. For invariants, not for
+/// user-input validation (use Status for the latter).
+#define FALCC_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FALCC_CHECK failed at %s:%d: %s (%s)\n",      \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define FALCC_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::falcc::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#endif  // FALCC_UTIL_STATUS_H_

@@ -1,0 +1,15 @@
+#include "util/timer.h"
+
+namespace falcc {
+
+double Timer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+int64_t Timer::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+}  // namespace falcc

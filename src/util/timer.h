@@ -1,0 +1,32 @@
+// Wall-clock timing for the runtime experiments (Fig. 6) and progress
+// reporting in the benchmark harness.
+
+#ifndef FALCC_UTIL_TIMER_H_
+#define FALCC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace falcc {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const;
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_UTIL_TIMER_H_

@@ -1,0 +1,184 @@
+#include "core/assessment.h"
+
+#include <gtest/gtest.h>
+
+namespace falcc {
+namespace {
+
+// Hand-built context: 2 models, 6 validation rows, 2 groups.
+// Model 0 predicts everything 1; model 1 predicts the true labels.
+struct Fixture {
+  std::vector<std::vector<int>> votes = {
+      {1, 1, 1, 1, 1, 1},  // model 0
+      {1, 0, 1, 0, 1, 0},  // model 1 == labels
+  };
+  std::vector<int> labels = {1, 0, 1, 0, 1, 0};
+  std::vector<size_t> groups = {0, 0, 0, 1, 1, 1};
+
+  AssessmentContext Context(FairnessMetric metric, double lambda) {
+    AssessmentContext ctx;
+    ctx.votes = &votes;
+    ctx.labels = labels;
+    ctx.groups = groups;
+    ctx.num_groups = 2;
+    ctx.metric = metric;
+    ctx.lambda = lambda;
+    return ctx;
+  }
+};
+
+TEST(AssessCombinationTest, PerfectCombinationZeroLoss) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  const std::vector<size_t> rows = {0, 1, 2, 3, 4, 5};
+  const ModelCombination perfect = {1, 1};
+  EXPECT_NEAR(AssessCombination(ctx, perfect, rows).value(),
+              0.5 * (1.0 / 6.0),  // dp of the true labels (2/3 vs 1/3)
+              1e-12);
+}
+
+TEST(AssessCombinationTest, AllPositiveCombination) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  const std::vector<size_t> rows = {0, 1, 2, 3, 4, 5};
+  const ModelCombination all_one = {0, 0};
+  // Inaccuracy 0.5 (3 of 6 wrong), dp bias 0 (everyone positive).
+  EXPECT_NEAR(AssessCombination(ctx, all_one, rows).value(), 0.25, 1e-12);
+}
+
+TEST(AssessCombinationTest, MixedCombinationUsesGroupModel) {
+  Fixture f;
+  const AssessmentContext ctx = f.Context(FairnessMetric::kDemographicParity,
+                                          1.0);  // pure accuracy
+  const std::vector<size_t> rows = {0, 1, 2, 3, 4, 5};
+  // Group 0 uses the perfect model, group 1 the all-ones model: group 1
+  // contributes 1 error (row 3 and 5 are 0... both wrong) -> 2/6.
+  const ModelCombination mixed = {1, 0};
+  EXPECT_NEAR(AssessCombination(ctx, mixed, rows).value(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(AssessCombinationTest, SubsetOfRows) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 1.0);
+  const std::vector<size_t> rows = {3, 5};  // group-1 rows labeled 0
+  const ModelCombination all_one = {0, 0};
+  EXPECT_NEAR(AssessCombination(ctx, all_one, rows).value(), 1.0, 1e-12);
+}
+
+TEST(AssessCombinationTest, ValidationErrors) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  const std::vector<size_t> rows = {0};
+  EXPECT_FALSE(AssessCombination(ctx, {1}, rows).ok());  // wrong combo size
+  const std::vector<size_t> empty;
+  EXPECT_FALSE(AssessCombination(ctx, {1, 1}, empty).ok());
+  const std::vector<size_t> out_of_range = {99};
+  EXPECT_FALSE(AssessCombination(ctx, {1, 1}, out_of_range).ok());
+  const ModelCombination bad_model = {7, 1};
+  EXPECT_FALSE(AssessCombination(ctx, bad_model, rows).ok());
+}
+
+TEST(AssessCombinationTest, ConsistencyModeUnanimousRegionIsPureAccuracy) {
+  Fixture f;
+  AssessmentContext ctx = f.Context(FairnessMetric::kDemographicParity, 0.5);
+  ctx.mode = AssessmentMode::kConsistency;
+  const std::vector<size_t> rows = {0, 1, 2, 3, 4, 5};
+  // Model 0 predicts all 1: fully consistent, 3/6 wrong -> L = 0.25.
+  EXPECT_NEAR(AssessCombination(ctx, {0, 0}, rows).value(), 0.25, 1e-12);
+}
+
+TEST(AssessCombinationTest, ConsistencyModePenalizesDisagreement) {
+  Fixture f;
+  AssessmentContext ctx = f.Context(FairnessMetric::kDemographicParity, 0.0);
+  ctx.mode = AssessmentMode::kConsistency;
+  const std::vector<size_t> rows = {0, 1, 2, 3, 4, 5};
+  // Model 1's predictions alternate (1,0,1,0,1,0): each sample deviates
+  // from the others' mean, so inconsistency is high while the all-ones
+  // model scores 0.
+  const double alternating = AssessCombination(ctx, {1, 1}, rows).value();
+  const double constant = AssessCombination(ctx, {0, 0}, rows).value();
+  EXPECT_DOUBLE_EQ(constant, 0.0);
+  EXPECT_GT(alternating, 0.3);
+}
+
+TEST(AssessCombinationTest, ConsistencyModeSingleRowRegionIsConsistent) {
+  Fixture f;
+  AssessmentContext ctx = f.Context(FairnessMetric::kDemographicParity, 0.0);
+  ctx.mode = AssessmentMode::kConsistency;
+  const std::vector<size_t> one = {0};
+  EXPECT_DOUBLE_EQ(AssessCombination(ctx, {1, 1}, one).value(), 0.0);
+}
+
+TEST(SelectBestCombinationsTest, PicksPerRegionBest) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 1.0);
+  const std::vector<ModelCombination> combos = {{0, 0}, {1, 1}};
+  const std::vector<std::vector<size_t>> regions = {{0, 1, 2}, {3, 4, 5}};
+  const std::vector<size_t> best =
+      SelectBestCombinations(ctx, combos, regions).value();
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_EQ(best[0], 1u);
+  EXPECT_EQ(best[1], 1u);
+}
+
+TEST(SelectBestCombinationsTest, TieBreaksToLowerIndex) {
+  Fixture f;
+  f.votes[1] = f.votes[0];  // both models identical now
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  const std::vector<ModelCombination> combos = {{0, 0}, {1, 1}};
+  const std::vector<std::vector<size_t>> regions = {{0, 1, 2, 3, 4, 5}};
+  EXPECT_EQ(SelectBestCombinations(ctx, combos, regions).value()[0], 0u);
+}
+
+TEST(SelectBestCombinationsTest, RejectsEmptyRegion) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  const std::vector<ModelCombination> combos = {{0, 0}};
+  const std::vector<std::vector<size_t>> regions = {{}};
+  EXPECT_FALSE(SelectBestCombinations(ctx, combos, regions).ok());
+}
+
+TEST(SelectGlobalBestTest, FindsBestOverall) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 1.0);
+  const std::vector<ModelCombination> combos = {{0, 0}, {0, 1}, {1, 0},
+                                                {1, 1}};
+  EXPECT_EQ(SelectGlobalBest(ctx, combos).value(), 3u);
+}
+
+TEST(FilterTopCombinationsTest, KeepsBestAscending) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 1.0);
+  const std::vector<ModelCombination> combos = {{0, 0}, {1, 1}, {1, 0}};
+  const std::vector<size_t> kept =
+      FilterTopCombinations(ctx, combos, 2).value();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 1u);  // perfect combination first
+}
+
+TEST(FilterTopCombinationsTest, KeepLargerThanSetKeepsAll) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  const std::vector<ModelCombination> combos = {{0, 0}, {1, 1}};
+  EXPECT_EQ(FilterTopCombinations(ctx, combos, 10).value().size(), 2u);
+}
+
+TEST(FilterTopCombinationsTest, RejectsZeroKeep) {
+  Fixture f;
+  const AssessmentContext ctx =
+      f.Context(FairnessMetric::kDemographicParity, 0.5);
+  EXPECT_FALSE(FilterTopCombinations(ctx, {{0, 0}}, 0).ok());
+}
+
+}  // namespace
+}  // namespace falcc

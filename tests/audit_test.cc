@@ -1,0 +1,90 @@
+#include "fairness/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData(size_t n = 600, uint64_t seed = 12) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.seed = seed;
+  return GenerateSocialBias(cfg).value();
+}
+
+TEST(AuditTest, PerfectPredictionsAudit) {
+  const Dataset d = MakeData();
+  const FairnessAudit audit =
+      AuditPredictions(d, d.labels()).value();
+  EXPECT_DOUBLE_EQ(audit.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(audit.equalized_odds, 0.0);
+  EXPECT_DOUBLE_EQ(audit.treatment_equality, 0.0);
+  // Demographic parity of the *labels* is nonzero: the data is biased.
+  EXPECT_GT(audit.demographic_parity, 0.05);
+  ASSERT_EQ(audit.groups.size(), 2u);
+  for (const GroupAudit& g : audit.groups) {
+    EXPECT_DOUBLE_EQ(g.accuracy, 1.0);
+    EXPECT_DOUBLE_EQ(g.tpr, 1.0);
+    EXPECT_DOUBLE_EQ(g.fpr, 0.0);
+    EXPECT_DOUBLE_EQ(g.base_rate, g.positive_rate);
+  }
+}
+
+TEST(AuditTest, ConstantPredictionsAudit) {
+  const Dataset d = MakeData();
+  const std::vector<int> ones(d.num_rows(), 1);
+  const FairnessAudit audit = AuditPredictions(d, ones).value();
+  EXPECT_DOUBLE_EQ(audit.demographic_parity, 0.0);
+  EXPECT_DOUBLE_EQ(audit.consistency, 1.0);
+  for (const GroupAudit& g : audit.groups) {
+    EXPECT_DOUBLE_EQ(g.positive_rate, 1.0);
+    EXPECT_DOUBLE_EQ(g.tpr, 1.0);
+    EXPECT_DOUBLE_EQ(g.fpr, 1.0);
+  }
+}
+
+TEST(AuditTest, GroupSizesSumToDatasetSize) {
+  const Dataset d = MakeData();
+  const FairnessAudit audit = AuditPredictions(d, d.labels()).value();
+  size_t total = 0;
+  for (const GroupAudit& g : audit.groups) total += g.size;
+  EXPECT_EQ(total, d.num_rows());
+}
+
+TEST(AuditTest, ModelPredictionsAuditBounded) {
+  const Dataset d = MakeData();
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  const FairnessAudit audit =
+      AuditPredictions(d, PredictAll(tree, d)).value();
+  EXPECT_GT(audit.accuracy, 0.5);
+  EXPECT_GE(audit.consistency, 0.0);
+  EXPECT_LE(audit.consistency, 1.0);
+  for (double v : {audit.demographic_parity, audit.equalized_odds,
+                   audit.equal_opportunity, audit.treatment_equality}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AuditTest, FormatContainsAllSections) {
+  const Dataset d = MakeData(200);
+  const FairnessAudit audit = AuditPredictions(d, d.labels()).value();
+  const std::string report = FormatAudit(audit);
+  EXPECT_NE(report.find("demographic parity"), std::string::npos);
+  EXPECT_NE(report.find("consistency"), std::string::npos);
+  EXPECT_NE(report.find("TPR%"), std::string::npos);
+  EXPECT_NE(report.find("sens="), std::string::npos);
+}
+
+TEST(AuditTest, RejectsBadInputs) {
+  const Dataset d = MakeData(100);
+  const std::vector<int> too_short = {1};
+  EXPECT_FALSE(AuditPredictions(d, too_short).ok());
+}
+
+}  // namespace
+}  // namespace falcc

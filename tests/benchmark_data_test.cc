@@ -1,0 +1,129 @@
+#include "datagen/benchmark_data.h"
+
+#include <gtest/gtest.h>
+
+#include "data/groups.h"
+#include "util/math.h"
+
+namespace falcc {
+namespace {
+
+TEST(BenchmarkDataTest, AllSpecsListed) {
+  const auto specs = AllBenchmarkSpecs();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "ACS2017");
+  EXPECT_EQ(specs[6].name, "CreditCard");
+}
+
+TEST(BenchmarkDataTest, SpecsMatchTable4Metadata) {
+  EXPECT_EQ(Acs2017Spec().num_samples, 72000u);
+  EXPECT_EQ(Acs2017Spec().num_features, 23u);
+  EXPECT_EQ(AdultSexSpec().num_samples, 46000u);
+  EXPECT_EQ(CommunitiesSpec().num_features, 91u);
+  EXPECT_EQ(CompasSpec().num_features, 7u);
+  EXPECT_EQ(AdultSexRaceSpec().groups.size(), 4u);
+}
+
+TEST(BenchmarkDataTest, GroupProbabilitiesSumToOne) {
+  for (const auto& spec : AllBenchmarkSpecs()) {
+    double sum = 0.0;
+    for (const auto& g : spec.groups) sum += g.probability;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << spec.name;
+  }
+}
+
+TEST(BenchmarkDataTest, GeneratedShape) {
+  const Dataset d = GenerateBenchmarkDataset(CompasSpec(), 1, 0.5).value();
+  EXPECT_EQ(d.num_rows(), 3050u);
+  EXPECT_EQ(d.num_features(), 7u);
+  EXPECT_EQ(d.sensitive_features().size(), 1u);
+}
+
+TEST(BenchmarkDataTest, ScaleFloorsAtFifty) {
+  const Dataset d =
+      GenerateBenchmarkDataset(CompasSpec(), 1, 0.0001).value();
+  EXPECT_EQ(d.num_rows(), 50u);
+}
+
+TEST(BenchmarkDataTest, MultiAttributeGroups) {
+  const Dataset d =
+      GenerateBenchmarkDataset(AdultSexRaceSpec(), 2, 0.2).value();
+  EXPECT_EQ(d.sensitive_features().size(), 2u);
+  const GroupIndex index = GroupIndex::Build(d).value();
+  EXPECT_EQ(index.num_groups(), 4u);
+}
+
+TEST(BenchmarkDataTest, DeterministicForSeed) {
+  const Dataset a = GenerateBenchmarkDataset(CompasSpec(), 5, 0.1).value();
+  const Dataset b = GenerateBenchmarkDataset(CompasSpec(), 5, 0.1).value();
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.Feature(i, 0), b.Feature(i, 0));
+    EXPECT_EQ(a.Label(i), b.Label(i));
+  }
+}
+
+TEST(BenchmarkDataTest, RejectsBadSpecs) {
+  BenchmarkDataSpec spec = CompasSpec();
+  spec.groups.clear();
+  EXPECT_FALSE(GenerateBenchmarkDataset(spec, 1).ok());
+
+  spec = CompasSpec();
+  spec.groups[0].probability = 0.9;  // no longer sums to 1
+  EXPECT_FALSE(GenerateBenchmarkDataset(spec, 1).ok());
+
+  spec = CompasSpec();
+  spec.num_features = 2;  // too small for blocks
+  EXPECT_FALSE(GenerateBenchmarkDataset(spec, 1).ok());
+
+  EXPECT_FALSE(GenerateBenchmarkDataset(CompasSpec(), 1, 0.0).ok());
+}
+
+struct SpecCase {
+  std::string name;
+  double pr_s1;
+  double rate_s1;
+  double rate_s0;
+};
+
+class BenchmarkDataRates : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(BenchmarkDataRates, ReproducesPublishedRates) {
+  const SpecCase& expected = GetParam();
+  BenchmarkDataSpec spec;
+  for (const auto& s : AllBenchmarkSpecs()) {
+    if (s.name == expected.name) spec = s;
+  }
+  ASSERT_FALSE(spec.name.empty());
+  // Generate at least ~10k rows so rate estimates have little noise
+  // (Communities publishes only 2k samples).
+  const double scale =
+      std::max(0.5, 10000.0 / static_cast<double>(spec.num_samples));
+  const Dataset d = GenerateBenchmarkDataset(spec, 42, scale).value();
+
+  const size_t sens = d.sensitive_features()[0];
+  double pos[2] = {0, 0}, count[2] = {0, 0};
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    const int s = d.Feature(i, sens) >= 0.5 ? 1 : 0;
+    count[s] += 1.0;
+    pos[s] += d.Label(i);
+  }
+  const double n = count[0] + count[1];
+  EXPECT_NEAR(count[1] / n, expected.pr_s1, 0.03) << "Pr(s=1)";
+  EXPECT_NEAR(pos[1] / count[1], expected.rate_s1, 0.03) << "Pr(y=1|s=1)";
+  EXPECT_NEAR(pos[0] / count[0], expected.rate_s0, 0.03) << "Pr(y=1|s=0)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, BenchmarkDataRates,
+    ::testing::Values(SpecCase{"ACS2017", 0.588, 0.496, 0.282},
+                      SpecCase{"AdultSex", 0.676, 0.313, 0.114},
+                      SpecCase{"AdultRace", 0.857, 0.263, 0.160},
+                      SpecCase{"Communities", 0.514, 0.194, 0.626},
+                      SpecCase{"COMPAS", 0.401, 0.385, 0.502},
+                      SpecCase{"CreditCard", 0.604, 0.208, 0.242}),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,92 @@
+#include "data/csv_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+CsvTable MakeTable() {
+  CsvTable table;
+  table.header = {"f0", "sex", "label"};
+  table.rows = {
+      {1.5, 0.0, 1.0},
+      {2.5, 1.0, 0.0},
+      {3.5, 0.0, 1.0},
+  };
+  return table;
+}
+
+TEST(CsvDatasetTest, ConvertsTable) {
+  const Dataset d =
+      DatasetFromCsv(MakeTable(), "label", {"sex"}).value();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.feature_names(), (std::vector<std::string>{"f0", "sex"}));
+  EXPECT_EQ(d.sensitive_features(), (std::vector<size_t>{1}));
+  EXPECT_EQ(d.Label(0), 1);
+  EXPECT_DOUBLE_EQ(d.Feature(1, 0), 2.5);
+}
+
+TEST(CsvDatasetTest, LabelColumnAnywhere) {
+  CsvTable table;
+  table.header = {"label", "f0"};
+  table.rows = {{1.0, 9.0}};
+  const Dataset d = DatasetFromCsv(table, "label", {}).value();
+  EXPECT_EQ(d.num_features(), 1u);
+  EXPECT_DOUBLE_EQ(d.Feature(0, 0), 9.0);
+}
+
+TEST(CsvDatasetTest, MissingLabelColumnFails) {
+  EXPECT_FALSE(DatasetFromCsv(MakeTable(), "y", {"sex"}).ok());
+}
+
+TEST(CsvDatasetTest, MissingSensitiveColumnFails) {
+  EXPECT_FALSE(DatasetFromCsv(MakeTable(), "label", {"race"}).ok());
+}
+
+TEST(CsvDatasetTest, SensitiveLabelFails) {
+  EXPECT_FALSE(DatasetFromCsv(MakeTable(), "label", {"label"}).ok());
+}
+
+TEST(CsvDatasetTest, NonBinaryLabelFails) {
+  CsvTable table = MakeTable();
+  table.rows[0][2] = 2.0;
+  EXPECT_FALSE(DatasetFromCsv(table, "label", {"sex"}).ok());
+}
+
+TEST(CsvDatasetTest, RoundTripThroughCsv) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 100;
+  cfg.seed = 9;
+  const Dataset original = GenerateSocialBias(cfg).value();
+  const CsvTable table = DatasetToCsv(original, "label");
+  const Dataset back =
+      DatasetFromCsv(table, "label", {"sens"}).value();
+  ASSERT_EQ(back.num_rows(), original.num_rows());
+  ASSERT_EQ(back.num_features(), original.num_features());
+  EXPECT_EQ(back.sensitive_features(), original.sensitive_features());
+  for (size_t i = 0; i < back.num_rows(); ++i) {
+    EXPECT_EQ(back.Label(i), original.Label(i));
+    for (size_t j = 0; j < back.num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(back.Feature(i, j), original.Feature(i, j));
+    }
+  }
+}
+
+TEST(CsvDatasetTest, FileRoundTrip) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 50;
+  cfg.seed = 10;
+  const Dataset original = GenerateImplicitBias(cfg).value();
+  const std::string path = ::testing::TempDir() + "/falcc_data.csv";
+  ASSERT_TRUE(WriteDatasetCsv(path, original, "label").ok());
+  Result<Dataset> back = ReadDatasetCsv(path, "label", {"sens"});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_rows(), original.num_rows());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace falcc {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  Result<CsvTable> r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(r.value().rows[1][1], 4.0);
+}
+
+TEST(CsvTest, ParseHandlesCrLf) {
+  Result<CsvTable> r = ParseCsv("a,b\r\n1.5,-2e3\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(r.value().rows[0][1], -2000.0);
+}
+
+TEST(CsvTest, ParseQuotedHeader) {
+  Result<CsvTable> r = ParseCsv("\"first, col\",b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().header[0], "first, col");
+}
+
+TEST(CsvTest, ParseSkipsBlankLines) {
+  Result<CsvTable> r = ParseCsv("a\n\n1\n\n2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRow) {
+  Result<CsvTable> r = ParseCsv("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  Result<CsvTable> r = ParseCsv("a\nhello\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{1.5, 2.0}, {-3.0, 0.25}};
+  Result<CsvTable> parsed = ParseCsv(ToCsv(table));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().header, table.header);
+  EXPECT_EQ(parsed.value().rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "falcc_csv_test.csv")
+          .string();
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{7.0}};
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  Result<CsvTable> readback = ReadCsvFile(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_DOUBLE_EQ(readback.value().rows[0][0], 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  Result<CsvTable> r = ReadCsvFile("/nonexistent/falcc.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace falcc {
+namespace {
+
+Dataset MakeSmall() {
+  // 3 rows, 2 features ("f", "s"), s is sensitive.
+  return Dataset::Create({"f", "s"}, {1.0, 0.0, 2.0, 1.0, 3.0, 0.0}, 2,
+                         {0, 1, 1}, {1})
+      .value();
+}
+
+TEST(DatasetTest, CreateAndAccess) {
+  const Dataset d = MakeSmall();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.Feature(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.Feature(2, 1), 0.0);
+  EXPECT_EQ(d.Label(0), 0);
+  EXPECT_EQ(d.Label(2), 1);
+  EXPECT_EQ(d.sensitive_features(), (std::vector<size_t>{1}));
+}
+
+TEST(DatasetTest, RowSpan) {
+  const Dataset d = MakeSmall();
+  const auto row = d.Row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 2.0);
+  EXPECT_DOUBLE_EQ(row[1], 1.0);
+}
+
+TEST(DatasetTest, Column) {
+  const Dataset d = MakeSmall();
+  EXPECT_EQ(d.Column(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(DatasetTest, PositiveRate) {
+  const Dataset d = MakeSmall();
+  EXPECT_NEAR(d.PositiveRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DatasetTest, SubsetSelectsAndOrders) {
+  const Dataset d = MakeSmall();
+  const std::vector<size_t> rows = {2, 0};
+  const Dataset sub = d.Subset(rows);
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.Feature(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.Feature(1, 0), 1.0);
+  EXPECT_EQ(sub.Label(0), 1);
+  EXPECT_EQ(sub.sensitive_features(), d.sensitive_features());
+}
+
+TEST(DatasetTest, AppendRow) {
+  Dataset d = MakeSmall();
+  const std::vector<double> row = {9.0, 1.0};
+  d.AppendRow(row, 0);
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(d.Feature(3, 0), 9.0);
+  EXPECT_EQ(d.Label(3), 0);
+}
+
+TEST(DatasetTest, SetLabel) {
+  Dataset d = MakeSmall();
+  d.SetLabel(0, 1);
+  EXPECT_EQ(d.Label(0), 1);
+}
+
+TEST(DatasetTest, CreateRejectsBadShapes) {
+  EXPECT_FALSE(Dataset::Create({"a"}, {1.0, 2.0}, 1, {0}, {}).ok());
+  EXPECT_FALSE(Dataset::Create({"a", "b"}, {1.0}, 1, {0}, {}).ok());
+  EXPECT_FALSE(Dataset::Create({}, {}, 0, {}, {}).ok());
+}
+
+TEST(DatasetTest, CreateRejectsNonBinaryLabels) {
+  EXPECT_FALSE(Dataset::Create({"a"}, {1.0}, 1, {2}, {}).ok());
+}
+
+TEST(DatasetTest, CreateRejectsBadSensitiveIndex) {
+  EXPECT_FALSE(Dataset::Create({"a"}, {1.0}, 1, {0}, {5}).ok());
+  EXPECT_FALSE(Dataset::Create({"a", "b"}, {1.0, 2.0}, 2, {0}, {1, 1}).ok());
+}
+
+TEST(DatasetTest, ConcatDatasets) {
+  const Dataset a = MakeSmall();
+  const Dataset b = MakeSmall();
+  Result<Dataset> c = ConcatDatasets(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().num_rows(), 6u);
+  EXPECT_DOUBLE_EQ(c.value().Feature(3, 0), 1.0);
+}
+
+TEST(DatasetTest, ConcatRejectsSchemaMismatch) {
+  const Dataset a = MakeSmall();
+  const Dataset b =
+      Dataset::Create({"x", "s"}, {1.0, 0.0}, 2, {0}, {1}).value();
+  EXPECT_FALSE(ConcatDatasets(a, b).ok());
+}
+
+}  // namespace
+}  // namespace falcc

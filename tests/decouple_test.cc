@@ -1,0 +1,99 @@
+#include "baselines/decouple.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+namespace {
+
+TrainValTest MakeSplits() {
+  SyntheticConfig cfg;
+  cfg.num_samples = 1500;
+  cfg.seed = 9;
+  const Dataset d = GenerateSocialBias(cfg).value();
+  return SplitDatasetDefault(d, 17).value();
+}
+
+TEST(DecoupleTest, TrainsAndClassifies) {
+  const TrainValTest s = MakeSplits();
+  const DecoupleModel model =
+      DecoupleModel::Train(s.train, s.validation, {}).value();
+  EXPECT_EQ(model.num_groups(), 2u);
+  const std::vector<int> preds = model.ClassifyAll(s.test);
+  size_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == s.test.Label(i);
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.6);
+}
+
+TEST(DecoupleTest, SelectedCombinationHasOneModelPerGroup) {
+  const TrainValTest s = MakeSplits();
+  const DecoupleModel model =
+      DecoupleModel::Train(s.train, s.validation, {}).value();
+  EXPECT_EQ(model.selected_combination().size(), 2u);
+}
+
+TEST(DecoupleTest, SameGroupSameModelEverywhere) {
+  // Decouple is a global method: two samples of the same group with very
+  // different features use the same model, so equal features => equal
+  // prediction regardless of position.
+  const TrainValTest s = MakeSplits();
+  const DecoupleModel model =
+      DecoupleModel::Train(s.train, s.validation, {}).value();
+  const std::vector<int> a = model.ClassifyAll(s.test);
+  const std::vector<int> b = model.ClassifyAll(s.test);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DecoupleTest, WithoutPerGroupModels) {
+  const TrainValTest s = MakeSplits();
+  DecoupleOptions opt;
+  opt.per_group_models = false;
+  Result<DecoupleModel> model =
+      DecoupleModel::Train(s.train, s.validation, opt);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().ClassifyAll(s.test).size(), s.test.num_rows());
+}
+
+TEST(DecoupleTest, ExternalPool) {
+  const TrainValTest s = MakeSplits();
+  ModelPool pool;
+  for (uint64_t i = 0; i < 2; ++i) {
+    DecisionTreeOptions dt;
+    dt.max_depth = 3 + i;
+    dt.seed = i;
+    auto tree = std::make_unique<DecisionTree>(dt);
+    ASSERT_TRUE(tree->Fit(s.train).ok());
+    pool.Add(std::move(tree));
+  }
+  Result<DecoupleModel> model =
+      DecoupleModel::TrainWithPool(std::move(pool), s.validation, {});
+  ASSERT_TRUE(model.ok());
+}
+
+TEST(DecoupleTest, MetricVariantsAllTrain) {
+  const TrainValTest s = MakeSplits();
+  for (FairnessMetric m :
+       {FairnessMetric::kDemographicParity, FairnessMetric::kEqualizedOdds,
+        FairnessMetric::kEqualOpportunity,
+        FairnessMetric::kTreatmentEquality}) {
+    DecoupleOptions opt;
+    opt.metric = m;
+    EXPECT_TRUE(DecoupleModel::Train(s.train, s.validation, opt).ok())
+        << FairnessMetricName(m);
+  }
+}
+
+TEST(DecoupleTest, RejectsEmptyPool) {
+  const TrainValTest s = MakeSplits();
+  ModelPool empty;
+  EXPECT_FALSE(
+      DecoupleModel::TrainWithPool(std::move(empty), s.validation, {}).ok());
+}
+
+}  // namespace
+}  // namespace falcc

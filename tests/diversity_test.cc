@@ -1,0 +1,50 @@
+#include "fairness/diversity.h"
+
+#include <gtest/gtest.h>
+
+namespace falcc {
+namespace {
+
+TEST(EnsembleEntropyTest, UnanimousIsZero) {
+  const std::vector<std::vector<int>> votes = {{1, 0, 1}, {1, 0, 1}, {1, 0, 1}};
+  EXPECT_DOUBLE_EQ(EnsembleEntropy(votes).value(), 0.0);
+}
+
+TEST(EnsembleEntropyTest, EvenSplitIsOne) {
+  const std::vector<std::vector<int>> votes = {{1, 1}, {0, 0}};
+  EXPECT_DOUBLE_EQ(EnsembleEntropy(votes).value(), 1.0);
+}
+
+TEST(EnsembleEntropyTest, HandValue) {
+  // 4 models, one sample, 3 vote 1: H(0.75) = 0.8113.
+  const std::vector<std::vector<int>> votes = {{1}, {1}, {1}, {0}};
+  EXPECT_NEAR(EnsembleEntropy(votes).value(), 0.811278, 1e-5);
+}
+
+TEST(EnsembleEntropyTest, AveragesOverSamples) {
+  // Sample 0 unanimous (H=0), sample 1 split (H=1): mean 0.5.
+  const std::vector<std::vector<int>> votes = {{1, 1}, {1, 0}};
+  EXPECT_DOUBLE_EQ(EnsembleEntropy(votes).value(), 0.5);
+}
+
+TEST(EnsembleEntropyTest, SingleModelIsZero) {
+  const std::vector<std::vector<int>> votes = {{1, 0, 1, 0}};
+  EXPECT_DOUBLE_EQ(EnsembleEntropy(votes).value(), 0.0);
+}
+
+TEST(EnsembleEntropyTest, BoundedZeroOne) {
+  const std::vector<std::vector<int>> votes = {
+      {1, 0, 1, 1}, {0, 0, 1, 0}, {1, 1, 1, 0}};
+  const double e = EnsembleEntropy(votes).value();
+  EXPECT_GE(e, 0.0);
+  EXPECT_LE(e, 1.0);
+}
+
+TEST(EnsembleEntropyTest, RejectsBadInput) {
+  EXPECT_FALSE(EnsembleEntropy({}).ok());
+  EXPECT_FALSE(EnsembleEntropy({{}}).ok());
+  EXPECT_FALSE(EnsembleEntropy({{1, 0}, {1}}).ok());
+}
+
+}  // namespace
+}  // namespace falcc

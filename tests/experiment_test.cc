@@ -1,0 +1,101 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData() {
+  SyntheticConfig cfg;
+  cfg.num_samples = 1200;
+  cfg.seed = 2;
+  return GenerateImplicitBias(cfg).value();
+}
+
+TEST(ExperimentTest, CreateBuildsSharedGeometry) {
+  ExperimentOptions opt;
+  opt.seed = 5;
+  const Experiment exp = Experiment::Create(MakeData(), opt).value();
+  EXPECT_GE(exp.num_eval_regions(), 1u);
+  EXPECT_EQ(exp.splits().test.num_rows(), 180u);
+}
+
+TEST(ExperimentTest, MeasurePerfectPredictions) {
+  ExperimentOptions opt;
+  opt.seed = 5;
+  const Experiment exp = Experiment::Create(MakeData(), opt).value();
+  const std::vector<int> perfect = exp.splits().test.labels();
+  const EvalMeasurement m = exp.Measure(perfect, 0.18).value();
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  // 180 test rows, 0.18s -> 1000 us/sample.
+  EXPECT_NEAR(m.online_micros_per_sample, 1000.0, 1e-6);
+  EXPECT_GE(m.global_bias, 0.0);
+}
+
+TEST(ExperimentTest, MeasureConstantPredictionsHaveZeroDpBias) {
+  ExperimentOptions opt;
+  opt.seed = 5;
+  const Experiment exp = Experiment::Create(MakeData(), opt).value();
+  const std::vector<int> ones(exp.splits().test.num_rows(), 1);
+  const EvalMeasurement m = exp.Measure(ones, 0.0).value();
+  EXPECT_DOUBLE_EQ(m.global_bias, 0.0);
+  EXPECT_DOUBLE_EQ(m.individual_bias, 0.0);
+}
+
+TEST(ExperimentTest, MeasureRejectsWrongLength) {
+  ExperimentOptions opt;
+  opt.seed = 5;
+  const Experiment exp = Experiment::Create(MakeData(), opt).value();
+  const std::vector<int> too_short = {1, 0};
+  EXPECT_FALSE(exp.Measure(too_short, 0.0).ok());
+}
+
+TEST(ExperimentTest, RunFastAlgorithms) {
+  ExperimentOptions opt;
+  opt.seed = 7;
+  opt.eval_clusters = 4;
+  const Experiment exp = Experiment::Create(MakeData(), opt).value();
+  for (Algorithm a : {Algorithm::kFaX, Algorithm::kFairSmote,
+                      Algorithm::kDecouple, Algorithm::kFalcc}) {
+    Result<EvalMeasurement> m = exp.Run(a);
+    ASSERT_TRUE(m.ok()) << AlgorithmName(a);
+    EXPECT_GT(m.value().accuracy, 0.5) << AlgorithmName(a);
+    EXPECT_GE(m.value().global_bias, 0.0);
+    EXPECT_LE(m.value().global_bias, 1.0);
+    EXPECT_GE(m.value().local_bias, 0.0);
+    EXPECT_GE(m.value().individual_bias, 0.0);
+    EXPECT_LE(m.value().individual_bias, 1.0);
+  }
+}
+
+TEST(ExperimentTest, AlgorithmNamesMatchPaper) {
+  EXPECT_EQ(AlgorithmName(Algorithm::kFalcc), "FALCC");
+  EXPECT_EQ(AlgorithmName(Algorithm::kFalcesBest), "FALCES-BEST");
+  EXPECT_EQ(AlgorithmName(Algorithm::kDecoupleFair), "Decouple-FAIR");
+  EXPECT_EQ(AlgorithmName(Algorithm::kFalccFair), "FALCC-FAIR");
+  EXPECT_EQ(AlgorithmName(Algorithm::kLfr), "LFR");
+}
+
+TEST(ExperimentTest, AlgorithmListsMatchTable5) {
+  EXPECT_EQ(DefaultAlgorithms().size(), 8u);
+  EXPECT_EQ(FairInputAlgorithms().size(), 3u);
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  ExperimentOptions opt;
+  opt.seed = 9;
+  opt.eval_clusters = 3;
+  const Dataset d = MakeData();
+  const Experiment a = Experiment::Create(d, opt).value();
+  const Experiment b = Experiment::Create(d, opt).value();
+  const EvalMeasurement ma = a.Run(Algorithm::kFalcc).value();
+  const EvalMeasurement mb = b.Run(Algorithm::kFalcc).value();
+  EXPECT_DOUBLE_EQ(ma.accuracy, mb.accuracy);
+  EXPECT_DOUBLE_EQ(ma.global_bias, mb.global_bias);
+  EXPECT_DOUBLE_EQ(ma.local_bias, mb.local_bias);
+}
+
+}  // namespace
+}  // namespace falcc

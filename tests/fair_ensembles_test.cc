@@ -1,0 +1,184 @@
+#include "baselines/fair_ensembles.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "fairness/metrics.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeBiased(size_t n = 1200, double bias = 0.4, uint64_t seed = 61) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.bias = bias;
+  cfg.seed = seed;
+  return GenerateSocialBias(cfg).value();
+}
+
+double DpBias(const Classifier& model, const Dataset& d) {
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const std::vector<size_t> groups = index.GroupsOf(d).value();
+  const std::vector<int> preds = PredictAll(model, d);
+  GroupedPredictions in;
+  in.labels = d.labels();
+  in.predictions = preds;
+  in.groups = groups;
+  in.num_groups = index.num_groups();
+  return DemographicParity(in).value();
+}
+
+// ------------------------- TwoNaiveBayes -------------------------
+
+TEST(TwoNaiveBayesTest, TrainsAndBeatsChance) {
+  const Dataset d = MakeBiased();
+  TwoNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.6);
+}
+
+TEST(TwoNaiveBayesTest, BalancingReducesDpVersusPlainNb) {
+  const Dataset d = MakeBiased(2000, 0.5);
+  GaussianNaiveBayes plain;
+  ASSERT_TRUE(plain.Fit(d).ok());
+  TwoNaiveBayes balanced;
+  ASSERT_TRUE(balanced.Fit(d).ok());
+  EXPECT_LT(DpBias(balanced, d), DpBias(plain, d));
+}
+
+TEST(TwoNaiveBayesTest, OffsetsMoveInOppositeDirections) {
+  const Dataset d = MakeBiased(2000, 0.5);
+  TwoNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  ASSERT_EQ(model.prior_offsets().size(), 2u);
+  // One group is pushed up, the other down (or at least not both the
+  // same direction with a large bias).
+  EXPECT_LT(model.prior_offsets()[0] * model.prior_offsets()[1], 1e-12);
+}
+
+TEST(TwoNaiveBayesTest, RejectsWeightsAndTinyGroups) {
+  const Dataset d = MakeBiased(200);
+  TwoNaiveBayes model;
+  std::vector<double> w(d.num_rows(), 1.0);
+  EXPECT_FALSE(model.Fit(d, w).ok());
+}
+
+TEST(TwoNaiveBayesTest, CloneKeepsState) {
+  const Dataset d = MakeBiased(500);
+  TwoNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+// ------------------------- AdaFair -------------------------
+
+TEST(AdaFairTest, TrainsAndBeatsChance) {
+  const Dataset d = MakeBiased();
+  AdaFair model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.6);
+}
+
+TEST(AdaFairTest, FairnessTermReducesDp) {
+  const Dataset d = MakeBiased(2000, 0.5);
+  AdaFairOptions plain_opt;
+  plain_opt.fairness_epsilon = 0.0;  // plain AdaBoost
+  AdaFair plain(plain_opt);
+  ASSERT_TRUE(plain.Fit(d).ok());
+  AdaFairOptions fair_opt;
+  fair_opt.fairness_epsilon = 3.0;
+  AdaFair fair(fair_opt);
+  ASSERT_TRUE(fair.Fit(d).ok());
+  EXPECT_LE(DpBias(fair, d), DpBias(plain, d) + 0.02);
+}
+
+TEST(AdaFairTest, ProbaBounded) {
+  const Dataset d = MakeBiased(400);
+  AdaFair model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double p = model.PredictProba(d.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AdaFairTest, Deterministic) {
+  const Dataset d = MakeBiased(500);
+  AdaFair a, b;
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(AdaFairTest, RejectsBadConfig) {
+  const Dataset d = MakeBiased(200);
+  AdaFairOptions opt;
+  opt.num_estimators = 0;
+  AdaFair model(opt);
+  EXPECT_FALSE(model.Fit(d).ok());
+}
+
+// ------------------------- Reweighing -------------------------
+
+TEST(ReweighingTest, WeightsEqualizeCells) {
+  const Dataset d = MakeBiased(3000, 0.5);
+  const std::vector<double> w = ReweighingWeights(d).value();
+  ASSERT_EQ(w.size(), d.num_rows());
+  // Under the weighted distribution, P_w(y=1 | g) must match across
+  // groups.
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const std::vector<size_t> groups = index.GroupsOf(d).value();
+  double pos[2] = {0, 0}, total[2] = {0, 0};
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    total[groups[i]] += w[i];
+    if (d.Label(i) == 1) pos[groups[i]] += w[i];
+  }
+  EXPECT_NEAR(pos[0] / total[0], pos[1] / total[1], 1e-9);
+}
+
+TEST(ReweighingTest, DisadvantagedPositivesUpweighted) {
+  const Dataset d = MakeBiased(3000, 0.5);
+  const std::vector<double> w = ReweighingWeights(d).value();
+  const size_t sens = d.sensitive_features()[0];
+  // For the discriminated group (s=1), positives are rarer than
+  // independence predicts, so their weight exceeds 1.
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    if (d.Feature(i, sens) >= 0.5 && d.Label(i) == 1) {
+      EXPECT_GT(w[i], 1.0);
+      break;
+    }
+  }
+}
+
+TEST(ReweighingTest, ClassifierReducesDpVersusPlainTree) {
+  const Dataset d = MakeBiased(3000, 0.5);
+  DecisionTree plain;
+  ASSERT_TRUE(plain.Fit(d).ok());
+  ReweighingClassifier reweighed;
+  ASSERT_TRUE(reweighed.Fit(d).ok());
+  EXPECT_LT(DpBias(reweighed, d), DpBias(plain, d) + 0.02);
+}
+
+TEST(ReweighingTest, RejectsExternalWeights) {
+  const Dataset d = MakeBiased(200);
+  ReweighingClassifier model;
+  std::vector<double> w(d.num_rows(), 1.0);
+  EXPECT_FALSE(model.Fit(d, w).ok());
+}
+
+TEST(ReweighingTest, CloneKeepsState) {
+  const Dataset d = MakeBiased(500);
+  ReweighingClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,119 @@
+#include "baselines/fair_smote.h"
+
+#include <gtest/gtest.h>
+
+#include "data/groups.h"
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeSkewed(size_t n = 1000, uint64_t seed = 8) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.bias = 0.4;
+  cfg.pr_favored = 0.7;  // group sizes skewed too
+  cfg.seed = seed;
+  return GenerateSocialBias(cfg).value();
+}
+
+// (group, label) subgroup sizes.
+std::vector<size_t> SubgroupSizes(const Dataset& d) {
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const std::vector<size_t> groups = index.GroupsOf(d).value();
+  std::vector<size_t> sizes(index.num_groups() * 2, 0);
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    ++sizes[groups[i] * 2 + d.Label(i)];
+  }
+  return sizes;
+}
+
+TEST(BalanceSubgroupsTest, EqualizesAllSubgroups) {
+  const Dataset d = MakeSkewed();
+  const Dataset balanced = BalanceSubgroups(d, 5, 1).value();
+  const std::vector<size_t> sizes = SubgroupSizes(balanced);
+  for (size_t s : sizes) EXPECT_EQ(s, sizes[0]);
+}
+
+TEST(BalanceSubgroupsTest, NeverRemovesRows) {
+  const Dataset d = MakeSkewed();
+  const Dataset balanced = BalanceSubgroups(d, 5, 1).value();
+  EXPECT_GE(balanced.num_rows(), d.num_rows());
+  // Original rows are preserved verbatim at the front.
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_EQ(balanced.Label(i), d.Label(i));
+    EXPECT_DOUBLE_EQ(balanced.Feature(i, 0), d.Feature(i, 0));
+  }
+}
+
+TEST(BalanceSubgroupsTest, SyntheticSensitiveValuesAreCategorical) {
+  const Dataset d = MakeSkewed();
+  const Dataset balanced = BalanceSubgroups(d, 5, 2).value();
+  const size_t sens = d.sensitive_features()[0];
+  for (size_t i = d.num_rows(); i < balanced.num_rows(); ++i) {
+    const double v = balanced.Feature(i, sens);
+    EXPECT_TRUE(v == 0.0 || v == 1.0) << "row " << i;
+  }
+}
+
+TEST(BalanceSubgroupsTest, AlreadyBalancedIsNoop) {
+  // Build a perfectly balanced 2-group dataset.
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (int g = 0; g < 2; ++g) {
+    for (int y = 0; y < 2; ++y) {
+      for (int i = 0; i < 10; ++i) {
+        features.push_back(i);
+        features.push_back(g);
+        labels.push_back(y);
+      }
+    }
+  }
+  const Dataset d = Dataset::Create({"x", "s"}, std::move(features), 2,
+                                    std::move(labels), {1})
+                        .value();
+  const Dataset balanced = BalanceSubgroups(d, 5, 1).value();
+  EXPECT_EQ(balanced.num_rows(), d.num_rows());
+}
+
+TEST(BalanceSubgroupsTest, DeterministicForSeed) {
+  const Dataset d = MakeSkewed(400);
+  const Dataset a = BalanceSubgroups(d, 5, 9).value();
+  const Dataset b = BalanceSubgroups(d, 5, 9).value();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.Feature(i, 0), b.Feature(i, 0));
+  }
+}
+
+TEST(BalanceSubgroupsTest, RejectsZeroK) {
+  const Dataset d = MakeSkewed(200);
+  EXPECT_FALSE(BalanceSubgroups(d, 0, 1).ok());
+}
+
+TEST(FairSmoteTest, TrainsAndBeatsChance) {
+  const Dataset d = MakeSkewed();
+  FairSmote model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.6);
+  EXPECT_GT(model.num_synthetic(), 0u);
+}
+
+TEST(FairSmoteTest, CloneKeepsState) {
+  const Dataset d = MakeSkewed(400);
+  FairSmote model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+TEST(FairSmoteTest, RejectsSampleWeights) {
+  const Dataset d = MakeSkewed(200);
+  FairSmote model;
+  std::vector<double> w(d.num_rows(), 1.0);
+  EXPECT_FALSE(model.Fit(d, w).ok());
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,97 @@
+#include "baselines/fairboost.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "fairness/metrics.h"
+#include "data/groups.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData(size_t n = 1500, uint64_t seed = 4) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.seed = seed;
+  return GenerateSocialBias(cfg).value();
+}
+
+TEST(FairBoostTest, TrainsAndBeatsChance) {
+  const Dataset d = MakeData();
+  FairBoost model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.6);
+}
+
+TEST(FairBoostTest, ProbaBounded) {
+  const Dataset d = MakeData(500);
+  FairBoost model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double p = model.PredictProba(d.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(FairBoostTest, Deterministic) {
+  const Dataset d = MakeData(500);
+  FairBoost a, b;
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(FairBoostTest, CloneKeepsState) {
+  const Dataset d = MakeData(500);
+  FairBoost model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+TEST(FairBoostTest, RejectsBadConfig) {
+  const Dataset d = MakeData(200);
+  FairBoostOptions opt;
+  opt.num_estimators = 0;
+  FairBoost model(opt);
+  EXPECT_FALSE(model.Fit(d).ok());
+  opt = {};
+  opt.k = 0;
+  FairBoost model2(opt);
+  EXPECT_FALSE(model2.Fit(d).ok());
+}
+
+TEST(FairBoostTest, FairnessBoostChangesModel) {
+  // With a strong fairness boost the learned ensemble differs from the
+  // pure-AdaBoost configuration (boost factor 0 keeps only the
+  // misclassification update).
+  const Dataset d = MakeData(800, 6);
+  FairBoostOptions plain;
+  plain.fairness_boost = 0.0;
+  FairBoostOptions boosted;
+  boosted.fairness_boost = 3.0;
+  boosted.unfairness_threshold = 0.3;
+  FairBoost a(plain), b(boosted);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < d.num_rows() && !any_diff; ++i) {
+    any_diff = a.PredictProba(d.Row(i)) != b.PredictProba(d.Row(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FairBoostTest, SampleWeightsAccepted) {
+  const Dataset d = MakeData(300, 7);
+  std::vector<double> w(d.num_rows(), 1.0);
+  w[0] = 5.0;
+  FairBoost model;
+  EXPECT_TRUE(model.Fit(d, w).ok());
+}
+
+}  // namespace
+}  // namespace falcc

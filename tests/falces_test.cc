@@ -1,0 +1,122 @@
+#include "baselines/falces.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "ml/decision_tree.h"
+#include "util/timer.h"
+
+namespace falcc {
+namespace {
+
+TrainValTest MakeSplits(size_t n = 1500) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.seed = 10;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  return SplitDatasetDefault(d, 23).value();
+}
+
+TEST(FalcesTest, TrainsAndClassifies) {
+  const TrainValTest s = MakeSplits();
+  const FalcesModel model =
+      FalcesModel::Train(s.train, s.validation, {}).value();
+  EXPECT_EQ(model.num_groups(), 2u);
+  const std::vector<int> preds = model.ClassifyAll(s.test);
+  size_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == s.test.Label(i);
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.6);
+}
+
+TEST(FalcesTest, PrefilterReducesCombinations) {
+  const TrainValTest s = MakeSplits();
+  FalcesOptions plain;
+  const FalcesModel full =
+      FalcesModel::Train(s.train, s.validation, plain).value();
+  FalcesOptions filtered;
+  filtered.prefilter = true;
+  filtered.prefilter_keep = 10;
+  const FalcesModel fast =
+      FalcesModel::Train(s.train, s.validation, filtered).value();
+  EXPECT_EQ(full.num_retained_combinations(), 25u);  // 5 models, 2 groups
+  EXPECT_EQ(fast.num_retained_combinations(), 10u);
+}
+
+TEST(FalcesTest, SplitTrainingAddsPerGroupModels) {
+  const TrainValTest s = MakeSplits();
+  FalcesOptions opt;
+  opt.split_training = true;
+  const FalcesModel model =
+      FalcesModel::Train(s.train, s.validation, opt).value();
+  // 5 shared models + up to 2 per-group trees; per-group trees apply to
+  // one group only, so combos = (5+1)*(5+1) at most, more than 25.
+  EXPECT_GT(model.num_retained_combinations(), 25u);
+}
+
+TEST(FalcesTest, PrefilteredIsFasterOnline) {
+  const TrainValTest s = MakeSplits(2500);
+  FalcesOptions plain;
+  const FalcesModel full =
+      FalcesModel::Train(s.train, s.validation, plain).value();
+  FalcesOptions filtered;
+  filtered.prefilter = true;
+  filtered.prefilter_keep = 5;
+  const FalcesModel fast =
+      FalcesModel::Train(s.train, s.validation, filtered).value();
+
+  // Warm up both paths, then time interleaved batches; the prefiltered
+  // variant assesses 5 combinations per sample instead of 25, so it must
+  // be faster even under scheduler noise (tolerant 1.2x bound).
+  const size_t n = std::min<size_t>(300, s.test.num_rows());
+  for (size_t i = 0; i < 10; ++i) {
+    full.Classify(s.test.Row(i));
+    fast.Classify(s.test.Row(i));
+  }
+  double full_time = 0.0, fast_time = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t1;
+    for (size_t i = 0; i < n; ++i) full.Classify(s.test.Row(i));
+    full_time += t1.ElapsedSeconds();
+    Timer t2;
+    for (size_t i = 0; i < n; ++i) fast.Classify(s.test.Row(i));
+    fast_time += t2.ElapsedSeconds();
+  }
+  EXPECT_LT(fast_time, full_time * 1.2);
+}
+
+TEST(FalcesTest, DeterministicOnlinePhase) {
+  const TrainValTest s = MakeSplits();
+  const FalcesModel model =
+      FalcesModel::Train(s.train, s.validation, {}).value();
+  EXPECT_EQ(model.Classify(s.test.Row(0)), model.Classify(s.test.Row(0)));
+}
+
+TEST(FalcesTest, ExternalPoolVariant) {
+  const TrainValTest s = MakeSplits();
+  ModelPool pool;
+  DecisionTreeOptions dt;
+  dt.max_depth = 4;
+  auto tree = std::make_unique<DecisionTree>(dt);
+  ASSERT_TRUE(tree->Fit(s.train).ok());
+  pool.Add(std::move(tree));
+  Result<FalcesModel> model =
+      FalcesModel::TrainWithPool(std::move(pool), s.validation, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().num_retained_combinations(), 1u);
+}
+
+TEST(FalcesTest, RejectsBadOptions) {
+  const TrainValTest s = MakeSplits();
+  FalcesOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(FalcesModel::Train(s.train, s.validation, opt).ok());
+  ModelPool empty;
+  EXPECT_FALSE(
+      FalcesModel::TrainWithPool(std::move(empty), s.validation, {}).ok());
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,119 @@
+#include "baselines/fax.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "data/transforms.h"
+#include "fairness/metrics.h"
+#include "data/groups.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeProxyData(size_t n = 2000, double bias = 0.5, uint64_t seed = 3) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.bias = bias;
+  cfg.seed = seed;
+  return GenerateImplicitBias(cfg).value();
+}
+
+double DpBias(const Classifier& model, const Dataset& d) {
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const std::vector<size_t> groups = index.GroupsOf(d).value();
+  const std::vector<int> preds = PredictAll(model, d);
+  GroupedPredictions in;
+  in.labels = d.labels();
+  in.predictions = preds;
+  in.groups = groups;
+  in.num_groups = index.num_groups();
+  return DemographicParity(in).value();
+}
+
+TEST(FaxTest, DetectsProxies) {
+  const Dataset d = MakeProxyData();
+  FaxOptions opt;
+  opt.proxy_threshold = 0.15;
+  FaxClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  // The implicit generator's proxies are columns 0..2.
+  EXPECT_GE(model.proxy_columns().size(), 2u);
+  for (size_t c : model.proxy_columns()) EXPECT_LT(c, 3u);
+}
+
+TEST(FaxTest, MarginalizationReducesBias) {
+  const Dataset d = MakeProxyData();
+  DecisionTree plain;
+  ASSERT_TRUE(plain.Fit(d).ok());
+  FaxOptions opt;
+  opt.proxy_threshold = 0.15;
+  FaxClassifier fax(opt);
+  ASSERT_TRUE(fax.Fit(d).ok());
+  EXPECT_LT(DpBias(fax, d), DpBias(plain, d));
+}
+
+TEST(FaxTest, PredictionInsensitiveToProxyValue) {
+  const Dataset d = MakeProxyData();
+  FaxOptions opt;
+  opt.proxy_threshold = 0.15;
+  FaxClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  ASSERT_FALSE(model.proxy_columns().empty());
+  // Changing a proxy value must not change the (marginalized) output.
+  std::vector<double> row(d.Row(0).begin(), d.Row(0).end());
+  const double before = model.PredictProba(row);
+  row[model.proxy_columns()[0]] += 100.0;
+  EXPECT_DOUBLE_EQ(model.PredictProba(row), before);
+}
+
+TEST(FaxTest, StillBeatsChance) {
+  const Dataset d = MakeProxyData();
+  FaxOptions opt;
+  opt.proxy_threshold = 0.15;
+  FaxClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.6);
+}
+
+TEST(FaxTest, NoProxiesFallsBackToPlainModel) {
+  const Dataset d = MakeProxyData(1000, 0.0, 5);  // no proxy correlation
+  FaxOptions opt;
+  opt.proxy_threshold = 0.4;
+  FaxClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_TRUE(model.proxy_columns().empty());
+  EXPECT_GT(Accuracy(model, d), 0.7);
+}
+
+TEST(FaxTest, DeterministicForSeed) {
+  const Dataset d = MakeProxyData(500);
+  FaxOptions opt;
+  opt.seed = 12;
+  FaxClassifier a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(FaxTest, CloneKeepsState) {
+  const Dataset d = MakeProxyData(500);
+  FaxClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+TEST(FaxTest, RejectsBadConfig) {
+  const Dataset d = MakeProxyData(200);
+  FaxOptions opt;
+  opt.num_interventions = 0;
+  FaxClassifier model(opt);
+  EXPECT_FALSE(model.Fit(d).ok());
+}
+
+}  // namespace
+}  // namespace falcc

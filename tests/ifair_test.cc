@@ -1,0 +1,92 @@
+#include "baselines/ifair.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "fairness/metrics.h"
+#include "data/transforms.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData(size_t n = 800, uint64_t seed = 6) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.seed = seed;
+  return GenerateImplicitBias(cfg).value();
+}
+
+TEST(IFairTest, TrainsAndBeatsChance) {
+  const Dataset d = MakeData();
+  IFairOptions opt;
+  opt.max_iterations = 40;
+  IFairClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.6);
+}
+
+TEST(IFairTest, RepresentationHasProtectedFreeWidth) {
+  const Dataset d = MakeData(300);
+  IFairOptions opt;
+  opt.max_iterations = 10;
+  IFairClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  // 9 features minus 1 sensitive.
+  EXPECT_EQ(model.Representation(d.Row(0)).size(), 8u);
+}
+
+TEST(IFairTest, RepresentationImprovesConsistencyOfDownstreamModel) {
+  // Predictions through the quantized representation are at least as
+  // consistent as the features are individually smooth — we check the
+  // classifier's predictions respect neighborhoods reasonably.
+  const Dataset d = MakeData(600, 8);
+  IFairOptions opt;
+  opt.max_iterations = 30;
+  IFairClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::vector<int> preds = PredictAll(model, d);
+  ColumnTransform t = ColumnTransform::Standardize(d);
+  t.DropColumns(d.sensitive_features());
+  const double consistency =
+      ConsistencyKnn(preds, t.ApplyAll(d), 10).value();
+  EXPECT_GT(consistency, 0.65);
+}
+
+TEST(IFairTest, DeterministicForSeed) {
+  const Dataset d = MakeData(300);
+  IFairOptions opt;
+  opt.seed = 4;
+  opt.max_iterations = 15;
+  IFairClassifier a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(IFairTest, RejectsBadInputs) {
+  const Dataset d = MakeData(100);
+  IFairOptions opt;
+  opt.num_prototypes = 1;
+  IFairClassifier model(opt);
+  EXPECT_FALSE(model.Fit(d).ok());
+
+  IFairClassifier model2;
+  std::vector<double> weights(d.num_rows(), 1.0);
+  EXPECT_FALSE(model2.Fit(d, weights).ok());
+}
+
+TEST(IFairTest, CloneKeepsState) {
+  const Dataset d = MakeData(300);
+  IFairOptions opt;
+  opt.max_iterations = 10;
+  IFairClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,168 @@
+// End-to-end integration tests: full FALCC pipeline against the paper's
+// qualitative claims on controlled synthetic data.
+
+#include <gtest/gtest.h>
+
+#include "baselines/falces.h"
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/benchmark_data.h"
+#include "datagen/synthetic.h"
+#include "eval/experiment.h"
+#include "ml/decision_tree.h"
+#include "util/timer.h"
+
+namespace falcc {
+namespace {
+
+TEST(IntegrationTest, FalccOnlineOrdersOfMagnitudeFasterThanFalces) {
+  // The paper's Fig. 6 headline: FALCC's online phase is a lookup,
+  // FALCES's is a kNN search plus combination assessment.
+  SyntheticConfig cfg;
+  cfg.num_samples = 3000;
+  cfg.seed = 1;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  const TrainValTest s = SplitDatasetDefault(d, 4).value();
+
+  FalccOptions falcc_opt;
+  falcc_opt.seed = 4;
+  falcc_opt.trainer.estimator_grid = {5};
+  falcc_opt.trainer.pool_size = 3;
+  const FalccModel falcc_model =
+      FalccModel::Train(s.train, s.validation, falcc_opt).value();
+
+  FalcesOptions falces_opt;
+  falces_opt.prefilter = true;  // FALCES-FASTEST
+  falces_opt.seed = 4;
+  const FalcesModel falces_model =
+      FalcesModel::Train(s.train, s.validation, falces_opt).value();
+
+  const size_t n = std::min<size_t>(200, s.test.num_rows());
+  Timer t1;
+  for (size_t i = 0; i < n; ++i) falcc_model.Classify(s.test.Row(i));
+  const double falcc_time = t1.ElapsedSeconds();
+  Timer t2;
+  for (size_t i = 0; i < n; ++i) falces_model.Classify(s.test.Row(i));
+  const double falces_time = t2.ElapsedSeconds();
+
+  EXPECT_LT(falcc_time * 10.0, falces_time)
+      << "falcc=" << falcc_time << "s falces=" << falces_time << "s";
+}
+
+TEST(IntegrationTest, FalccImprovesLocalBiasOverBestSingleModel) {
+  // On proxy-biased data, per-region ensemble selection should achieve
+  // lower or equal cluster-weighted bias than the single globally most
+  // accurate pool member.
+  SyntheticConfig cfg;
+  cfg.num_samples = 4000;
+  cfg.bias = 0.4;
+  cfg.seed = 2;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+
+  ExperimentOptions opt;
+  opt.seed = 3;
+  opt.eval_clusters = 6;
+  const Experiment exp = Experiment::Create(d, opt).value();
+  const EvalMeasurement falcc = exp.Run(Algorithm::kFalcc).value();
+
+  // A single unconstrained decision tree as reference.
+  DecisionTreeOptions dt;
+  dt.max_depth = 7;
+  DecisionTree tree(dt);
+  ASSERT_TRUE(tree.Fit(exp.splits().train).ok());
+  Timer timer;
+  const std::vector<int> preds = PredictAll(tree, exp.splits().test);
+  const EvalMeasurement plain =
+      exp.Measure(preds, timer.ElapsedSeconds()).value();
+
+  EXPECT_LE(falcc.local_bias, plain.local_bias + 0.03);
+}
+
+TEST(IntegrationTest, ProxyMitigationReducesGlobalBiasOnImplicitData) {
+  // Fig. 5's qualitative claim: on data with strong implicit bias, the
+  // mitigation strategies reduce FALCC's global bias.
+  SyntheticConfig cfg;
+  cfg.num_samples = 4000;
+  cfg.bias = 0.5;
+  cfg.seed = 5;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  const TrainValTest s = SplitDatasetDefault(d, 6).value();
+
+  auto global_bias = [&](ProxyMitigation strategy) {
+    FalccOptions opt;
+    opt.seed = 6;
+    opt.fixed_k = 6;
+    opt.proxy.strategy = strategy;
+    opt.proxy.removal_threshold = 0.15;
+    const FalccModel model =
+        FalccModel::Train(s.train, s.validation, opt).value();
+    const std::vector<int> preds = model.ClassifyAll(s.test);
+    const GroupIndex index = GroupIndex::Build(s.test).value();
+    GroupedPredictions in;
+    in.labels = s.test.labels();
+    in.predictions = preds;
+    const std::vector<size_t> groups = index.GroupsOf(s.test).value();
+    in.groups = groups;
+    in.num_groups = index.num_groups();
+    return DemographicParity(in).value();
+  };
+
+  const double none = global_bias(ProxyMitigation::kNone);
+  const double reweigh = global_bias(ProxyMitigation::kReweigh);
+  const double remove = global_bias(ProxyMitigation::kRemove);
+  // At least one mitigation strategy should not make things notably
+  // worse; typically both reduce the bias.
+  EXPECT_LE(std::min(reweigh, remove), none + 0.05);
+}
+
+TEST(IntegrationTest, FullTableFivePipelineOnOneConfig) {
+  // A miniature Tab. 5 cell: every default algorithm runs on one split
+  // and produces bounded measurements.
+  const Dataset d =
+      GenerateBenchmarkDataset(CompasSpec(), 11, 0.25).value();
+  ExperimentOptions opt;
+  opt.seed = 11;
+  opt.eval_clusters = 4;
+  const Experiment exp = Experiment::Create(d, opt).value();
+  for (Algorithm a : DefaultAlgorithms()) {
+    Result<EvalMeasurement> m = exp.Run(a);
+    ASSERT_TRUE(m.ok()) << AlgorithmName(a) << ": "
+                        << m.status().ToString();
+    EXPECT_GT(m.value().accuracy, 0.3) << AlgorithmName(a);
+    EXPECT_LE(m.value().global_bias, 1.0);
+  }
+}
+
+TEST(IntegrationTest, FairInputVariantsRun) {
+  const Dataset d =
+      GenerateBenchmarkDataset(CompasSpec(), 13, 0.15).value();
+  ExperimentOptions opt;
+  opt.seed = 13;
+  opt.eval_clusters = 3;
+  const Experiment exp = Experiment::Create(d, opt).value();
+  for (Algorithm a : FairInputAlgorithms()) {
+    Result<EvalMeasurement> m = exp.Run(a);
+    ASSERT_TRUE(m.ok()) << AlgorithmName(a) << ": "
+                        << m.status().ToString();
+    EXPECT_GT(m.value().accuracy, 0.3) << AlgorithmName(a);
+  }
+}
+
+TEST(IntegrationTest, MultiGroupDatasetEndToEnd) {
+  // Adult with sex x race (4 sensitive groups) through FALCC.
+  const Dataset d =
+      GenerateBenchmarkDataset(AdultSexRaceSpec(), 17, 0.05).value();
+  const TrainValTest s = SplitDatasetDefault(d, 17).value();
+  FalccOptions opt;
+  opt.seed = 17;
+  opt.trainer.estimator_grid = {5};
+  opt.trainer.pool_size = 3;
+  const FalccModel model =
+      FalccModel::Train(s.train, s.validation, opt).value();
+  EXPECT_EQ(model.num_groups(), 4u);
+  const std::vector<int> preds = model.ClassifyAll(s.test);
+  EXPECT_EQ(preds.size(), s.test.num_rows());
+}
+
+}  // namespace
+}  // namespace falcc

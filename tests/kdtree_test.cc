@@ -1,0 +1,150 @@
+#include "cluster/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(size_t n, size_t d,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(d));
+  for (auto& p : points) {
+    for (auto& v : p) v = rng.Uniform(-10.0, 10.0);
+  }
+  return points;
+}
+
+// Brute-force reference: indices of the k nearest points.
+std::vector<size_t> BruteForce(const std::vector<std::vector<double>>& pts,
+                               std::span<const double> q, size_t k) {
+  std::vector<size_t> idx(pts.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return SquaredDistance(q, pts[a]) < SquaredDistance(q, pts[b]);
+  });
+  idx.resize(std::min(k, idx.size()));
+  return idx;
+}
+
+TEST(KdTreeTest, MatchesBruteForce) {
+  const auto points = RandomPoints(500, 4, 1);
+  const KdTree tree = KdTree::Build(points).value();
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(-12.0, 12.0);
+    const auto expected = BruteForce(points, q, 7);
+    const auto actual = tree.Nearest(q, 7);
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(KdTreeTest, SingleNearest) {
+  const auto points = RandomPoints(100, 3, 3);
+  const KdTree tree = KdTree::Build(points).value();
+  // Query exactly at a point: that point is the nearest.
+  for (size_t i = 0; i < 10; ++i) {
+    const auto nn = tree.Nearest(points[i], 1);
+    ASSERT_EQ(nn.size(), 1u);
+    EXPECT_EQ(nn[0], i);
+  }
+}
+
+TEST(KdTreeTest, KLargerThanSizeReturnsAll) {
+  const auto points = RandomPoints(10, 2, 4);
+  const KdTree tree = KdTree::Build(points).value();
+  const std::vector<double> q = {0.0, 0.0};
+  EXPECT_EQ(tree.Nearest(q, 100).size(), 10u);
+}
+
+TEST(KdTreeTest, KZeroReturnsEmpty) {
+  const auto points = RandomPoints(10, 2, 5);
+  const KdTree tree = KdTree::Build(points).value();
+  const std::vector<double> q = {0.0, 0.0};
+  EXPECT_TRUE(tree.Nearest(q, 0).empty());
+}
+
+TEST(KdTreeTest, ResultsOrderedByDistance) {
+  const auto points = RandomPoints(300, 3, 6);
+  const KdTree tree = KdTree::Build(points).value();
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  const auto nn = tree.Nearest(q, 20);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(SquaredDistance(q, points[nn[i - 1]]),
+              SquaredDistance(q, points[nn[i]]));
+  }
+}
+
+TEST(KdTreeTest, NearestWhereRespectsFilter) {
+  const auto points = RandomPoints(200, 2, 7);
+  const KdTree tree = KdTree::Build(points).value();
+  std::vector<bool> accept(200, false);
+  for (size_t i = 0; i < 200; i += 3) accept[i] = true;
+  const std::vector<double> q = {0.0, 0.0};
+  const auto nn = tree.NearestWhere(q, 10, accept);
+  ASSERT_EQ(nn.size(), 10u);
+  for (size_t idx : nn) EXPECT_TRUE(accept[idx]);
+}
+
+TEST(KdTreeTest, NearestWhereMatchesFilteredBruteForce) {
+  const auto points = RandomPoints(300, 3, 8);
+  const KdTree tree = KdTree::Build(points).value();
+  std::vector<bool> accept(300, false);
+  Rng rng(9);
+  for (size_t i = 0; i < 300; ++i) accept[i] = rng.Bernoulli(0.4);
+  std::vector<std::vector<double>> filtered;
+  std::vector<size_t> original_idx;
+  for (size_t i = 0; i < 300; ++i) {
+    if (accept[i]) {
+      filtered.push_back(points[i]);
+      original_idx.push_back(i);
+    }
+  }
+  const std::vector<double> q = {1.0, -1.0, 0.5};
+  const auto expected_local = BruteForce(filtered, q, 5);
+  const auto actual = tree.NearestWhere(q, 5, accept);
+  ASSERT_EQ(actual.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(actual[i], original_idx[expected_local[i]]);
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  std::vector<std::vector<double>> points(50, {1.0, 1.0});
+  points.push_back({2.0, 2.0});
+  const KdTree tree = KdTree::Build(points).value();
+  const std::vector<double> q = {1.0, 1.0};
+  const auto nn = tree.Nearest(q, 3);
+  EXPECT_EQ(nn.size(), 3u);
+  for (size_t idx : nn) EXPECT_LT(idx, 50u);  // all duplicates, not (2,2)
+}
+
+TEST(KdTreeTest, RejectsEmptyAndRagged) {
+  EXPECT_FALSE(KdTree::Build({}).ok());
+  EXPECT_FALSE(KdTree::Build({{1.0, 2.0}, {1.0}}).ok());
+  EXPECT_FALSE(KdTree::Build({{}}).ok());
+}
+
+class KdTreeDimSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdTreeDimSweep, CorrectAcrossDimensionalities) {
+  const size_t d = GetParam();
+  const auto points = RandomPoints(200, d, 10 + d);
+  const KdTree tree = KdTree::Build(points).value();
+  Rng rng(20 + d);
+  std::vector<double> q(d);
+  for (auto& v : q) v = rng.Uniform(-10.0, 10.0);
+  EXPECT_EQ(tree.Nearest(q, 5), BruteForce(points, q, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdTreeDimSweep,
+                         ::testing::Values(1, 2, 5, 10, 25));
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,125 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+// Three well-separated blobs in 2D.
+std::vector<std::vector<double>> MakeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  std::vector<std::vector<double>> points;
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({rng.Normal(centers[b][0], 0.5),
+                        rng.Normal(centers[b][1], 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversBlobs) {
+  const auto points = MakeBlobs(100, 1);
+  const KMeansResult result = RunKMeans(points, 3).value();
+  // Every blob maps to a single cluster.
+  for (int b = 0; b < 3; ++b) {
+    std::set<size_t> ids;
+    for (size_t i = 0; i < 100; ++i) ids.insert(result.assignment[b * 100 + i]);
+    EXPECT_EQ(ids.size(), 1u) << "blob " << b;
+  }
+  // And the three blobs map to three distinct clusters.
+  std::set<size_t> reps = {result.assignment[0], result.assignment[100],
+                           result.assignment[200]};
+  EXPECT_EQ(reps.size(), 3u);
+}
+
+TEST(KMeansTest, SseDecreasesWithK) {
+  const auto points = MakeBlobs(50, 2);
+  double prev = 1e300;
+  for (size_t k : {1, 2, 3, 6}) {
+    const KMeansResult r = RunKMeans(points, k).value();
+    EXPECT_LE(r.sse, prev + 1e-9) << "k=" << k;
+    prev = r.sse;
+  }
+}
+
+TEST(KMeansTest, KOneIsCentroidOfAll) {
+  const auto points = MakeBlobs(20, 3);
+  const KMeansResult r = RunKMeans(points, 1).value();
+  ASSERT_EQ(r.centroids.size(), 1u);
+  double mean0 = 0.0;
+  for (const auto& p : points) mean0 += p[0];
+  mean0 /= static_cast<double>(points.size());
+  EXPECT_NEAR(r.centroids[0][0], mean0, 1e-9);
+}
+
+TEST(KMeansTest, AssignmentIsNearestCentroid) {
+  const auto points = MakeBlobs(40, 4);
+  const KMeansResult r = RunKMeans(points, 3).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(r.assignment[i], NearestCentroid(r.centroids, points[i]));
+  }
+}
+
+TEST(KMeansTest, SseMatchesAssignment) {
+  const auto points = MakeBlobs(30, 5);
+  const KMeansResult r = RunKMeans(points, 2).value();
+  double sse = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    sse += SquaredDistance(points[i], r.centroids[r.assignment[i]]);
+  }
+  EXPECT_NEAR(r.sse, sse, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const auto points = MakeBlobs(50, 6);
+  KMeansOptions opt;
+  opt.seed = 77;
+  const KMeansResult a = RunKMeans(points, 3, opt).value();
+  const KMeansResult b = RunKMeans(points, 3, opt).value();
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+TEST(KMeansTest, KEqualsNIsZeroSse) {
+  const auto points = MakeBlobs(5, 7);  // 15 distinct points
+  const KMeansResult r = RunKMeans(points, points.size()).value();
+  EXPECT_NEAR(r.sse, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> points(20, {1.0, 1.0});
+  const KMeansResult r = RunKMeans(points, 3).value();
+  EXPECT_NEAR(r.sse, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsBadInputs) {
+  const auto points = MakeBlobs(10, 8);
+  EXPECT_FALSE(RunKMeans(points, 0).ok());
+  EXPECT_FALSE(RunKMeans(points, points.size() + 1).ok());
+  EXPECT_FALSE(RunKMeans({}, 1).ok());
+  EXPECT_FALSE(RunKMeans({{1.0}, {1.0, 2.0}}, 1).ok());
+}
+
+TEST(NearestCentroidTest, PicksClosest) {
+  const std::vector<std::vector<double>> centroids = {{0, 0}, {10, 0}};
+  const std::vector<double> near_first = {1.0, 0.0};
+  const std::vector<double> near_second = {9.0, 0.0};
+  EXPECT_EQ(NearestCentroid(centroids, near_first), 0u);
+  EXPECT_EQ(NearestCentroid(centroids, near_second), 1u);
+}
+
+TEST(NearestCentroidTest, TieGoesToLowerIndex) {
+  const std::vector<std::vector<double>> centroids = {{-1, 0}, {1, 0}};
+  const std::vector<double> middle = {0.0, 0.0};
+  EXPECT_EQ(NearestCentroid(centroids, middle), 0u);
+}
+
+}  // namespace
+}  // namespace falcc

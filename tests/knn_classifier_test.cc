@@ -1,0 +1,118 @@
+#include "ml/knn_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeBlobs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    const int y = rng.Bernoulli(0.5) ? 1 : 0;
+    const double mu = y == 1 ? 2.0 : -2.0;
+    features.push_back(rng.Normal(mu, 1.0));
+    features.push_back(rng.Normal(mu, 1.0));
+    labels.push_back(y);
+  }
+  return Dataset::Create({"x0", "x1"}, std::move(features), 2,
+                         std::move(labels), {})
+      .value();
+}
+
+TEST(KnnClassifierTest, LearnsBlobs) {
+  const Dataset train = MakeBlobs(1000, 1);
+  const Dataset test = MakeBlobs(300, 2);
+  KnnClassifier model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(model, test), 0.95);
+}
+
+TEST(KnnClassifierTest, OneNearestNeighborMemorizes) {
+  const Dataset d = MakeBlobs(200, 3);
+  KnnClassifierOptions opt;
+  opt.k = 1;
+  KnnClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(model, d), 1.0);
+}
+
+TEST(KnnClassifierTest, ProbaIsNeighborFraction) {
+  // 3 points at x=0 with labels {1,1,0}; k=3 -> proba 2/3 at x=0.
+  Dataset d = Dataset::Create({"x"}, {0.0, 0.01, -0.01, 100.0}, 1,
+                              {1, 1, 0, 0}, {})
+                  .value();
+  KnnClassifierOptions opt;
+  opt.k = 3;
+  KnnClassifier model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::vector<double> q = {0.0};
+  EXPECT_NEAR(model.PredictProba(q), 2.0 / 3.0, 1e-9);
+}
+
+TEST(KnnClassifierTest, VoteWeightsBias) {
+  Dataset d = Dataset::Create({"x"}, {0.0, 0.01}, 1, {0, 1}, {}).value();
+  KnnClassifierOptions opt;
+  opt.k = 2;
+  KnnClassifier model(opt);
+  const std::vector<double> w = {1.0, 10.0};
+  ASSERT_TRUE(model.Fit(d, w).ok());
+  const std::vector<double> q = {0.0};
+  EXPECT_EQ(model.Predict(q), 1);
+}
+
+TEST(KnnClassifierTest, StandardizationMakesScalesComparable) {
+  // Feature 1 has a huge scale but carries no signal; feature 0 decides.
+  Rng rng(5);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < 500; ++i) {
+    const int y = rng.Bernoulli(0.5) ? 1 : 0;
+    features.push_back(y == 1 ? rng.Normal(2, 1) : rng.Normal(-2, 1));
+    features.push_back(rng.Normal(0.0, 1e6));
+    labels.push_back(y);
+  }
+  Dataset d = Dataset::Create({"signal", "huge_noise"}, std::move(features),
+                              2, std::move(labels), {})
+                  .value();
+  KnnClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.85);
+}
+
+TEST(KnnClassifierTest, CopyAndCloneKeepState) {
+  const Dataset d = MakeBlobs(200, 6);
+  KnnClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  KnnClassifier copy = model;
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(i)),
+                     copy.PredictProba(d.Row(i)));
+    EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(i)),
+                     clone->PredictProba(d.Row(i)));
+  }
+}
+
+TEST(KnnClassifierTest, RejectsBadConfig) {
+  const Dataset d = MakeBlobs(50, 7);
+  KnnClassifierOptions opt;
+  opt.k = 0;
+  KnnClassifier model(opt);
+  EXPECT_FALSE(model.Fit(d).ok());
+  Dataset empty;
+  KnnClassifier model2;
+  EXPECT_FALSE(model2.Fit(empty).ok());
+}
+
+TEST(KnnClassifierTest, NameIncludesK) {
+  KnnClassifierOptions opt;
+  opt.k = 15;
+  EXPECT_EQ(KnnClassifier(opt).Name(), "kNN(k=15)");
+}
+
+}  // namespace
+}  // namespace falcc

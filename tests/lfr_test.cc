@@ -1,0 +1,149 @@
+#include "baselines/lfr.h"
+
+#include <gtest/gtest.h>
+
+#include "data/groups.h"
+#include "datagen/synthetic.h"
+#include "fairness/metrics.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeBiased(size_t n = 1200, double bias = 0.4, uint64_t seed = 5) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.bias = bias;
+  cfg.seed = seed;
+  return GenerateSocialBias(cfg).value();
+}
+
+double DpBias(const Classifier& model, const Dataset& d) {
+  const GroupIndex index = GroupIndex::Build(d).value();
+  const std::vector<size_t> groups = index.GroupsOf(d).value();
+  const std::vector<int> preds = PredictAll(model, d);
+  GroupedPredictions in;
+  in.labels = d.labels();
+  in.predictions = preds;
+  in.groups = groups;
+  in.num_groups = index.num_groups();
+  return DemographicParity(in).value();
+}
+
+TEST(LfrTest, TrainingDecreasesLoss) {
+  const Dataset d = MakeBiased(600);
+  LfrOptions zero;
+  zero.max_iterations = 0;
+  zero.seed = 3;
+  LfrClassifier untrained(zero);
+  ASSERT_TRUE(untrained.Fit(d).ok());
+  const double loss_before = untrained.EvaluateLoss(d).value();
+
+  LfrOptions trained_opt = zero;
+  trained_opt.max_iterations = 120;
+  LfrClassifier trained(trained_opt);
+  ASSERT_TRUE(trained.Fit(d).ok());
+  const double loss_after = trained.EvaluateLoss(d).value();
+  EXPECT_LT(loss_after, loss_before);
+}
+
+TEST(LfrTest, ReducesBiasVersusPlainTree) {
+  const Dataset d = MakeBiased(1500, 0.5);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  LfrClassifier lfr;
+  ASSERT_TRUE(lfr.Fit(d).ok());
+  EXPECT_LT(DpBias(lfr, d), DpBias(tree, d));
+}
+
+TEST(LfrTest, RetainsSignal) {
+  const Dataset d = MakeBiased(1500, 0.2);
+  LfrClassifier lfr;
+  ASSERT_TRUE(lfr.Fit(d).ok());
+  EXPECT_GT(Accuracy(lfr, d), 0.55);
+}
+
+TEST(LfrTest, RepresentationIsSimplex) {
+  const Dataset d = MakeBiased(400);
+  LfrOptions opt;
+  opt.num_prototypes = 8;
+  LfrClassifier lfr(opt);
+  ASSERT_TRUE(lfr.Fit(d).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const std::vector<double> m = lfr.Representation(d.Row(i));
+    ASSERT_EQ(m.size(), 8u);
+    double sum = 0.0;
+    for (double v : m) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LfrTest, ProbaBounded) {
+  const Dataset d = MakeBiased(400);
+  LfrClassifier lfr;
+  ASSERT_TRUE(lfr.Fit(d).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double p = lfr.PredictProba(d.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LfrTest, DeterministicForSeed) {
+  const Dataset d = MakeBiased(400);
+  LfrOptions opt;
+  opt.seed = 11;
+  opt.max_iterations = 30;
+  LfrClassifier a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(LfrTest, SubsamplingCapsTrainingRows) {
+  const Dataset d = MakeBiased(2000);
+  LfrOptions opt;
+  opt.max_train_rows = 200;
+  opt.max_iterations = 20;
+  LfrClassifier lfr(opt);
+  EXPECT_TRUE(lfr.Fit(d).ok());  // must not blow up; just works on a cap
+}
+
+TEST(LfrTest, RejectsBadInputs) {
+  const Dataset d = MakeBiased(100);
+  LfrOptions opt;
+  opt.num_prototypes = 1;
+  LfrClassifier lfr(opt);
+  EXPECT_FALSE(lfr.Fit(d).ok());
+
+  LfrClassifier lfr2;
+  std::vector<double> weights(d.num_rows(), 1.0);
+  EXPECT_FALSE(lfr2.Fit(d, weights).ok());  // weights unsupported
+
+  const Dataset no_sens =
+      Dataset::Create({"a"}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1,
+                      {0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, {})
+          .value();
+  LfrClassifier lfr3;
+  EXPECT_FALSE(lfr3.Fit(no_sens).ok());  // needs sensitive groups
+}
+
+TEST(LfrTest, CloneKeepsState) {
+  const Dataset d = MakeBiased(300);
+  LfrOptions opt;
+  opt.max_iterations = 20;
+  LfrClassifier lfr(opt);
+  ASSERT_TRUE(lfr.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = lfr.Clone();
+  EXPECT_DOUBLE_EQ(lfr.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+}  // namespace
+}  // namespace falcc

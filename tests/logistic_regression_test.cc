@@ -1,0 +1,108 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeLinear(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Normal();
+    const double x1 = rng.Normal();
+    features.push_back(x0);
+    features.push_back(x1);
+    labels.push_back(2.0 * x0 - x1 > 0.0 ? 1 : 0);
+  }
+  return Dataset::Create({"x0", "x1"}, std::move(features), 2,
+                         std::move(labels), {})
+      .value();
+}
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  const Dataset train = MakeLinear(2000, 1);
+  const Dataset test = MakeLinear(500, 2);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(model, test), 0.95);
+}
+
+TEST(LogisticRegressionTest, ScaleInvariantViaStandardization) {
+  // Same data, one feature scaled by 1e6 — accuracy should not collapse.
+  Rng rng(3);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < 1000; ++i) {
+    const double x0 = rng.Normal() * 1e6;
+    const double x1 = rng.Normal();
+    features.push_back(x0);
+    features.push_back(x1);
+    labels.push_back(x0 / 1e6 - x1 > 0.0 ? 1 : 0);
+  }
+  Dataset d = Dataset::Create({"big", "small"}, std::move(features), 2,
+                              std::move(labels), {})
+                  .value();
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GT(Accuracy(model, d), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbaCalibratedDirection) {
+  const Dataset d = MakeLinear(1000, 4);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  // A point deep in the positive region has high probability.
+  const std::vector<double> positive = {3.0, -3.0};
+  const std::vector<double> negative = {-3.0, 3.0};
+  EXPECT_GT(model.PredictProba(positive), 0.9);
+  EXPECT_LT(model.PredictProba(negative), 0.1);
+}
+
+TEST(LogisticRegressionTest, SampleWeightsShiftBoundary) {
+  Dataset d = Dataset::Create({"x"}, {1.0, 1.0}, 1, {0, 1}, {}).value();
+  LogisticRegression model;
+  const std::vector<double> w = {0.01, 0.99};
+  ASSERT_TRUE(model.Fit(d, w).ok());
+  EXPECT_EQ(model.Predict(d.Row(0)), 1);
+}
+
+TEST(LogisticRegressionTest, Deterministic) {
+  const Dataset d = MakeLinear(500, 5);
+  LogisticRegression a, b;
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(LogisticRegressionTest, CloneKeepsState) {
+  const Dataset d = MakeLinear(300, 6);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(0)),
+                   clone->PredictProba(d.Row(0)));
+}
+
+TEST(LogisticRegressionTest, RejectsEmptyData) {
+  Dataset empty;
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(LogisticRegressionTest, CoefficientSignsMatchGenerator) {
+  const Dataset d = MakeLinear(2000, 7);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  ASSERT_EQ(model.coefficients().size(), 2u);
+  EXPECT_GT(model.coefficients()[0], 0.0);  // +2 x0
+  EXPECT_LT(model.coefficients()[1], 0.0);  // -1 x1
+}
+
+}  // namespace
+}  // namespace falcc

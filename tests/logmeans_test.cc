@@ -1,0 +1,92 @@
+#include "cluster/logmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+// `k` well-separated blobs in 2D.
+std::vector<std::vector<double>> MakeBlobs(size_t k, size_t per_blob,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (size_t b = 0; b < k; ++b) {
+    const double cx = static_cast<double>(b % 4) * 20.0;
+    const double cy = static_cast<double>(b / 4) * 20.0;
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({rng.Normal(cx, 0.4), rng.Normal(cy, 0.4)});
+    }
+  }
+  return points;
+}
+
+TEST(LogMeansTest, FindsFourBlobs) {
+  const auto points = MakeBlobs(4, 80, 1);
+  const KEstimate est = EstimateKLogMeans(points).value();
+  EXPECT_GE(est.k, 3u);
+  EXPECT_LE(est.k, 6u);
+}
+
+TEST(LogMeansTest, FindsTwoBlobs) {
+  const auto points = MakeBlobs(2, 100, 2);
+  const KEstimate est = EstimateKLogMeans(points).value();
+  EXPECT_EQ(est.k, 2u);
+}
+
+TEST(LogMeansTest, EvaluatesFarFewerThanElbow) {
+  const auto points = MakeBlobs(4, 60, 3);
+  KEstimationOptions opt;
+  opt.k_max = 32;
+  const KEstimate log_est = EstimateKLogMeans(points, opt).value();
+  const KEstimate elbow_est = EstimateKElbow(points, opt).value();
+  EXPECT_LT(log_est.evaluated.size(), elbow_est.evaluated.size());
+}
+
+TEST(LogMeansTest, RespectsKMaxSmallerThanData) {
+  const auto points = MakeBlobs(2, 5, 4);  // 10 points
+  KEstimationOptions opt;
+  opt.k_max = 64;  // larger than the point count
+  const KEstimate est = EstimateKLogMeans(points, opt).value();
+  EXPECT_LE(est.k, 10u);
+}
+
+TEST(LogMeansTest, DeterministicForSeed) {
+  const auto points = MakeBlobs(3, 50, 5);
+  KEstimationOptions opt;
+  opt.kmeans.seed = 9;
+  const KEstimate a = EstimateKLogMeans(points, opt).value();
+  const KEstimate b = EstimateKLogMeans(points, opt).value();
+  EXPECT_EQ(a.k, b.k);
+}
+
+TEST(LogMeansTest, RejectsBadOptions) {
+  const auto points = MakeBlobs(2, 10, 6);
+  KEstimationOptions opt;
+  opt.k_min = 10;
+  opt.k_max = 2;
+  EXPECT_FALSE(EstimateKLogMeans(points, opt).ok());
+  EXPECT_FALSE(EstimateKLogMeans({}, {}).ok());
+}
+
+TEST(ElbowTest, FindsThreeBlobs) {
+  const auto points = MakeBlobs(3, 80, 7);
+  KEstimationOptions opt;
+  opt.k_max = 10;
+  const KEstimate est = EstimateKElbow(points, opt).value();
+  EXPECT_GE(est.k, 2u);
+  EXPECT_LE(est.k, 5u);
+}
+
+TEST(ElbowTest, EvaluatesFullRange) {
+  const auto points = MakeBlobs(2, 30, 8);
+  KEstimationOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 8;
+  const KEstimate est = EstimateKElbow(points, opt).value();
+  EXPECT_EQ(est.evaluated.size(), 7u);
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,296 @@
+#include "fairness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+GroupedPredictions Make(const std::vector<int>& labels,
+                        const std::vector<int>& predictions,
+                        const std::vector<size_t>& groups,
+                        size_t num_groups) {
+  GroupedPredictions in;
+  in.labels = labels;
+  in.predictions = predictions;
+  in.groups = groups;
+  in.num_groups = num_groups;
+  return in;
+}
+
+TEST(DemographicParityTest, PerfectParityIsZero) {
+  // Both groups get 50% positive predictions.
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<int> z = {1, 0, 1, 0};
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(DemographicParity(Make(y, z, g, 2)).value(), 0.0);
+}
+
+TEST(DemographicParityTest, MaximalDisparity) {
+  // Group 0 all positive, group 1 all negative; overall rate 0.5.
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<int> z = {1, 1, 0, 0};
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  // |1 - 0.5| and |0 - 0.5| average to 0.5.
+  EXPECT_DOUBLE_EQ(DemographicParity(Make(y, z, g, 2)).value(), 0.5);
+}
+
+TEST(DemographicParityTest, HandComputedValue) {
+  // Group 0: 2/3 positive; group 1: 1/3; overall: 1/2.
+  const std::vector<int> z = {1, 1, 0, 1, 0, 0};
+  const std::vector<int> y = z;
+  const std::vector<size_t> g = {0, 0, 0, 1, 1, 1};
+  // (|2/3-1/2| + |1/3-1/2|) / 2 = 1/6.
+  EXPECT_NEAR(DemographicParity(Make(y, z, g, 2)).value(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(DemographicParityTest, LabelsIrrelevant) {
+  const std::vector<int> z = {1, 0, 1, 0};
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  const std::vector<int> y1 = {1, 1, 1, 1};
+  const std::vector<int> y2 = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(DemographicParity(Make(y1, z, g, 2)).value(),
+                   DemographicParity(Make(y2, z, g, 2)).value());
+}
+
+TEST(EqualizedOddsTest, PerfectPredictorEqualBaseRates) {
+  // Perfect predictions with equal base rates per group: zero.
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<int> z = y;
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(EqualizedOdds(Make(y, z, g, 2)).value(), 0.0);
+}
+
+TEST(EqualizedOddsTest, GroupConditionalErrorDetected) {
+  // Among true positives: group 0 predicted 1, group 1 predicted 0.
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<int> z = {1, 0, 0, 0};
+  const std::vector<size_t> g = {0, 1, 0, 1};
+  EXPECT_GT(EqualizedOdds(Make(y, z, g, 2)).value(), 0.0);
+}
+
+TEST(EqualOpportunityTest, OnlyPositiveLabelMatters) {
+  // Disparity exists only among y=0 rows: eq_op is zero.
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<int> z = {1, 1, 1, 0};
+  const std::vector<size_t> g = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(EqualOpportunity(Make(y, z, g, 2)).value(), 0.0);
+  EXPECT_GT(EqualizedOdds(Make(y, z, g, 2)).value(), 0.0);
+}
+
+TEST(EqualOpportunityTest, DetectsTprGap) {
+  const std::vector<int> y = {1, 1, 1, 1};
+  const std::vector<int> z = {1, 1, 0, 0};
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  // TPR group 0 = 1, group 1 = 0, overall 0.5 -> mean dev 0.5.
+  EXPECT_DOUBLE_EQ(EqualOpportunity(Make(y, z, g, 2)).value(), 0.5);
+}
+
+TEST(TreatmentEqualityTest, NoErrorsIsFair) {
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<int> z = y;
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(TreatmentEquality(Make(y, z, g, 2)).value(), 0.0);
+}
+
+TEST(TreatmentEqualityTest, OppositeErrorProfiles) {
+  // Group 0 errs only with FPs, group 1 only with FNs.
+  const std::vector<int> y = {0, 0, 1, 1};
+  const std::vector<int> z = {1, 1, 0, 0};
+  const std::vector<size_t> g = {0, 0, 1, 1};
+  // Ratios: group0 = 1, group1 = 0, overall 0.5 -> 0.5.
+  EXPECT_DOUBLE_EQ(TreatmentEquality(Make(y, z, g, 2)).value(), 0.5);
+}
+
+TEST(MetricsTest, AllBoundedZeroOne) {
+  Rng rng(1);
+  std::vector<int> y(200), z(200);
+  std::vector<size_t> g(200);
+  for (size_t i = 0; i < 200; ++i) {
+    y[i] = rng.Bernoulli(0.4);
+    z[i] = rng.Bernoulli(0.6);
+    g[i] = rng.UniformInt(3);
+  }
+  const GroupedPredictions in = Make(y, z, g, 3);
+  for (FairnessMetric m :
+       {FairnessMetric::kDemographicParity, FairnessMetric::kEqualizedOdds,
+        FairnessMetric::kEqualOpportunity,
+        FairnessMetric::kTreatmentEquality}) {
+    const double bias = ComputeBias(m, in).value();
+    EXPECT_GE(bias, 0.0) << FairnessMetricName(m);
+    EXPECT_LE(bias, 1.0) << FairnessMetricName(m);
+  }
+}
+
+TEST(MetricsTest, SingleGroupIsAlwaysFair) {
+  const std::vector<int> y = {1, 0, 1};
+  const std::vector<int> z = {0, 1, 1};
+  const std::vector<size_t> g = {0, 0, 0};
+  const GroupedPredictions in = Make(y, z, g, 1);
+  EXPECT_DOUBLE_EQ(DemographicParity(in).value(), 0.0);
+  EXPECT_DOUBLE_EQ(EqualizedOdds(in).value(), 0.0);
+  EXPECT_DOUBLE_EQ(TreatmentEquality(in).value(), 0.0);
+}
+
+TEST(MetricsTest, ValidationErrors) {
+  const std::vector<int> y = {1};
+  const std::vector<int> z = {1, 0};
+  const std::vector<size_t> g = {0};
+  EXPECT_FALSE(DemographicParity(Make(y, z, g, 1)).ok());
+
+  const std::vector<int> y2 = {2};
+  const std::vector<int> z2 = {0};
+  EXPECT_FALSE(DemographicParity(Make(y2, z2, g, 1)).ok());
+
+  const std::vector<int> y3 = {1};
+  const std::vector<int> z3 = {1};
+  const std::vector<size_t> g3 = {5};
+  EXPECT_FALSE(DemographicParity(Make(y3, z3, g3, 1)).ok());
+
+  EXPECT_FALSE(DemographicParity(Make({}, {}, {}, 1)).ok());
+}
+
+TEST(MetricsTest, NamesStable) {
+  EXPECT_EQ(FairnessMetricName(FairnessMetric::kDemographicParity), "dp");
+  EXPECT_EQ(FairnessMetricName(FairnessMetric::kEqualizedOdds), "eq_od");
+  EXPECT_EQ(FairnessMetricName(FairnessMetric::kEqualOpportunity), "eq_op");
+  EXPECT_EQ(FairnessMetricName(FairnessMetric::kTreatmentEquality), "tr_eq");
+}
+
+TEST(MetricsPropertyTest, DpInvariantUnderGroupRelabeling) {
+  // Swapping group ids must not change any mean-difference metric.
+  Rng rng(7);
+  std::vector<int> y(150), z(150);
+  std::vector<size_t> g(150), swapped(150);
+  for (size_t i = 0; i < 150; ++i) {
+    y[i] = rng.Bernoulli(0.5);
+    z[i] = rng.Bernoulli(0.5);
+    g[i] = rng.UniformInt(2);
+    swapped[i] = 1 - g[i];
+  }
+  for (FairnessMetric m :
+       {FairnessMetric::kDemographicParity, FairnessMetric::kEqualizedOdds,
+        FairnessMetric::kEqualOpportunity,
+        FairnessMetric::kTreatmentEquality}) {
+    EXPECT_DOUBLE_EQ(ComputeBias(m, Make(y, z, g, 2)).value(),
+                     ComputeBias(m, Make(y, z, swapped, 2)).value())
+        << FairnessMetricName(m);
+  }
+}
+
+TEST(MetricsPropertyTest, DpInvariantUnderSampleShuffle) {
+  Rng rng(8);
+  std::vector<int> y(100), z(100);
+  std::vector<size_t> g(100);
+  for (size_t i = 0; i < 100; ++i) {
+    y[i] = rng.Bernoulli(0.4);
+    z[i] = rng.Bernoulli(0.6);
+    g[i] = rng.UniformInt(3);
+  }
+  const double before = DemographicParity(Make(y, z, g, 3)).value();
+  const std::vector<size_t> perm = rng.Permutation(100);
+  std::vector<int> y2(100), z2(100);
+  std::vector<size_t> g2(100);
+  for (size_t i = 0; i < 100; ++i) {
+    y2[i] = y[perm[i]];
+    z2[i] = z[perm[i]];
+    g2[i] = g[perm[i]];
+  }
+  EXPECT_DOUBLE_EQ(DemographicParity(Make(y2, z2, g2, 3)).value(), before);
+}
+
+TEST(MetricsPropertyTest, EqualizedOddsIsMeanOfConditionalParities) {
+  // eq_od averages the y=0 and y=1 conditional deviations; eq_op is the
+  // y=1 half, so eq_od must lie between eq_op/2 and eq_op/2 + 1/2.
+  Rng rng(9);
+  std::vector<int> y(200), z(200);
+  std::vector<size_t> g(200);
+  for (size_t i = 0; i < 200; ++i) {
+    y[i] = rng.Bernoulli(0.5);
+    z[i] = rng.Bernoulli(0.5);
+    g[i] = rng.UniformInt(2);
+  }
+  const GroupedPredictions in = Make(y, z, g, 2);
+  const double eq_od = EqualizedOdds(in).value();
+  const double eq_op = EqualOpportunity(in).value();
+  EXPECT_GE(eq_od, eq_op / 2.0 - 1e-12);
+  EXPECT_LE(eq_od, eq_op / 2.0 + 0.5 + 1e-12);
+}
+
+TEST(MetricsPropertyTest, DuplicatingAllSamplesPreservesMetrics) {
+  Rng rng(10);
+  std::vector<int> y(80), z(80);
+  std::vector<size_t> g(80);
+  for (size_t i = 0; i < 80; ++i) {
+    y[i] = rng.Bernoulli(0.5);
+    z[i] = rng.Bernoulli(0.5);
+    g[i] = rng.UniformInt(2);
+  }
+  std::vector<int> y2 = y, z2 = z;
+  std::vector<size_t> g2 = g;
+  y2.insert(y2.end(), y.begin(), y.end());
+  z2.insert(z2.end(), z.begin(), z.end());
+  g2.insert(g2.end(), g.begin(), g.end());
+  for (FairnessMetric m :
+       {FairnessMetric::kDemographicParity, FairnessMetric::kEqualizedOdds,
+        FairnessMetric::kTreatmentEquality}) {
+    EXPECT_NEAR(ComputeBias(m, Make(y, z, g, 2)).value(),
+                ComputeBias(m, Make(y2, z2, g2, 2)).value(), 1e-12)
+        << FairnessMetricName(m);
+  }
+}
+
+TEST(ConsistencyTest, UnanimousNeighborhoodIsOne) {
+  const std::vector<int> z = {1, 1, 1};
+  const std::vector<std::vector<size_t>> nn = {{1, 2}, {0, 2}, {0, 1}};
+  EXPECT_DOUBLE_EQ(Consistency(z, nn).value(), 1.0);
+}
+
+TEST(ConsistencyTest, FullyInconsistent) {
+  // Each sample disagrees with all its neighbors.
+  const std::vector<int> z = {1, 0};
+  const std::vector<std::vector<size_t>> nn = {{1}, {0}};
+  EXPECT_DOUBLE_EQ(Consistency(z, nn).value(), 0.0);
+}
+
+TEST(ConsistencyTest, PartialDisagreement) {
+  const std::vector<int> z = {1, 1, 0};
+  const std::vector<std::vector<size_t>> nn = {{1, 2}, {0, 2}, {0, 1}};
+  // deviations: |1-0.5| + |1-0.5| + |0-1| = 2 -> 1 - 2/3.
+  EXPECT_NEAR(Consistency(z, nn).value(), 1.0 - 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConsistencyTest, IsolatedSamplesCountConsistent) {
+  const std::vector<int> z = {1, 0};
+  const std::vector<std::vector<size_t>> nn = {{}, {}};
+  EXPECT_DOUBLE_EQ(Consistency(z, nn).value(), 1.0);
+}
+
+TEST(ConsistencyKnnTest, ClusteredPredictionsAreConsistent) {
+  // Two spatial clusters, predictions constant within each.
+  std::vector<std::vector<double>> points;
+  std::vector<int> z;
+  Rng rng(2);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      points.push_back({rng.Normal(c * 20.0, 0.5)});
+      z.push_back(c);
+    }
+  }
+  EXPECT_DOUBLE_EQ(ConsistencyKnn(z, points, 5).value(), 1.0);
+}
+
+TEST(ConsistencyKnnTest, RandomPredictionsInconsistent) {
+  std::vector<std::vector<double>> points;
+  std::vector<int> z;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Normal()});
+    z.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_LT(ConsistencyKnn(z, points, 10).value(), 0.9);
+}
+
+}  // namespace
+}  // namespace falcc

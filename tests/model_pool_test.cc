@@ -1,0 +1,118 @@
+#include "core/model_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData() {
+  return Dataset::Create({"x", "s"}, {1, 0, 2, 1, 3, 0, 4, 1}, 2,
+                         {0, 0, 1, 1}, {1})
+      .value();
+}
+
+std::unique_ptr<Classifier> TrainedTree(const Dataset& d, uint64_t seed) {
+  DecisionTreeOptions opt;
+  opt.seed = seed;
+  auto tree = std::make_unique<DecisionTree>(opt);
+  EXPECT_TRUE(tree->Fit(d).ok());
+  return tree;
+}
+
+TEST(ModelPoolTest, AddAndAccess) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1));
+  pool.Add(TrainedTree(d, 2), {0});
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ModelPoolTest, ApplicabilityDefaultsToAllGroups) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1));
+  EXPECT_TRUE(pool.Applicable(0, 0));
+  EXPECT_TRUE(pool.Applicable(0, 99));
+}
+
+TEST(ModelPoolTest, RestrictedApplicability) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1), {1});
+  EXPECT_FALSE(pool.Applicable(0, 0));
+  EXPECT_TRUE(pool.Applicable(0, 1));
+}
+
+TEST(ModelPoolTest, PredictMatrixShape) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1));
+  pool.Add(TrainedTree(d, 2));
+  const auto votes = pool.PredictMatrix(d);
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_EQ(votes[0].size(), d.num_rows());
+  for (const auto& row : votes) {
+    for (int v : row) EXPECT_TRUE(v == 0 || v == 1);
+  }
+}
+
+TEST(EnumerateCombinationsTest, FullCrossProduct) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1));
+  pool.Add(TrainedTree(d, 2));
+  pool.Add(TrainedTree(d, 3));
+  const auto combos = EnumerateCombinations(pool, 2).value();
+  EXPECT_EQ(combos.size(), 9u);  // 3^2
+  // All combinations distinct.
+  for (size_t i = 0; i < combos.size(); ++i) {
+    for (size_t j = i + 1; j < combos.size(); ++j) {
+      EXPECT_NE(combos[i], combos[j]);
+    }
+  }
+}
+
+TEST(EnumerateCombinationsTest, RespectsApplicability) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1));       // all groups
+  pool.Add(TrainedTree(d, 2), {0});  // group 0 only
+  const auto combos = EnumerateCombinations(pool, 2).value();
+  // Group 0: 2 options; group 1: 1 option -> 2 combos.
+  EXPECT_EQ(combos.size(), 2u);
+  for (const auto& combo : combos) {
+    EXPECT_EQ(combo[1], 0u);  // group 1 must use model 0
+  }
+}
+
+TEST(EnumerateCombinationsTest, FailsWhenGroupUncovered) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  pool.Add(TrainedTree(d, 1), {0});
+  Result<std::vector<ModelCombination>> combos =
+      EnumerateCombinations(pool, 2);
+  EXPECT_FALSE(combos.ok());
+  EXPECT_EQ(combos.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EnumerateCombinationsTest, EnforcesCombinationLimit) {
+  const Dataset d = MakeData();
+  ModelPool pool;
+  for (int i = 0; i < 10; ++i) pool.Add(TrainedTree(d, i));
+  // 10^6 combinations exceed a limit of 1000.
+  EXPECT_FALSE(EnumerateCombinations(pool, 6, 1000).ok());
+}
+
+TEST(EnumerateCombinationsTest, RejectsEmptyInputs) {
+  ModelPool pool;
+  EXPECT_FALSE(EnumerateCombinations(pool, 1).ok());
+  const Dataset d = MakeData();
+  ModelPool pool2;
+  pool2.Add(TrainedTree(d, 1));
+  EXPECT_FALSE(EnumerateCombinations(pool2, 0).ok());
+}
+
+}  // namespace
+}  // namespace falcc

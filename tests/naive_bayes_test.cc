@@ -1,0 +1,97 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeGaussians(size_t n, uint64_t seed, double separation = 2.0) {
+  Rng rng(seed);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    const int y = rng.Bernoulli(0.5) ? 1 : 0;
+    const double mu = y == 1 ? separation / 2.0 : -separation / 2.0;
+    features.push_back(rng.Normal(mu, 1.0));
+    features.push_back(rng.Normal(mu, 1.0));
+    labels.push_back(y);
+  }
+  return Dataset::Create({"x0", "x1"}, std::move(features), 2,
+                         std::move(labels), {})
+      .value();
+}
+
+TEST(GaussianNBTest, LearnsGaussianBlobs) {
+  const Dataset train = MakeGaussians(2000, 1);
+  const Dataset test = MakeGaussians(500, 2);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(model, test), 0.9);
+}
+
+TEST(GaussianNBTest, ProbaNearHalfAtBoundary) {
+  const Dataset d = MakeGaussians(5000, 3);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::vector<double> boundary = {0.0, 0.0};
+  EXPECT_NEAR(model.PredictProba(boundary), 0.5, 0.1);
+}
+
+TEST(GaussianNBTest, SkewedPriorShiftsPrediction) {
+  // 90% negative class: ambiguous points lean negative.
+  Rng rng(4);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < 2000; ++i) {
+    const int y = rng.Bernoulli(0.1) ? 1 : 0;
+    const double mu = y == 1 ? 0.5 : -0.5;
+    features.push_back(rng.Normal(mu, 2.0));
+    labels.push_back(y);
+  }
+  Dataset d =
+      Dataset::Create({"x"}, std::move(features), 1, std::move(labels), {})
+          .value();
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::vector<double> ambiguous = {0.0};
+  EXPECT_LT(model.PredictProba(ambiguous), 0.5);
+}
+
+TEST(GaussianNBTest, HandlesSingleClassGracefully) {
+  Dataset d =
+      Dataset::Create({"x"}, {1.0, 2.0, 3.0}, 1, {1, 1, 1}, {}).value();
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_EQ(model.Predict(d.Row(0)), 1);
+}
+
+TEST(GaussianNBTest, WeightedFitRespectsWeights) {
+  // Same x, conflicting y: heavier class wins.
+  Dataset d = Dataset::Create({"x"}, {0.0, 0.0}, 1, {0, 1}, {}).value();
+  GaussianNaiveBayes model;
+  const std::vector<double> w = {0.1, 0.9};
+  ASSERT_TRUE(model.Fit(d, w).ok());
+  EXPECT_EQ(model.Predict(d.Row(0)), 1);
+}
+
+TEST(GaussianNBTest, CloneKeepsState) {
+  const Dataset d = MakeGaussians(500, 5);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(i)),
+                     clone->PredictProba(d.Row(i)));
+  }
+}
+
+TEST(GaussianNBTest, RejectsEmptyData) {
+  Dataset empty;
+  GaussianNaiveBayes model;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace falcc

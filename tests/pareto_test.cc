@@ -1,0 +1,88 @@
+#include "eval/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace falcc {
+namespace {
+
+TEST(ParetoFrontTest, SinglePointIsOptimal) {
+  const std::vector<QualityPoint> points = {{0.8, 0.1}};
+  EXPECT_EQ(ParetoFront(points), (std::vector<bool>{true}));
+}
+
+TEST(ParetoFrontTest, DominatedPointExcluded) {
+  const std::vector<QualityPoint> points = {
+      {0.9, 0.1},  // dominates the next
+      {0.8, 0.2},
+  };
+  EXPECT_EQ(ParetoFront(points), (std::vector<bool>{true, false}));
+}
+
+TEST(ParetoFrontTest, TradeoffPointsBothOptimal) {
+  const std::vector<QualityPoint> points = {
+      {0.9, 0.3},
+      {0.7, 0.1},
+  };
+  EXPECT_EQ(ParetoFront(points), (std::vector<bool>{true, true}));
+}
+
+TEST(ParetoFrontTest, EqualPointsBothOptimal) {
+  const std::vector<QualityPoint> points = {{0.8, 0.2}, {0.8, 0.2}};
+  EXPECT_EQ(ParetoFront(points), (std::vector<bool>{true, true}));
+}
+
+TEST(ParetoFrontTest, ChainOfDomination) {
+  const std::vector<QualityPoint> points = {
+      {0.9, 0.1}, {0.85, 0.15}, {0.8, 0.2}, {0.95, 0.05}};
+  EXPECT_EQ(ParetoFront(points),
+            (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(ParetoFrontTest, PartialDominationOnOneAxis) {
+  // Same accuracy, different bias: only the lower-bias one survives.
+  const std::vector<QualityPoint> points = {{0.8, 0.1}, {0.8, 0.3}};
+  EXPECT_EQ(ParetoFront(points), (std::vector<bool>{true, false}));
+}
+
+TEST(TopKByLossTest, OrdersByCombinedLoss) {
+  const std::vector<QualityPoint> points = {
+      {0.5, 0.5},   // L = 0.50
+      {0.9, 0.3},   // L = 0.20
+      {0.8, 0.0},   // L = 0.10
+      {0.99, 0.5},  // L = 0.255
+  };
+  const std::vector<size_t> top = TopKByLoss(points, 3, 0.5);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(top[2], 3u);
+}
+
+TEST(TopKByLossTest, ExactTiesBrokenByIndex) {
+  // Identical points have bit-identical losses: stable sort keeps order.
+  const std::vector<QualityPoint> points = {{0.8, 0.2}, {0.8, 0.2}};
+  const std::vector<size_t> top = TopKByLoss(points, 2, 0.5);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopKByLossTest, LambdaShiftsRanking) {
+  const std::vector<QualityPoint> points = {
+      {0.99, 0.5},  // great accuracy, bad bias
+      {0.6, 0.01},  // poor accuracy, great bias
+  };
+  EXPECT_EQ(TopKByLoss(points, 1, 1.0)[0], 0u);  // accuracy only
+  EXPECT_EQ(TopKByLoss(points, 1, 0.0)[0], 1u);  // bias only
+}
+
+TEST(TopKByLossTest, KLargerThanSize) {
+  const std::vector<QualityPoint> points = {{0.5, 0.5}};
+  EXPECT_EQ(TopKByLoss(points, 10, 0.5).size(), 1u);
+}
+
+TEST(TopKByLossTest, EmptyInput) {
+  EXPECT_TRUE(TopKByLoss({}, 3, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace falcc

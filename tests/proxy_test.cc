@@ -1,0 +1,150 @@
+#include "fairness/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+// Implicit dataset: columns 0..2 are proxies of the sensitive column 8.
+Dataset MakeProxyData(double bias = 0.4) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 4000;
+  cfg.num_proxies = 3;
+  cfg.bias = bias;
+  cfg.seed = 21;
+  return GenerateImplicitBias(cfg).value();
+}
+
+TEST(AnalyzeProxiesTest, ReportsOnlyNonSensitiveColumns) {
+  const Dataset d = MakeProxyData();
+  const auto reports = AnalyzeProxies(d, {}).value();
+  EXPECT_EQ(reports.size(), 8u);  // 9 features - 1 sensitive
+  for (const auto& r : reports) {
+    EXPECT_NE(r.column, d.sensitive_features()[0]);
+  }
+}
+
+TEST(AnalyzeProxiesTest, ProxiesGetLowerWeights) {
+  const Dataset d = MakeProxyData(0.5);
+  const auto reports = AnalyzeProxies(d, {}).value();
+  double proxy_weight = 0.0, other_weight = 0.0;
+  int proxies = 0, others = 0;
+  for (const auto& r : reports) {
+    if (r.column < 3) {
+      proxy_weight += r.weight;
+      ++proxies;
+    } else {
+      other_weight += r.weight;
+      ++others;
+    }
+  }
+  EXPECT_LT(proxy_weight / proxies, other_weight / others);
+}
+
+TEST(AnalyzeProxiesTest, WeightsInUnitInterval) {
+  const Dataset d = MakeProxyData();
+  for (const auto& r : AnalyzeProxies(d, {}).value()) {
+    EXPECT_GE(r.weight, 0.0);
+    EXPECT_LE(r.weight, 1.0);
+  }
+}
+
+TEST(AnalyzeProxiesTest, RemovalFlagsRespectThreshold) {
+  const Dataset d = MakeProxyData(0.5);
+  ProxyOptions strict;
+  strict.removal_threshold = 0.99;  // nothing correlates that strongly
+  for (const auto& r : AnalyzeProxies(d, strict).value()) {
+    EXPECT_FALSE(r.removed);
+  }
+  ProxyOptions loose;
+  loose.removal_threshold = 0.05;
+  int removed = 0;
+  for (const auto& r : AnalyzeProxies(d, loose).value()) {
+    removed += r.removed;
+  }
+  EXPECT_GE(removed, 3);  // at least the three proxies
+}
+
+TEST(AnalyzeProxiesTest, NoBiasNoRemovals) {
+  const Dataset d = MakeProxyData(0.0);
+  ProxyOptions opt;
+  opt.removal_threshold = 0.3;
+  for (const auto& r : AnalyzeProxies(d, opt).value()) {
+    EXPECT_FALSE(r.removed) << "column " << r.column;
+  }
+}
+
+TEST(AnalyzeProxiesTest, RejectsBadInputs) {
+  const Dataset d = MakeProxyData();
+  ProxyOptions opt;
+  opt.removal_threshold = 2.0;
+  EXPECT_FALSE(AnalyzeProxies(d, opt).ok());
+  const Dataset no_sens =
+      Dataset::Create({"a"}, {1.0, 2.0, 3.0}, 1, {0, 1, 0}, {}).value();
+  EXPECT_FALSE(AnalyzeProxies(no_sens, {}).ok());
+}
+
+TEST(BuildClusteringTransformTest, AlwaysDropsSensitive) {
+  const Dataset d = MakeProxyData();
+  for (ProxyMitigation strategy :
+       {ProxyMitigation::kNone, ProxyMitigation::kReweigh,
+        ProxyMitigation::kRemove}) {
+    ProxyOptions opt;
+    opt.strategy = strategy;
+    opt.removal_threshold = 0.2;
+    const ColumnTransform t =
+        BuildClusteringTransform(d, opt, ColumnTransform::Identity(9))
+            .value();
+    for (size_t kept : t.kept_columns()) {
+      EXPECT_NE(kept, d.sensitive_features()[0]);
+    }
+  }
+}
+
+TEST(BuildClusteringTransformTest, RemoveDropsProxies) {
+  const Dataset d = MakeProxyData(0.5);
+  ProxyOptions opt;
+  opt.strategy = ProxyMitigation::kRemove;
+  opt.removal_threshold = 0.1;
+  const ColumnTransform t =
+      BuildClusteringTransform(d, opt, ColumnTransform::Identity(9)).value();
+  for (size_t kept : t.kept_columns()) {
+    EXPECT_GE(kept, 3u);  // proxy columns 0..2 dropped
+  }
+  EXPECT_GE(t.num_output_features(), 1u);
+}
+
+TEST(BuildClusteringTransformTest, ReweighShrinksProxyContribution) {
+  const Dataset d = MakeProxyData(0.5);
+  ProxyOptions opt;
+  opt.strategy = ProxyMitigation::kReweigh;
+  const ColumnTransform t =
+      BuildClusteringTransform(d, opt, ColumnTransform::Identity(9)).value();
+  // A unit step along proxy column 0 maps to less than a unit step along
+  // a noise column (column 5 has lower |rho|, so higher weight).
+  std::vector<double> base(9, 0.0);
+  std::vector<double> step_proxy = base;
+  step_proxy[0] = 1.0;
+  std::vector<double> step_noise = base;
+  step_noise[5] = 1.0;
+  const auto tb = t.Apply(base);
+  const auto tp = t.Apply(step_proxy);
+  const auto tn = t.Apply(step_noise);
+  double proxy_shift = 0.0, noise_shift = 0.0;
+  for (size_t j = 0; j < tb.size(); ++j) {
+    proxy_shift += std::abs(tp[j] - tb[j]);
+    noise_shift += std::abs(tn[j] - tb[j]);
+  }
+  EXPECT_LT(proxy_shift, noise_shift);
+}
+
+TEST(BuildClusteringTransformTest, RejectsWidthMismatch) {
+  const Dataset d = MakeProxyData();
+  EXPECT_FALSE(
+      BuildClusteringTransform(d, {}, ColumnTransform::Identity(3)).ok());
+}
+
+}  // namespace
+}  // namespace falcc

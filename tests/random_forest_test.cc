@@ -1,0 +1,113 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeBlobs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    const int y = rng.Bernoulli(0.5) ? 1 : 0;
+    const double shift = y == 1 ? 1.0 : -1.0;
+    for (int j = 0; j < 4; ++j) features.push_back(rng.Normal(shift, 1.0));
+    labels.push_back(y);
+  }
+  return Dataset::Create({"a", "b", "c", "d"}, std::move(features), 4,
+                         std::move(labels), {})
+      .value();
+}
+
+TEST(RandomForestTest, LearnsBlobs) {
+  const Dataset train = MakeBlobs(1000, 1);
+  const Dataset test = MakeBlobs(500, 2);
+  RandomForest model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(model, test), 0.9);
+}
+
+TEST(RandomForestTest, ProbaIsVoteFraction) {
+  const Dataset d = MakeBlobs(200, 3);
+  RandomForestOptions opt;
+  opt.num_trees = 10;
+  RandomForest model(opt);
+  ASSERT_TRUE(model.Fit(d).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const double p = model.PredictProba(d.Row(i));
+    // With 10 trees the proba is a multiple of 0.1.
+    EXPECT_NEAR(p * 10.0, std::round(p * 10.0), 1e-9);
+  }
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  const Dataset d = MakeBlobs(300, 4);
+  RandomForestOptions opt;
+  opt.seed = 99;
+  RandomForest a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(d.Row(i)), b.PredictProba(d.Row(i)));
+  }
+}
+
+TEST(RandomForestTest, DifferentSeedsGiveDifferentForests) {
+  const Dataset d = MakeBlobs(300, 5);
+  RandomForestOptions opt_a;
+  opt_a.seed = 1;
+  RandomForestOptions opt_b;
+  opt_b.seed = 2;
+  RandomForest a(opt_a), b(opt_b);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < d.num_rows() && !any_diff; ++i) {
+    any_diff = a.PredictProba(d.Row(i)) != b.PredictProba(d.Row(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForestTest, ComposesWithSampleWeights) {
+  Dataset d = Dataset::Create({"x"}, {1.0, 1.0}, 1, {0, 1}, {}).value();
+  RandomForestOptions opt;
+  opt.num_trees = 30;
+  RandomForest model(opt);
+  const std::vector<double> w = {0.05, 0.95};
+  ASSERT_TRUE(model.Fit(d, w).ok());
+  EXPECT_EQ(model.Predict(d.Row(0)), 1);
+}
+
+TEST(RandomForestTest, CloneKeepsFittedState) {
+  const Dataset d = MakeBlobs(200, 6);
+  RandomForest model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const std::unique_ptr<Classifier> clone = model.Clone();
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(model.PredictProba(d.Row(i)),
+                     clone->PredictProba(d.Row(i)));
+  }
+}
+
+TEST(RandomForestTest, RejectsBadConfig) {
+  const Dataset d = MakeBlobs(50, 7);
+  RandomForestOptions opt;
+  opt.num_trees = 0;
+  RandomForest model(opt);
+  EXPECT_FALSE(model.Fit(d).ok());
+}
+
+TEST(RandomForestTest, NameReflectsOptions) {
+  RandomForestOptions opt;
+  opt.num_trees = 20;
+  opt.base.max_depth = 7;
+  EXPECT_EQ(RandomForest(opt).Name(), "RandomForest(B=20,depth=7,gini)");
+}
+
+}  // namespace
+}  // namespace falcc

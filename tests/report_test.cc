@@ -1,0 +1,49 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace falcc {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Separator line of dashes after the header.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table({"a", "b"});
+  table.AddRow({"xxxxx", "1"});
+  const std::string out = table.ToString();
+  // Header line pads "a" to the width of "xxxxx".
+  const size_t first_newline = out.find('\n');
+  const std::string header = out.substr(0, first_newline);
+  EXPECT_EQ(header.find('b'), 7u);  // "a" + 4 pad + 2 gap
+}
+
+TEST(TextTableTest, HeaderOnly) {
+  TextTable table({"solo"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("solo"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.123, 1), "12.3");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100");
+  EXPECT_EQ(FormatPercent(0.005, 1), "0.5");
+}
+
+}  // namespace
+}  // namespace falcc

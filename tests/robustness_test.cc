@@ -1,0 +1,190 @@
+// Robustness suite: degenerate and adversarial inputs through the full
+// FALCC pipeline and the substrates it depends on. These are the cases a
+// downstream user hits in practice — constant features, tiny groups,
+// single-label partitions, duplicated rows — and the pipeline must
+// either handle them or fail with a clean Status (never crash).
+
+#include <gtest/gtest.h>
+
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+FalccOptions FastOptions(uint64_t seed = 99) {
+  FalccOptions opt;
+  opt.seed = seed;
+  opt.trainer.estimator_grid = {5};
+  opt.trainer.depth_grid = {2};
+  opt.trainer.pool_size = 2;
+  opt.fixed_k = 2;
+  return opt;
+}
+
+Dataset WithConstantColumn(const Dataset& base) {
+  // Rebuild with an extra all-zero column in front.
+  std::vector<std::string> names = {"constant"};
+  for (const auto& n : base.feature_names()) names.push_back(n);
+  std::vector<double> features;
+  for (size_t i = 0; i < base.num_rows(); ++i) {
+    features.push_back(0.0);
+    const auto row = base.Row(i);
+    features.insert(features.end(), row.begin(), row.end());
+  }
+  std::vector<size_t> sensitive;
+  for (size_t s : base.sensitive_features()) sensitive.push_back(s + 1);
+  return Dataset::Create(std::move(names), std::move(features),
+                         base.num_features() + 1, base.labels(),
+                         std::move(sensitive))
+      .value();
+}
+
+TEST(RobustnessTest, ConstantFeatureColumnSurvivesPipeline) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 600;
+  cfg.seed = 31;
+  const Dataset d = WithConstantColumn(GenerateImplicitBias(cfg).value());
+  const TrainValTest s = SplitDatasetDefault(d, 31).value();
+  Result<FalccModel> model =
+      FalccModel::Train(s.train, s.validation, FastOptions());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().ClassifyAll(s.test).size(), s.test.num_rows());
+}
+
+TEST(RobustnessTest, TinyMinorityGroupSurvivesPipeline) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 800;
+  cfg.pr_favored = 0.97;  // ~3% minority
+  cfg.seed = 33;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  const TrainValTest s = SplitDatasetDefault(d, 33).value();
+  FalccOptions opt = FastOptions(33);
+  opt.fixed_k = 8;  // clusters will miss the minority -> gap filling
+  Result<FalccModel> model = FalccModel::Train(s.train, s.validation, opt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const std::vector<int> preds = model.value().ClassifyAll(s.test);
+  EXPECT_EQ(preds.size(), s.test.num_rows());
+}
+
+TEST(RobustnessTest, NearlyAllPositiveLabels) {
+  Rng rng(35);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < 400; ++i) {
+    features.push_back(rng.Normal());
+    features.push_back(rng.Bernoulli(0.5) ? 1.0 : 0.0);
+    labels.push_back(i < 8 ? 0 : 1);  // 2% negatives
+  }
+  const Dataset d = Dataset::Create({"x", "s"}, std::move(features), 2,
+                                    std::move(labels), {1})
+                        .value();
+  const TrainValTest s = SplitDatasetDefault(d, 35).value();
+  Result<FalccModel> model =
+      FalccModel::Train(s.train, s.validation, FastOptions(35));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+}
+
+TEST(RobustnessTest, DuplicatedRowsSurvivePipeline) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 150;
+  cfg.seed = 37;
+  Dataset d = GenerateImplicitBias(cfg).value();
+  // Triple every row.
+  std::vector<size_t> rows;
+  for (size_t rep = 0; rep < 3; ++rep) {
+    for (size_t i = 0; i < 150; ++i) rows.push_back(i);
+  }
+  const Dataset tripled = d.Subset(rows);
+  const TrainValTest s = SplitDatasetDefault(tripled, 37).value();
+  Result<FalccModel> model =
+      FalccModel::Train(s.train, s.validation, FastOptions(37));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+}
+
+TEST(RobustnessTest, OutOfDistributionSamplesClassify) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 600;
+  cfg.seed = 39;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  const TrainValTest s = SplitDatasetDefault(d, 39).value();
+  const FalccModel model =
+      FalccModel::Train(s.train, s.validation, FastOptions(39)).value();
+  // Extreme feature values and an unseen sensitive value.
+  std::vector<double> extreme(d.num_features(), 1e9);
+  extreme[d.sensitive_features()[0]] = 7.0;  // unseen group value
+  const int label = model.Classify(extreme);
+  EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST(RobustnessTest, ValidationSmallerThanGapFillK) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 90;  // validation ~31 rows < gap_fill_k * groups
+  cfg.seed = 41;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  const TrainValTest s = SplitDatasetDefault(d, 41).value();
+  FalccOptions opt = FastOptions(41);
+  opt.gap_fill_k = 50;
+  Result<FalccModel> model = FalccModel::Train(s.train, s.validation, opt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+}
+
+TEST(RobustnessTest, SingleGroupDatasetDegradesGracefully) {
+  // Every sample in the same sensitive group: FALCC devolves into plain
+  // per-region model selection.
+  Rng rng(43);
+  std::vector<double> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < 300; ++i) {
+    const int y = rng.Bernoulli(0.5) ? 1 : 0;
+    features.push_back(rng.Normal(y == 1 ? 1.0 : -1.0, 1.0));
+    features.push_back(1.0);  // constant sensitive value
+    labels.push_back(y);
+  }
+  const Dataset d = Dataset::Create({"x", "s"}, std::move(features), 2,
+                                    std::move(labels), {1})
+                        .value();
+  const TrainValTest s = SplitDatasetDefault(d, 43).value();
+  Result<FalccModel> model =
+      FalccModel::Train(s.train, s.validation, FastOptions(43));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().num_groups(), 1u);
+  size_t correct = 0;
+  const std::vector<int> preds = model.value().ClassifyAll(s.test);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == s.test.Label(i);
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.6);
+}
+
+TEST(RobustnessTest, DecisionTreeOnSingleRepeatedPoint) {
+  Dataset d =
+      Dataset::Create({"x"}, {1.0, 1.0, 1.0, 1.0}, 1, {1, 0, 1, 0}, {})
+          .value();
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);  // nothing separable
+  EXPECT_DOUBLE_EQ(tree.PredictProba(d.Row(0)), 0.5);
+}
+
+TEST(RobustnessTest, KOneWithProxyRemovalStillWorks) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 600;
+  cfg.bias = 0.5;
+  cfg.seed = 45;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  const TrainValTest s = SplitDatasetDefault(d, 45).value();
+  FalccOptions opt = FastOptions(45);
+  opt.fixed_k = 1;
+  opt.proxy.strategy = ProxyMitigation::kRemove;
+  opt.proxy.removal_threshold = 0.1;
+  Result<FalccModel> model = FalccModel::Train(s.train, s.validation, opt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().num_clusters(), 1u);
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,95 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData(size_t n) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.seed = 5;
+  return GenerateSocialBias(cfg).value();
+}
+
+TEST(SplitTest, DefaultFractions) {
+  const Dataset d = MakeData(1000);
+  Result<TrainValTest> s = SplitDatasetDefault(d, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().train.num_rows(), 500u);
+  EXPECT_EQ(s.value().validation.num_rows(), 350u);
+  EXPECT_EQ(s.value().test.num_rows(), 150u);
+}
+
+TEST(SplitTest, CoversWholeDatasetWhenFractionsSumToOne) {
+  const Dataset d = MakeData(997);  // not divisible
+  Result<TrainValTest> s = SplitDatasetDefault(d, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().train.num_rows() + s.value().validation.num_rows() +
+                s.value().test.num_rows(),
+            997u);
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  const Dataset d = MakeData(200);
+  const TrainValTest a = SplitDatasetDefault(d, 7).value();
+  const TrainValTest b = SplitDatasetDefault(d, 7).value();
+  ASSERT_EQ(a.train.num_rows(), b.train.num_rows());
+  for (size_t i = 0; i < a.train.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.train.Feature(i, 0), b.train.Feature(i, 0));
+  }
+}
+
+TEST(SplitTest, DifferentSeedsDiffer) {
+  const Dataset d = MakeData(200);
+  const TrainValTest a = SplitDatasetDefault(d, 1).value();
+  const TrainValTest b = SplitDatasetDefault(d, 2).value();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.train.num_rows() && !any_diff; ++i) {
+    any_diff = a.train.Feature(i, 0) != b.train.Feature(i, 0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SplitTest, PartitionsAreDisjoint) {
+  const Dataset d = MakeData(300);
+  const TrainValTest s = SplitDatasetDefault(d, 3).value();
+  // Feature 0 values are continuous draws — effectively unique keys.
+  std::multiset<double> seen;
+  for (size_t i = 0; i < s.train.num_rows(); ++i) {
+    seen.insert(s.train.Feature(i, 0));
+  }
+  for (size_t i = 0; i < s.validation.num_rows(); ++i) {
+    EXPECT_EQ(seen.count(s.validation.Feature(i, 0)), 0u);
+  }
+  for (size_t i = 0; i < s.test.num_rows(); ++i) {
+    EXPECT_EQ(seen.count(s.test.Feature(i, 0)), 0u);
+  }
+}
+
+TEST(SplitTest, CustomFractions) {
+  const Dataset d = MakeData(100);
+  Result<TrainValTest> s = SplitDataset(d, 0.6, 0.2, 0.2, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().train.num_rows(), 60u);
+}
+
+TEST(SplitTest, RejectsBadFractions) {
+  const Dataset d = MakeData(100);
+  EXPECT_FALSE(SplitDataset(d, 0.0, 0.5, 0.5, 1).ok());
+  EXPECT_FALSE(SplitDataset(d, 0.6, 0.5, 0.5, 1).ok());
+  EXPECT_FALSE(SplitDataset(d, -0.1, 0.5, 0.5, 1).ok());
+}
+
+TEST(SplitTest, RejectsTinyDataset) {
+  const Dataset d =
+      Dataset::Create({"a"}, {1.0, 2.0}, 1, {0, 1}, {}).value();
+  EXPECT_FALSE(SplitDatasetDefault(d, 1).ok());
+}
+
+}  // namespace
+}  // namespace falcc

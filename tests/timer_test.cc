@@ -1,0 +1,32 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace falcc {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(TimerTest, MonotonicallyIncreases) {
+  Timer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace falcc

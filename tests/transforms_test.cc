@@ -1,0 +1,96 @@
+#include "data/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData() {
+  // Column 0: mean 2, sd > 0; column 1: constant; column 2: sensitive.
+  std::vector<double> features = {
+      1.0, 5.0, 0.0,  //
+      2.0, 5.0, 1.0,  //
+      3.0, 5.0, 0.0,  //
+  };
+  return Dataset::Create({"a", "c", "s"}, std::move(features), 3, {0, 1, 0},
+                         {2})
+      .value();
+}
+
+TEST(ColumnTransformTest, IdentityKeepsValues) {
+  const Dataset d = MakeData();
+  const ColumnTransform t = ColumnTransform::Identity(3);
+  const std::vector<double> out = t.Apply(d.Row(1));
+  EXPECT_EQ(out, (std::vector<double>{2.0, 5.0, 1.0}));
+}
+
+TEST(ColumnTransformTest, StandardizeCentersAndScales) {
+  const Dataset d = MakeData();
+  const ColumnTransform t = ColumnTransform::Standardize(d);
+  const auto all = t.ApplyAll(d);
+  std::vector<double> col0 = {all[0][0], all[1][0], all[2][0]};
+  EXPECT_NEAR(Mean(col0), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(col0), 1.0, 1e-12);
+}
+
+TEST(ColumnTransformTest, StandardizeConstantColumnCenteredOnly) {
+  const Dataset d = MakeData();
+  const ColumnTransform t = ColumnTransform::Standardize(d);
+  const std::vector<double> out = t.Apply(d.Row(0));
+  EXPECT_DOUBLE_EQ(out[1], 0.0);  // 5 - 5, unscaled
+}
+
+TEST(ColumnTransformTest, ScaleColumn) {
+  ColumnTransform t = ColumnTransform::Identity(3);
+  t.ScaleColumn(0, 0.5);
+  const std::vector<double> in = {4.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(t.Apply(in)[0], 2.0);
+}
+
+TEST(ColumnTransformTest, ScaleComposes) {
+  ColumnTransform t = ColumnTransform::Identity(1);
+  t.ScaleColumn(0, 0.5);
+  t.ScaleColumn(0, 0.5);
+  const std::vector<double> in = {8.0};
+  EXPECT_DOUBLE_EQ(t.Apply(in)[0], 2.0);
+}
+
+TEST(ColumnTransformTest, DropColumnShrinksOutput) {
+  ColumnTransform t = ColumnTransform::Identity(3);
+  t.DropColumn(1);
+  EXPECT_EQ(t.num_output_features(), 2u);
+  const std::vector<double> in = {1.0, 2.0, 3.0};
+  EXPECT_EQ(t.Apply(in), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(ColumnTransformTest, DropColumnTwiceIsNoop) {
+  ColumnTransform t = ColumnTransform::Identity(3);
+  t.DropColumn(1);
+  t.DropColumn(1);
+  EXPECT_EQ(t.num_output_features(), 2u);
+}
+
+TEST(ColumnTransformTest, DropColumns) {
+  ColumnTransform t = ColumnTransform::Identity(4);
+  const std::vector<size_t> cols = {0, 2};
+  t.DropColumns(cols);
+  const std::vector<double> in = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(t.Apply(in), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(t.kept_columns(), (std::vector<size_t>{1, 3}));
+}
+
+TEST(ColumnTransformTest, ApplyAllMatchesApply) {
+  const Dataset d = MakeData();
+  ColumnTransform t = ColumnTransform::Standardize(d);
+  t.DropColumn(2);
+  const auto all = t.ApplyAll(d);
+  ASSERT_EQ(all.size(), d.num_rows());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_EQ(all[i], t.Apply(d.Row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,0 +1,103 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+TrainValTest MakeSplits() {
+  SyntheticConfig cfg;
+  cfg.num_samples = 2000;
+  cfg.seed = 14;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  return SplitDatasetDefault(d, 14).value();
+}
+
+TuneOptions FastOptions() {
+  TuneOptions opt;
+  opt.lambdas = {0.5};
+  opt.proxy_strategies = {ProxyMitigation::kNone, ProxyMitigation::kReweigh};
+  opt.cluster_counts = {2, 4};
+  opt.seed = 14;
+  return opt;
+}
+
+TEST(TuneFalccTest, EvaluatesFullGridAndReturnsModel) {
+  const TrainValTest s = MakeSplits();
+  const TuneResult result =
+      TuneFalcc(s.train, s.validation, FastOptions()).value();
+  EXPECT_EQ(result.num_evaluated, 4u);  // 1 lambda x 2 strategies x 2 ks
+  EXPECT_GE(result.best_score, 0.0);
+  EXPECT_LE(result.best_score, 1.0);
+  // The returned model is trained and classifies.
+  const std::vector<int> preds = result.model.ClassifyAll(s.test);
+  EXPECT_EQ(preds.size(), s.test.num_rows());
+}
+
+TEST(TuneFalccTest, BestOptionsAreFromSearchSpace) {
+  const TrainValTest s = MakeSplits();
+  const TuneOptions opt = FastOptions();
+  const TuneResult result = TuneFalcc(s.train, s.validation, opt).value();
+  EXPECT_EQ(result.best_options.lambda, 0.5);
+  EXPECT_TRUE(result.best_options.fixed_k == 2 ||
+              result.best_options.fixed_k == 4);
+  EXPECT_TRUE(result.best_options.proxy.strategy == ProxyMitigation::kNone ||
+              result.best_options.proxy.strategy ==
+                  ProxyMitigation::kReweigh);
+}
+
+TEST(TuneFalccTest, DeterministicForSeed) {
+  const TrainValTest s = MakeSplits();
+  const TuneResult a =
+      TuneFalcc(s.train, s.validation, FastOptions()).value();
+  const TuneResult b =
+      TuneFalcc(s.train, s.validation, FastOptions()).value();
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.best_options.fixed_k, b.best_options.fixed_k);
+}
+
+TEST(TuneFalccTest, RejectsBadOptions) {
+  const TrainValTest s = MakeSplits();
+  TuneOptions opt = FastOptions();
+  opt.lambdas.clear();
+  EXPECT_FALSE(TuneFalcc(s.train, s.validation, opt).ok());
+
+  opt = FastOptions();
+  opt.tune_fraction = 0.0;
+  EXPECT_FALSE(TuneFalcc(s.train, s.validation, opt).ok());
+
+  opt = FastOptions();
+  opt.tune_fraction = 0.999;  // assess partition would be ~empty
+  EXPECT_FALSE(TuneFalcc(s.train, s.validation, opt).ok());
+}
+
+TEST(TuneFalccTest, WinnerIsAtLeastAsGoodAsWorstCandidate) {
+  // Sanity: the tuner's chosen configuration, retrained and evaluated on
+  // the test set, should not be drastically worse than an arbitrary
+  // fixed configuration (it was chosen to minimize held-out loss).
+  const TrainValTest s = MakeSplits();
+  const TuneResult tuned =
+      TuneFalcc(s.train, s.validation, FastOptions()).value();
+
+  FalccOptions fixed;
+  fixed.seed = 14;
+  fixed.fixed_k = 4;
+  const FalccModel baseline =
+      FalccModel::Train(s.train, s.validation, fixed).value();
+
+  auto accuracy = [&](const std::vector<int>& preds) {
+    size_t correct = 0;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      correct += preds[i] == s.test.Label(i);
+    }
+    return static_cast<double>(correct) / preds.size();
+  };
+  EXPECT_GT(accuracy(tuned.model.ClassifyAll(s.test)),
+            accuracy(baseline.ClassifyAll(s.test)) - 0.1);
+}
+
+}  // namespace
+}  // namespace falcc

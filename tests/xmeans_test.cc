@@ -1,0 +1,95 @@
+#include "cluster/xmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace {
+
+std::vector<std::vector<double>> MakeBlobs(size_t k, size_t per_blob,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (size_t b = 0; b < k; ++b) {
+    const double cx = static_cast<double>(b % 3) * 25.0;
+    const double cy = static_cast<double>(b / 3) * 25.0;
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({rng.Normal(cx, 0.5), rng.Normal(cy, 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(XMeansTest, FindsFourBlobs) {
+  const auto points = MakeBlobs(4, 80, 1);
+  const KMeansResult r = RunXMeans(points).value();
+  EXPECT_GE(r.centroids.size(), 3u);
+  EXPECT_LE(r.centroids.size(), 6u);
+}
+
+TEST(XMeansTest, StopsAtTwoBlobs) {
+  const auto points = MakeBlobs(2, 100, 2);
+  const KMeansResult r = RunXMeans(points).value();
+  EXPECT_EQ(r.centroids.size(), 2u);
+}
+
+TEST(XMeansTest, RespectsKMax) {
+  const auto points = MakeBlobs(6, 50, 3);
+  XMeansOptions opt;
+  opt.k_max = 3;
+  const KMeansResult r = RunXMeans(points, opt).value();
+  EXPECT_LE(r.centroids.size(), 3u);
+}
+
+TEST(XMeansTest, AssignmentConsistent) {
+  const auto points = MakeBlobs(3, 60, 4);
+  const KMeansResult r = RunXMeans(points).value();
+  EXPECT_EQ(r.assignment.size(), points.size());
+  for (size_t c : r.assignment) EXPECT_LT(c, r.centroids.size());
+}
+
+TEST(XMeansTest, DeterministicForSeed) {
+  const auto points = MakeBlobs(3, 60, 5);
+  XMeansOptions opt;
+  opt.kmeans.seed = 17;
+  const KMeansResult a = RunXMeans(points, opt).value();
+  const KMeansResult b = RunXMeans(points, opt).value();
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(XMeansTest, RejectsBadInputs) {
+  EXPECT_FALSE(RunXMeans({}).ok());
+  const auto points = MakeBlobs(2, 10, 6);
+  XMeansOptions opt;
+  opt.k_min = 10;
+  opt.k_max = 2;
+  EXPECT_FALSE(RunXMeans(points, opt).ok());
+}
+
+TEST(KMeansBicTest, PrefersTrueStructure) {
+  // BIC at the true k must beat both a merged and a heavily over-split
+  // clustering on well-separated blobs.
+  const auto points = MakeBlobs(3, 100, 7);
+  const KMeansResult k3 = RunKMeans(points, 3).value();
+  const KMeansResult k1 = RunKMeans(points, 1).value();
+  const KMeansResult k30 = RunKMeans(points, 30).value();
+  EXPECT_GT(KMeansBic(points, k3), KMeansBic(points, k1));
+  EXPECT_GT(KMeansBic(points, k3), KMeansBic(points, k30));
+}
+
+TEST(KMeansBicTest, PenalizesParameterCount) {
+  // On structureless data, more clusters should not raise the BIC much;
+  // the parameter penalty must keep growth in check.
+  Rng rng(8);
+  std::vector<std::vector<double>> noise(300, std::vector<double>(2));
+  for (auto& p : noise) {
+    p[0] = rng.Normal();
+    p[1] = rng.Normal();
+  }
+  const KMeansResult r = RunXMeans(noise).value();
+  EXPECT_LE(r.centroids.size(), 12u);
+}
+
+}  // namespace
+}  // namespace falcc

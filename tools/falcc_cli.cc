@@ -1,0 +1,313 @@
+// falcc command-line tool: train, persist, apply, and audit FALCC models
+// on CSV data.
+//
+//   falcc_cli generate --dataset compas --out data.csv [--scale 0.5]
+//   falcc_cli train   --data data.csv --sensitive race --out model.falcc
+//                     [--label label] [--metric dp|eq_od|eq_op|tr_eq]
+//                     [--lambda 0.5] [--proxy none|reweigh|remove]
+//                     [--k N] [--seed S]
+//   falcc_cli predict --model model.falcc --data data.csv [--label label]
+//   falcc_cli audit   --data data.csv --sensitive race [--label label]
+//   falcc_cli inspect --data data.csv --sensitive race [--label label]
+//                     [--proxy-threshold 0.5]
+//
+// `generate` writes one of the built-in benchmark stand-ins; `train`
+// runs the offline phase (50/35 train/validation split of the input) and
+// saves the model; `predict` classifies every row and, if labels are
+// present, reports accuracy and bias; `audit` compares FALCC against
+// Decouple and the plain baselines on a held-out split.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/falcc.h"
+#include "data/csv_dataset.h"
+#include "data/split.h"
+#include "datagen/benchmark_data.h"
+#include "datagen/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "fairness/audit.h"
+#include "fairness/loss.h"
+#include "fairness/proxy.h"
+
+namespace falcc {
+namespace {
+
+// Minimal --flag value parser. Flags may repeat (for --sensitive).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2].push_back(argv[i + 1]);
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second.back();
+  }
+
+  std::vector<std::string> GetAll(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.back().c_str());
+  }
+
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<size_t>(std::atol(it->second.back().c_str()));
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<FairnessMetric> ParseMetric(const std::string& name) {
+  if (name == "dp") return FairnessMetric::kDemographicParity;
+  if (name == "eq_od") return FairnessMetric::kEqualizedOdds;
+  if (name == "eq_op") return FairnessMetric::kEqualOpportunity;
+  if (name == "tr_eq") return FairnessMetric::kTreatmentEquality;
+  return Status::InvalidArgument("unknown metric '" + name + "'");
+}
+
+Result<ProxyMitigation> ParseProxy(const std::string& name) {
+  if (name == "none") return ProxyMitigation::kNone;
+  if (name == "reweigh") return ProxyMitigation::kReweigh;
+  if (name == "remove") return ProxyMitigation::kRemove;
+  return Status::InvalidArgument("unknown proxy strategy '" + name + "'");
+}
+
+int Generate(const Args& args) {
+  const std::string name = args.Get("dataset", "compas");
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  const double scale = args.GetDouble("scale", 1.0);
+  const uint64_t seed = args.GetSize("seed", 1);
+
+  Result<Dataset> data = Status::InvalidArgument("unknown dataset");
+  if (name == "social" || name == "implicit") {
+    SyntheticConfig cfg;
+    cfg.num_samples = static_cast<size_t>(14000 * scale);
+    cfg.seed = seed;
+    data = name == "social" ? GenerateSocialBias(cfg)
+                            : GenerateImplicitBias(cfg);
+  } else {
+    for (const BenchmarkDataSpec& spec : AllBenchmarkSpecs()) {
+      std::string lower = spec.name;
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      if (lower == name) {
+        data = GenerateBenchmarkDataset(spec, seed, scale);
+        break;
+      }
+    }
+  }
+  if (!data.ok()) return Fail(data.status());
+  const Status written = WriteDatasetCsv(out, data.value(), "label");
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %zu rows x %zu features to %s\n",
+              data.value().num_rows(), data.value().num_features(),
+              out.c_str());
+  return 0;
+}
+
+int Train(const Args& args) {
+  const std::string path = args.Get("data", "");
+  const std::string out = args.Get("out", "");
+  if (path.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--data and --out required"));
+  }
+  const std::vector<std::string> sensitive = args.GetAll("sensitive");
+  if (sensitive.empty()) {
+    return Fail(Status::InvalidArgument("at least one --sensitive required"));
+  }
+  Result<Dataset> data =
+      ReadDatasetCsv(path, args.Get("label", "label"), sensitive);
+  if (!data.ok()) return Fail(data.status());
+
+  // All labeled input feeds the offline phase: 60/40 train/validation.
+  Result<TrainValTest> splits =
+      SplitDataset(data.value(), 0.6, 0.399, 0.001, args.GetSize("seed", 1));
+  if (!splits.ok()) return Fail(splits.status());
+
+  FalccOptions options;
+  Result<FairnessMetric> metric = ParseMetric(args.Get("metric", "dp"));
+  if (!metric.ok()) return Fail(metric.status());
+  options.metric = metric.value();
+  Result<ProxyMitigation> proxy = ParseProxy(args.Get("proxy", "none"));
+  if (!proxy.ok()) return Fail(proxy.status());
+  options.proxy.strategy = proxy.value();
+  options.lambda = args.GetDouble("lambda", 0.5);
+  options.fixed_k = args.GetSize("k", 0);
+  options.seed = args.GetSize("seed", 1);
+
+  Result<FalccModel> model = FalccModel::Train(
+      splits.value().train, splits.value().validation, options);
+  if (!model.ok()) return Fail(model.status());
+  const Status saved = model.value().SaveToFile(out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("trained FALCC: %zu models, %zu clusters, %zu groups -> %s\n",
+              model.value().pool().size(), model.value().num_clusters(),
+              model.value().num_groups(), out.c_str());
+  return 0;
+}
+
+int Predict(const Args& args) {
+  const std::string model_path = args.Get("model", "");
+  const std::string data_path = args.Get("data", "");
+  if (model_path.empty() || data_path.empty()) {
+    return Fail(Status::InvalidArgument("--model and --data required"));
+  }
+  Result<FalccModel> model = FalccModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  Result<CsvTable> table = ReadCsvFile(data_path);
+  if (!table.ok()) return Fail(table.status());
+
+  // Label column is optional at prediction time.
+  const std::string label_column = args.Get("label", "label");
+  const bool has_labels =
+      std::find(table.value().header.begin(), table.value().header.end(),
+                label_column) != table.value().header.end();
+
+  size_t correct = 0;
+  std::vector<int> labels;
+  for (const auto& row : table.value().rows) {
+    std::vector<double> features;
+    int label = -1;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (has_labels && table.value().header[c] == label_column) {
+        label = static_cast<int>(row[c]);
+      } else {
+        features.push_back(row[c]);
+      }
+    }
+    const int prediction = model.value().Classify(features);
+    std::printf("%d\n", prediction);
+    if (has_labels && prediction == label) ++correct;
+  }
+  if (has_labels && !table.value().rows.empty()) {
+    std::fprintf(stderr, "accuracy: %.3f (%zu rows)\n",
+                 static_cast<double>(correct) / table.value().num_rows(),
+                 table.value().num_rows());
+  }
+  return 0;
+}
+
+int Audit(const Args& args) {
+  const std::string path = args.Get("data", "");
+  if (path.empty()) return Fail(Status::InvalidArgument("--data required"));
+  const std::vector<std::string> sensitive = args.GetAll("sensitive");
+  if (sensitive.empty()) {
+    return Fail(Status::InvalidArgument("at least one --sensitive required"));
+  }
+  Result<Dataset> data =
+      ReadDatasetCsv(path, args.Get("label", "label"), sensitive);
+  if (!data.ok()) return Fail(data.status());
+
+  ExperimentOptions options;
+  Result<FairnessMetric> metric = ParseMetric(args.Get("metric", "dp"));
+  if (!metric.ok()) return Fail(metric.status());
+  options.metric = metric.value();
+  options.seed = args.GetSize("seed", 1);
+  Result<Experiment> experiment = Experiment::Create(data.value(), options);
+  if (!experiment.ok()) return Fail(experiment.status());
+
+  TextTable table({"algorithm", "acc%", "global", "local", "indiv",
+                   "us/sample"});
+  for (Algorithm algorithm :
+       {Algorithm::kFairSmote, Algorithm::kFaX, Algorithm::kDecouple,
+        Algorithm::kFalcesBest, Algorithm::kFalcc}) {
+    Result<EvalMeasurement> m = experiment.value().Run(algorithm);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   AlgorithmName(algorithm).c_str(),
+                   m.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({AlgorithmName(algorithm),
+                  FormatPercent(m.value().accuracy, 1),
+                  FormatDouble(m.value().global_bias, 3),
+                  FormatDouble(m.value().local_bias, 3),
+                  FormatDouble(m.value().individual_bias, 3),
+                  FormatDouble(m.value().online_micros_per_sample, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int Inspect(const Args& args) {
+  const std::string path = args.Get("data", "");
+  if (path.empty()) return Fail(Status::InvalidArgument("--data required"));
+  const std::vector<std::string> sensitive = args.GetAll("sensitive");
+  if (sensitive.empty()) {
+    return Fail(Status::InvalidArgument("at least one --sensitive required"));
+  }
+  Result<Dataset> data =
+      ReadDatasetCsv(path, args.Get("label", "label"), sensitive);
+  if (!data.ok()) return Fail(data.status());
+
+  // Audit of the ground-truth labels (z = y shows the data's own bias).
+  Result<FairnessAudit> audit =
+      AuditPredictions(data.value(), data.value().labels());
+  if (!audit.ok()) return Fail(audit.status());
+  std::printf("=== dataset bias profile (labels audited as predictions) "
+              "===\n%s\n",
+              FormatAudit(audit.value()).c_str());
+
+  // Proxy analysis.
+  ProxyOptions proxy;
+  proxy.removal_threshold = args.GetDouble("proxy-threshold", 0.5);
+  Result<std::vector<ProxyReport>> reports =
+      AnalyzeProxies(data.value(), proxy);
+  if (!reports.ok()) return Fail(reports.status());
+  TextTable table({"attribute", "|rho| vs sensitive", "Eq.1 weight",
+                   "proxy?"});
+  for (const ProxyReport& r : reports.value()) {
+    table.AddRow({data.value().feature_names()[r.column],
+                  FormatDouble(r.mean_abs_correlation, 3),
+                  FormatDouble(r.weight, 3), r.removed ? "yes" : ""});
+  }
+  std::printf("=== proxy analysis ===\n%s", table.ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: falcc_cli <generate|train|predict|audit|inspect> "
+               "[--flags]\n"
+               "see the header comment of tools/falcc_cli.cc\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace falcc
+
+int main(int argc, char** argv) {
+  if (argc < 2) return falcc::Usage();
+  const std::string command = argv[1];
+  const falcc::Args args(argc, argv);
+  if (command == "generate") return falcc::Generate(args);
+  if (command == "train") return falcc::Train(args);
+  if (command == "predict") return falcc::Predict(args);
+  if (command == "audit") return falcc::Audit(args);
+  if (command == "inspect") return falcc::Inspect(args);
+  return falcc::Usage();
+}
