@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_raises.dir/employee_raises.cpp.o"
+  "CMakeFiles/employee_raises.dir/employee_raises.cpp.o.d"
+  "employee_raises"
+  "employee_raises.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_raises.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for employee_raises.
+# This may be replaced when dependencies are built.

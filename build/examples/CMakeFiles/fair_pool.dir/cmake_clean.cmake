@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_pool.dir/fair_pool.cpp.o"
+  "CMakeFiles/fair_pool.dir/fair_pool.cpp.o.d"
+  "fair_pool"
+  "fair_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

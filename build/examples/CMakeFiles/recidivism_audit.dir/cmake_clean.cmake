@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recidivism_audit.dir/recidivism_audit.cpp.o"
+  "CMakeFiles/recidivism_audit.dir/recidivism_audit.cpp.o.d"
+  "recidivism_audit"
+  "recidivism_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recidivism_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

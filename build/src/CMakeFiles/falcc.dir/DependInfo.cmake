@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/decouple.cc" "src/CMakeFiles/falcc.dir/baselines/decouple.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/decouple.cc.o.d"
+  "/root/repo/src/baselines/fair_ensembles.cc" "src/CMakeFiles/falcc.dir/baselines/fair_ensembles.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/fair_ensembles.cc.o.d"
+  "/root/repo/src/baselines/fair_smote.cc" "src/CMakeFiles/falcc.dir/baselines/fair_smote.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/fair_smote.cc.o.d"
+  "/root/repo/src/baselines/fairboost.cc" "src/CMakeFiles/falcc.dir/baselines/fairboost.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/fairboost.cc.o.d"
+  "/root/repo/src/baselines/falces.cc" "src/CMakeFiles/falcc.dir/baselines/falces.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/falces.cc.o.d"
+  "/root/repo/src/baselines/fax.cc" "src/CMakeFiles/falcc.dir/baselines/fax.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/fax.cc.o.d"
+  "/root/repo/src/baselines/ifair.cc" "src/CMakeFiles/falcc.dir/baselines/ifair.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/ifair.cc.o.d"
+  "/root/repo/src/baselines/lfr.cc" "src/CMakeFiles/falcc.dir/baselines/lfr.cc.o" "gcc" "src/CMakeFiles/falcc.dir/baselines/lfr.cc.o.d"
+  "/root/repo/src/cluster/kdtree.cc" "src/CMakeFiles/falcc.dir/cluster/kdtree.cc.o" "gcc" "src/CMakeFiles/falcc.dir/cluster/kdtree.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/falcc.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/falcc.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/logmeans.cc" "src/CMakeFiles/falcc.dir/cluster/logmeans.cc.o" "gcc" "src/CMakeFiles/falcc.dir/cluster/logmeans.cc.o.d"
+  "/root/repo/src/cluster/xmeans.cc" "src/CMakeFiles/falcc.dir/cluster/xmeans.cc.o" "gcc" "src/CMakeFiles/falcc.dir/cluster/xmeans.cc.o.d"
+  "/root/repo/src/core/assessment.cc" "src/CMakeFiles/falcc.dir/core/assessment.cc.o" "gcc" "src/CMakeFiles/falcc.dir/core/assessment.cc.o.d"
+  "/root/repo/src/core/falcc.cc" "src/CMakeFiles/falcc.dir/core/falcc.cc.o" "gcc" "src/CMakeFiles/falcc.dir/core/falcc.cc.o.d"
+  "/root/repo/src/core/model_pool.cc" "src/CMakeFiles/falcc.dir/core/model_pool.cc.o" "gcc" "src/CMakeFiles/falcc.dir/core/model_pool.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/CMakeFiles/falcc.dir/core/tuning.cc.o" "gcc" "src/CMakeFiles/falcc.dir/core/tuning.cc.o.d"
+  "/root/repo/src/data/csv_dataset.cc" "src/CMakeFiles/falcc.dir/data/csv_dataset.cc.o" "gcc" "src/CMakeFiles/falcc.dir/data/csv_dataset.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/falcc.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/falcc.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/groups.cc" "src/CMakeFiles/falcc.dir/data/groups.cc.o" "gcc" "src/CMakeFiles/falcc.dir/data/groups.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/falcc.dir/data/split.cc.o" "gcc" "src/CMakeFiles/falcc.dir/data/split.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/falcc.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/falcc.dir/data/transforms.cc.o.d"
+  "/root/repo/src/datagen/benchmark_data.cc" "src/CMakeFiles/falcc.dir/datagen/benchmark_data.cc.o" "gcc" "src/CMakeFiles/falcc.dir/datagen/benchmark_data.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/CMakeFiles/falcc.dir/datagen/synthetic.cc.o" "gcc" "src/CMakeFiles/falcc.dir/datagen/synthetic.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/falcc.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/falcc.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/pareto.cc" "src/CMakeFiles/falcc.dir/eval/pareto.cc.o" "gcc" "src/CMakeFiles/falcc.dir/eval/pareto.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/falcc.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/falcc.dir/eval/report.cc.o.d"
+  "/root/repo/src/fairness/audit.cc" "src/CMakeFiles/falcc.dir/fairness/audit.cc.o" "gcc" "src/CMakeFiles/falcc.dir/fairness/audit.cc.o.d"
+  "/root/repo/src/fairness/diversity.cc" "src/CMakeFiles/falcc.dir/fairness/diversity.cc.o" "gcc" "src/CMakeFiles/falcc.dir/fairness/diversity.cc.o.d"
+  "/root/repo/src/fairness/loss.cc" "src/CMakeFiles/falcc.dir/fairness/loss.cc.o" "gcc" "src/CMakeFiles/falcc.dir/fairness/loss.cc.o.d"
+  "/root/repo/src/fairness/metrics.cc" "src/CMakeFiles/falcc.dir/fairness/metrics.cc.o" "gcc" "src/CMakeFiles/falcc.dir/fairness/metrics.cc.o.d"
+  "/root/repo/src/fairness/proxy.cc" "src/CMakeFiles/falcc.dir/fairness/proxy.cc.o" "gcc" "src/CMakeFiles/falcc.dir/fairness/proxy.cc.o.d"
+  "/root/repo/src/ml/adaboost.cc" "src/CMakeFiles/falcc.dir/ml/adaboost.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/adaboost.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/falcc.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/falcc.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/grid_search.cc" "src/CMakeFiles/falcc.dir/ml/grid_search.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/grid_search.cc.o.d"
+  "/root/repo/src/ml/knn_classifier.cc" "src/CMakeFiles/falcc.dir/ml/knn_classifier.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/knn_classifier.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/falcc.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/falcc.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/falcc.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/CMakeFiles/falcc.dir/ml/serialize.cc.o" "gcc" "src/CMakeFiles/falcc.dir/ml/serialize.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/falcc.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/falcc.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/math.cc" "src/CMakeFiles/falcc.dir/util/math.cc.o" "gcc" "src/CMakeFiles/falcc.dir/util/math.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/falcc.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/falcc.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/falcc.dir/util/status.cc.o" "gcc" "src/CMakeFiles/falcc.dir/util/status.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/falcc.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/falcc.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

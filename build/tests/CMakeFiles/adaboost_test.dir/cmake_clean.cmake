@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaboost_test.dir/adaboost_test.cc.o"
+  "CMakeFiles/adaboost_test.dir/adaboost_test.cc.o.d"
+  "adaboost_test"
+  "adaboost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaboost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

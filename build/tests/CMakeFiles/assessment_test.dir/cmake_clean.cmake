@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assessment_test.dir/assessment_test.cc.o"
+  "CMakeFiles/assessment_test.dir/assessment_test.cc.o.d"
+  "assessment_test"
+  "assessment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assessment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_data_test.dir/benchmark_data_test.cc.o"
+  "CMakeFiles/benchmark_data_test.dir/benchmark_data_test.cc.o.d"
+  "benchmark_data_test"
+  "benchmark_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

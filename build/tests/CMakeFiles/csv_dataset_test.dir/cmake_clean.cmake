@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_dataset_test.dir/csv_dataset_test.cc.o"
+  "CMakeFiles/csv_dataset_test.dir/csv_dataset_test.cc.o.d"
+  "csv_dataset_test"
+  "csv_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

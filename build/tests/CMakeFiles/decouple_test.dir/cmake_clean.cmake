@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decouple_test.dir/decouple_test.cc.o"
+  "CMakeFiles/decouple_test.dir/decouple_test.cc.o.d"
+  "decouple_test"
+  "decouple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decouple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_ensembles_test.dir/fair_ensembles_test.cc.o"
+  "CMakeFiles/fair_ensembles_test.dir/fair_ensembles_test.cc.o.d"
+  "fair_ensembles_test"
+  "fair_ensembles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_ensembles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_smote_test.dir/fair_smote_test.cc.o"
+  "CMakeFiles/fair_smote_test.dir/fair_smote_test.cc.o.d"
+  "fair_smote_test"
+  "fair_smote_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_smote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairboost_test.dir/fairboost_test.cc.o"
+  "CMakeFiles/fairboost_test.dir/fairboost_test.cc.o.d"
+  "fairboost_test"
+  "fairboost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairboost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcc_test.dir/falcc_test.cc.o"
+  "CMakeFiles/falcc_test.dir/falcc_test.cc.o.d"
+  "falcc_test"
+  "falcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

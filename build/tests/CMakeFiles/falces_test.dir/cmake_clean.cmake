@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falces_test.dir/falces_test.cc.o"
+  "CMakeFiles/falces_test.dir/falces_test.cc.o.d"
+  "falces_test"
+  "falces_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

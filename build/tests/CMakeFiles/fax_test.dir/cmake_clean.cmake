@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fax_test.dir/fax_test.cc.o"
+  "CMakeFiles/fax_test.dir/fax_test.cc.o.d"
+  "fax_test"
+  "fax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

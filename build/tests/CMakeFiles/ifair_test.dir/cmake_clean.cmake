@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifair_test.dir/ifair_test.cc.o"
+  "CMakeFiles/ifair_test.dir/ifair_test.cc.o.d"
+  "ifair_test"
+  "ifair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_classifier_test.dir/knn_classifier_test.cc.o"
+  "CMakeFiles/knn_classifier_test.dir/knn_classifier_test.cc.o.d"
+  "knn_classifier_test"
+  "knn_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

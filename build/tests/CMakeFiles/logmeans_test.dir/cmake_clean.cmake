@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logmeans_test.dir/logmeans_test.cc.o"
+  "CMakeFiles/logmeans_test.dir/logmeans_test.cc.o.d"
+  "logmeans_test"
+  "logmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

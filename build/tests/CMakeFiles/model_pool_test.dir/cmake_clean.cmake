@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_pool_test.dir/model_pool_test.cc.o"
+  "CMakeFiles/model_pool_test.dir/model_pool_test.cc.o.d"
+  "model_pool_test"
+  "model_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmeans_test.dir/xmeans_test.cc.o"
+  "CMakeFiles/xmeans_test.dir/xmeans_test.cc.o.d"
+  "xmeans_test"
+  "xmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcc_cli.dir/falcc_cli.cc.o"
+  "CMakeFiles/falcc_cli.dir/falcc_cli.cc.o.d"
+  "falcc_cli"
+  "falcc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
