@@ -21,6 +21,8 @@
 #include "ml/grid_search.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 namespace falcc {
 namespace {
 
@@ -64,7 +66,9 @@ void AddRow(TextTable* table, const std::string& name, const Quality& q) {
 }  // namespace
 }  // namespace falcc
 
-int main() {
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_ablations");
   using namespace falcc;
 
   const char* rows_env = std::getenv("FALCC_AB_ROWS");

@@ -1,0 +1,56 @@
+// Shared command-line plumbing for the benchmark binaries.
+//
+// Every bench accepts --threads=N (default: FALCC_THREADS / hardware
+// concurrency) and reports the effective thread count in its header so
+// recorded numbers are attributable to a parallelism level.
+
+#ifndef FALCC_BENCH_BENCH_COMMON_H_
+#define FALCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/parallel.h"
+
+namespace falcc {
+namespace bench {
+
+/// Parses and strips a --threads=N argument (also "--threads N"). When
+/// present, applies it with SetParallelism. Returns the effective
+/// parallelism either way. Unrelated arguments are left in place (and
+/// argc/argv compacted) so binaries with their own flag handling —
+/// e.g. google-benchmark — can parse the remainder.
+inline size_t ApplyThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    long threads = -1;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atol(arg + 10);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < *argc) {
+      threads = std::atol(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (threads < 1) {
+      std::fprintf(stderr, "invalid --threads value, using 1\n");
+      threads = 1;
+    }
+    SetParallelism(static_cast<size_t>(threads));
+  }
+  *argc = out;
+  return Parallelism();
+}
+
+/// Standard report-header line naming the binary and thread count.
+inline void PrintThreadHeader(const char* binary_name) {
+  std::printf("[%s] threads: %zu\n\n", binary_name, Parallelism());
+}
+
+}  // namespace bench
+}  // namespace falcc
+
+#endif  // FALCC_BENCH_BENCH_COMMON_H_

@@ -11,7 +11,11 @@
 #include "eval/pareto.h"
 #include "eval/report.h"
 
-int main() {
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_fig3_tradeoff");
   using namespace falcc;
 
   const char* rows_env = std::getenv("FALCC_F3_ROWS");

@@ -19,6 +19,8 @@
 #include "fairness/loss.h"
 #include "util/math.h"
 
+#include "bench_common.h"
+
 namespace falcc {
 namespace {
 
@@ -136,7 +138,9 @@ void RunDataset(const std::string& name, const Dataset& data) {
 }  // namespace
 }  // namespace falcc
 
-int main() {
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_fig4_diversity");
   using namespace falcc;
 
   const char* rows_env = std::getenv("FALCC_F4_ROWS");

@@ -14,6 +14,8 @@
 #include "eval/report.h"
 #include "fairness/loss.h"
 
+#include "bench_common.h"
+
 namespace falcc {
 namespace {
 
@@ -72,7 +74,9 @@ Cell RunOnce(double bias, ProxyMitigation strategy, uint64_t seed,
 }  // namespace
 }  // namespace falcc
 
-int main() {
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_fig5_proxy");
   using namespace falcc;
 
   const char* rows_env = std::getenv("FALCC_F5_ROWS");

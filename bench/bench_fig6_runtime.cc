@@ -5,19 +5,35 @@
 //
 // google-benchmark measures a single online classification; the trained
 // pipelines are built once per dataset and cached.
+//
+// Before the online benchmarks, the binary sweeps the *offline phase*
+// (the paper's dominant cost) over thread counts {1, 2, 4, hardware},
+// verifies the parallel runtime's determinism contract (byte-identical
+// serialized models, identical predictions at every thread count), and
+// writes the measurements to BENCH_runtime.json for the perf trajectory.
+// Skip it with --no_offline_sweep.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/falces.h"
+#include "bench_common.h"
 #include "core/falcc.h"
 #include "data/split.h"
 #include "datagen/benchmark_data.h"
 #include "datagen/synthetic.h"
 #include "ml/decision_tree.h"
+#include "util/timer.h"
 
 namespace falcc {
 namespace {
@@ -113,6 +129,122 @@ void BM_OtherFastestOnline(benchmark::State& state,
   }
 }
 
+// ---------------------------------------------------------------------
+// Offline-phase thread sweep.
+
+struct SweepPoint {
+  size_t threads = 1;
+  double offline_seconds = 0.0;
+  bool model_identical = true;        // Save() bytes == 1-thread bytes
+  bool predictions_identical = true;  // ClassifyAll == 1-thread result
+};
+
+// Trains the FALCC offline phase once at each thread count and checks
+// bit-identical outputs against the single-threaded reference.
+std::vector<SweepPoint> RunOfflineSweep(const Dataset& data,
+                                        std::vector<size_t> thread_counts) {
+  const TrainValTest splits = SplitDatasetDefault(data, 61).value();
+  FalccOptions opt;
+  opt.seed = 61;
+  opt.trainer.pool_size = 5;
+
+  std::vector<SweepPoint> sweep;
+  std::string reference_bytes;
+  std::vector<int> reference_preds;
+  for (size_t threads : thread_counts) {
+    SetParallelism(threads);
+    Timer timer;
+    const FalccModel model =
+        FalccModel::Train(splits.train, splits.validation, opt).value();
+    SweepPoint point;
+    point.threads = threads;
+    point.offline_seconds = timer.ElapsedSeconds();
+
+    std::ostringstream bytes;
+    FALCC_CHECK(model.Save(&bytes).ok(), "sweep: model serialization failed");
+    const std::vector<int> preds = model.ClassifyAll(splits.test);
+    if (sweep.empty()) {
+      reference_bytes = bytes.str();
+      reference_preds = preds;
+    } else {
+      point.model_identical = bytes.str() == reference_bytes;
+      point.predictions_identical = preds == reference_preds;
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+void WriteRuntimeJson(const std::string& path, const std::string& dataset,
+                      size_t rows, const std::vector<SweepPoint>& sweep) {
+  std::ofstream out(path);
+  FALCC_CHECK(static_cast<bool>(out), "cannot open BENCH_runtime.json");
+  out << "{\n";
+  out << "  \"benchmark\": \"falcc_offline_phase\",\n";
+  out << "  \"dataset\": \"" << dataset << "\",\n";
+  out << "  \"rows\": " << rows << ",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"sweep\": [\n";
+  const double base = sweep.empty() ? 0.0 : sweep.front().offline_seconds;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    out << "    {\"threads\": " << p.threads
+        << ", \"offline_seconds\": " << p.offline_seconds
+        << ", \"speedup_vs_1\": "
+        << (p.offline_seconds > 0.0 ? base / p.offline_seconds : 0.0)
+        << ", \"model_identical\": "
+        << (p.model_identical ? "true" : "false")
+        << ", \"predictions_identical\": "
+        << (p.predictions_identical ? "true" : "false") << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// Sweeps {1, 2, 4, hardware} (deduplicated, ascending), reports to stdout
+// and BENCH_runtime.json. Returns false if any determinism check failed.
+bool OfflineSweepMain(const std::string& json_path) {
+  const std::string dataset = "implicit30";
+  const Dataset data = MakeDataset(dataset);
+
+  std::vector<size_t> thread_counts = {1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) thread_counts.push_back(hw);
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  const size_t restore = Parallelism();
+  std::printf("=== Offline-phase runtime sweep (dataset %s, %zu rows) ===\n",
+              dataset.c_str(), data.num_rows());
+  const std::vector<SweepPoint> sweep = RunOfflineSweep(data, thread_counts);
+  SetParallelism(restore);
+
+  bool deterministic = true;
+  const double base = sweep.front().offline_seconds;
+  for (const SweepPoint& p : sweep) {
+    std::printf(
+        "  threads=%zu  offline=%.3fs  speedup=%.2fx  model_identical=%s  "
+        "predictions_identical=%s\n",
+        p.threads, p.offline_seconds,
+        p.offline_seconds > 0.0 ? base / p.offline_seconds : 0.0,
+        p.model_identical ? "yes" : "NO",
+        p.predictions_identical ? "yes" : "NO");
+    deterministic = deterministic && p.model_identical &&
+                    p.predictions_identical;
+  }
+  WriteRuntimeJson(json_path, dataset, data.num_rows(), sweep);
+  std::printf("  -> %s\n\n", json_path.c_str());
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "ERROR: results differ across thread counts — the "
+                 "deterministic-parallelism contract is broken\n");
+  }
+  return deterministic;
+}
+
 // Dataset list of the paper's Fig. 6: synthetic, COMPAS, Credit, and
 // Adult with 2 and 4 sensitive groups.
 const char* kDatasets[] = {"implicit30", "COMPAS", "CreditCard", "AdultSex",
@@ -138,4 +270,30 @@ const Registrar registrar;
 }  // namespace
 }  // namespace falcc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_fig6_runtime");
+
+  bool run_sweep = true;
+  std::string json_path = "BENCH_runtime.json";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no_offline_sweep") == 0) {
+      run_sweep = false;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      json_path = argv[i] + 6;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  bool deterministic = true;
+  if (run_sweep) deterministic = falcc::OfflineSweepMain(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return deterministic ? 0 : 1;
+}

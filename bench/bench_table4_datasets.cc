@@ -9,7 +9,11 @@
 #include "datagen/benchmark_data.h"
 #include "eval/report.h"
 
-int main() {
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_table4_datasets");
   using namespace falcc;
 
   std::printf("=== Table 4: dataset metadata (paper vs generated) ===\n\n");

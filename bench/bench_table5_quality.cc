@@ -34,6 +34,8 @@
 #include "eval/report.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 namespace falcc {
 namespace {
 
@@ -137,7 +139,9 @@ void PrintBlock(const std::string& title,
 }  // namespace
 }  // namespace falcc
 
-int main() {
+int main(int argc, char** argv) {
+  falcc::bench::ApplyThreadsFlag(&argc, argv);
+  falcc::bench::PrintThreadHeader("bench_table5_quality");
   using namespace falcc;
 
   const size_t num_seeds = EnvOr("FALCC_T5_SEEDS", 2);

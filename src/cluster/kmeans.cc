@@ -4,11 +4,18 @@
 #include <limits>
 
 #include "util/math.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace falcc {
 
 namespace {
+
+// Points per task in the assignment/update steps. The chunking — and with
+// it the order in which per-chunk partial sums are combined — depends
+// only on n and this constant, so results are bit-identical at any
+// thread count.
+constexpr size_t kPointGrain = 256;
 
 // k-means++ seeding: first center uniform, subsequent centers sampled
 // proportionally to squared distance from the nearest chosen center.
@@ -72,25 +79,66 @@ Result<KMeansResult> RunKMeans(const std::vector<std::vector<double>>& points,
   std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
   std::vector<size_t> counts(k, 0);
 
+  // Per-chunk partial reductions, combined in chunk order after each
+  // parallel step (fixed combine order => deterministic floating point).
+  const size_t num_chunks = NumChunks(0, n, kPointGrain);
+  std::vector<double> chunk_sse(num_chunks, 0.0);
+  std::vector<std::vector<double>> chunk_sums(
+      num_chunks, std::vector<double>(k * dims, 0.0));
+  std::vector<std::vector<size_t>> chunk_counts(
+      num_chunks, std::vector<size_t>(k, 0));
+
+  // Assigns every point to its nearest centroid and returns the SSE.
+  auto assign_points = [&]() {
+    ParallelFor(0, n, kPointGrain,
+                [&](size_t chunk, size_t lo, size_t hi) {
+                  double local = 0.0;
+                  for (size_t i = lo; i < hi; ++i) {
+                    const size_t c =
+                        NearestCentroid(result.centroids, points[i]);
+                    result.assignment[i] = c;
+                    local += SquaredDistance(points[i], result.centroids[c]);
+                  }
+                  chunk_sse[chunk] = local;
+                });
+    double sse = 0.0;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      sse += chunk_sse[chunk];
+    }
+    return sse;
+  };
+
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     // Assignment step.
-    double sse = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const size_t c = NearestCentroid(result.centroids, points[i]);
-      result.assignment[i] = c;
-      sse += SquaredDistance(points[i], result.centroids[c]);
-    }
+    const double sse = assign_points();
     result.sse = sse;
 
-    // Update step.
+    // Update step: per-chunk centroid sums, combined in chunk order.
+    ParallelFor(0, n, kPointGrain,
+                [&](size_t chunk, size_t lo, size_t hi) {
+                  std::vector<double>& my_sums = chunk_sums[chunk];
+                  std::vector<size_t>& my_counts = chunk_counts[chunk];
+                  std::fill(my_sums.begin(), my_sums.end(), 0.0);
+                  std::fill(my_counts.begin(), my_counts.end(), 0);
+                  for (size_t i = lo; i < hi; ++i) {
+                    const size_t c = result.assignment[i];
+                    ++my_counts[c];
+                    for (size_t d = 0; d < dims; ++d) {
+                      my_sums[c * dims + d] += points[i][d];
+                    }
+                  }
+                });
     for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t c = result.assignment[i];
-      ++counts[c];
-      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      for (size_t c = 0; c < k; ++c) {
+        counts[c] += chunk_counts[chunk][c];
+        for (size_t d = 0; d < dims; ++d) {
+          sums[c][d] += chunk_sums[chunk][c * dims + d];
+        }
+      }
     }
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
@@ -121,13 +169,7 @@ Result<KMeansResult> RunKMeans(const std::vector<std::vector<double>>& points,
   }
 
   // Final assignment against the last centroid update.
-  double sse = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const size_t c = NearestCentroid(result.centroids, points[i]);
-    result.assignment[i] = c;
-    sse += SquaredDistance(points[i], result.centroids[c]);
-  }
-  result.sse = sse;
+  result.sse = assign_points();
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "util/parallel.h"
+
 namespace falcc {
 
 namespace {
@@ -12,6 +14,37 @@ Status ValidateOptions(const std::vector<std::vector<double>>& points,
   if (points.empty()) return Status::InvalidArgument("k estimation: no points");
   if (options.k_min < 1 || options.k_min > options.k_max) {
     return Status::InvalidArgument("k estimation: need 1 <= k_min <= k_max");
+  }
+  return Status::OK();
+}
+
+// Runs the independent k-means evaluations for every k in `ks` in
+// parallel (one task per candidate k — each has its own RNG seeded from
+// options.kmeans.seed, so concurrency cannot change any result) and
+// records them into `sse` / `estimate` in ascending-k order.
+Status EvaluateCandidates(const std::vector<std::vector<double>>& points,
+                          const KEstimationOptions& options,
+                          const std::vector<size_t>& ks,
+                          std::map<size_t, double>* sse,
+                          KEstimate* estimate) {
+  std::vector<double> values(ks.size(), 0.0);
+  std::vector<Status> statuses(ks.size());
+  ParallelFor(0, ks.size(), 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t i = lo; i < hi; ++i) {
+                  Result<KMeansResult> r =
+                      RunKMeans(points, ks[i], options.kmeans);
+                  if (!r.ok()) {
+                    statuses[i] = r.status();
+                    continue;
+                  }
+                  values[i] = r.value().sse;
+                }
+              });
+  for (size_t i = 0; i < ks.size(); ++i) {
+    FALCC_RETURN_IF_ERROR(statuses[i]);
+    (*sse)[ks[i]] = values[i];
+    estimate->evaluated.emplace_back(ks[i], values[i]);
   }
   return Status::OK();
 }
@@ -40,15 +73,20 @@ Result<KEstimate> EstimateKLogMeans(
   // Phase 1: exponential probing k_min, 2*k_min, 4*k_min, ..., k_max.
   // k = 1 is always probed as an anchor: without it the SSE drop into
   // k_min is invisible and pure noise among larger k would decide the
-  // estimate when the true cluster count is k_min itself.
-  FALCC_RETURN_IF_ERROR(evaluate(1));
+  // estimate when the true cluster count is k_min itself. The probe set
+  // is known up front, so all probes evaluate in parallel.
+  std::vector<size_t> probes = {1};
   for (size_t k = k_min;; k *= 2) {
     if (k >= k_max) {
-      FALCC_RETURN_IF_ERROR(evaluate(k_max));
+      probes.push_back(k_max);
       break;
     }
-    FALCC_RETURN_IF_ERROR(evaluate(k));
+    probes.push_back(k);
   }
+  std::sort(probes.begin(), probes.end());
+  probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+  FALCC_RETURN_IF_ERROR(
+      EvaluateCandidates(points, options, probes, &sse, &estimate));
 
   if (sse.size() == 1) {
     estimate.k = sse.begin()->first;
@@ -88,13 +126,14 @@ Result<KEstimate> EstimateKElbow(
   const size_t k_min = std::min(options.k_min, k_max);
 
   KEstimate estimate;
+  std::map<size_t, double> sse_by_k;
+  std::vector<size_t> ks;
+  for (size_t k = k_min; k <= k_max; ++k) ks.push_back(k);
+  FALCC_RETURN_IF_ERROR(
+      EvaluateCandidates(points, options, ks, &sse_by_k, &estimate));
   std::vector<double> sses;
-  for (size_t k = k_min; k <= k_max; ++k) {
-    Result<KMeansResult> r = RunKMeans(points, k, options.kmeans);
-    if (!r.ok()) return r.status();
-    sses.push_back(r.value().sse);
-    estimate.evaluated.emplace_back(k, r.value().sse);
-  }
+  sses.reserve(ks.size());
+  for (size_t k : ks) sses.push_back(sse_by_k[k]);
   if (sses.size() < 3) {
     estimate.k = k_min;
     return estimate;

@@ -8,6 +8,7 @@
 #include "cluster/kdtree.h"
 #include "ml/adaboost.h"
 #include "util/math.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace falcc {
@@ -205,17 +206,28 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
   Result<size_t> global_best = SelectGlobalBest(ctx, combos.value());
   if (!global_best.ok()) return global_best.status();
 
+  // Per-cluster combination assessment: clusters are independent, each
+  // task writes only its own selected_ slot.
   model.selected_.resize(k);
-  for (size_t c = 0; c < k; ++c) {
-    if (region_rows[c].empty()) {
-      model.selected_[c] = combos.value()[global_best.value()];
-      continue;
+  std::vector<Status> cluster_status(k);
+  ParallelFor(0, k, 1, [&](size_t /*chunk*/, size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      if (region_rows[c].empty()) {
+        model.selected_[c] = combos.value()[global_best.value()];
+        continue;
+      }
+      std::vector<std::vector<size_t>> one = {region_rows[c]};
+      Result<std::vector<size_t>> best =
+          SelectBestCombinations(ctx, combos.value(), one);
+      if (!best.ok()) {
+        cluster_status[c] = best.status();
+        continue;
+      }
+      model.selected_[c] = combos.value()[best.value()[0]];
     }
-    std::vector<std::vector<size_t>> one = {region_rows[c]};
-    Result<std::vector<size_t>> best =
-        SelectBestCombinations(ctx, combos.value(), one);
-    if (!best.ok()) return best.status();
-    model.selected_[c] = combos.value()[best.value()[0]];
+  });
+  for (const Status& status : cluster_status) {
+    FALCC_RETURN_IF_ERROR(status);
   }
   return model;
 }
@@ -330,9 +342,19 @@ double FalccModel::ClassifyProba(std::span<const double> features) const {
 
 std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
   std::vector<int> out(data.num_rows());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    out[i] = Classify(data.Row(i));
-  }
+  // One transform scratch buffer per chunk: the per-sample Apply
+  // allocation dominates the nearest-centroid lookup on small models.
+  ParallelFor(0, data.num_rows(), 256,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                std::vector<double> scratch;
+                for (size_t i = lo; i < hi; ++i) {
+                  const auto row = data.Row(i);
+                  clustering_transform_.ApplyInto(row, &scratch);
+                  const size_t cluster = NearestCentroid(centroids_, scratch);
+                  const size_t group = group_index_.GroupOfOrNearest(row);
+                  out[i] = pool_.model(selected_[cluster][group]).Predict(row);
+                }
+              });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "ml/serialize.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace falcc {
@@ -25,11 +26,14 @@ bool ModelPool::Applicable(size_t m, size_t g) const {
 
 std::vector<std::vector<int>> ModelPool::PredictMatrix(
     const Dataset& data) const {
-  std::vector<std::vector<int>> votes;
-  votes.reserve(models_.size());
-  for (const auto& model : models_) {
-    votes.push_back(PredictAll(*model, data));
-  }
+  // One task per model, each writing its own pre-sized slot.
+  std::vector<std::vector<int>> votes(models_.size());
+  ParallelFor(0, models_.size(), 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t m = lo; m < hi; ++m) {
+                  votes[m] = PredictAll(*models_[m], data);
+                }
+              });
   return votes;
 }
 

@@ -47,14 +47,20 @@ void ColumnTransform::DropColumns(std::span<const size_t> cols) {
 
 std::vector<double> ColumnTransform::Apply(
     std::span<const double> features) const {
+  std::vector<double> out;
+  ApplyInto(features, &out);
+  return out;
+}
+
+void ColumnTransform::ApplyInto(std::span<const double> features,
+                                std::vector<double>* out) const {
   FALCC_CHECK(features.size() == offsets_.size(),
               "ColumnTransform::Apply: width mismatch");
-  std::vector<double> out;
-  out.reserve(kept_columns_.size());
-  for (size_t c : kept_columns_) {
-    out.push_back((features[c] - offsets_[c]) * scales_[c]);
+  out->resize(kept_columns_.size());
+  for (size_t i = 0; i < kept_columns_.size(); ++i) {
+    const size_t c = kept_columns_[i];
+    (*out)[i] = (features[c] - offsets_[c]) * scales_[c];
   }
-  return out;
 }
 
 Status ColumnTransform::Serialize(std::ostream* out) const {

@@ -2,7 +2,15 @@
 
 #include <ostream>
 
+#include "util/parallel.h"
+
 namespace falcc {
+
+namespace {
+// Rows per batch-inference task: predictions are cheap, so chunks are
+// sizable to keep scheduling overhead negligible.
+constexpr size_t kPredictGrain = 256;
+}  // namespace
 
 Status Classifier::SerializePayload(std::ostream* /*out*/) const {
   return Status::FailedPrecondition("serialization not supported for " +
@@ -11,9 +19,12 @@ Status Classifier::SerializePayload(std::ostream* /*out*/) const {
 
 std::vector<int> PredictAll(const Classifier& model, const Dataset& data) {
   std::vector<int> out(data.num_rows());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    out[i] = model.Predict(data.Row(i));
-  }
+  ParallelFor(0, data.num_rows(), kPredictGrain,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t i = lo; i < hi; ++i) {
+                  out[i] = model.Predict(data.Row(i));
+                }
+              });
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
+#include "util/parallel.h"
 
 namespace falcc {
 
@@ -54,22 +55,47 @@ Result<DiversePool> TrainDiversePool(const Dataset& train,
     return Status::InvalidArgument("validation data is empty");
   }
 
-  // Train every grid configuration and collect validation votes.
-  std::vector<std::unique_ptr<Classifier>> candidates;
-  std::vector<std::vector<int>> votes;
-  std::vector<double> accuracies;
+  // Enumerate the grid up front: every candidate gets a seed derived from
+  // its grid position (options.seed + flat index), so training order —
+  // and thus thread count — cannot affect any candidate's randomness.
+  struct GridPoint {
+    size_t estimators;
+    size_t depth;
+    SplitCriterion criterion;
+    uint64_t seed;
+  };
+  std::vector<GridPoint> grid;
   uint64_t seed = options.seed;
   for (size_t estimators : options.estimator_grid) {
     for (size_t depth : options.depth_grid) {
       for (SplitCriterion criterion : criteria) {
-        std::unique_ptr<Classifier> model = MakeCandidate(
-            options.family, estimators, depth, criterion, seed++);
-        FALCC_RETURN_IF_ERROR(model->Fit(train));
-        votes.push_back(PredictAll(*model, validation));
-        accuracies.push_back(Accuracy(*model, validation));
-        candidates.push_back(std::move(model));
+        grid.push_back({estimators, depth, criterion, seed++});
       }
     }
+  }
+
+  // Train every grid configuration and collect validation votes. Fits are
+  // independent; results land in slots indexed by grid position.
+  std::vector<std::unique_ptr<Classifier>> candidates(grid.size());
+  std::vector<std::vector<int>> votes(grid.size());
+  std::vector<double> accuracies(grid.size(), 0.0);
+  std::vector<Status> fit_status(grid.size());
+  ParallelFor(0, grid.size(), 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t i = lo; i < hi; ++i) {
+                  const GridPoint& p = grid[i];
+                  std::unique_ptr<Classifier> model = MakeCandidate(
+                      options.family, p.estimators, p.depth, p.criterion,
+                      p.seed);
+                  fit_status[i] = model->Fit(train);
+                  if (!fit_status[i].ok()) continue;
+                  votes[i] = PredictAll(*model, validation);
+                  accuracies[i] = Accuracy(*model, validation);
+                  candidates[i] = std::move(model);
+                }
+              });
+  for (const Status& status : fit_status) {
+    FALCC_RETURN_IF_ERROR(status);
   }
 
   // Greedy forward selection maximizing pool entropy, seeded with the

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -30,32 +31,50 @@ Status RandomForest::Fit(const Dataset& data,
                                   static_cast<double>(data.num_features())))));
 
   // Bootstrap resampling implemented via multiplicity weights, composed
-  // with any caller-provided weights.
-  std::vector<double> boot_weights(n);
+  // with any caller-provided weights. All random draws happen here, on
+  // the single forest-level stream and in tree order — exactly the
+  // sequence the serial implementation produced — so the parallel fits
+  // below consume fixed inputs and the ensemble is independent of the
+  // thread count.
+  std::vector<std::vector<double>> boot_weights(options_.num_trees,
+                                                std::vector<double>(n, 0.0));
   for (size_t t = 0; t < options_.num_trees; ++t) {
-    std::fill(boot_weights.begin(), boot_weights.end(), 0.0);
+    std::vector<double>& weights = boot_weights[t];
     for (size_t i = 0; i < n; ++i) {
-      boot_weights[rng.UniformInt(n)] += 1.0;
+      weights[rng.UniformInt(n)] += 1.0;
     }
     if (!sample_weights.empty()) {
-      for (size_t i = 0; i < n; ++i) boot_weights[i] *= sample_weights[i];
+      for (size_t i = 0; i < n; ++i) weights[i] *= sample_weights[i];
     }
     double sum = 0.0;
-    for (double w : boot_weights) sum += w;
+    for (double w : weights) sum += w;
     if (sum <= 0.0) {
       // Degenerate draw (possible with sparse caller weights): fall back
       // to the caller weights / uniform.
       for (size_t i = 0; i < n; ++i) {
-        boot_weights[i] = sample_weights.empty() ? 1.0 : sample_weights[i];
+        weights[i] = sample_weights.empty() ? 1.0 : sample_weights[i];
       }
     }
 
     DecisionTreeOptions base = options_.base;
     base.max_features = max_features;
     base.seed = rng.Next();
-    DecisionTree tree(base);
-    FALCC_RETURN_IF_ERROR(tree.Fit(data, boot_weights));
-    trees_.push_back(std::move(tree));
+    trees_.emplace_back(base);
+  }
+
+  // Tree fits are independent; each writes its own pre-constructed slot.
+  std::vector<Status> fit_status(options_.num_trees);
+  ParallelFor(0, options_.num_trees, 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t t = lo; t < hi; ++t) {
+                  fit_status[t] = trees_[t].Fit(data, boot_weights[t]);
+                }
+              });
+  for (const Status& status : fit_status) {
+    if (!status.ok()) {
+      trees_.clear();
+      return status;
+    }
   }
   return Status::OK();
 }

@@ -1,0 +1,78 @@
+// Deterministic thread-pool parallel runtime.
+//
+// A single lazily-initialized global pool executes chunked loops for every
+// hot path of the offline phase (pool training, clustering, assessment)
+// and for batch inference. Determinism is a hard contract:
+//
+//  * The decomposition of [begin, end) into chunks depends only on the
+//    range and the grain — never on the thread count. Callers that reduce
+//    (sums, SSE, entropy) accumulate per-chunk partials into pre-sized
+//    slots and combine them in chunk order, so floating-point results are
+//    bit-identical whether the loop ran on 1 thread or 64.
+//  * Work items never share mutable state; results are written into slots
+//    indexed by work item. Randomized tasks derive an independent seed per
+//    item (the existing Rng child-seeding scheme), not a shared stream.
+//
+// The pool size comes from the FALCC_THREADS environment variable when it
+// is set, otherwise std::thread::hardware_concurrency(), and can be
+// changed at runtime with SetParallelism(). Size 1 (or a single chunk)
+// short-circuits to an inline serial loop with zero synchronization.
+// Nested ParallelFor calls from inside a worker run inline — the pool
+// never deadlocks on itself.
+
+#ifndef FALCC_UTIL_PARALLEL_H_
+#define FALCC_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace falcc {
+
+/// Effective parallelism: the number of threads loops may use (pool
+/// workers + the calling thread). Always >= 1. Reads FALCC_THREADS /
+/// hardware_concurrency on first use.
+size_t Parallelism();
+
+/// Sets the parallelism to `n` (clamped to >= 1). Stops the current pool
+/// workers and restarts lazily at the new size. Must not be called
+/// concurrently with running parallel loops.
+void SetParallelism(size_t n);
+
+/// Stops and joins all pool workers. The next parallel call restarts the
+/// pool at the configured size. Mainly for tests and clean shutdown.
+void ShutdownParallelPool();
+
+/// Number of chunks ParallelFor splits [begin, end) into with grain
+/// `grain`: ceil((end - begin) / max(grain, 1)). Depends only on the
+/// range and grain, never on the thread count — callers use it to
+/// pre-size per-chunk partial-reduction slots.
+size_t NumChunks(size_t begin, size_t end, size_t grain);
+
+/// Runs body(chunk_index, chunk_begin, chunk_end) for every chunk of
+/// [begin, end), chunks of `grain` iterations (the last chunk may be
+/// short). Chunks execute concurrently on the pool; the calling thread
+/// participates. Blocks until all chunks finished. If any chunk throws,
+/// the exception from the lowest-indexed failing chunk is rethrown after
+/// all chunks completed. Serial fallback (inline, in chunk order) when
+/// the parallelism is 1, there is only one chunk, or the caller is itself
+/// a pool worker.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t chunk, size_t chunk_begin,
+                                          size_t chunk_end)>& body);
+
+/// Convenience: fn(i) -> T for i in [0, n), results in order. `grain`
+/// items per task.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, size_t grain, Fn&& fn) {
+  std::vector<T> out(n);
+  ParallelFor(0, n, grain,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t i = lo; i < hi; ++i) out[i] = fn(i);
+              });
+  return out;
+}
+
+}  // namespace falcc
+
+#endif  // FALCC_UTIL_PARALLEL_H_

@@ -1,0 +1,183 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace falcc {
+namespace {
+
+// Restores the configured parallelism after each test so test order
+// cannot leak pool state.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = Parallelism(); }
+  void TearDown() override { SetParallelism(previous_); }
+  size_t previous_ = 1;
+};
+
+TEST_F(ParallelTest, ParallelismIsAtLeastOne) {
+  EXPECT_GE(Parallelism(), 1u);
+  SetParallelism(0);  // clamped
+  EXPECT_EQ(Parallelism(), 1u);
+  SetParallelism(3);
+  EXPECT_EQ(Parallelism(), 3u);
+}
+
+TEST_F(ParallelTest, NumChunksMatchesGrain) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0u);
+  EXPECT_EQ(NumChunks(5, 5, 4), 0u);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1u);
+  EXPECT_EQ(NumChunks(0, 8, 4), 2u);
+  EXPECT_EQ(NumChunks(0, 9, 4), 3u);
+  EXPECT_EQ(NumChunks(3, 9, 4), 2u);
+  EXPECT_EQ(NumChunks(0, 9, 0), 9u);  // grain clamped to 1
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    SetParallelism(threads);
+    for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h = 0;
+      ParallelFor(0, n, 7, [&](size_t /*chunk*/, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) hits[i]++;
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i], 1) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, ChunkBoundsRespectGrain) {
+  SetParallelism(4);
+  const size_t n = 103;
+  const size_t grain = 10;
+  std::vector<std::pair<size_t, size_t>> bounds(NumChunks(0, n, grain));
+  ParallelFor(0, n, grain, [&](size_t chunk, size_t lo, size_t hi) {
+    bounds[chunk] = {lo, hi};
+  });
+  for (size_t c = 0; c < bounds.size(); ++c) {
+    EXPECT_EQ(bounds[c].first, c * grain);
+    EXPECT_EQ(bounds[c].second, std::min((c + 1) * grain, n));
+  }
+}
+
+TEST_F(ParallelTest, ChunkingIsIndependentOfThreadCount) {
+  // The determinism contract: per-chunk partial sums combined in chunk
+  // order give bit-identical floating-point results at any parallelism.
+  const size_t n = 5000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = 1.0 / (1.0 + i);
+  auto chunked_sum = [&]() {
+    const size_t grain = 64;
+    std::vector<double> partial(NumChunks(0, n, grain), 0.0);
+    ParallelFor(0, n, grain, [&](size_t chunk, size_t lo, size_t hi) {
+      double local = 0.0;
+      for (size_t i = lo; i < hi; ++i) local += values[i];
+      partial[chunk] = local;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  SetParallelism(1);
+  const double serial = chunked_sum();
+  for (size_t threads : {2u, 3u, 8u}) {
+    SetParallelism(threads);
+    EXPECT_EQ(serial, chunked_sum()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, ParallelMapPreservesOrder) {
+  SetParallelism(4);
+  const std::vector<int> out =
+      ParallelMap<int>(100, 3, [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST_F(ParallelTest, PropagatesExceptions) {
+  for (size_t threads : {1u, 4u}) {
+    SetParallelism(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [](size_t /*chunk*/, size_t lo, size_t /*hi*/) {
+                      if (lo == 37) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool survives a throwing loop.
+    std::atomic<size_t> done{0};
+    ParallelFor(0, 10, 1,
+                [&](size_t, size_t, size_t) { done++; });
+    EXPECT_EQ(done, 10u);
+  }
+}
+
+TEST_F(ParallelTest, RethrowsLowestChunkException) {
+  SetParallelism(4);
+  try {
+    ParallelFor(0, 64, 1, [](size_t chunk, size_t, size_t) {
+      if (chunk == 5 || chunk == 41) {
+        throw std::runtime_error("chunk " + std::to_string(chunk));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 5");
+  }
+}
+
+TEST_F(ParallelTest, NestedCallsRunInline) {
+  SetParallelism(4);
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 8, 1, [&](size_t, size_t, size_t) {
+    // A nested loop inside a pool task must not deadlock on the pool.
+    ParallelFor(0, 100, 10,
+                [&](size_t, size_t lo, size_t hi) { total += hi - lo; });
+  });
+  EXPECT_EQ(total, 800u);
+}
+
+TEST_F(ParallelTest, PoolRestartsAfterShutdown) {
+  SetParallelism(4);
+  std::atomic<size_t> count{0};
+  ParallelFor(0, 50, 1, [&](size_t, size_t, size_t) { count++; });
+  EXPECT_EQ(count, 50u);
+
+  ShutdownParallelPool();  // next loop restarts the workers lazily
+  count = 0;
+  ParallelFor(0, 50, 1, [&](size_t, size_t, size_t) { count++; });
+  EXPECT_EQ(count, 50u);
+
+  // Resizing mid-session also stops and lazily restarts the pool.
+  SetParallelism(2);
+  count = 0;
+  ParallelFor(0, 50, 1, [&](size_t, size_t, size_t) { count++; });
+  EXPECT_EQ(count, 50u);
+}
+
+TEST_F(ParallelTest, ManyBackToBackLoops) {
+  // Stresses region handoff: stragglers from loop i must never corrupt
+  // loop i+1 (shared-ownership regression guard).
+  SetParallelism(4);
+  for (size_t round = 0; round < 200; ++round) {
+    std::vector<size_t> out(64, 0);
+    ParallelFor(0, out.size(), 1,
+                [&](size_t, size_t lo, size_t hi) {
+                  for (size_t i = lo; i < hi; ++i) out[i] = i + round;
+                });
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i + round) << "round=" << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falcc

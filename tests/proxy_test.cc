@@ -45,7 +45,8 @@ TEST(AnalyzeProxiesTest, ProxiesGetLowerWeights) {
 
 TEST(AnalyzeProxiesTest, WeightsInUnitInterval) {
   const Dataset d = MakeProxyData();
-  for (const auto& r : AnalyzeProxies(d, {}).value()) {
+  const auto reports = AnalyzeProxies(d, {}).value();
+  for (const auto& r : reports) {
     EXPECT_GE(r.weight, 0.0);
     EXPECT_LE(r.weight, 1.0);
   }
@@ -55,13 +56,15 @@ TEST(AnalyzeProxiesTest, RemovalFlagsRespectThreshold) {
   const Dataset d = MakeProxyData(0.5);
   ProxyOptions strict;
   strict.removal_threshold = 0.99;  // nothing correlates that strongly
-  for (const auto& r : AnalyzeProxies(d, strict).value()) {
+  const auto strict_reports = AnalyzeProxies(d, strict).value();
+  for (const auto& r : strict_reports) {
     EXPECT_FALSE(r.removed);
   }
   ProxyOptions loose;
   loose.removal_threshold = 0.05;
   int removed = 0;
-  for (const auto& r : AnalyzeProxies(d, loose).value()) {
+  const auto loose_reports = AnalyzeProxies(d, loose).value();
+  for (const auto& r : loose_reports) {
     removed += r.removed;
   }
   EXPECT_GE(removed, 3);  // at least the three proxies
@@ -71,7 +74,8 @@ TEST(AnalyzeProxiesTest, NoBiasNoRemovals) {
   const Dataset d = MakeProxyData(0.0);
   ProxyOptions opt;
   opt.removal_threshold = 0.3;
-  for (const auto& r : AnalyzeProxies(d, opt).value()) {
+  const auto reports = AnalyzeProxies(d, opt).value();
+  for (const auto& r : reports) {
     EXPECT_FALSE(r.removed) << "column " << r.column;
   }
 }

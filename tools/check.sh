@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice:
+#   1. plain Release build + ctest (the ROADMAP tier-1 command),
+#   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
+#      parallel runtime fail loudly even on single-core CI machines.
+#
+# Usage: tools/check.sh [--plain-only|--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_plain=1
+run_tsan=1
+case "${1:-}" in
+  --plain-only) run_tsan=0 ;;
+  --tsan-only) run_plain=0 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--plain-only|--tsan-only]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "$run_plain" == 1 ]]; then
+  echo "=== check 1/2: plain build + ctest ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== check 2/2: FALCC_SANITIZE=thread, FALCC_THREADS=4 ==="
+  cmake -B build-tsan -S . -DFALCC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  FALCC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+fi
+
+echo "all checks passed"
