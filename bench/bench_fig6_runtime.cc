@@ -132,15 +132,22 @@ void BM_OtherFastestOnline(benchmark::State& state,
 // ---------------------------------------------------------------------
 // Offline-phase thread sweep.
 
+// Offline-phase training runs per thread count; the reported time is
+// the median (wall-clock noise on a loaded machine would otherwise
+// dominate the sweep).
+constexpr size_t kSweepReps = 3;
+
 struct SweepPoint {
   size_t threads = 1;
-  double offline_seconds = 0.0;
+  double offline_seconds = 0.0;       // median over kSweepReps runs
+  OfflineStageTimes stages;           // breakdown of the median run
   bool model_identical = true;        // Save() bytes == 1-thread bytes
   bool predictions_identical = true;  // ClassifyAll == 1-thread result
 };
 
-// Trains the FALCC offline phase once at each thread count and checks
-// bit-identical outputs against the single-threaded reference.
+// Trains the FALCC offline phase kSweepReps times at each thread count
+// (median time, per-stage breakdown) and checks bit-identical outputs
+// against the single-threaded reference.
 std::vector<SweepPoint> RunOfflineSweep(const Dataset& data,
                                         std::vector<size_t> thread_counts) {
   const TrainValTest splits = SplitDatasetDefault(data, 61).value();
@@ -153,21 +160,42 @@ std::vector<SweepPoint> RunOfflineSweep(const Dataset& data,
   std::vector<int> reference_preds;
   for (size_t threads : thread_counts) {
     SetParallelism(threads);
-    Timer timer;
-    const FalccModel model =
-        FalccModel::Train(splits.train, splits.validation, opt).value();
+
+    struct Rep {
+      double seconds;
+      OfflineStageTimes stages;
+    };
+    std::vector<Rep> reps(kSweepReps);
+    std::string bytes;
+    std::vector<int> preds;
+    for (size_t r = 0; r < kSweepReps; ++r) {
+      Timer timer;
+      OfflineStageTimes stages;
+      const FalccModel model =
+          FalccModel::Train(splits.train, splits.validation, opt, &stages)
+              .value();
+      reps[r] = {timer.ElapsedSeconds(), stages};
+      if (r == 0) {
+        std::ostringstream out;
+        FALCC_CHECK(model.Save(&out).ok(),
+                    "sweep: model serialization failed");
+        bytes = out.str();
+        preds = model.ClassifyAll(splits.test);
+      }
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const Rep& a, const Rep& b) { return a.seconds < b.seconds; });
+    const Rep& median = reps[reps.size() / 2];
+
     SweepPoint point;
     point.threads = threads;
-    point.offline_seconds = timer.ElapsedSeconds();
-
-    std::ostringstream bytes;
-    FALCC_CHECK(model.Save(&bytes).ok(), "sweep: model serialization failed");
-    const std::vector<int> preds = model.ClassifyAll(splits.test);
+    point.offline_seconds = median.seconds;
+    point.stages = median.stages;
     if (sweep.empty()) {
-      reference_bytes = bytes.str();
+      reference_bytes = bytes;
       reference_preds = preds;
     } else {
-      point.model_identical = bytes.str() == reference_bytes;
+      point.model_identical = bytes == reference_bytes;
       point.predictions_identical = preds == reference_preds;
     }
     sweep.push_back(point);
@@ -179,20 +207,29 @@ void WriteRuntimeJson(const std::string& path, const std::string& dataset,
                       size_t rows, const std::vector<SweepPoint>& sweep) {
   std::ofstream out(path);
   FALCC_CHECK(static_cast<bool>(out), "cannot open BENCH_runtime.json");
+  const unsigned hw = std::thread::hardware_concurrency();
   out << "{\n";
   out << "  \"benchmark\": \"falcc_offline_phase\",\n";
   out << "  \"dataset\": \"" << dataset << "\",\n";
   out << "  \"rows\": " << rows << ",\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"reps\": " << kSweepReps << ",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"note\": \"offline_seconds is the median of " << kSweepReps
+      << " runs; stage breakdown is from the median run; thread counts "
+         "above hardware_concurrency oversubscribe the machine and "
+         "measure scheduling overhead, not parallel speedup\",\n";
   out << "  \"sweep\": [\n";
   const double base = sweep.empty() ? 0.0 : sweep.front().offline_seconds;
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
     out << "    {\"threads\": " << p.threads
         << ", \"offline_seconds\": " << p.offline_seconds
+        << ", \"train_seconds\": " << p.stages.train_seconds
+        << ", \"cluster_seconds\": " << p.stages.cluster_seconds
+        << ", \"assess_seconds\": " << p.stages.assess_seconds
         << ", \"speedup_vs_1\": "
         << (p.offline_seconds > 0.0 ? base / p.offline_seconds : 0.0)
+        << ", \"saturated\": " << (hw > 0 && p.threads > hw ? "true" : "false")
         << ", \"model_identical\": "
         << (p.model_identical ? "true" : "false")
         << ", \"predictions_identical\": "
@@ -226,9 +263,11 @@ bool OfflineSweepMain(const std::string& json_path) {
   const double base = sweep.front().offline_seconds;
   for (const SweepPoint& p : sweep) {
     std::printf(
-        "  threads=%zu  offline=%.3fs  speedup=%.2fx  model_identical=%s  "
+        "  threads=%zu  offline=%.3fs (train=%.3f cluster=%.3f "
+        "assess=%.3f)  speedup=%.2fx  model_identical=%s  "
         "predictions_identical=%s\n",
-        p.threads, p.offline_seconds,
+        p.threads, p.offline_seconds, p.stages.train_seconds,
+        p.stages.cluster_seconds, p.stages.assess_seconds,
         p.offline_seconds > 0.0 ? base / p.offline_seconds : 0.0,
         p.model_identical ? "yes" : "NO",
         p.predictions_identical ? "yes" : "NO");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "util/math.h"
@@ -97,6 +98,44 @@ std::vector<size_t> KdTree::Nearest(std::span<const double> query,
                                     size_t k) const {
   static const std::vector<bool> kEmpty;
   return NearestWhere(query, k, kEmpty);
+}
+
+size_t KdTree::Nearest1(std::span<const double> query) const {
+  FALCC_CHECK(query.size() == dims_, "KdTree query dimensionality mismatch");
+  FALCC_CHECK(!points_.empty(), "KdTree::Nearest1 on empty tree");
+
+  double best_d2 = std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+
+  // Iterative DFS. Equal-bound subtrees are still visited and equal-
+  // distance points still update when their index is lower, so the
+  // result matches the lowest-index-wins linear scan bit for bit.
+  std::vector<std::pair<int, double>> stack;
+  stack.emplace_back(root_, 0.0);
+  while (!stack.empty()) {
+    const auto [node_id, bound] = stack.back();
+    stack.pop_back();
+    if (bound > best_d2) continue;
+    const Node& node = nodes_[node_id];
+    if (node.split_dim < 0) {
+      for (size_t i = node.begin; i < node.end; ++i) {
+        const size_t idx = order_[i];
+        const double d2 = SquaredDistance(query, points_[idx]);
+        if (d2 < best_d2 || (d2 == best_d2 && idx < best_idx)) {
+          best_d2 = d2;
+          best_idx = idx;
+        }
+      }
+      continue;
+    }
+    const double diff = query[node.split_dim] - node.split_value;
+    const int near = diff < 0.0 ? node.left : node.right;
+    const int far = diff < 0.0 ? node.right : node.left;
+    // Push far side first so the near side is explored first.
+    stack.emplace_back(far, std::max(bound, diff * diff));
+    stack.emplace_back(near, bound);
+  }
+  return best_idx;
 }
 
 std::vector<size_t> KdTree::NearestWhere(

@@ -39,6 +39,13 @@ class KdTree {
       std::span<const double> query, size_t k,
       const std::vector<bool>& accept) const;
 
+  /// Index of the single nearest point. Exactly equivalent to the linear
+  /// scan `NearestCentroid` (cluster/kmeans.h): among equidistant points
+  /// the lowest index wins, so subtrees are pruned only when their bound
+  /// strictly exceeds the best distance. Used by the online phase's
+  /// centroid lookup.
+  size_t Nearest1(std::span<const double> query) const;
+
  private:
   struct Node {
     // Leaf iff split_dim < 0; then [begin, end) indexes order_.

@@ -10,12 +10,15 @@
 #include "util/math.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
+#include "util/timer.h"
 
 namespace falcc {
 
 Result<FalccModel> FalccModel::Train(const Dataset& train,
                                      const Dataset& validation,
-                                     const FalccOptions& options) {
+                                     const FalccOptions& options,
+                                     OfflineStageTimes* stage_times) {
+  Timer train_timer;
   DiverseTrainerOptions trainer = options.trainer;
   trainer.seed = options.seed;
   Result<DiversePool> diverse = TrainDiversePool(train, validation, trainer);
@@ -55,8 +58,11 @@ Result<FalccModel> FalccModel::Train(const Dataset& train,
     }
   }
 
+  if (stage_times != nullptr) {
+    stage_times->train_seconds = train_timer.ElapsedSeconds();
+  }
   return RunOfflinePhase(std::move(pool), validation, options,
-                         diverse.value().entropy);
+                         diverse.value().entropy, stage_times);
 }
 
 Result<FalccModel> FalccModel::TrainWithPool(ModelPool pool,
@@ -69,7 +75,9 @@ Result<FalccModel> FalccModel::TrainWithPool(ModelPool pool,
 Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
                                                const Dataset& validation,
                                                const FalccOptions& options,
-                                               double pool_entropy) {
+                                               double pool_entropy,
+                                               OfflineStageTimes* stage_times) {
+  Timer cluster_timer;
   if (validation.num_rows() < 2) {
     return Status::InvalidArgument("FALCC: validation data too small");
   }
@@ -185,6 +193,11 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
       region_rows[c].insert(region_rows[c].end(), nn.begin(), nn.end());
     }
   }
+  if (stage_times != nullptr) {
+    stage_times->cluster_seconds = cluster_timer.ElapsedSeconds();
+  }
+  Timer assess_timer;
+
   // Drop empty regions from assessment but keep centroid indexing intact
   // by assigning them the globally best combination later.
   const std::vector<std::vector<int>> votes =
@@ -229,7 +242,18 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
   for (const Status& status : cluster_status) {
     FALCC_RETURN_IF_ERROR(status);
   }
+  FALCC_RETURN_IF_ERROR(model.BuildCentroidIndex());
+  if (stage_times != nullptr) {
+    stage_times->assess_seconds = assess_timer.ElapsedSeconds();
+  }
   return model;
+}
+
+Status FalccModel::BuildCentroidIndex() {
+  Result<KdTree> index = KdTree::Build(centroids_);
+  if (!index.ok()) return index.status();
+  centroid_index_ = std::move(index).value();
+  return Status::OK();
 }
 
 namespace {
@@ -299,6 +323,7 @@ Result<FalccModel> FalccModel::Load(std::istream* in) {
       }
     }
   }
+  FALCC_RETURN_IF_ERROR(model.BuildCentroidIndex());
   return model;
 }
 
@@ -319,6 +344,9 @@ Result<FalccModel> FalccModel::LoadFromFile(const std::string& path) {
 
 size_t FalccModel::MatchCluster(std::span<const double> features) const {
   const std::vector<double> processed = clustering_transform_.Apply(features);
+  if (centroid_index_.has_value()) {
+    return centroid_index_->Nearest1(processed);
+  }
   return NearestCentroid(centroids_, processed);
 }
 
@@ -341,18 +369,45 @@ double FalccModel::ClassifyProba(std::span<const double> features) const {
 }
 
 std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
-  std::vector<int> out(data.num_rows());
+  const size_t n = data.num_rows();
+  std::vector<int> out(n);
+
+  // Pass 1: route every row to the model stored for its (region, group).
   // One transform scratch buffer per chunk: the per-sample Apply
   // allocation dominates the nearest-centroid lookup on small models.
-  ParallelFor(0, data.num_rows(), 256,
+  std::vector<size_t> model_of(n);
+  ParallelFor(0, n, 256,
               [&](size_t /*chunk*/, size_t lo, size_t hi) {
                 std::vector<double> scratch;
                 for (size_t i = lo; i < hi; ++i) {
                   const auto row = data.Row(i);
                   clustering_transform_.ApplyInto(row, &scratch);
-                  const size_t cluster = NearestCentroid(centroids_, scratch);
+                  const size_t cluster =
+                      centroid_index_.has_value()
+                          ? centroid_index_->Nearest1(scratch)
+                          : NearestCentroid(centroids_, scratch);
                   const size_t group = group_index_.GroupOfOrNearest(row);
-                  out[i] = pool_.model(selected_[cluster][group]).Predict(row);
+                  model_of[i] = selected_[cluster][group];
+                }
+              });
+
+  // Pass 2: batch inference, one traversal per model over all its rows
+  // (tree ensembles walk flat node arrays with no per-row virtual
+  // dispatch). Per-row results are independent, so the regrouping cannot
+  // change any prediction.
+  std::vector<std::vector<size_t>> rows_by_model(pool_.size());
+  for (size_t i = 0; i < n; ++i) rows_by_model[model_of[i]].push_back(i);
+  ParallelFor(0, pool_.size(), 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                std::vector<double> proba;
+                for (size_t m = lo; m < hi; ++m) {
+                  const std::vector<size_t>& rows = rows_by_model[m];
+                  if (rows.empty()) continue;
+                  proba.resize(rows.size());
+                  pool_.model(m).PredictProbaBatch(data, rows, proba);
+                  for (size_t j = 0; j < rows.size(); ++j) {
+                    out[rows[j]] = proba[j] >= 0.5 ? 1 : 0;
+                  }
                 }
               });
   return out;

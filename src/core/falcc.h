@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cluster/kdtree.h"
 #include "cluster/kmeans.h"
 #include "cluster/logmeans.h"
 #include "cluster/xmeans.h"
@@ -68,6 +70,15 @@ struct FalccOptions {
   uint64_t seed = 1;
 };
 
+/// Wall-clock breakdown of the offline phase, for the runtime benchmark:
+/// pool training, clustering (transform + k estimation + k-means + gap
+/// filling), and per-cluster assessment.
+struct OfflineStageTimes {
+  double train_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double assess_seconds = 0.0;
+};
+
 /// A trained FALCC classifier (offline phase output + online phase).
 class FalccModel {
  public:
@@ -75,10 +86,13 @@ class FalccModel {
   FalccModel& operator=(FalccModel&&) = default;
 
   /// Full offline phase: trains a diverse pool on `train`, then runs
-  /// mitigation, clustering, and assessment on `validation`.
+  /// mitigation, clustering, and assessment on `validation`. When
+  /// `stage_times` is non-null, the per-stage wall-clock breakdown is
+  /// written there.
   static Result<FalccModel> Train(const Dataset& train,
                                   const Dataset& validation,
-                                  const FalccOptions& options = {});
+                                  const FalccOptions& options = {},
+                                  OfflineStageTimes* stage_times = nullptr);
 
   /// Offline phase with an externally supplied model pool (framework
   /// generality, §3.1; e.g. fair classifiers for the FALCC* variant).
@@ -133,13 +147,22 @@ class FalccModel {
   static Result<FalccModel> RunOfflinePhase(ModelPool pool,
                                             const Dataset& validation,
                                             const FalccOptions& options,
-                                            double pool_entropy);
+                                            double pool_entropy,
+                                            OfflineStageTimes* stage_times =
+                                                nullptr);
+
+  /// (Re)builds centroid_index_ from centroids_. Called after training
+  /// and after Load — the index is derived state and never serialized.
+  Status BuildCentroidIndex();
 
   ModelPool pool_;
   double pool_entropy_ = 0.0;
   GroupIndex group_index_;
   ColumnTransform clustering_transform_;  // §3.7 step 1 (sample processing)
   std::vector<std::vector<double>> centroids_;
+  /// kd-tree over centroids_ for the online nearest-centroid lookup;
+  /// gives identical answers to the linear scan (KdTree::Nearest1).
+  std::optional<KdTree> centroid_index_;
   std::vector<size_t> assignment_;            // validation rows -> cluster
   std::vector<ModelCombination> selected_;    // cluster -> combination
 };

@@ -1,0 +1,44 @@
+#include "data/feature_columns.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/parallel.h"
+
+namespace falcc {
+
+FeatureColumns::FeatureColumns(const Dataset& data)
+    : data_(&data),
+      num_rows_(data.num_rows()),
+      num_features_(data.num_features()) {
+  FALCC_CHECK(num_rows_ <= std::numeric_limits<uint32_t>::max(),
+              "FeatureColumns: too many rows for 32-bit indices");
+  rows_.resize(num_features_ * num_rows_);
+  values_.resize(num_features_ * num_rows_);
+
+  ParallelFor(0, num_features_, 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                std::vector<double> column(num_rows_);
+                for (size_t f = lo; f < hi; ++f) {
+                  uint32_t* rows = rows_.data() + f * num_rows_;
+                  double* values = values_.data() + f * num_rows_;
+                  for (size_t i = 0; i < num_rows_; ++i) {
+                    column[i] = data.Feature(i, f);
+                  }
+                  std::iota(rows, rows + num_rows_, 0u);
+                  std::sort(rows, rows + num_rows_,
+                            [&](uint32_t a, uint32_t b) {
+                              if (column[a] != column[b]) {
+                                return column[a] < column[b];
+                              }
+                              return a < b;
+                            });
+                  for (size_t i = 0; i < num_rows_; ++i) {
+                    values[i] = column[rows[i]];
+                  }
+                }
+              });
+}
+
+}  // namespace falcc

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "data/feature_columns.h"
+#include "ml/tree_builder.h"
 #include "util/math.h"
 #include "util/serialize.h"
 
@@ -9,6 +11,17 @@ namespace falcc {
 
 Status AdaBoost::Fit(const Dataset& data,
                      std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("AdaBoost: empty training data");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+  const FeatureColumns columns(data);
+  return Fit(columns, sample_weights);
+}
+
+Status AdaBoost::Fit(const FeatureColumns& columns,
+                     std::span<const double> sample_weights) {
+  const Dataset& data = columns.data();
   if (data.num_rows() == 0) {
     return Status::InvalidArgument("AdaBoost: empty training data");
   }
@@ -31,16 +44,21 @@ Status AdaBoost::Fit(const Dataset& data,
   trees_.clear();
   alphas_.clear();
   std::vector<int> predictions(n);
+  std::vector<double> round_proba(n);
+  std::vector<size_t> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = i;
+  TreeBuilder builder;  // scratch shared across all boosting rounds
 
   for (size_t t = 0; t < options_.num_estimators; ++t) {
     DecisionTreeOptions base = options_.base;
     base.seed = options_.base.seed + t;  // vary RF-style subsampling streams
     DecisionTree tree(base);
-    FALCC_RETURN_IF_ERROR(tree.Fit(data, weights));
+    FALCC_RETURN_IF_ERROR(tree.Fit(columns, weights, &builder));
 
+    tree.PredictProbaBatch(data, all_rows, round_proba);
     double err = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      predictions[i] = tree.Predict(data.Row(i));
+      predictions[i] = round_proba[i] >= 0.5 ? 1 : 0;
       if (predictions[i] != data.Label(i)) err += weights[i];
     }
 
@@ -88,6 +106,45 @@ double AdaBoost::PredictProba(std::span<const double> features) const {
   if (alpha_sum <= 0.0) return 0.5;
   // Map the normalized margin in [-1, 1] to a probability in [0, 1].
   return 0.5 * (margin / alpha_sum + 1.0);
+}
+
+void AdaBoost::PredictProbaBatch(const Dataset& data,
+                                 std::span<const size_t> rows,
+                                 std::span<double> out) const {
+  FALCC_CHECK(!trees_.empty(), "AdaBoost::PredictProba before Fit");
+  FALCC_CHECK(rows.size() == out.size(),
+              "PredictProbaBatch: rows/out size mismatch");
+  // Tree-major traversal: each tree's flat array is walked for the whole
+  // batch while it is hot, and every row still accumulates its margin in
+  // t-ascending order — the same floating-point order as the per-row
+  // PredictProba loop, so results are bit-identical.
+  std::vector<double> margins(rows.size(), 0.0);
+  std::vector<double> proba(rows.size());
+  double alpha_sum = 0.0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].PredictProbaBatch(data, rows, proba);
+    const double alpha = alphas_[t];
+    for (size_t j = 0; j < rows.size(); ++j) {
+      margins[j] += alpha * (proba[j] >= 0.5 ? 1.0 : -1.0);
+    }
+    alpha_sum += std::fabs(alpha);
+  }
+  if (alpha_sum <= 0.0) {
+    for (size_t j = 0; j < rows.size(); ++j) out[j] = 0.5;
+    return;
+  }
+  for (size_t j = 0; j < rows.size(); ++j) {
+    out[j] = 0.5 * (margins[j] / alpha_sum + 1.0);
+  }
+}
+
+AdaBoost AdaBoost::FromParts(const AdaBoostOptions& options,
+                             std::vector<DecisionTree> trees,
+                             std::vector<double> alphas) {
+  AdaBoost model(options);
+  model.trees_ = std::move(trees);
+  model.alphas_ = std::move(alphas);
+  return model;
 }
 
 std::unique_ptr<Classifier> AdaBoost::Clone() const {

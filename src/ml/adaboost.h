@@ -29,7 +29,18 @@ class AdaBoost final : public Classifier {
   Status Fit(const Dataset& data,
              std::span<const double> sample_weights) override;
   using Classifier::Fit;
+
+  /// Fits against a prebuilt presorted column cache (data/
+  /// feature_columns.h): the per-dataset sort is paid once outside and
+  /// one TreeBuilder's scratch is reused across all boosting rounds.
+  /// Produces exactly the same ensemble as Fit(columns.data(), weights).
+  Status Fit(const FeatureColumns& columns,
+             std::span<const double> sample_weights);
+  Status Fit(const FeatureColumns& columns) { return Fit(columns, {}); }
+
   double PredictProba(std::span<const double> features) const override;
+  void PredictProbaBatch(const Dataset& data, std::span<const size_t> rows,
+                         std::span<double> out) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
   std::string TypeTag() const override { return "adaboost"; }
@@ -38,6 +49,12 @@ class AdaBoost final : public Classifier {
 
   /// Number of estimators actually fitted (early stop on perfect fit).
   size_t num_fitted() const { return trees_.size(); }
+
+  /// Assembles a fitted ensemble from externally built parts. Used by the
+  /// frozen seed trainer (ml/reference_trainer.h) and by tests.
+  static AdaBoost FromParts(const AdaBoostOptions& options,
+                            std::vector<DecisionTree> trees,
+                            std::vector<double> alphas);
 
  private:
   AdaBoostOptions options_;

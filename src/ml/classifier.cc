@@ -17,12 +17,30 @@ Status Classifier::SerializePayload(std::ostream* /*out*/) const {
                                     Name());
 }
 
+void Classifier::PredictProbaBatch(const Dataset& data,
+                                   std::span<const size_t> rows,
+                                   std::span<double> out) const {
+  FALCC_CHECK(rows.size() == out.size(),
+              "PredictProbaBatch: rows/out size mismatch");
+  for (size_t j = 0; j < rows.size(); ++j) {
+    out[j] = PredictProba(data.Row(rows[j]));
+  }
+}
+
 std::vector<int> PredictAll(const Classifier& model, const Dataset& data) {
-  std::vector<int> out(data.num_rows());
-  ParallelFor(0, data.num_rows(), kPredictGrain,
+  const size_t n = data.num_rows();
+  std::vector<int> out(n);
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  ParallelFor(0, n, kPredictGrain,
               [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                double proba[kPredictGrain];
+                const std::span<double> chunk_out(proba, hi - lo);
+                model.PredictProbaBatch(
+                    data, std::span<const size_t>(rows).subspan(lo, hi - lo),
+                    chunk_out);
                 for (size_t i = lo; i < hi; ++i) {
-                  out[i] = model.Predict(data.Row(i));
+                  out[i] = chunk_out[i - lo] >= 0.5 ? 1 : 0;
                 }
               });
   return out;
@@ -30,9 +48,10 @@ std::vector<int> PredictAll(const Classifier& model, const Dataset& data) {
 
 double Accuracy(const Classifier& model, const Dataset& data) {
   if (data.num_rows() == 0) return 0.0;
+  const std::vector<int> predictions = PredictAll(model, data);
   size_t correct = 0;
   for (size_t i = 0; i < data.num_rows(); ++i) {
-    if (model.Predict(data.Row(i)) == data.Label(i)) ++correct;
+    if (predictions[i] == data.Label(i)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.num_rows());
 }

@@ -41,6 +41,15 @@ class Classifier {
     return PredictProba(features) >= 0.5 ? 1 : 0;
   }
 
+  /// Estimated P(y = 1) for `rows` of `data`, written to `out` (same
+  /// length). The default calls PredictProba per row; tree-based models
+  /// override it with an iterative traversal over their flat node arrays
+  /// so batch inference pays one virtual dispatch per model, not per row.
+  /// Must produce exactly PredictProba(data.Row(rows[j])) per row.
+  virtual void PredictProbaBatch(const Dataset& data,
+                                 std::span<const size_t> rows,
+                                 std::span<double> out) const;
+
   /// Deep copy, including any fitted state.
   virtual std::unique_ptr<Classifier> Clone() const = 0;
 

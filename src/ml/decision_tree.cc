@@ -1,31 +1,12 @@
 #include "ml/decision_tree.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "util/rng.h"
+#include "data/feature_columns.h"
+#include "ml/tree_builder.h"
 #include "util/serialize.h"
 
 namespace falcc {
-
-namespace {
-
-// Impurity of a weighted binary class distribution (w1 positives out of
-// total weight w).
-double Impurity(double w1, double w, SplitCriterion criterion) {
-  if (w <= 0.0) return 0.0;
-  const double p = w1 / w;
-  if (criterion == SplitCriterion::kGini) {
-    return 2.0 * p * (1.0 - p);
-  }
-  double h = 0.0;
-  if (p > 0.0) h -= p * std::log2(p);
-  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
-  return h;
-}
-
-}  // namespace
 
 Status DecisionTree::Fit(const Dataset& data,
                          std::span<const double> sample_weights) {
@@ -33,118 +14,38 @@ Status DecisionTree::Fit(const Dataset& data,
     return Status::InvalidArgument("DecisionTree: empty training data");
   }
   FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
-
-  std::vector<double> weights;
-  if (sample_weights.empty()) {
-    weights.assign(data.num_rows(), 1.0);
-  } else {
-    weights.assign(sample_weights.begin(), sample_weights.end());
-  }
-
-  nodes_.clear();
-  depth_ = 0;
-  indices_.resize(data.num_rows());
-  for (size_t i = 0; i < indices_.size(); ++i) indices_[i] = i;
-  rng_state_ = options_.seed;
-
-  nodes_.reserve(64);
-  BuildNode(data, weights, 0, indices_.size(), 0);
-  indices_.clear();
-  indices_.shrink_to_fit();
-  return Status::OK();
+  const FeatureColumns columns(data);
+  return Fit(columns, sample_weights);
 }
 
-int DecisionTree::BuildNode(const Dataset& data,
-                            std::span<const double> weights, size_t begin,
-                            size_t end, size_t depth) {
-  const int node_id = static_cast<int>(nodes_.size());
-  nodes_.emplace_back();
-  depth_ = std::max(depth_, depth);
-
-  // Weighted class counts over this node's rows.
-  double w_total = 0.0, w_pos = 0.0;
-  for (size_t i = begin; i < end; ++i) {
-    const size_t row = indices_[i];
-    w_total += weights[row];
-    if (data.Label(row) == 1) w_pos += weights[row];
+Status DecisionTree::Fit(const FeatureColumns& columns,
+                         std::span<const double> sample_weights,
+                         TreeBuilder* builder) {
+  const Dataset& data = columns.data();
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("DecisionTree: empty training data");
   }
-  nodes_[node_id].proba = w_total > 0.0 ? w_pos / w_total : 0.5;
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
 
-  const size_t n = end - begin;
-  const bool pure = w_pos <= 0.0 || w_pos >= w_total;
-  if (depth >= options_.max_depth || n < options_.min_samples_split || pure ||
-      w_total <= 0.0) {
-    return node_id;
+  std::vector<double> uniform;
+  std::span<const double> weights = sample_weights;
+  if (weights.empty()) {
+    uniform.assign(data.num_rows(), 1.0);
+    weights = uniform;
   }
 
-  // Candidate features: all, or a random subset (Random Forest mode).
-  std::vector<size_t> candidates(data.num_features());
-  for (size_t f = 0; f < candidates.size(); ++f) candidates[f] = f;
-  if (options_.max_features > 0 &&
-      options_.max_features < candidates.size()) {
-    Rng rng(rng_state_);
-    rng.Shuffle(&candidates);
-    rng_state_ = rng.Next();
-    candidates.resize(options_.max_features);
-  }
+  TreeBuilder local;
+  TreeBuilder& engine = builder != nullptr ? *builder : local;
+  return engine.Build(columns, weights, options_, &nodes_, &depth_);
+}
 
-  const double parent_impurity = Impurity(w_pos, w_total, options_.criterion);
-  double best_gain = 1e-12;  // require strictly positive gain
-  int best_feature = -1;
-  double best_threshold = 0.0;
-
-  std::vector<size_t> sorted(indices_.begin() + begin, indices_.begin() + end);
-  for (size_t f : candidates) {
-    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-      return data.Feature(a, f) < data.Feature(b, f);
-    });
-    double wl = 0.0, wl_pos = 0.0;
-    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
-      const size_t row = sorted[i];
-      wl += weights[row];
-      if (data.Label(row) == 1) wl_pos += weights[row];
-      const double v = data.Feature(row, f);
-      const double v_next = data.Feature(sorted[i + 1], f);
-      if (v_next <= v) continue;  // no valid threshold between equal values
-      if (i + 1 < options_.min_samples_leaf ||
-          sorted.size() - i - 1 < options_.min_samples_leaf) {
-        continue;
-      }
-      const double wr = w_total - wl;
-      const double wr_pos = w_pos - wl_pos;
-      if (wl <= 0.0 || wr <= 0.0) continue;
-      const double child_impurity =
-          (wl * Impurity(wl_pos, wl, options_.criterion) +
-           wr * Impurity(wr_pos, wr, options_.criterion)) /
-          w_total;
-      const double gain = parent_impurity - child_impurity;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = static_cast<int>(f);
-        best_threshold = (v + v_next) / 2.0;
-      }
-    }
-  }
-
-  if (best_feature < 0) return node_id;  // no useful split found
-
-  // Partition indices_ [begin, end) on the chosen split.
-  const auto mid_it = std::partition(
-      indices_.begin() + begin, indices_.begin() + end, [&](size_t row) {
-        return data.Feature(row, static_cast<size_t>(best_feature)) <=
-               best_threshold;
-      });
-  const size_t mid = static_cast<size_t>(mid_it - indices_.begin());
-  if (mid == begin || mid == end) return node_id;  // degenerate partition
-
-  // nodes_ may reallocate in recursion; write fields via node_id after.
-  const int left = BuildNode(data, weights, begin, mid, depth + 1);
-  const int right = BuildNode(data, weights, mid, end, depth + 1);
-  nodes_[node_id].feature = best_feature;
-  nodes_[node_id].threshold = best_threshold;
-  nodes_[node_id].left = left;
-  nodes_[node_id].right = right;
-  return node_id;
+DecisionTree DecisionTree::FromParts(const DecisionTreeOptions& options,
+                                     std::vector<TreeNode> nodes,
+                                     size_t depth) {
+  DecisionTree tree(options);
+  tree.nodes_ = std::move(nodes);
+  tree.depth_ = depth;
+  return tree;
 }
 
 double DecisionTree::PredictProba(std::span<const double> features) const {
@@ -156,6 +57,25 @@ double DecisionTree::PredictProba(std::span<const double> features) const {
                                                                    : n.right;
   }
   return nodes_[node].proba;
+}
+
+void DecisionTree::PredictProbaBatch(const Dataset& data,
+                                     std::span<const size_t> rows,
+                                     std::span<double> out) const {
+  FALCC_CHECK(!nodes_.empty(), "DecisionTree::PredictProba before Fit");
+  FALCC_CHECK(rows.size() == out.size(),
+              "PredictProbaBatch: rows/out size mismatch");
+  const Node* nodes = nodes_.data();
+  for (size_t j = 0; j < rows.size(); ++j) {
+    const std::span<const double> features = data.Row(rows[j]);
+    int node = 0;
+    while (nodes[node].feature >= 0) {
+      const Node& n = nodes[node];
+      node = features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                     : n.right;
+    }
+    out[j] = nodes[node].proba;
+  }
 }
 
 std::unique_ptr<Classifier> DecisionTree::Clone() const {

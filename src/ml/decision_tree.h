@@ -15,8 +15,19 @@
 
 namespace falcc {
 
+class FeatureColumns;
+class TreeBuilder;
+
 /// Split quality criterion (the paper's grid searches over both).
 enum class SplitCriterion { kGini, kEntropy };
+
+/// One node of a fitted tree's flat array. Leaf iff feature < 0.
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1, right = -1;
+  double proba = 0.5;  // P(y=1) at this node (weighted)
+};
 
 /// Decision-tree hyperparameters.
 struct DecisionTreeOptions {
@@ -39,7 +50,20 @@ class DecisionTree final : public Classifier {
   Status Fit(const Dataset& data,
              std::span<const double> sample_weights) override;
   using Classifier::Fit;
+
+  /// Fits against a prebuilt presorted column cache (data/
+  /// feature_columns.h), sharing the per-dataset sort across fits. When
+  /// `builder` is non-null its scratch buffers are reused (AdaBoost
+  /// rounds); otherwise a local engine is used. Produces exactly the same
+  /// tree as Fit(columns.data(), sample_weights).
+  Status Fit(const FeatureColumns& columns,
+             std::span<const double> sample_weights,
+             TreeBuilder* builder = nullptr);
+  Status Fit(const FeatureColumns& columns) { return Fit(columns, {}); }
+
   double PredictProba(std::span<const double> features) const override;
+  void PredictProbaBatch(const Dataset& data, std::span<const size_t> rows,
+                         std::span<double> out) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
   std::string TypeTag() const override { return "decision_tree"; }
@@ -51,24 +75,18 @@ class DecisionTree final : public Classifier {
   /// Depth of the fitted tree (0 = single leaf).
   size_t depth() const { return depth_; }
 
- private:
-  struct Node {
-    // Leaf iff feature < 0.
-    int feature = -1;
-    double threshold = 0.0;
-    int left = -1, right = -1;
-    double proba = 0.5;  // P(y=1) at this node (weighted)
-  };
+  /// Assembles a fitted tree from externally built parts. Used by the
+  /// frozen seed trainer (ml/reference_trainer.h) and by tests; normal
+  /// training goes through Fit.
+  static DecisionTree FromParts(const DecisionTreeOptions& options,
+                                std::vector<TreeNode> nodes, size_t depth);
 
-  // Builds the subtree over rows [begin, end) of indices_; returns node id.
-  int BuildNode(const Dataset& data, std::span<const double> weights,
-                size_t begin, size_t end, size_t depth);
+ private:
+  using Node = TreeNode;
 
   DecisionTreeOptions options_;
   std::vector<Node> nodes_;
-  std::vector<size_t> indices_;  // scratch during build
   size_t depth_ = 0;
-  uint64_t rng_state_ = 0;  // feature-subsampling stream during build
 };
 
 }  // namespace falcc

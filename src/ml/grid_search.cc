@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "data/feature_columns.h"
 #include "fairness/diversity.h"
 #include "ml/adaboost.h"
 #include "ml/decision_tree.h"
@@ -15,10 +16,12 @@ namespace falcc {
 
 namespace {
 
-std::unique_ptr<Classifier> MakeCandidate(TrainerFamily family,
-                                          size_t estimators, size_t depth,
-                                          SplitCriterion criterion,
-                                          uint64_t seed) {
+// Builds and fits one grid cell against the shared presorted column
+// cache: the per-dataset feature sort is paid once for the whole grid,
+// not once per cell (or worse, once per boosting round).
+Result<std::unique_ptr<Classifier>> TrainCandidate(
+    const FeatureColumns& columns, TrainerFamily family, size_t estimators,
+    size_t depth, SplitCriterion criterion, uint64_t seed) {
   DecisionTreeOptions base;
   base.max_depth = depth;
   base.criterion = criterion;
@@ -27,13 +30,17 @@ std::unique_ptr<Classifier> MakeCandidate(TrainerFamily family,
     AdaBoostOptions opt;
     opt.num_estimators = estimators;
     opt.base = base;
-    return std::make_unique<AdaBoost>(opt);
+    auto model = std::make_unique<AdaBoost>(opt);
+    FALCC_RETURN_IF_ERROR(model->Fit(columns));
+    return std::unique_ptr<Classifier>(std::move(model));
   }
   RandomForestOptions opt;
   opt.num_trees = estimators;
   opt.base = base;
   opt.seed = seed;
-  return std::make_unique<RandomForest>(opt);
+  auto model = std::make_unique<RandomForest>(opt);
+  FALCC_RETURN_IF_ERROR(model->Fit(columns));
+  return std::unique_ptr<Classifier>(std::move(model));
 }
 
 }  // namespace
@@ -75,7 +82,9 @@ Result<DiversePool> TrainDiversePool(const Dataset& train,
   }
 
   // Train every grid configuration and collect validation votes. Fits are
-  // independent; results land in slots indexed by grid position.
+  // independent; results land in slots indexed by grid position. All
+  // cells share one presorted column cache of the training data.
+  const FeatureColumns columns(train);
   std::vector<std::unique_ptr<Classifier>> candidates(grid.size());
   std::vector<std::vector<int>> votes(grid.size());
   std::vector<double> accuracies(grid.size(), 0.0);
@@ -84,14 +93,14 @@ Result<DiversePool> TrainDiversePool(const Dataset& train,
               [&](size_t /*chunk*/, size_t lo, size_t hi) {
                 for (size_t i = lo; i < hi; ++i) {
                   const GridPoint& p = grid[i];
-                  std::unique_ptr<Classifier> model = MakeCandidate(
-                      options.family, p.estimators, p.depth, p.criterion,
-                      p.seed);
-                  fit_status[i] = model->Fit(train);
+                  Result<std::unique_ptr<Classifier>> model = TrainCandidate(
+                      columns, options.family, p.estimators, p.depth,
+                      p.criterion, p.seed);
+                  fit_status[i] = model.status();
                   if (!fit_status[i].ok()) continue;
-                  votes[i] = PredictAll(*model, validation);
-                  accuracies[i] = Accuracy(*model, validation);
-                  candidates[i] = std::move(model);
+                  candidates[i] = std::move(model).value();
+                  votes[i] = PredictAll(*candidates[i], validation);
+                  accuracies[i] = Accuracy(*candidates[i], validation);
                 }
               });
   for (const Status& status : fit_status) {
@@ -164,24 +173,32 @@ Result<std::vector<std::unique_ptr<Classifier>>> TrainStandardPool(
     const Dataset& train, uint64_t seed) {
   std::vector<std::unique_ptr<Classifier>> pool;
 
+  // The two trees share one presorted column cache; the remaining
+  // classifiers do not sort and fit on the dataset directly.
+  const FeatureColumns columns(train);
+
   DecisionTreeOptions dt1;
   dt1.max_depth = 7;
   dt1.criterion = SplitCriterion::kGini;
   dt1.seed = seed;
-  pool.push_back(std::make_unique<DecisionTree>(dt1));
+  auto tree1 = std::make_unique<DecisionTree>(dt1);
+  FALCC_RETURN_IF_ERROR(tree1->Fit(columns));
+  pool.push_back(std::move(tree1));
 
   DecisionTreeOptions dt2;
   dt2.max_depth = 4;
   dt2.criterion = SplitCriterion::kEntropy;
   dt2.seed = seed + 1;
-  pool.push_back(std::make_unique<DecisionTree>(dt2));
+  auto tree2 = std::make_unique<DecisionTree>(dt2);
+  FALCC_RETURN_IF_ERROR(tree2->Fit(columns));
+  pool.push_back(std::move(tree2));
 
   pool.push_back(std::make_unique<LogisticRegression>());
   pool.push_back(std::make_unique<GaussianNaiveBayes>());
   pool.push_back(std::make_unique<KnnClassifier>());
 
-  for (auto& model : pool) {
-    FALCC_RETURN_IF_ERROR(model->Fit(train));
+  for (size_t m = 2; m < pool.size(); ++m) {
+    FALCC_RETURN_IF_ERROR(pool[m]->Fit(train));
   }
   return pool;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "data/feature_columns.h"
+#include "ml/tree_builder.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -10,6 +12,17 @@ namespace falcc {
 
 Status RandomForest::Fit(const Dataset& data,
                          std::span<const double> sample_weights) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("RandomForest: empty training data");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+  const FeatureColumns columns(data);
+  return Fit(columns, sample_weights);
+}
+
+Status RandomForest::Fit(const FeatureColumns& columns,
+                         std::span<const double> sample_weights) {
+  const Dataset& data = columns.data();
   if (data.num_rows() == 0) {
     return Status::InvalidArgument("RandomForest: empty training data");
   }
@@ -63,11 +76,15 @@ Status RandomForest::Fit(const Dataset& data,
   }
 
   // Tree fits are independent; each writes its own pre-constructed slot.
+  // All fits share the presorted columns; each chunk reuses one builder's
+  // scratch for its trees.
   std::vector<Status> fit_status(options_.num_trees);
   ParallelFor(0, options_.num_trees, 1,
               [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                TreeBuilder builder;
                 for (size_t t = lo; t < hi; ++t) {
-                  fit_status[t] = trees_[t].Fit(data, boot_weights[t]);
+                  fit_status[t] =
+                      trees_[t].Fit(columns, boot_weights[t], &builder);
                 }
               });
   for (const Status& status : fit_status) {
@@ -86,6 +103,35 @@ double RandomForest::PredictProba(std::span<const double> features) const {
     votes += tree.Predict(features);
   }
   return votes / static_cast<double>(trees_.size());
+}
+
+void RandomForest::PredictProbaBatch(const Dataset& data,
+                                     std::span<const size_t> rows,
+                                     std::span<double> out) const {
+  FALCC_CHECK(!trees_.empty(), "RandomForest::PredictProba before Fit");
+  FALCC_CHECK(rows.size() == out.size(),
+              "PredictProbaBatch: rows/out size mismatch");
+  // Tree-major: one flat-array traversal of each tree over the whole
+  // batch. Vote counts are small integers, so the accumulation order
+  // cannot change the result.
+  std::vector<double> votes(rows.size(), 0.0);
+  std::vector<double> proba(rows.size());
+  for (const DecisionTree& tree : trees_) {
+    tree.PredictProbaBatch(data, rows, proba);
+    for (size_t j = 0; j < rows.size(); ++j) {
+      if (proba[j] >= 0.5) votes[j] += 1.0;
+    }
+  }
+  for (size_t j = 0; j < rows.size(); ++j) {
+    out[j] = votes[j] / static_cast<double>(trees_.size());
+  }
+}
+
+RandomForest RandomForest::FromParts(const RandomForestOptions& options,
+                                     std::vector<DecisionTree> trees) {
+  RandomForest model(options);
+  model.trees_ = std::move(trees);
+  return model;
 }
 
 std::unique_ptr<Classifier> RandomForest::Clone() const {

@@ -28,12 +28,28 @@ class RandomForest final : public Classifier {
   Status Fit(const Dataset& data,
              std::span<const double> sample_weights) override;
   using Classifier::Fit;
+
+  /// Fits against a prebuilt presorted column cache (data/
+  /// feature_columns.h): the per-dataset sort is paid once and shared by
+  /// every bootstrap tree. Produces exactly the same forest as
+  /// Fit(columns.data(), sample_weights).
+  Status Fit(const FeatureColumns& columns,
+             std::span<const double> sample_weights);
+  Status Fit(const FeatureColumns& columns) { return Fit(columns, {}); }
+
   double PredictProba(std::span<const double> features) const override;
+  void PredictProbaBatch(const Dataset& data, std::span<const size_t> rows,
+                         std::span<double> out) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
   std::string TypeTag() const override { return "random_forest"; }
   Status SerializePayload(std::ostream* out) const override;
   static Result<RandomForest> DeserializePayload(std::istream* in);
+
+  /// Assembles a fitted forest from externally built parts. Used by the
+  /// frozen seed trainer (ml/reference_trainer.h) and by tests.
+  static RandomForest FromParts(const RandomForestOptions& options,
+                                std::vector<DecisionTree> trees);
 
  private:
   RandomForestOptions options_;

@@ -1,0 +1,320 @@
+#include "ml/reference_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace falcc {
+namespace reference {
+
+namespace {
+
+// Verbatim seed DecisionTree fit state: nodes, row-index scratch, and the
+// feature-subsampling RNG stream, recursing exactly as the seed
+// implementation did.
+struct SeedTreeFit {
+  const Dataset& data;
+  const DecisionTreeOptions& options;
+  std::vector<double> weights;
+  std::vector<TreeNode> nodes;
+  std::vector<size_t> indices;
+  size_t depth = 0;
+  uint64_t rng_state = 0;
+
+  // Impurity of a weighted binary class distribution (w1 positives out of
+  // total weight w).
+  static double Impurity(double w1, double w, SplitCriterion criterion) {
+    if (w <= 0.0) return 0.0;
+    const double p = w1 / w;
+    if (criterion == SplitCriterion::kGini) {
+      return 2.0 * p * (1.0 - p);
+    }
+    double h = 0.0;
+    if (p > 0.0) h -= p * std::log2(p);
+    if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+    return h;
+  }
+
+  Status Run(std::span<const double> sample_weights) {
+    if (data.num_rows() == 0) {
+      return Status::InvalidArgument("DecisionTree: empty training data");
+    }
+    FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+    if (sample_weights.empty()) {
+      weights.assign(data.num_rows(), 1.0);
+    } else {
+      weights.assign(sample_weights.begin(), sample_weights.end());
+    }
+
+    nodes.clear();
+    depth = 0;
+    indices.resize(data.num_rows());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    rng_state = options.seed;
+
+    nodes.reserve(64);
+    BuildNode(0, indices.size(), 0);
+    return Status::OK();
+  }
+
+  int BuildNode(size_t begin, size_t end, size_t node_depth) {
+    const int node_id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    depth = std::max(depth, node_depth);
+
+    // Weighted class counts over this node's rows.
+    double w_total = 0.0, w_pos = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = indices[i];
+      w_total += weights[row];
+      if (data.Label(row) == 1) w_pos += weights[row];
+    }
+    nodes[node_id].proba = w_total > 0.0 ? w_pos / w_total : 0.5;
+
+    const size_t n = end - begin;
+    const bool pure = w_pos <= 0.0 || w_pos >= w_total;
+    if (node_depth >= options.max_depth || n < options.min_samples_split ||
+        pure || w_total <= 0.0) {
+      return node_id;
+    }
+
+    // Candidate features: all, or a random subset (Random Forest mode).
+    std::vector<size_t> candidates(data.num_features());
+    for (size_t f = 0; f < candidates.size(); ++f) candidates[f] = f;
+    if (options.max_features > 0 &&
+        options.max_features < candidates.size()) {
+      Rng rng(rng_state);
+      rng.Shuffle(&candidates);
+      rng_state = rng.Next();
+      candidates.resize(options.max_features);
+    }
+
+    const double parent_impurity = Impurity(w_pos, w_total, options.criterion);
+    double best_gain = 1e-12;  // require strictly positive gain
+    int best_feature = -1;
+    double best_threshold = 0.0;
+
+    std::vector<size_t> sorted(indices.begin() + begin, indices.begin() + end);
+    for (size_t f : candidates) {
+      // One deliberate deviation from the seed: equal feature values are
+      // tie-broken by row index. The seed's value-only comparator left
+      // the order of equal values to std::sort's internals, so the
+      // floating-point accumulation order across duplicate runs — and
+      // with it the resolution of near-tied gains — depended on the
+      // library's introsort. The row tie-break makes the comparator a
+      // strict total order, pinning the exact sequence the presorted
+      // engine scans; wherever gains are separated by more than ~1 ulp
+      // (every golden case, verified against the pristine seed build)
+      // the resulting model is unchanged.
+      std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+        const double va = data.Feature(a, f);
+        const double vb = data.Feature(b, f);
+        return va != vb ? va < vb : a < b;
+      });
+      double wl = 0.0, wl_pos = 0.0;
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const size_t row = sorted[i];
+        wl += weights[row];
+        if (data.Label(row) == 1) wl_pos += weights[row];
+        const double v = data.Feature(row, f);
+        const double v_next = data.Feature(sorted[i + 1], f);
+        if (v_next <= v) continue;  // no valid threshold between equal values
+        if (i + 1 < options.min_samples_leaf ||
+            sorted.size() - i - 1 < options.min_samples_leaf) {
+          continue;
+        }
+        const double wr = w_total - wl;
+        const double wr_pos = w_pos - wl_pos;
+        if (wl <= 0.0 || wr <= 0.0) continue;
+        const double child_impurity =
+            (wl * Impurity(wl_pos, wl, options.criterion) +
+             wr * Impurity(wr_pos, wr, options.criterion)) /
+            w_total;
+        const double gain = parent_impurity - child_impurity;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = (v + v_next) / 2.0;
+        }
+      }
+    }
+
+    if (best_feature < 0) return node_id;  // no useful split found
+
+    // Partition indices [begin, end) on the chosen split.
+    const auto mid_it = std::partition(
+        indices.begin() + begin, indices.begin() + end, [&](size_t row) {
+          return data.Feature(row, static_cast<size_t>(best_feature)) <=
+                 best_threshold;
+        });
+    const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+    if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+    // nodes may reallocate in recursion; write fields via node_id after.
+    const int left = BuildNode(begin, mid, node_depth + 1);
+    const int right = BuildNode(mid, end, node_depth + 1);
+    nodes[node_id].feature = best_feature;
+    nodes[node_id].threshold = best_threshold;
+    nodes[node_id].left = left;
+    nodes[node_id].right = right;
+    return node_id;
+  }
+};
+
+}  // namespace
+
+Result<DecisionTree> TrainTree(const Dataset& data,
+                               std::span<const double> sample_weights,
+                               const DecisionTreeOptions& options) {
+  SeedTreeFit fit{data, options};
+  FALCC_RETURN_IF_ERROR(fit.Run(sample_weights));
+  return DecisionTree::FromParts(options, std::move(fit.nodes), fit.depth);
+}
+
+Result<AdaBoost> TrainAdaBoost(const Dataset& data,
+                               std::span<const double> sample_weights,
+                               const AdaBoostOptions& options) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("AdaBoost: empty training data");
+  }
+  if (options.num_estimators == 0) {
+    return Status::InvalidArgument("AdaBoost: num_estimators must be > 0");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+  std::vector<double> weights;
+  if (sample_weights.empty()) {
+    weights.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    weights.assign(sample_weights.begin(), sample_weights.end());
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    for (double& w : weights) w /= sum;
+  }
+
+  std::vector<DecisionTree> trees;
+  std::vector<double> alphas;
+  std::vector<int> predictions(n);
+
+  for (size_t t = 0; t < options.num_estimators; ++t) {
+    DecisionTreeOptions base = options.base;
+    base.seed = options.base.seed + t;  // vary RF-style subsampling streams
+    Result<DecisionTree> tree = TrainTree(data, weights, base);
+    if (!tree.ok()) return tree.status();
+
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      predictions[i] = tree.value().Predict(data.Row(i));
+      if (predictions[i] != data.Label(i)) err += weights[i];
+    }
+
+    if (err >= 0.5) {
+      // Weak learner no better than chance: stop, but make sure the
+      // ensemble is non-empty.
+      if (trees.empty()) {
+        trees.push_back(std::move(tree).value());
+        alphas.push_back(1.0);
+      }
+      break;
+    }
+
+    // Cap near-zero error so alpha stays finite.
+    const double eps = std::max(err, 1e-10);
+    const double alpha = options.learning_rate * std::log((1.0 - eps) / eps);
+    trees.push_back(std::move(tree).value());
+    alphas.push_back(alpha);
+
+    if (err <= 0.0) break;  // perfect fit: further rounds are no-ops
+
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (predictions[i] != data.Label(i)) {
+        weights[i] *= std::exp(alpha);
+      }
+      sum += weights[i];
+    }
+    for (double& w : weights) w /= sum;
+  }
+
+  return AdaBoost::FromParts(options, std::move(trees), std::move(alphas));
+}
+
+Result<RandomForest> TrainRandomForest(const Dataset& data,
+                                       std::span<const double> sample_weights,
+                                       const RandomForestOptions& options) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("RandomForest: empty training data");
+  }
+  if (options.num_trees == 0) {
+    return Status::InvalidArgument("RandomForest: num_trees must be > 0");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateWeights(data, sample_weights));
+
+  const size_t n = data.num_rows();
+  Rng rng(options.seed);
+
+  const size_t max_features =
+      options.max_features > 0
+          ? options.max_features
+          : static_cast<size_t>(
+                std::max(1.0, std::floor(std::sqrt(
+                                  static_cast<double>(data.num_features())))));
+
+  // Bootstrap resampling via multiplicity weights, drawn tree-by-tree on
+  // the single forest-level stream, exactly as the seed did.
+  std::vector<std::vector<double>> boot_weights(options.num_trees,
+                                                std::vector<double>(n, 0.0));
+  std::vector<DecisionTreeOptions> tree_options(options.num_trees);
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    std::vector<double>& weights = boot_weights[t];
+    for (size_t i = 0; i < n; ++i) {
+      weights[rng.UniformInt(n)] += 1.0;
+    }
+    if (!sample_weights.empty()) {
+      for (size_t i = 0; i < n; ++i) weights[i] *= sample_weights[i];
+    }
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    if (sum <= 0.0) {
+      // Degenerate draw (possible with sparse caller weights): fall back
+      // to the caller weights / uniform.
+      for (size_t i = 0; i < n; ++i) {
+        weights[i] = sample_weights.empty() ? 1.0 : sample_weights[i];
+      }
+    }
+
+    DecisionTreeOptions base = options.base;
+    base.max_features = max_features;
+    base.seed = rng.Next();
+    tree_options[t] = base;
+  }
+
+  // Tree fits are independent; each writes its own pre-constructed slot.
+  std::vector<DecisionTree> trees(options.num_trees);
+  std::vector<Status> fit_status(options.num_trees);
+  ParallelFor(0, options.num_trees, 1,
+              [&](size_t /*chunk*/, size_t lo, size_t hi) {
+                for (size_t t = lo; t < hi; ++t) {
+                  Result<DecisionTree> tree =
+                      TrainTree(data, boot_weights[t], tree_options[t]);
+                  if (!tree.ok()) {
+                    fit_status[t] = tree.status();
+                    continue;
+                  }
+                  trees[t] = std::move(tree).value();
+                }
+              });
+  for (const Status& status : fit_status) {
+    FALCC_RETURN_IF_ERROR(status);
+  }
+  return RandomForest::FromParts(options, std::move(trees));
+}
+
+}  // namespace reference
+}  // namespace falcc

@@ -1,0 +1,58 @@
+// Frozen copy of the seed tree-training paths (pre column-cache engine).
+//
+// These functions reproduce, line for line, the trainers the repository
+// shipped before the presorted split engine (ml/tree_builder.h) replaced
+// them: the per-node, per-candidate-feature sorting DecisionTree::Fit,
+// and the AdaBoost / Random-Forest loops driving it — with one
+// deliberate deviation: the per-feature sort tie-breaks equal values by
+// row index (see the comment in reference_trainer.cc). The seed's
+// value-only comparator left the order of duplicates to std::sort's
+// internals, which made the floating-point accumulation order — and
+// hence the resolution of gain ties within ~1 ulp — an artifact of the
+// standard library rather than of the algorithm. The tie-break pins a
+// unique total order without changing any model whose gains are
+// separated by more than rounding noise (every checked-in golden file
+// was verified byte-identical against a pristine seed build).
+//
+// They exist for two purposes only:
+//
+//  * the golden-equivalence test (tests/train_engine_golden_test.cc)
+//    proves the new engine reproduces the seed models byte-for-byte, and
+//  * the training microbenchmark (bench/bench_train_engine.cc) measures
+//    before-vs-after speedups against the genuine seed algorithm.
+//
+// Production code must never call into falcc::reference. Do not "fix" or
+// optimize this file — its value is that it does not change.
+
+#ifndef FALCC_ML_REFERENCE_TRAINER_H_
+#define FALCC_ML_REFERENCE_TRAINER_H_
+
+#include <span>
+
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace falcc {
+namespace reference {
+
+/// Seed DecisionTree::Fit: copies and re-sorts the node's rows per
+/// candidate feature per node.
+Result<DecisionTree> TrainTree(const Dataset& data,
+                               std::span<const double> sample_weights,
+                               const DecisionTreeOptions& options);
+
+/// Seed AdaBoost::Fit over seed tree fits.
+Result<AdaBoost> TrainAdaBoost(const Dataset& data,
+                               std::span<const double> sample_weights,
+                               const AdaBoostOptions& options);
+
+/// Seed RandomForest::Fit over seed tree fits.
+Result<RandomForest> TrainRandomForest(const Dataset& data,
+                                       std::span<const double> sample_weights,
+                                       const RandomForestOptions& options);
+
+}  // namespace reference
+}  // namespace falcc
+
+#endif  // FALCC_ML_REFERENCE_TRAINER_H_

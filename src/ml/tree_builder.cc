@@ -1,0 +1,203 @@
+#include "ml/tree_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace falcc {
+
+namespace {
+
+// Impurity of a weighted binary class distribution (w1 positives out of
+// total weight w). Identical to the seed trainer's.
+double Impurity(double w1, double w, SplitCriterion criterion) {
+  if (w <= 0.0) return 0.0;
+  const double p = w1 / w;
+  if (criterion == SplitCriterion::kGini) {
+    return 2.0 * p * (1.0 - p);
+  }
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log2(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+  return h;
+}
+
+}  // namespace
+
+Status TreeBuilder::Build(const FeatureColumns& columns,
+                          std::span<const double> weights,
+                          const DecisionTreeOptions& options,
+                          std::vector<TreeNode>* nodes, size_t* max_depth) {
+  const Dataset& data = columns.data();
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("DecisionTree: empty training data");
+  }
+  FALCC_CHECK(weights.size() == data.num_rows(),
+              "TreeBuilder: one weight per row required");
+
+  columns_ = &columns;
+  data_ = &data;
+  weights_ = weights;
+  options_ = &options;
+  nodes_ = nodes;
+  depth_ = 0;
+  rng_state_ = options.seed;
+  num_rows_ = data.num_rows();
+  num_features_ = data.num_features();
+
+  // Working copies of the presorted lists — the only O(d·n) copy per fit;
+  // recursion partitions them in place.
+  lists_.resize(num_features_ * num_rows_);
+  list_values_.resize(num_features_ * num_rows_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    const auto rows = columns.SortedRows(f);
+    const auto values = columns.SortedValues(f);
+    std::copy(rows.begin(), rows.end(), lists_.begin() + f * num_rows_);
+    std::copy(values.begin(), values.end(),
+              list_values_.begin() + f * num_rows_);
+  }
+  indices_.resize(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) indices_[i] = i;
+  goes_left_.resize(num_rows_);
+  scratch_rows_.reserve(num_rows_);
+  scratch_values_.reserve(num_rows_);
+
+  nodes_->clear();
+  nodes_->reserve(64);
+  BuildNode(0, num_rows_, 0);
+  *max_depth = depth_;
+  return Status::OK();
+}
+
+int TreeBuilder::BuildNode(size_t begin, size_t end, size_t depth) {
+  const int node_id = static_cast<int>(nodes_->size());
+  nodes_->emplace_back();
+  depth_ = std::max(depth_, depth);
+
+  const Dataset& data = *data_;
+  const DecisionTreeOptions& options = *options_;
+
+  // Weighted class counts over this node's rows, accumulated over the
+  // seed-order bookkeeping array so the sums round identically to the
+  // seed trainer's.
+  double w_total = 0.0, w_pos = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t row = indices_[i];
+    w_total += weights_[row];
+    if (data.Label(row) == 1) w_pos += weights_[row];
+  }
+  (*nodes_)[node_id].proba = w_total > 0.0 ? w_pos / w_total : 0.5;
+
+  const size_t n = end - begin;
+  const bool pure = w_pos <= 0.0 || w_pos >= w_total;
+  if (depth >= options.max_depth || n < options.min_samples_split || pure ||
+      w_total <= 0.0) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset (Random Forest mode).
+  // Same RNG stream as the seed trainer: one Rng per splitting node,
+  // advanced in preorder.
+  candidates_.resize(num_features_);
+  for (size_t f = 0; f < num_features_; ++f) candidates_[f] = f;
+  if (options.max_features > 0 && options.max_features < num_features_) {
+    Rng rng(rng_state_);
+    rng.Shuffle(&candidates_);
+    rng_state_ = rng.Next();
+    candidates_.resize(options.max_features);
+  }
+
+  const double parent_impurity = Impurity(w_pos, w_total, options.criterion);
+  double best_gain = 1e-12;  // require strictly positive gain
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  // Threshold scan per candidate: the node's segment of each presorted
+  // column replaces the seed's per-feature sort. The prefix sums, the
+  // equal-value skip, the leaf-size guards, and the strictly-positive
+  // first-candidate-wins gain rule are the seed's, term for term.
+  for (const size_t f : candidates_) {
+    const uint32_t* rows = lists_.data() + f * num_rows_ + begin;
+    const double* values = list_values_.data() + f * num_rows_ + begin;
+    double wl = 0.0, wl_pos = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const uint32_t row = rows[i];
+      const double w = weights_[row];
+      wl += w;
+      if (data.Label(row) == 1) wl_pos += w;
+      const double v = values[i];
+      const double v_next = values[i + 1];
+      if (v_next <= v) continue;  // no valid threshold between equal values
+      if (i + 1 < options.min_samples_leaf ||
+          n - i - 1 < options.min_samples_leaf) {
+        continue;
+      }
+      const double wr = w_total - wl;
+      const double wr_pos = w_pos - wl_pos;
+      if (wl <= 0.0 || wr <= 0.0) continue;
+      const double child_impurity =
+          (wl * Impurity(wl_pos, wl, options.criterion) +
+           wr * Impurity(wr_pos, wr, options.criterion)) /
+          w_total;
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + v_next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split found
+
+  // Partition the bookkeeping array exactly as the seed did. This also
+  // decides each row's side once — a midpoint between adjacent doubles
+  // can round onto one of them, so the predicate, not the scan position,
+  // is authoritative.
+  const size_t best_f = static_cast<size_t>(best_feature);
+  const double threshold = best_threshold;
+  const auto mid_it = std::partition(
+      indices_.begin() + begin, indices_.begin() + end, [&](size_t row) {
+        return data.Feature(row, best_f) <= threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices_.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  // Stable-partition every feature's presorted segment on the chosen
+  // split: value order survives into the children, so no sort ever
+  // happens below the root.
+  for (size_t i = begin; i < mid; ++i) goes_left_[indices_[i]] = 1;
+  for (size_t i = mid; i < end; ++i) goes_left_[indices_[i]] = 0;
+  for (size_t f = 0; f < num_features_; ++f) {
+    uint32_t* rows = lists_.data() + f * num_rows_;
+    double* values = list_values_.data() + f * num_rows_;
+    scratch_rows_.clear();
+    scratch_values_.clear();
+    size_t out = begin;
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t row = rows[i];
+      if (goes_left_[row]) {
+        rows[out] = row;
+        values[out] = values[i];
+        ++out;
+      } else {
+        scratch_rows_.push_back(row);
+        scratch_values_.push_back(values[i]);
+      }
+    }
+    std::copy(scratch_rows_.begin(), scratch_rows_.end(), rows + out);
+    std::copy(scratch_values_.begin(), scratch_values_.end(), values + out);
+  }
+
+  // nodes_ may reallocate in recursion; write fields via node_id after.
+  const int left = BuildNode(begin, mid, depth + 1);
+  const int right = BuildNode(mid, end, depth + 1);
+  (*nodes_)[node_id].feature = best_feature;
+  (*nodes_)[node_id].threshold = best_threshold;
+  (*nodes_)[node_id].left = left;
+  (*nodes_)[node_id].right = right;
+  return node_id;
+}
+
+}  // namespace falcc

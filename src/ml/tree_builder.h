@@ -1,0 +1,77 @@
+// Presorted column-cache split engine for CART training.
+//
+// Replaces the seed trainer's per-candidate-feature, per-node sort with a
+// single presort per dataset (data/feature_columns.h): every node scans
+// its rows in each feature's presorted order via contiguous per-node
+// segments, accumulating weighted prefix sums to score thresholds, and
+// partitions the presorted segments *stably* on the chosen split — so the
+// value order survives recursion and no sort ever happens below the root.
+//
+// Determinism contract (DESIGN.md §8): the builder reproduces the seed
+// trainer bit-for-bit — the same candidate-feature RNG stream, the same
+// strictly-positive-gain rule with first-candidate-wins ties, the same
+// midpoint thresholds, and the same std::partition bookkeeping order for
+// node statistics — so models, Save() bytes, and predictions are
+// identical to the pre-engine trainer at any thread count
+// (tests/train_engine_golden_test.cc pins this against checked-in seed
+// models).
+
+#ifndef FALCC_ML_TREE_BUILDER_H_
+#define FALCC_ML_TREE_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/feature_columns.h"
+#include "ml/decision_tree.h"
+
+namespace falcc {
+
+/// Reusable tree-building engine. One instance per thread; scratch
+/// buffers (presorted working lists, masks, partition scratch) persist
+/// across Build calls so repeated fits on the same dataset — AdaBoost
+/// rounds, grid-search refits — skip reallocation.
+class TreeBuilder {
+ public:
+  TreeBuilder() = default;
+
+  /// Fits one tree over `columns` with per-row `weights` (never empty;
+  /// one weight per dataset row) and writes the flat node array and depth
+  /// of the result. Returns InvalidArgument for an empty dataset.
+  Status Build(const FeatureColumns& columns, std::span<const double> weights,
+               const DecisionTreeOptions& options,
+               std::vector<TreeNode>* nodes, size_t* max_depth);
+
+ private:
+  int BuildNode(size_t begin, size_t end, size_t depth);
+
+  // Per-Build state (set by Build, read by BuildNode).
+  const FeatureColumns* columns_ = nullptr;
+  const Dataset* data_ = nullptr;
+  std::span<const double> weights_;
+  const DecisionTreeOptions* options_ = nullptr;
+  std::vector<TreeNode>* nodes_ = nullptr;
+  size_t depth_ = 0;
+  uint64_t rng_state_ = 0;
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+
+  // Working copies of the presorted column lists, feature-major. Each
+  // node owns segment [begin, end) of every feature's list; the segments
+  // are partitioned stably in place as recursion descends.
+  std::vector<uint32_t> lists_;
+  std::vector<double> list_values_;
+  // Seed-order bookkeeping: same contents and std::partition evolution as
+  // the seed trainer's indices_, so node statistics accumulate weights in
+  // the seed's exact floating-point order.
+  std::vector<size_t> indices_;
+  std::vector<uint8_t> goes_left_;  // per row, valid for the node being split
+  std::vector<uint32_t> scratch_rows_;
+  std::vector<double> scratch_values_;
+  std::vector<size_t> candidates_;
+};
+
+}  // namespace falcc
+
+#endif  // FALCC_ML_TREE_BUILDER_H_

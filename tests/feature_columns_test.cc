@@ -1,0 +1,73 @@
+#include "data/feature_columns.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace falcc {
+namespace {
+
+Dataset MakeData(size_t n, uint64_t seed) {
+  SyntheticConfig config;
+  config.num_samples = n;
+  config.seed = seed;
+  return GenerateImplicitBias(config).value();
+}
+
+TEST(FeatureColumnsTest, ShapeMatchesDataset) {
+  const Dataset data = MakeData(200, 1);
+  const FeatureColumns columns(data);
+  EXPECT_EQ(columns.num_rows(), data.num_rows());
+  EXPECT_EQ(columns.num_features(), data.num_features());
+  EXPECT_EQ(&columns.data(), &data);
+  for (size_t f = 0; f < columns.num_features(); ++f) {
+    EXPECT_EQ(columns.SortedRows(f).size(), data.num_rows());
+    EXPECT_EQ(columns.SortedValues(f).size(), data.num_rows());
+  }
+}
+
+TEST(FeatureColumnsTest, ColumnsAreSortedPermutations) {
+  const Dataset data = MakeData(300, 2);
+  const FeatureColumns columns(data);
+  for (size_t f = 0; f < columns.num_features(); ++f) {
+    const auto rows = columns.SortedRows(f);
+    const auto values = columns.SortedValues(f);
+
+    // Values ascend and agree with the dataset at their row.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(values[i], data.Feature(rows[i], f));
+      if (i > 0) EXPECT_LE(values[i - 1], values[i]);
+    }
+
+    // The row list is a permutation of 0..n-1.
+    std::vector<uint32_t> sorted_rows(rows.begin(), rows.end());
+    std::sort(sorted_rows.begin(), sorted_rows.end());
+    for (size_t i = 0; i < sorted_rows.size(); ++i) {
+      EXPECT_EQ(sorted_rows[i], static_cast<uint32_t>(i));
+    }
+  }
+}
+
+TEST(FeatureColumnsTest, TiesKeepRowOrder) {
+  // Column with heavy duplication: the sort must be stable (value, row).
+  const std::vector<double> features = {
+      1.0, 0.5, 1.0, 0.5, 1.0, 0.5, 0.25, 1.0,
+  };
+  std::vector<int> labels(features.size(), 0);
+  const Dataset data =
+      Dataset::Create({"x"}, std::vector<double>(features), 1,
+                      std::move(labels), {})
+          .value();
+  const FeatureColumns columns(data);
+  const auto rows = columns.SortedRows(0);
+  const std::vector<uint32_t> expected = {6, 1, 3, 5, 0, 2, 4, 7};
+  ASSERT_EQ(rows.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rows[i], expected[i]) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace falcc

@@ -1,37 +1,53 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice:
-#   1. plain Release build + ctest (the ROADMAP tier-1 command),
+# Tier-1 verification, three times:
+#   1. plain Release build + ctest (the ROADMAP tier-1 command), plus a
+#      Release build of the train-engine microbenchmark so perf
+#      regressions in bench/bench_train_engine.cc surface here,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
-#      parallel runtime fail loudly even on single-core CI machines.
+#      parallel runtime fail loudly even on single-core CI machines,
+#   3. ASan+UBSan build so memory and UB errors in the pointer-heavy
+#      split engine (ml/tree_builder.cc) fail loudly.
 #
-# Usage: tools/check.sh [--plain-only|--tsan-only]
+# Usage: tools/check.sh [--plain-only|--tsan-only|--asan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_plain=1
 run_tsan=1
+run_asan=1
 case "${1:-}" in
-  --plain-only) run_tsan=0 ;;
-  --tsan-only) run_plain=0 ;;
+  --plain-only) run_tsan=0; run_asan=0 ;;
+  --tsan-only) run_plain=0; run_asan=0 ;;
+  --asan-only) run_plain=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--plain-only|--tsan-only]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--plain-only|--tsan-only|--asan-only]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 if [[ "$run_plain" == 1 ]]; then
-  echo "=== check 1/2: plain build + ctest ==="
+  echo "=== check 1/3: plain build + ctest ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
+  echo "=== check 1/3 (cont.): Release microbenchmark builds ==="
+  cmake --build build -j "$jobs" --target bench_train_engine
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "=== check 2/2: FALCC_SANITIZE=thread, FALCC_THREADS=4 ==="
+  echo "=== check 2/3: FALCC_SANITIZE=thread, FALCC_THREADS=4 ==="
   cmake -B build-tsan -S . -DFALCC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
   FALCC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== check 3/3: FALCC_SANITIZE=address-undefined ==="
+  cmake -B build-asan -S . -DFALCC_SANITIZE=address-undefined >/dev/null
+  cmake --build build-asan -j "$jobs"
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
 fi
 
 echo "all checks passed"
