@@ -1,0 +1,347 @@
+// Serving-engine benchmark: micro-batched classification through
+// serve::FalccEngine vs the single-sample Classify loop, at 1 and 4
+// client threads (median of --reps runs over a 20k-row probe set).
+//
+// Modes:
+//
+//  * single_loop — each client thread walks its partition of the probe
+//    rows calling FalccModel::Classify per sample, the pre-existing
+//    per-request path. Per-call latency goes into a
+//    serve::LatencyHistogram.
+//  * micro_batch — each client thread submits its partition into a
+//    FalccEngine (max_batch 16384, max_delay 200 µs) and then waits on
+//    the tickets. Latency is the engine's internal per-sample total
+//    (submit → flush end), from the same histogram type.
+//
+// The workload is sized so the model pool (24 deep AdaBoost ensembles)
+// exceeds L2: the single-sample loop touches a different pool model per
+// request and pays the resulting cache misses, while the engine's
+// group-by-model batch kernel streams consecutive rows through each
+// model. That locality — not thread parallelism — is where the
+// micro-batching throughput comes from.
+//
+// The micro_batch mode serves a serialize/deserialize round-trip of the
+// trained model, and every decision (label and probability) is compared
+// against a ClassifyBatch reference computed on the original model; the
+// binary exits non-zero on any mismatch. Results go to BENCH_serve.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/falcc.h"
+#include "datagen/synthetic.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "util/timer.h"
+
+namespace falcc {
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  size_t threads = 1;
+  double seconds = 0.0;  ///< median wall-clock for the whole probe set
+  double throughput = 0.0;
+  serve::LatencySummary latency;
+  bool predictions_identical = true;
+};
+
+constexpr size_t kMaxBatch = 16384;
+constexpr double kMaxDelaySeconds = 200e-6;
+
+/// Flattens the feature matrix of `data` into a row-major vector.
+std::vector<double> Flatten(const Dataset& data) {
+  std::vector<double> flat;
+  flat.reserve(data.num_rows() * data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return flat;
+}
+
+/// A pool of 24 deep AdaBoost ensembles over 32 local regions — a
+/// serving-scale model whose pool working set exceeds the L2 cache.
+FalccOptions ServingScaleOptions() {
+  FalccOptions opt;
+  opt.seed = 42;
+  opt.fixed_k = 32;
+  opt.trainer.pool_size = 24;
+  opt.trainer.estimator_grid = {30, 35, 40, 45, 50, 60};
+  opt.trainer.depth_grid = {8, 9};
+  // Keep every candidate: pool breadth, not validation pruning, is the
+  // point of this workload.
+  opt.trainer.accuracy_tolerance = 1.0;
+  return opt;
+}
+
+ModeResult RunSingleLoop(const FalccModel& model,
+                         const std::vector<double>& flat, size_t width,
+                         size_t threads, size_t reps,
+                         const ClassifyResponse& reference) {
+  const size_t rows = flat.size() / width;
+  ModeResult result;
+  result.mode = "single_loop";
+  result.threads = threads;
+
+  serve::LatencyHistogram hist;
+  std::vector<int> labels(rows, -1);
+  std::vector<double> times(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Timer wall;
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        const size_t begin = t * rows / threads;
+        const size_t end = (t + 1) * rows / threads;
+        for (size_t i = begin; i < end; ++i) {
+          const std::span<const double> sample(flat.data() + i * width, width);
+          Timer call;
+          labels[i] = model.Classify(sample);
+          hist.Record(call.ElapsedSeconds());
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    times[rep] = wall.ElapsedSeconds();
+    for (size_t i = 0; i < rows; ++i) {
+      if (labels[i] != reference.decisions[i].label) {
+        result.predictions_identical = false;
+      }
+    }
+  }
+  std::sort(times.begin(), times.end());
+  result.seconds = times[times.size() / 2];
+  result.throughput = rows / result.seconds;
+  result.latency = hist.Summarize();
+  return result;
+}
+
+ModeResult RunMicroBatch(const std::string& model_bytes,
+                         const std::vector<double>& flat, size_t width,
+                         size_t threads, size_t reps,
+                         const ClassifyResponse& reference) {
+  const size_t rows = flat.size() / width;
+  ModeResult result;
+  result.mode = "micro_batch";
+  result.threads = threads;
+
+  serve::FalccEngineOptions options;
+  options.queue.max_batch = kMaxBatch;
+  options.queue.max_delay_seconds = kMaxDelaySeconds;
+  serve::FalccEngine engine(options);
+  {
+    // Serve a round-trip of the trained model — the reference decisions
+    // come from the original, so the comparison below also covers
+    // serialization identity.
+    std::istringstream in(model_bytes);
+    engine.Install(FalccModel::Load(&in).value());
+  }
+
+  std::vector<SampleDecision> decisions(rows);
+  std::vector<double> times(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Timer wall;
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        const size_t begin = t * rows / threads;
+        const size_t end = (t + 1) * rows / threads;
+        std::vector<serve::Ticket> tickets;
+        tickets.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const std::span<const double> sample(flat.data() + i * width, width);
+          Result<serve::Ticket> ticket = engine.Submit(sample);
+          FALCC_CHECK(ticket.ok(), "bench: Submit failed");
+          tickets.push_back(std::move(ticket).value());
+        }
+        for (size_t i = begin; i < end; ++i) {
+          Result<SampleDecision> decision = tickets[i - begin].Wait();
+          FALCC_CHECK(decision.ok(), "bench: Wait failed");
+          decisions[i] = decision.value();
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    times[rep] = wall.ElapsedSeconds();
+    for (size_t i = 0; i < rows; ++i) {
+      if (decisions[i].label != reference.decisions[i].label ||
+          decisions[i].probability != reference.decisions[i].probability) {
+        result.predictions_identical = false;
+      }
+    }
+  }
+  std::sort(times.begin(), times.end());
+  result.seconds = times[times.size() / 2];
+  result.throughput = rows / result.seconds;
+  result.latency = engine.GetMetrics().total;
+  if (std::getenv("FALCC_BENCH_VERBOSE") != nullptr) {
+    std::printf("--- micro_batch threads=%zu engine metrics ---\n%s",
+                threads, engine.GetMetrics().ToString().c_str());
+  }
+  return result;
+}
+
+void WriteServeJson(const std::string& path, size_t train_rows,
+                    size_t probe_rows, const FalccModel& model, size_t reps,
+                    const std::vector<ModeResult>& results,
+                    double ratio_4threads) {
+  std::ofstream out(path);
+  FALCC_CHECK(static_cast<bool>(out), "cannot open BENCH_serve.json");
+  out << "{\n";
+  out << "  \"benchmark\": \"serve_engine\",\n";
+  out << "  \"dataset\": \"implicit\",\n";
+  out << "  \"train_rows\": " << train_rows << ",\n";
+  out << "  \"probe_rows\": " << probe_rows << ",\n";
+  out << "  \"pool_size\": " << model.pool().size() << ",\n";
+  out << "  \"clusters\": " << model.num_clusters() << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"engine\": {\"max_batch\": " << kMaxBatch
+      << ", \"max_delay_us\": " << kMaxDelaySeconds * 1e6 << "},\n";
+  out << "  \"note\": \"throughput = probe_rows / median wall-clock; "
+         "single_loop latency is per FalccModel::Classify call, "
+         "micro_batch latency is the engine's per-sample submit-to-flush "
+         "total under closed-loop load; percentiles are power-of-two "
+         "bucket upper bounds\",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+        << ", \"seconds\": " << r.seconds
+        << ", \"throughput_rows_per_sec\": " << r.throughput
+        << ", \"p50_us\": " << r.latency.p50_seconds * 1e6
+        << ", \"p95_us\": " << r.latency.p95_seconds * 1e6
+        << ", \"p99_us\": " << r.latency.p99_seconds * 1e6
+        << ", \"predictions_identical\": "
+        << (r.predictions_identical ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"ratio_4threads\": " << ratio_4threads << "\n";
+  out << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  bench::ApplyThreadsFlag(&argc, argv);
+  bench::PrintThreadHeader("bench_serve");
+
+  std::string json_path = "BENCH_serve.json";
+  std::string model_cache;
+  size_t reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      json_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::max(1L, std::atol(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--model=", 8) == 0) {
+      // Reuse a previously trained model — the training phase dominates
+      // the benchmark's wall clock when iterating on serving knobs.
+      model_cache = argv[i] + 8;
+    }
+  }
+
+  SyntheticConfig cfg;
+  cfg.num_samples = 12000;
+  cfg.seed = 71;
+  const Dataset train = GenerateImplicitBias(cfg).value();
+  cfg.num_samples = 4000;
+  cfg.seed = 72;
+  const Dataset validation = GenerateImplicitBias(cfg).value();
+  cfg.num_samples = 20000;
+  cfg.seed = 73;
+  const Dataset probe = GenerateImplicitBias(cfg).value();
+
+  const FalccModel model = [&] {
+    if (!model_cache.empty()) {
+      Result<FalccModel> cached = FalccModel::LoadFromFile(model_cache);
+      if (cached.ok()) {
+        std::printf("loaded cached model from %s\n", model_cache.c_str());
+        return std::move(cached).value();
+      }
+    }
+    std::printf("training serving-scale model (%zu rows)...\n",
+                train.num_rows());
+    FalccModel trained =
+        FalccModel::Train(train, validation, ServingScaleOptions()).value();
+    if (!model_cache.empty()) {
+      FALCC_CHECK(trained.SaveToFile(model_cache).ok(),
+                  "bench: cannot write model cache");
+    }
+    return trained;
+  }();
+  std::printf("  pool=%zu clusters=%zu groups=%zu\n", model.pool().size(),
+              model.num_clusters(), model.num_groups());
+
+  std::string model_bytes;
+  {
+    std::ostringstream out;
+    FALCC_CHECK(model.Save(&out).ok(), "bench: model serialization failed");
+    model_bytes = out.str();
+  }
+
+  const std::vector<double> flat = Flatten(probe);
+  const size_t width = probe.num_features();
+  ClassifyRequest reference_request;
+  reference_request.features = flat;
+  reference_request.num_features = width;
+  const ClassifyResponse reference =
+      model.ClassifyBatch(reference_request).value();
+
+  std::printf("=== Serving benchmark (%zu probe rows, median of %zu) ===\n",
+              probe.num_rows(), reps);
+  // `threads` counts concurrent client threads, not kernel parallelism:
+  // the engine's batch kernel keeps the process-wide setting
+  // (--threads / FALCC_THREADS), as a deployment would configure it.
+  std::vector<ModeResult> results;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    results.push_back(
+        RunSingleLoop(model, flat, width, threads, reps, reference));
+    results.push_back(
+        RunMicroBatch(model_bytes, flat, width, threads, reps, reference));
+  }
+
+  bool all_identical = true;
+  double single_4 = 0.0;
+  double batch_4 = 0.0;
+  for (const ModeResult& r : results) {
+    std::printf("  %-12s threads=%zu  %.3fs  %.0f rows/s  "
+                "p50=%.0fus p95=%.0fus p99=%.0fus  identical=%s\n",
+                r.mode.c_str(), r.threads, r.seconds, r.throughput,
+                r.latency.p50_seconds * 1e6, r.latency.p95_seconds * 1e6,
+                r.latency.p99_seconds * 1e6,
+                r.predictions_identical ? "yes" : "NO");
+    all_identical = all_identical && r.predictions_identical;
+    if (r.threads == 4 && r.mode == "single_loop") single_4 = r.throughput;
+    if (r.threads == 4 && r.mode == "micro_batch") batch_4 = r.throughput;
+  }
+  const double ratio = single_4 > 0.0 ? batch_4 / single_4 : 0.0;
+  std::printf("  micro_batch/single_loop throughput at 4 threads: %.2fx\n",
+              ratio);
+
+  WriteServeJson(json_path, train.num_rows(), probe.num_rows(), model, reps,
+                 results, ratio);
+  std::printf("  -> %s\n", json_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "ERROR: serving decisions differ from the "
+                         "ClassifyBatch reference\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace falcc
+
+int main(int argc, char** argv) { return falcc::Main(argc, argv); }

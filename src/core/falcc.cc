@@ -1,9 +1,11 @@
 #include "core/falcc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "cluster/kdtree.h"
 #include "ml/adaboost.h"
@@ -342,7 +344,24 @@ Result<FalccModel> FalccModel::LoadFromFile(const std::string& path) {
   return Load(&in);
 }
 
+Status FalccModel::ValidateSample(std::span<const double> features) const {
+  if (features.size() != num_features()) {
+    return Status::InvalidArgument(
+        "sample has " + std::to_string(features.size()) +
+        " features; the model expects " + std::to_string(num_features()));
+  }
+  for (size_t j = 0; j < features.size(); ++j) {
+    if (!std::isfinite(features[j])) {
+      return Status::InvalidArgument("non-finite feature value in column " +
+                                     std::to_string(j));
+    }
+  }
+  return Status::OK();
+}
+
 size_t FalccModel::MatchCluster(std::span<const double> features) const {
+  const Status valid = ValidateSample(features);
+  FALCC_CHECK(valid.ok(), valid.ToString().c_str());
   const std::vector<double> processed = clustering_transform_.Apply(features);
   if (centroid_index_.has_value()) {
     return centroid_index_->Nearest1(processed);
@@ -351,6 +370,7 @@ size_t FalccModel::MatchCluster(std::span<const double> features) const {
 }
 
 Result<size_t> FalccModel::GroupOf(std::span<const double> features) const {
+  FALCC_RETURN_IF_ERROR(ValidateSample(features));
   return group_index_.GroupOfOrNearest(features);
 }
 
@@ -368,49 +388,135 @@ double FalccModel::ClassifyProba(std::span<const double> features) const {
   return pool_.model(m).PredictProba(features);
 }
 
-std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
+void FalccModel::ClassifyRowsInto(const Dataset& data,
+                                  ClassifyResponse* response) const {
   const size_t n = data.num_rows();
-  std::vector<int> out(n);
+  std::vector<SampleDecision>& decisions = response->decisions;
+  decisions.assign(n, SampleDecision{});
+  Timer stage_timer;
 
-  // Pass 1: route every row to the model stored for its (region, group).
-  // One transform scratch buffer per chunk: the per-sample Apply
+  // Stage 1 — sample processing (§3.7 step 1) into one contiguous
+  // row-major matrix. One scratch buffer per chunk: the per-sample Apply
   // allocation dominates the nearest-centroid lookup on small models.
-  std::vector<size_t> model_of(n);
-  ParallelFor(0, n, 256,
-              [&](size_t /*chunk*/, size_t lo, size_t hi) {
-                std::vector<double> scratch;
-                for (size_t i = lo; i < hi; ++i) {
-                  const auto row = data.Row(i);
-                  clustering_transform_.ApplyInto(row, &scratch);
-                  const size_t cluster =
-                      centroid_index_.has_value()
-                          ? centroid_index_->Nearest1(scratch)
-                          : NearestCentroid(centroids_, scratch);
-                  const size_t group = group_index_.GroupOfOrNearest(row);
-                  model_of[i] = selected_[cluster][group];
-                }
-              });
+  const size_t width = clustering_transform_.num_output_features();
+  std::vector<double> transformed(n * width);
+  ParallelFor(0, n, 256, [&](size_t /*chunk*/, size_t lo, size_t hi) {
+    std::vector<double> scratch;
+    for (size_t i = lo; i < hi; ++i) {
+      clustering_transform_.ApplyInto(data.Row(i), &scratch);
+      std::copy(scratch.begin(), scratch.end(),
+                transformed.begin() + static_cast<ptrdiff_t>(i * width));
+    }
+  });
+  response->stages.transform = stage_timer.ElapsedSeconds();
+  stage_timer.Restart();
 
-  // Pass 2: batch inference, one traversal per model over all its rows
+  // Stage 2 — route every row to the model stored for its (region,
+  // group). The sensitive-key scratch buffer is reused across the chunk.
+  ParallelFor(0, n, 256, [&](size_t /*chunk*/, size_t lo, size_t hi) {
+    std::vector<double> key_scratch;
+    for (size_t i = lo; i < hi; ++i) {
+      const std::span<const double> point(transformed.data() + i * width,
+                                          width);
+      const size_t cluster = centroid_index_.has_value()
+                                 ? centroid_index_->Nearest1(point)
+                                 : NearestCentroid(centroids_, point);
+      const size_t group =
+          group_index_.GroupOfOrNearest(data.Row(i), &key_scratch);
+      decisions[i].cluster = cluster;
+      decisions[i].group = group;
+      decisions[i].model = selected_[cluster][group];
+    }
+  });
+  response->stages.match = stage_timer.ElapsedSeconds();
+  stage_timer.Restart();
+
+  // Stage 3 — batch inference, one traversal per model over all its rows
   // (tree ensembles walk flat node arrays with no per-row virtual
-  // dispatch). Per-row results are independent, so the regrouping cannot
-  // change any prediction.
-  std::vector<std::vector<size_t>> rows_by_model(pool_.size());
-  for (size_t i = 0; i < n; ++i) rows_by_model[model_of[i]].push_back(i);
-  ParallelFor(0, pool_.size(), 1,
-              [&](size_t /*chunk*/, size_t lo, size_t hi) {
-                std::vector<double> proba;
-                for (size_t m = lo; m < hi; ++m) {
-                  const std::vector<size_t>& rows = rows_by_model[m];
-                  if (rows.empty()) continue;
-                  proba.resize(rows.size());
-                  pool_.model(m).PredictProbaBatch(data, rows, proba);
-                  for (size_t j = 0; j < rows.size(); ++j) {
-                    out[rows[j]] = proba[j] >= 0.5 ? 1 : 0;
-                  }
-                }
-              });
+  // dispatch). A counting sort groups row indices by model, ascending
+  // within each model; per-row results are independent, so the
+  // regrouping cannot change any prediction.
+  const size_t pool_size = pool_.size();
+  std::vector<size_t> offsets(pool_size + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++offsets[decisions[i].model + 1];
+  for (size_t m = 0; m < pool_size; ++m) offsets[m + 1] += offsets[m];
+  std::vector<size_t> rows(n);
+  {
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < n; ++i) rows[cursor[decisions[i].model]++] = i;
+  }
+  ParallelFor(0, pool_size, 1, [&](size_t /*chunk*/, size_t lo, size_t hi) {
+    std::vector<double> proba;
+    for (size_t m = lo; m < hi; ++m) {
+      const std::span<const size_t> model_rows(rows.data() + offsets[m],
+                                               offsets[m + 1] - offsets[m]);
+      if (model_rows.empty()) continue;
+      proba.resize(model_rows.size());
+      pool_.model(m).PredictProbaBatch(data, model_rows, proba);
+      for (size_t j = 0; j < model_rows.size(); ++j) {
+        SampleDecision& d = decisions[model_rows[j]];
+        d.probability = proba[j];
+        d.label = proba[j] >= 0.5 ? 1 : 0;
+      }
+    }
+  });
+  response->stages.predict = stage_timer.ElapsedSeconds();
+}
+
+std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
+  FALCC_CHECK(data.num_features() == num_features(),
+              "ClassifyAll: dataset width differs from model num_features()");
+  ClassifyResponse response;
+  ClassifyRowsInto(data, &response);
+  std::vector<int> out(data.num_rows());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = response.decisions[i].label;
+  }
   return out;
+}
+
+Result<ClassifyResponse> FalccModel::ClassifyBatch(
+    const ClassifyRequest& request) const {
+  Timer validate_timer;
+  const size_t width = num_features();
+  if (request.num_features != width) {
+    return Status::InvalidArgument(
+        "ClassifyBatch: request num_features=" +
+        std::to_string(request.num_features) + " but the model expects " +
+        std::to_string(width));
+  }
+  if (request.features.size() % width != 0) {
+    return Status::InvalidArgument(
+        "ClassifyBatch: features.size()=" +
+        std::to_string(request.features.size()) +
+        " is not a multiple of num_features=" + std::to_string(width));
+  }
+  const size_t n = request.features.size() / width;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      if (!std::isfinite(request.features[i * width + j])) {
+        return Status::InvalidArgument(
+            "ClassifyBatch: non-finite value in sample " + std::to_string(i) +
+            ", column " + std::to_string(j));
+      }
+    }
+  }
+  ClassifyResponse response;
+  response.stages.validate = validate_timer.ElapsedSeconds();
+  if (n == 0) return response;
+
+  // Wrap the request in a Dataset so the kernel (and the per-model
+  // PredictProbaBatch underneath) can run unchanged: placeholder names
+  // and labels, the model's own sensitive columns for group routing.
+  std::vector<std::string> names(width);
+  for (size_t j = 0; j < width; ++j) names[j] = "f" + std::to_string(j);
+  Result<Dataset> data = Dataset::Create(
+      std::move(names),
+      std::vector<double>(request.features.begin(), request.features.end()),
+      width, std::vector<int>(n, 0), group_index_.sensitive_features());
+  if (!data.ok()) return data.status();
+  ClassifyRowsInto(data.value(), &response);
+  return response;
 }
 
 }  // namespace falcc

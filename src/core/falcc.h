@@ -79,6 +79,45 @@ struct OfflineStageTimes {
   double assess_seconds = 0.0;
 };
 
+/// One classified sample with the audit trail of the online phase
+/// (§3.7): which local region matched, which sensitive group the sample
+/// mapped to, and which pool model produced the decision. Deployments
+/// log these so individual decisions stay attributable to a concrete
+/// (region, group, model) triple.
+struct SampleDecision {
+  double probability = 0.0;  ///< P(y = 1) from the model that fired.
+  int label = 0;             ///< Hard decision: probability >= 0.5.
+  size_t cluster = 0;        ///< Matched region (nearest centroid).
+  size_t group = 0;          ///< Sensitive group (nearest observed key).
+  size_t model = 0;          ///< Pool index of the model that fired.
+};
+
+/// A batch of raw samples for ClassifyBatch. `features` is row-major
+/// with `num_features` columns per sample in the model's original
+/// (untransformed) feature space; the sample count is implied by
+/// `features.size() / num_features`. The request does not own the data —
+/// the span must stay valid for the duration of the call.
+struct ClassifyRequest {
+  std::span<const double> features;
+  size_t num_features = 0;
+};
+
+/// Wall-clock seconds spent in each stage of one ClassifyBatch call.
+/// Feeds the serving layer's per-stage latency histograms.
+struct ClassifyStageSeconds {
+  double validate = 0.0;   ///< shape + finiteness checks
+  double transform = 0.0;  ///< sample processing (§3.7 step 1)
+  double match = 0.0;      ///< nearest-centroid + group routing
+  double predict = 0.0;    ///< grouped batch inference
+};
+
+/// Result of one ClassifyBatch call: per-sample decisions (in request
+/// order) plus the stage timing of the call itself.
+struct ClassifyResponse {
+  std::vector<SampleDecision> decisions;
+  ClassifyStageSeconds stages;
+};
+
 /// A trained FALCC classifier (offline phase output + online phase).
 class FalccModel {
  public:
@@ -114,17 +153,50 @@ class FalccModel {
   Status SaveToFile(const std::string& path) const;
   static Result<FalccModel> LoadFromFile(const std::string& path);
 
+  // --- Online phase -----------------------------------------------------
+  //
+  // Input contract (all entry points below): a sample is a feature
+  // vector in the model's original, untransformed feature space — it
+  // must have exactly num_features() values and every value must be
+  // finite. `ClassifyBatch` and `GroupOf` report violations as an
+  // InvalidArgument Status; the remaining entry points treat a
+  // malformed sample as a programming error in the embedding code and
+  // abort with a diagnostic (FALCC_CHECK) instead of silently reading
+  // out of bounds. Servers should route traffic through ClassifyBatch.
+
+  /// Validated, batched classification — the serving entry point.
+  /// Checks the request shape (width match, divisibility) and rejects
+  /// NaN/Inf values with a sample/column diagnostic before touching any
+  /// model state. Decisions are returned in request order and each
+  /// carries the full (cluster, group, model) audit trail.
+  Result<ClassifyResponse> ClassifyBatch(const ClassifyRequest& request) const;
+
+  /// Checks one sample against the input contract above.
+  Status ValidateSample(std::span<const double> features) const;
+
+  /// Width of the original feature space every sample must match.
+  size_t num_features() const {
+    return clustering_transform_.num_input_features();
+  }
+
   /// Online phase: classifies one sample given its original features.
+  /// Runs the same stage sequence as ClassifyBatch on a single sample
+  /// (bit-identical result); aborts on malformed input per the contract
+  /// above.
   int Classify(std::span<const double> features) const;
 
   /// P(y = 1) from the model selected for (sample's region, sample's
   /// group) — the probabilistic form of Classify.
   double ClassifyProba(std::span<const double> features) const;
 
-  /// Hard labels for every row of `data`.
+  /// Hard labels for every row of `data`. Equivalent to extracting
+  /// `label` from ClassifyBatch over the same rows; aborts if the
+  /// dataset width differs from num_features().
   std::vector<int> ClassifyAll(const Dataset& data) const;
 
   /// Online steps exposed for tests and the runtime benchmark.
+  /// MatchCluster aborts on malformed input; GroupOf returns it as an
+  /// InvalidArgument Status.
   size_t MatchCluster(std::span<const double> features) const;
   Result<size_t> GroupOf(std::span<const double> features) const;
 
@@ -154,6 +226,13 @@ class FalccModel {
   /// (Re)builds centroid_index_ from centroids_. Called after training
   /// and after Load — the index is derived state and never serialized.
   Status BuildCentroidIndex();
+
+  /// Shared online-phase kernel behind ClassifyAll and ClassifyBatch:
+  /// transform → nearest-centroid match + group routing → batch
+  /// inference grouped by model. `data` rows must already satisfy the
+  /// width contract. Writes one SampleDecision per row (row order) and
+  /// the per-stage wall clock into `*response`.
+  void ClassifyRowsInto(const Dataset& data, ClassifyResponse* response) const;
 
   ModelPool pool_;
   double pool_entropy_ = 0.0;

@@ -48,8 +48,16 @@ Result<size_t> GroupIndex::GroupOf(std::span<const double> features) const {
 }
 
 size_t GroupIndex::GroupOfOrNearest(std::span<const double> features) const {
+  std::vector<double> scratch;
+  return GroupOfOrNearest(features, &scratch);
+}
+
+size_t GroupIndex::GroupOfOrNearest(std::span<const double> features,
+                                    std::vector<double>* key_scratch) const {
   FALCC_CHECK(!group_keys_.empty(), "GroupOfOrNearest on empty index");
-  const std::vector<double> key = SensitiveKey(features, sensitive_features_);
+  std::vector<double>& key = *key_scratch;
+  key.clear();
+  for (size_t col : sensitive_features_) key.push_back(features[col]);
   const auto it = key_to_group_.find(key);
   if (it != key_to_group_.end()) return it->second;
   size_t best = 0;

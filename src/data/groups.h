@@ -45,7 +45,13 @@ class GroupIndex {
   /// Like GroupOf, but maps unseen combinations to the group with the
   /// nearest sensitive-attribute key (Euclidean). Never fails on a built
   /// index; used by online classification of arbitrary test samples.
+  /// `features` must cover every sensitive column of the index.
   size_t GroupOfOrNearest(std::span<const double> features) const;
+
+  /// Allocation-free variant for batch callers: `key_scratch` holds the
+  /// extracted sensitive key between calls and is overwritten each time.
+  size_t GroupOfOrNearest(std::span<const double> features,
+                          std::vector<double>* key_scratch) const;
 
   /// Group id per row of `data` (must have the same sensitive columns).
   /// Rows with unseen combinations fail.

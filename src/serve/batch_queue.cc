@@ -1,0 +1,100 @@
+#include "serve/batch_queue.h"
+
+namespace falcc::serve {
+
+void MicroBatch::Complete(Status batch_status,
+                          std::vector<SampleDecision> results) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    FALCC_CHECK(!done, "MicroBatch completed twice");
+    status = std::move(batch_status);
+    decisions = std::move(results);
+    done = true;
+  }
+  done_cv.notify_all();
+}
+
+Result<SampleDecision> Ticket::Wait() const {
+  FALCC_CHECK(batch_ != nullptr, "Ticket::Wait on an empty ticket");
+  std::unique_lock<std::mutex> lock(batch_->mu);
+  batch_->done_cv.wait(lock, [&] { return batch_->done; });
+  if (!batch_->status.ok()) return batch_->status;
+  FALCC_CHECK(index_ < batch_->decisions.size(),
+              "completed batch is missing decisions");
+  return batch_->decisions[index_];
+}
+
+BatchQueue::BatchQueue(BatchQueueOptions options) : options_(options) {
+  FALCC_CHECK(options_.max_batch > 0, "BatchQueue: max_batch must be > 0");
+  FALCC_CHECK(options_.max_delay_seconds >= 0.0,
+              "BatchQueue: max_delay_seconds must be >= 0");
+}
+
+Result<Ticket> BatchQueue::Submit(std::span<const double> features) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    return Status::Unavailable("BatchQueue: stopped, no new submissions");
+  }
+  if (pending_samples_ >= options_.max_pending) {
+    return Status::Unavailable("BatchQueue: max_pending reached");
+  }
+  if (open_ == nullptr) {
+    open_ = std::make_shared<MicroBatch>();
+    open_->features.reserve(options_.max_batch * features.size());
+    open_->submitted.reserve(options_.max_batch);
+  }
+  const bool was_empty = open_->num_samples == 0;
+  open_->features.insert(open_->features.end(), features.begin(),
+                         features.end());
+  open_->submitted.push_back(std::chrono::steady_clock::now());
+  Ticket ticket(open_, open_->num_samples);
+  ++open_->num_samples;
+  ++pending_samples_;
+  const bool full = open_->num_samples >= options_.max_batch;
+  if (full) {
+    ready_.push_back(std::move(open_));
+    open_ = nullptr;
+  }
+  // The flusher only needs a wake-up when a deadline starts ticking (the
+  // batch's first sample) or when a batch becomes ready.
+  if (was_empty || full) flusher_cv_.notify_one();
+  return ticket;
+}
+
+std::shared_ptr<MicroBatch> BatchQueue::NextBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!ready_.empty()) {
+      std::shared_ptr<MicroBatch> batch = std::move(ready_.front());
+      ready_.pop_front();
+      pending_samples_ -= batch->num_samples;
+      return batch;
+    }
+    if (open_ != nullptr && open_->num_samples > 0) {
+      const auto deadline =
+          open_->submitted.front() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.max_delay_seconds));
+      if (stopped_ || std::chrono::steady_clock::now() >= deadline) {
+        std::shared_ptr<MicroBatch> batch = std::move(open_);
+        open_ = nullptr;
+        pending_samples_ -= batch->num_samples;
+        return batch;
+      }
+      flusher_cv_.wait_until(lock, deadline);
+      continue;
+    }
+    if (stopped_) return nullptr;
+    flusher_cv_.wait(lock);
+  }
+}
+
+void BatchQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  flusher_cv_.notify_all();
+}
+
+}  // namespace falcc::serve

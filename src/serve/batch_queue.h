@@ -1,0 +1,111 @@
+// Micro-batching queue of the serving engine.
+//
+// Client threads submit single samples; the engine's flusher thread
+// collects them into micro-batches and classifies each batch in one
+// ClassifyBatch call, amortizing transform, centroid match, and tree
+// traversal across requests. A batch is flushed when it reaches
+// `max_batch` samples or when the oldest queued sample has waited
+// `max_delay_seconds` — the classic throughput/latency trade-off knobs.
+//
+// Completion is batch-granular: each submitted sample holds a Ticket
+// onto its batch; the flusher completes the whole batch at once
+// (decisions or a single error Status) and wakes all waiters.
+
+#ifndef FALCC_SERVE_BATCH_QUEUE_H_
+#define FALCC_SERVE_BATCH_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/falcc.h"
+#include "util/status.h"
+
+namespace falcc::serve {
+
+struct BatchQueueOptions {
+  /// Flush as soon as a batch holds this many samples.
+  size_t max_batch = 256;
+  /// Flush a partial batch once its oldest sample has waited this long.
+  double max_delay_seconds = 200e-6;
+  /// Backpressure: Submit fails with kUnavailable once this many samples
+  /// are queued and not yet handed to the flusher.
+  size_t max_pending = 1 << 16;
+};
+
+/// One micro-batch: filled under the queue lock by submitters, then
+/// owned by the flusher thread, which completes it exactly once.
+struct MicroBatch {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  std::vector<double> features;       ///< row-major, filled by Submit
+  std::vector<TimePoint> submitted;   ///< per-sample submit time
+  size_t num_samples = 0;
+
+  /// Completion state, owned by `mu` (separate from the queue lock so
+  /// waiters never contend with submitters).
+  std::mutex mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  Status status;                          ///< batch-level failure, if any
+  std::vector<SampleDecision> decisions;  ///< per sample, submit order
+
+  /// Called by the flusher exactly once: publishes the outcome and
+  /// wakes every Ticket::Wait.
+  void Complete(Status batch_status, std::vector<SampleDecision> results);
+};
+
+/// A claim on one sample of a pending micro-batch.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(std::shared_ptr<MicroBatch> batch, size_t index)
+      : batch_(std::move(batch)), index_(index) {}
+
+  bool valid() const { return batch_ != nullptr; }
+
+  /// Blocks until the batch completes; returns this sample's decision or
+  /// the batch-level error.
+  Result<SampleDecision> Wait() const;
+
+ private:
+  std::shared_ptr<MicroBatch> batch_;
+  size_t index_ = 0;
+};
+
+/// MPSC queue: many submitters, one flusher draining via NextBatch.
+class BatchQueue {
+ public:
+  explicit BatchQueue(BatchQueueOptions options);
+
+  /// Copies one sample into the open batch and returns a Ticket for it.
+  /// Fails with kUnavailable after Stop() or when max_pending is hit.
+  /// The caller is responsible for validating the sample first.
+  Result<Ticket> Submit(std::span<const double> features);
+
+  /// Flusher side: blocks until a batch is ready (full, or non-empty and
+  /// past max_delay, or the queue is stopped and draining). Returns
+  /// nullptr once stopped and fully drained.
+  std::shared_ptr<MicroBatch> NextBatch();
+
+  /// Rejects new submissions; NextBatch keeps returning queued batches
+  /// until drained, then returns nullptr.
+  void Stop();
+
+ private:
+  const BatchQueueOptions options_;
+  std::mutex mu_;
+  std::condition_variable flusher_cv_;
+  std::shared_ptr<MicroBatch> open_;               // being filled
+  std::deque<std::shared_ptr<MicroBatch>> ready_;  // full, awaiting flusher
+  size_t pending_samples_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace falcc::serve
+
+#endif  // FALCC_SERVE_BATCH_QUEUE_H_

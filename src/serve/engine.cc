@@ -1,0 +1,148 @@
+#include "serve/engine.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace falcc::serve {
+
+namespace {
+
+/// Seconds between two steady_clock points.
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+FalccEngine::FalccEngine(FalccEngineOptions options)
+    : options_(options), queue_(options.queue) {
+  if (options_.start_flusher) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+FalccEngine::~FalccEngine() { Shutdown(); }
+
+void FalccEngine::Install(FalccModel model) {
+  auto snapshot = std::make_shared<const FalccModel>(std::move(model));
+  snapshot_.store(std::move(snapshot));
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  metrics_.AddReloads(1);
+}
+
+Status FalccEngine::ReloadFromFile(const std::string& path) {
+  // Load + validate entirely off the serving path; a failed load leaves
+  // the current snapshot serving.
+  Result<FalccModel> loaded = FalccModel::LoadFromFile(path);
+  if (!loaded.ok()) {
+    metrics_.AddErrors(1);
+    return loaded.status();
+  }
+  Install(std::move(loaded).value());
+  return Status::OK();
+}
+
+Result<ClassifyResponse> FalccEngine::ClassifyBatch(
+    const ClassifyRequest& request) const {
+  metrics_.AddRequests(1);
+  const std::shared_ptr<const FalccModel> snapshot =
+      snapshot_.load();
+  if (snapshot == nullptr) {
+    metrics_.AddErrors(1);
+    return Status::Unavailable("FalccEngine: no model snapshot installed");
+  }
+  Timer timer;
+  Result<ClassifyResponse> response = snapshot->ClassifyBatch(request);
+  if (!response.ok()) {
+    metrics_.AddErrors(1);
+    return response;
+  }
+  const ClassifyStageSeconds& stages = response.value().stages;
+  metrics_.validate().Record(stages.validate);
+  metrics_.transform().Record(stages.transform);
+  metrics_.match().Record(stages.match);
+  metrics_.predict().Record(stages.predict);
+  metrics_.total().Record(timer.ElapsedSeconds());
+  metrics_.AddSamples(response.value().decisions.size());
+  return response;
+}
+
+Result<Ticket> FalccEngine::Submit(std::span<const double> features) {
+  metrics_.AddRequests(1);
+  const std::shared_ptr<const FalccModel> snapshot =
+      snapshot_.load();
+  if (snapshot == nullptr) {
+    metrics_.AddErrors(1);
+    return Status::Unavailable("FalccEngine: no model snapshot installed");
+  }
+  // Validate on the submitting thread: rejects never reach the queue,
+  // and validation cost parallelizes across client threads.
+  const Status valid = snapshot->ValidateSample(features);
+  if (!valid.ok()) {
+    metrics_.AddErrors(1);
+    return valid;
+  }
+  Result<Ticket> ticket = queue_.Submit(features);
+  if (!ticket.ok()) metrics_.AddErrors(1);
+  return ticket;
+}
+
+Result<SampleDecision> FalccEngine::Classify(std::span<const double> features) {
+  Result<Ticket> ticket = Submit(features);
+  if (!ticket.ok()) return ticket.status();
+  return ticket.value().Wait();
+}
+
+void FalccEngine::FlusherLoop() {
+  while (std::shared_ptr<MicroBatch> batch = queue_.NextBatch()) {
+    const auto flush_start = std::chrono::steady_clock::now();
+    for (const auto& submitted : batch->submitted) {
+      metrics_.queue_wait().Record(Seconds(submitted, flush_start));
+    }
+    const std::shared_ptr<const FalccModel> snapshot =
+        snapshot_.load();
+    if (snapshot == nullptr) {
+      metrics_.AddErrors(1);
+      batch->Complete(
+          Status::Unavailable("FalccEngine: no model snapshot installed"), {});
+      continue;
+    }
+    // Samples were validated at submit time, but a hot-swap in between
+    // may have changed the schema — ClassifyBatch re-checks and the
+    // whole batch fails gracefully in that case.
+    ClassifyRequest request;
+    request.features = batch->features;
+    request.num_features = snapshot->num_features();
+    Result<ClassifyResponse> response = snapshot->ClassifyBatch(request);
+    if (!response.ok()) {
+      metrics_.AddErrors(1);
+      batch->Complete(response.status(), {});
+      continue;
+    }
+    metrics_.AddFlushes(1);
+    metrics_.AddSamples(response.value().decisions.size());
+    const ClassifyStageSeconds& stages = response.value().stages;
+    metrics_.validate().Record(stages.validate);
+    metrics_.transform().Record(stages.transform);
+    metrics_.match().Record(stages.match);
+    metrics_.predict().Record(stages.predict);
+    const auto flush_end = std::chrono::steady_clock::now();
+    for (const auto& submitted : batch->submitted) {
+      metrics_.total().Record(Seconds(submitted, flush_end));
+    }
+    batch->Complete(Status::OK(),
+                    std::move(response.value().decisions));
+  }
+}
+
+void FalccEngine::Shutdown() {
+  if (shutdown_.exchange(true)) return;  // idempotent
+  queue_.Stop();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+}  // namespace falcc::serve

@@ -1,0 +1,96 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace falcc::serve {
+
+namespace {
+
+/// Upper bound of bucket b in seconds: 2^b µs (bucket 0 is < 1 µs).
+double BucketUpperSeconds(size_t bucket) {
+  return std::ldexp(1e-6, static_cast<int>(bucket));
+}
+
+double Quantile(const std::array<uint64_t, LatencyHistogram::kNumBuckets>&
+                    counts,
+                uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) return BucketUpperSeconds(b);
+  }
+  return BucketUpperSeconds(counts.size() - 1);
+}
+
+void AppendSummary(std::ostringstream* out, const char* name,
+                   const LatencySummary& s) {
+  *out << "  " << name << ": count=" << s.count
+       << " p50=" << s.p50_seconds * 1e6 << "us"
+       << " p95=" << s.p95_seconds * 1e6 << "us"
+       << " p99=" << s.p99_seconds * 1e6 << "us\n";
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  const double micros = seconds * 1e6;
+  size_t bucket = 0;
+  if (micros >= 1.0) {
+    const int exp = std::ilogb(micros);
+    bucket = static_cast<size_t>(exp) + 1;
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencySummary LatencyHistogram::Summarize() const {
+  std::array<uint64_t, kNumBuckets> counts{};
+  uint64_t total = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  LatencySummary summary;
+  summary.count = total;
+  summary.p50_seconds = Quantile(counts, total, 0.50);
+  summary.p95_seconds = Quantile(counts, total, 0.95);
+  summary.p99_seconds = Quantile(counts, total, 0.99);
+  return summary;
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.requests = requests_.load(std::memory_order_relaxed);
+  snapshot.samples = samples_.load(std::memory_order_relaxed);
+  snapshot.errors = errors_.load(std::memory_order_relaxed);
+  snapshot.flushes = flushes_.load(std::memory_order_relaxed);
+  snapshot.reloads = reloads_.load(std::memory_order_relaxed);
+  snapshot.total = total_.Summarize();
+  snapshot.queue_wait = queue_wait_.Summarize();
+  snapshot.validate = validate_.Summarize();
+  snapshot.transform = transform_.Summarize();
+  snapshot.match = match_.Summarize();
+  snapshot.predict = predict_.Summarize();
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "serve metrics:\n"
+      << "  requests=" << requests << " samples=" << samples
+      << " errors=" << errors << " flushes=" << flushes
+      << " reloads=" << reloads << "\n";
+  AppendSummary(&out, "total", total);
+  AppendSummary(&out, "queue_wait", queue_wait);
+  AppendSummary(&out, "validate", validate);
+  AppendSummary(&out, "transform", transform);
+  AppendSummary(&out, "match", match);
+  AppendSummary(&out, "predict", predict);
+  return out.str();
+}
+
+}  // namespace falcc::serve

@@ -1,0 +1,103 @@
+// Serving-layer observability: request/error counters and fixed-bucket
+// latency histograms, written lock-free from the hot path and read as a
+// consistent-enough snapshot by benchmarks, tests, and the CLI.
+//
+// Histograms use power-of-two microsecond buckets (bucket b counts
+// latencies in [2^(b-1), 2^b) µs; bucket 0 is < 1 µs). Percentiles are
+// therefore approximate: a reported quantile is the upper bound of the
+// bucket containing it, i.e. exact to within a factor of two. That
+// resolution is intentional — recording is a single relaxed atomic
+// increment, cheap enough for per-sample accounting in the flush path.
+
+#ifndef FALCC_SERVE_METRICS_H_
+#define FALCC_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace falcc::serve {
+
+/// Point-in-time view of one histogram.
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Fixed-bucket latency histogram; thread-safe, no locks.
+class LatencyHistogram {
+ public:
+  /// Buckets 0..kNumBuckets-1 cover < 1 µs up to ~2097 s; the last
+  /// bucket absorbs everything beyond.
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(double seconds);
+
+  /// Approximate quantiles over everything recorded so far. Concurrent
+  /// Record calls may or may not be included (relaxed reads).
+  LatencySummary Summarize() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Counters + per-stage histograms of one FalccEngine.
+struct MetricsSnapshot {
+  uint64_t requests = 0;  ///< submissions + direct batch calls
+  uint64_t samples = 0;   ///< samples successfully classified
+  uint64_t errors = 0;    ///< rejected or failed requests
+  uint64_t flushes = 0;   ///< micro-batches processed
+  uint64_t reloads = 0;   ///< snapshot installs/hot-swaps
+  LatencySummary total;       ///< per sample, submit → decision available
+  LatencySummary queue_wait;  ///< per sample, submit → flush start
+  LatencySummary validate;    ///< per batch-classify call, by stage
+  LatencySummary transform;
+  LatencySummary match;
+  LatencySummary predict;
+
+  /// Multi-line human-readable rendering (CLI diagnostics).
+  std::string ToString() const;
+};
+
+/// Lock-free metrics sink shared by the engine's hot paths.
+class Metrics {
+ public:
+  void AddRequests(uint64_t n) { Add(&requests_, n); }
+  void AddSamples(uint64_t n) { Add(&samples_, n); }
+  void AddErrors(uint64_t n) { Add(&errors_, n); }
+  void AddFlushes(uint64_t n) { Add(&flushes_, n); }
+  void AddReloads(uint64_t n) { Add(&reloads_, n); }
+
+  LatencyHistogram& total() { return total_; }
+  LatencyHistogram& queue_wait() { return queue_wait_; }
+  LatencyHistogram& validate() { return validate_; }
+  LatencyHistogram& transform() { return transform_; }
+  LatencyHistogram& match() { return match_; }
+  LatencyHistogram& predict() { return predict_; }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  static void Add(std::atomic<uint64_t>* counter, uint64_t n) {
+    counter->fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> reloads_{0};
+  LatencyHistogram total_;
+  LatencyHistogram queue_wait_;
+  LatencyHistogram validate_;
+  LatencyHistogram transform_;
+  LatencyHistogram match_;
+  LatencyHistogram predict_;
+};
+
+}  // namespace falcc::serve
+
+#endif  // FALCC_SERVE_METRICS_H_

@@ -24,6 +24,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// A service is (temporarily) unable to take the request: the serving
+  /// engine has no model snapshot installed yet, is draining during
+  /// shutdown, or its queue is at capacity. Retryable by nature.
+  kUnavailable,
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -57,6 +61,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

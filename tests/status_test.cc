@@ -27,11 +27,20 @@ TEST(StatusTest, FactoryCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, UnavailableToString) {
+  // The serving layer reports "engine not ready" conditions with this
+  // code; the CLI prints it through ToString.
+  EXPECT_EQ(Status::Unavailable("draining").ToString(),
+            "Unavailable: draining");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification, three times:
-#   1. plain Release build + ctest (the ROADMAP tier-1 command), plus a
-#      Release build of the train-engine microbenchmark so perf
-#      regressions in bench/bench_train_engine.cc surface here,
+#   1. plain Release build + ctest (the ROADMAP tier-1 command), plus
+#      Release builds of the train-engine and serving microbenchmarks so
+#      perf regressions in bench/bench_train_engine.cc and
+#      bench/bench_serve.cc surface here,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
-#      parallel runtime fail loudly even on single-core CI machines,
+#      parallel runtime and the serving engine's hot-swap/micro-batch
+#      paths (tests/serve_engine_test.cc, `ctest -L serve`) fail loudly
+#      even on single-core CI machines,
 #   3. ASan+UBSan build so memory and UB errors in the pointer-heavy
-#      split engine (ml/tree_builder.cc) fail loudly.
+#      split engine (ml/tree_builder.cc) fail loudly; the serving tests
+#      run here too.
 #
 # Usage: tools/check.sh [--plain-only|--tsan-only|--asan-only]
 set -euo pipefail
@@ -32,6 +36,7 @@ if [[ "$run_plain" == 1 ]]; then
   ctest --test-dir build --output-on-failure -j "$jobs"
   echo "=== check 1/3 (cont.): Release microbenchmark builds ==="
   cmake --build build -j "$jobs" --target bench_train_engine
+  cmake --build build -j "$jobs" --target bench_serve
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

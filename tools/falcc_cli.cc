@@ -7,15 +7,22 @@
 //                     [--lambda 0.5] [--proxy none|reweigh|remove]
 //                     [--k N] [--seed S]
 //   falcc_cli predict --model model.falcc --data data.csv [--label label]
+//   falcc_cli classify --model model.falcc --data data.csv [--label label]
 //   falcc_cli audit   --data data.csv --sensitive race [--label label]
 //   falcc_cli inspect --data data.csv --sensitive race [--label label]
 //                     [--proxy-threshold 0.5]
 //
+// Flags take values as either `--flag value` or `--flag=value`; flags
+// may repeat where noted (--sensitive).
+//
 // `generate` writes one of the built-in benchmark stand-ins; `train`
 // runs the offline phase (50/35 train/validation split of the input) and
 // saves the model; `predict` classifies every row and, if labels are
-// present, reports accuracy and bias; `audit` compares FALCC against
-// Decouple and the plain baselines on a held-out split.
+// present, reports accuracy and bias; `classify` routes the rows through
+// the serving engine's validated batch API and emits one line per sample
+// with the full audit trail (prediction, probability, matched cluster,
+// sensitive group, pool model); `audit` compares FALCC against Decouple
+// and the plain baselines on a held-out split.
 
 #include <algorithm>
 #include <cctype>
@@ -36,19 +43,43 @@
 #include "fairness/audit.h"
 #include "fairness/loss.h"
 #include "fairness/proxy.h"
+#include "serve/engine.h"
 
 namespace falcc {
 namespace {
 
-// Minimal --flag value parser. Flags may repeat (for --sensitive).
+// Minimal flag parser: `--flag value` and `--flag=value`, bounds-checked.
+// Flags may repeat (for --sensitive); malformed command lines surface as
+// an error Status instead of being silently dropped.
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2].push_back(argv[i + 1]);
+    for (int i = 2; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        status_ = Status::InvalidArgument("unexpected argument '" +
+                                          std::string(arg) +
+                                          "' (flags start with --)");
+        return;
+      }
+      const std::string flag = arg + 2;
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        values_[flag.substr(0, eq)].push_back(flag.substr(eq + 1));
+        continue;
+      }
+      if (i + 1 >= argc) {
+        status_ = Status::InvalidArgument(
+            "flag --" + flag + " is missing a value (use --" + flag +
+            " <value> or --" + flag + "=<value>)");
+        return;
+      }
+      values_[flag].push_back(argv[++i]);
     }
   }
+
+  /// OK unless the command line was malformed.
+  const Status& status() const { return status_; }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
@@ -73,6 +104,7 @@ class Args {
   }
 
  private:
+  Status status_;
   std::map<std::string, std::vector<std::string>> values_;
 };
 
@@ -211,6 +243,76 @@ int Predict(const Args& args) {
   return 0;
 }
 
+// Serving-path classification: loads the artifact into a FalccEngine and
+// routes all rows through the validated ClassifyBatch API, emitting the
+// per-sample audit trail. Engine metrics go to stderr.
+int ClassifySamples(const Args& args) {
+  const std::string model_path = args.Get("model", "");
+  const std::string data_path = args.Get("data", "");
+  if (model_path.empty() || data_path.empty()) {
+    return Fail(Status::InvalidArgument("--model and --data required"));
+  }
+  serve::FalccEngineOptions options;
+  options.start_flusher = false;  // one-shot batch, no micro-batching
+  serve::FalccEngine engine(options);
+  const Status loaded = engine.ReloadFromFile(model_path);
+  if (!loaded.ok()) return Fail(loaded);
+
+  Result<CsvTable> table = ReadCsvFile(data_path);
+  if (!table.ok()) return Fail(table.status());
+
+  // Label column is optional at classification time.
+  const std::string label_column = args.Get("label", "label");
+  const bool has_labels =
+      std::find(table.value().header.begin(), table.value().header.end(),
+                label_column) != table.value().header.end();
+
+  std::vector<double> flat;
+  std::vector<int> labels;
+  size_t width = 0;
+  for (const auto& row : table.value().rows) {
+    size_t row_width = 0;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (has_labels && table.value().header[c] == label_column) {
+        labels.push_back(static_cast<int>(row[c]));
+      } else {
+        flat.push_back(row[c]);
+        ++row_width;
+      }
+    }
+    if (width == 0) width = row_width;
+    if (row_width != width) {
+      return Fail(Status::InvalidArgument("ragged CSV: rows mix " +
+                                          std::to_string(width) + " and " +
+                                          std::to_string(row_width) +
+                                          " feature columns"));
+    }
+  }
+
+  ClassifyRequest request;
+  request.features = flat;
+  request.num_features = width;
+  Result<ClassifyResponse> response = engine.ClassifyBatch(request);
+  if (!response.ok()) return Fail(response.status());
+
+  std::printf("prediction,probability,cluster,group,model\n");
+  size_t correct = 0;
+  const std::vector<SampleDecision>& decisions = response.value().decisions;
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    const SampleDecision& d = decisions[i];
+    std::printf("%d,%.17g,%zu,%zu,%zu\n", d.label, d.probability, d.cluster,
+                d.group, d.model);
+    if (has_labels && d.label == labels[i]) ++correct;
+  }
+  if (has_labels && !decisions.empty()) {
+    std::fprintf(stderr, "accuracy: %.3f (%zu rows)\n",
+                 static_cast<double>(correct) / decisions.size(),
+                 decisions.size());
+  }
+  std::fprintf(stderr, "%s", engine.GetMetrics().ToString().c_str());
+  return 0;
+}
+
 int Audit(const Args& args) {
   const std::string path = args.Get("data", "");
   if (path.empty()) return Fail(Status::InvalidArgument("--data required"));
@@ -291,8 +393,8 @@ int Inspect(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: falcc_cli <generate|train|predict|audit|inspect> "
-               "[--flags]\n"
+               "usage: falcc_cli "
+               "<generate|train|predict|classify|audit|inspect> [--flags]\n"
                "see the header comment of tools/falcc_cli.cc\n");
   return 2;
 }
@@ -304,9 +406,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return falcc::Usage();
   const std::string command = argv[1];
   const falcc::Args args(argc, argv);
+  if (!args.status().ok()) return falcc::Fail(args.status());
   if (command == "generate") return falcc::Generate(args);
   if (command == "train") return falcc::Train(args);
   if (command == "predict") return falcc::Predict(args);
+  if (command == "classify") return falcc::ClassifySamples(args);
   if (command == "audit") return falcc::Audit(args);
   if (command == "inspect") return falcc::Inspect(args);
   return falcc::Usage();
