@@ -94,6 +94,28 @@ Result<double> AssessCombination(const AssessmentContext& ctx,
   return loss.value().combined;
 }
 
+Result<RegionBest> ReassessRegion(const AssessmentContext& ctx,
+                                  const std::vector<ModelCombination>& combos,
+                                  std::span<const size_t> rows) {
+  if (combos.empty()) {
+    return Status::InvalidArgument("assessment: no combinations");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("assessment: empty region");
+  }
+  RegionBest best;
+  best.loss = 1e300;
+  for (size_t c = 0; c < combos.size(); ++c) {
+    Result<double> loss = AssessCombination(ctx, combos[c], rows);
+    if (!loss.ok()) return loss.status();
+    if (loss.value() < best.loss) {
+      best.loss = loss.value();
+      best.index = c;
+    }
+  }
+  return best;
+}
+
 Result<std::vector<size_t>> SelectBestCombinations(
     const AssessmentContext& ctx,
     const std::vector<ModelCombination>& combinations,
@@ -107,16 +129,10 @@ Result<std::vector<size_t>> SelectBestCombinations(
       return Status::InvalidArgument("assessment: region " +
                                      std::to_string(r) + " is empty");
     }
-    double best_loss = 1e300;
-    for (size_t c = 0; c < combinations.size(); ++c) {
-      Result<double> loss =
-          AssessCombination(ctx, combinations[c], region_rows[r]);
-      if (!loss.ok()) return loss.status();
-      if (loss.value() < best_loss) {
-        best_loss = loss.value();
-        best[r] = c;
-      }
-    }
+    Result<RegionBest> winner =
+        ReassessRegion(ctx, combinations, region_rows[r]);
+    if (!winner.ok()) return winner.status();
+    best[r] = winner.value().index;
   }
   return best;
 }

@@ -41,6 +41,23 @@ Result<double> AssessCombination(const AssessmentContext& ctx,
                                  const ModelCombination& combination,
                                  std::span<const size_t> rows);
 
+/// Winner of one region's assessment: the index (into the candidate
+/// combination vector) of the combination minimizing L̂, and that loss.
+struct RegionBest {
+  size_t index = 0;
+  double loss = 0.0;
+};
+
+/// Assesses every candidate combination over one region's rows and
+/// returns the winner plus its L̂. This is the partial re-assessment
+/// entry point of the online monitor: a drifted cluster is refreshed by
+/// re-running exactly this selection over its windowed stream samples.
+/// The argmin matches SelectBestCombinations on the same region (same
+/// iteration order, ties to the lower index).
+Result<RegionBest> ReassessRegion(const AssessmentContext& ctx,
+                                  const std::vector<ModelCombination>& combos,
+                                  std::span<const size_t> rows);
+
 /// For each region, the index (into `combinations`) of the combination
 /// minimizing L̂ over that region's rows. Ties go to the lower index, so
 /// results are deterministic.

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <istream>
+#include <numeric>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "cluster/kdtree.h"
@@ -218,27 +220,36 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
       EnumerateCombinations(model.pool_, num_groups);
   if (!combos.ok()) return combos.status();
 
-  Result<size_t> global_best = SelectGlobalBest(ctx, combos.value());
+  std::vector<size_t> all_rows(validation.num_rows());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  Result<RegionBest> global_best =
+      ReassessRegion(ctx, combos.value(), all_rows);
   if (!global_best.ok()) return global_best.status();
 
   // Per-cluster combination assessment: clusters are independent, each
-  // task writes only its own selected_ slot.
+  // task writes only its own selected_ / baseline slot. The winning L̂ is
+  // kept per cluster — it anchors online drift detection.
   model.selected_.resize(k);
+  model.baseline_loss_.assign(k, 0.0);
+  model.assess_lambda_ = options.lambda;
+  model.assess_metric_ = options.metric;
+  model.assess_mode_ = options.assessment_mode;
   std::vector<Status> cluster_status(k);
   ParallelFor(0, k, 1, [&](size_t /*chunk*/, size_t lo, size_t hi) {
     for (size_t c = lo; c < hi; ++c) {
       if (region_rows[c].empty()) {
-        model.selected_[c] = combos.value()[global_best.value()];
+        model.selected_[c] = combos.value()[global_best.value().index];
+        model.baseline_loss_[c] = global_best.value().loss;
         continue;
       }
-      std::vector<std::vector<size_t>> one = {region_rows[c]};
-      Result<std::vector<size_t>> best =
-          SelectBestCombinations(ctx, combos.value(), one);
+      Result<RegionBest> best =
+          ReassessRegion(ctx, combos.value(), region_rows[c]);
       if (!best.ok()) {
         cluster_status[c] = best.status();
         continue;
       }
-      model.selected_[c] = combos.value()[best.value()[0]];
+      model.selected_[c] = combos.value()[best.value().index];
+      model.baseline_loss_[c] = best.value().loss;
     }
   });
   for (const Status& status : cluster_status) {
@@ -260,6 +271,11 @@ Status FalccModel::BuildCentroidIndex() {
 
 namespace {
 constexpr char kModelHeader[] = "falcc-model-v1";
+/// Optional trailing section holding the monitoring anchors: assessment
+/// parameters and the per-cluster baseline L̂. Artifacts written before
+/// monitoring existed simply end after the combinations; Load treats the
+/// section as absent and leaves the baselines empty.
+constexpr char kMonitorSection[] = "falcc-monitor-v1";
 }  // namespace
 
 Status FalccModel::Save(std::ostream* out) const {
@@ -273,6 +289,10 @@ Status FalccModel::Save(std::ostream* out) const {
   for (const auto& c : centroids_) io::WriteVector(out, c);
   *out << selected_.size() << '\n';
   for (const auto& combo : selected_) io::WriteVector(out, combo);
+  *out << kMonitorSection << '\n';
+  *out << assess_lambda_ << ' ' << static_cast<int>(assess_metric_) << ' '
+       << static_cast<int>(assess_mode_) << '\n';
+  io::WriteVector(out, baseline_loss_);
   if (!*out) return Status::IOError("FalccModel serialization failed");
   return Status::OK();
 }
@@ -325,7 +345,83 @@ Result<FalccModel> FalccModel::Load(std::istream* in) {
       }
     }
   }
+
+  // Monitoring anchors: optional trailing section (absent in artifacts
+  // saved before the drift monitor existed — those load with empty
+  // baselines and default assessment parameters).
+  std::string marker;
+  if (*in >> marker) {
+    if (marker != kMonitorSection) {
+      return Status::InvalidArgument(
+          "FalccModel: unexpected trailing token '" + marker + "'");
+    }
+    int metric = 0;
+    int mode = 0;
+    FALCC_RETURN_IF_ERROR(io::Read(in, &model.assess_lambda_));
+    FALCC_RETURN_IF_ERROR(io::Read(in, &metric));
+    FALCC_RETURN_IF_ERROR(io::Read(in, &mode));
+    if (model.assess_lambda_ < 0.0 || model.assess_lambda_ > 1.0) {
+      return Status::InvalidArgument("FalccModel: lambda out of range");
+    }
+    if (metric < 0 ||
+        metric > static_cast<int>(FairnessMetric::kTreatmentEquality)) {
+      return Status::InvalidArgument("FalccModel: unknown fairness metric");
+    }
+    if (mode < 0 || mode > static_cast<int>(AssessmentMode::kConsistency)) {
+      return Status::InvalidArgument("FalccModel: unknown assessment mode");
+    }
+    model.assess_metric_ = static_cast<FairnessMetric>(metric);
+    model.assess_mode_ = static_cast<AssessmentMode>(mode);
+    FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.baseline_loss_));
+    if (!model.baseline_loss_.empty() &&
+        model.baseline_loss_.size() != num_centroids) {
+      return Status::InvalidArgument(
+          "FalccModel: baseline count != centroid count");
+    }
+    for (double loss : model.baseline_loss_) {
+      if (!std::isfinite(loss)) {
+        return Status::InvalidArgument("FalccModel: non-finite baseline");
+      }
+    }
+  }
   FALCC_RETURN_IF_ERROR(model.BuildCentroidIndex());
+  return model;
+}
+
+Result<FalccModel> FalccModel::CloneWithRefreshes(
+    std::span<const ClusterRefresh> refreshes) const {
+  std::stringstream buffer;
+  FALCC_RETURN_IF_ERROR(Save(&buffer));
+  Result<FalccModel> clone = Load(&buffer);
+  if (!clone.ok()) return clone.status();
+  FalccModel model = std::move(clone).value();
+  for (const ClusterRefresh& refresh : refreshes) {
+    if (refresh.cluster >= model.centroids_.size()) {
+      return Status::InvalidArgument("CloneWithRefreshes: cluster " +
+                                     std::to_string(refresh.cluster) +
+                                     " out of range");
+    }
+    if (refresh.combination.size() != model.group_index_.num_groups()) {
+      return Status::InvalidArgument(
+          "CloneWithRefreshes: combination width != num_groups");
+    }
+    for (size_t g = 0; g < refresh.combination.size(); ++g) {
+      const size_t m = refresh.combination[g];
+      if (m >= model.pool_.size() || !model.pool_.Applicable(m, g)) {
+        return Status::InvalidArgument(
+            "CloneWithRefreshes: model " + std::to_string(m) +
+            " is not applicable to group " + std::to_string(g));
+      }
+    }
+    if (!std::isfinite(refresh.baseline_loss)) {
+      return Status::InvalidArgument(
+          "CloneWithRefreshes: non-finite baseline loss");
+    }
+    model.selected_[refresh.cluster] = refresh.combination;
+    if (model.has_baseline_losses()) {
+      model.baseline_loss_[refresh.cluster] = refresh.baseline_loss;
+    }
+  }
   return model;
 }
 

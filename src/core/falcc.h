@@ -118,6 +118,17 @@ struct ClassifyResponse {
   ClassifyStageSeconds stages;
 };
 
+/// One per-cluster replacement applied by CloneWithRefreshes: the
+/// monitor's refresh path swaps a drifted cluster's model combination
+/// (and its new baseline L̂) without touching any other cluster.
+struct ClusterRefresh {
+  size_t cluster = 0;
+  ModelCombination combination;
+  /// Windowed L̂ of the new combination — becomes the cluster's stored
+  /// baseline so drift detection restarts against the refreshed state.
+  double baseline_loss = 0.0;
+};
+
 /// A trained FALCC classifier (offline phase output + online phase).
 class FalccModel {
  public:
@@ -152,6 +163,15 @@ class FalccModel {
   /// File-path convenience wrappers.
   Status SaveToFile(const std::string& path) const;
   static Result<FalccModel> LoadFromFile(const std::string& path);
+
+  /// Clone with the listed clusters' combinations (and baseline L̂)
+  /// replaced — the monitor's refresh primitive. Implemented as a
+  /// serialize/deserialize round trip, so the clone classifies
+  /// bit-identically to this model on every cluster not listed; requires
+  /// a serializable pool (like Save). Each refresh is validated: cluster
+  /// in range, one applicable pool model per sensitive group.
+  Result<FalccModel> CloneWithRefreshes(
+      std::span<const ClusterRefresh> refreshes) const;
 
   // --- Online phase -----------------------------------------------------
   //
@@ -213,6 +233,29 @@ class FalccModel {
     return assignment_;
   }
 
+  // --- Monitoring anchors ----------------------------------------------
+  //
+  // The offline phase freezes each cluster's combination against the
+  // validation split; the drift monitor needs the L̂ that selection
+  // achieved (per cluster) plus the assessment parameters to re-evaluate
+  // the same loss over an online window. Both are persisted in the
+  // snapshot. Models saved before monitoring existed load with an empty
+  // baseline vector (see has_baseline_losses()).
+
+  /// Offline L̂ of the selected combination, per cluster (the drift
+  /// detector's reference level). Empty for legacy artifacts.
+  const std::vector<double>& baseline_losses() const {
+    return baseline_loss_;
+  }
+  bool has_baseline_losses() const {
+    return baseline_loss_.size() == centroids_.size();
+  }
+  /// Assessment parameters the baselines (and any refresh) are measured
+  /// under — Eq. 2's λ plus the fairness metric / assessment mode.
+  double assess_lambda() const { return assess_lambda_; }
+  FairnessMetric assess_metric() const { return assess_metric_; }
+  AssessmentMode assess_mode() const { return assess_mode_; }
+
  private:
   FalccModel() = default;
 
@@ -244,6 +287,10 @@ class FalccModel {
   std::optional<KdTree> centroid_index_;
   std::vector<size_t> assignment_;            // validation rows -> cluster
   std::vector<ModelCombination> selected_;    // cluster -> combination
+  std::vector<double> baseline_loss_;         // cluster -> offline L̂
+  double assess_lambda_ = 0.5;
+  FairnessMetric assess_metric_ = FairnessMetric::kDemographicParity;
+  AssessmentMode assess_mode_ = AssessmentMode::kGroupFairness;
 };
 
 }  // namespace falcc

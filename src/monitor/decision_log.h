@@ -1,0 +1,154 @@
+// Bounded lock-free decision log: the bridge between the serving hot
+// path and the drift monitor.
+//
+// Producers are the engine's classification threads (via the
+// serve::DecisionObserver hook) and feedback threads reporting delayed
+// ground truth by decision id; the single consumer is the monitor's
+// Poll loop. The log is a power-of-two ring indexed by a monotonically
+// increasing decision id, so it never blocks a producer: when the
+// stream outruns the consumer, the oldest entries are overwritten (and
+// counted) rather than stalling classification.
+//
+// Concurrency protocol (one atomic word per slot):
+//
+//   meta = (id + 1) << 4 | flags      meta == 0 means "never written"
+//   flags: kWriting  — payload store in progress, entry unreadable
+//          kConsumed — drained by the consumer, slot reusable
+//          kLabeled  — ground truth arrived (label in kLabelOne)
+//          kLabelOne — the truth label bit (binary labels)
+//
+// Append publishes with two meta stores around the payload write
+// (seqlock-style); AddFeedback is a single CAS that only succeeds on a
+// write-complete, unconsumed entry of exactly the expected id — stale
+// feedback for an overwritten id fails harmlessly. The consumer copies
+// the payload first and then validates with a CAS that sets kConsumed;
+// a racing overwrite makes the CAS fail and the torn copy is
+// discarded. Payload fields (including the feature vector) are relaxed
+// atomics, so a discarded racing copy is defined behavior — the whole
+// protocol is clean under ThreadSanitizer.
+//
+// Monotonic ids make ABA impossible: a slot reused for a newer decision
+// carries a different id in its meta word, so every CAS against the old
+// id fails.
+
+#ifndef FALCC_MONITOR_DECISION_LOG_H_
+#define FALCC_MONITOR_DECISION_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace falcc::monitor {
+
+/// One drained entry: the decision's audit trail plus the ground truth
+/// that arrived for it. `features` points into the drain scratch buffer
+/// and is only valid for the duration of the visitor call.
+struct LoggedDecision {
+  uint64_t id = 0;
+  uint64_t snapshot_version = 0;
+  size_t cluster = 0;
+  size_t group = 0;
+  size_t model = 0;
+  int predicted = 0;  ///< the engine's decision
+  int truth = 0;      ///< the delayed ground-truth label
+  std::span<const double> features;
+};
+
+/// Monotonic counters (relaxed reads; may trail concurrent activity).
+struct DecisionLogStats {
+  uint64_t appended = 0;         ///< decisions logged
+  uint64_t labeled = 0;          ///< feedback accepted
+  uint64_t consumed = 0;         ///< labeled entries drained
+  uint64_t feedback_missed = 0;  ///< feedback for overwritten/consumed ids
+  uint64_t overwritten = 0;      ///< unconsumed entries lost to ring wrap
+};
+
+/// The ring. Any number of producers (decision + feedback threads); at
+/// most one thread may call DrainLabeled at a time.
+class DecisionLog final : public serve::DecisionObserver {
+ public:
+  /// `capacity` is rounded up to a power of two. It bounds how many
+  /// decisions can await feedback: feedback older than `capacity`
+  /// decisions is dropped (counted in feedback_missed/overwritten).
+  DecisionLog(size_t capacity, size_t num_features);
+
+  /// serve::DecisionObserver: logs every decision the engine produces.
+  /// Ids are assigned in append order starting at 0, so a single-driver
+  /// replay can correlate feedback positionally.
+  void OnDecision(const SampleDecision& decision,
+                  std::span<const double> features,
+                  uint64_t snapshot_version) override;
+
+  /// Logs one decision, returns its id.
+  uint64_t Append(const SampleDecision& decision,
+                  std::span<const double> features,
+                  uint64_t snapshot_version);
+
+  /// Attaches ground truth (0/1) to decision `id`. Returns false — and
+  /// counts a miss — if the entry was already overwritten, consumed, or
+  /// labeled.
+  bool AddFeedback(uint64_t id, int truth_label);
+
+  /// Drains every labeled, not-yet-consumed entry in id order, invoking
+  /// `visit` once per entry. Single-consumer. Returns the entry count.
+  /// Cost is O(drained) amortized, not O(capacity): a pending-label
+  /// counter bounds the scan and a consumer cursor starts it where the
+  /// previous drain left off.
+  size_t DrainLabeled(const std::function<void(const LoggedDecision&)>& visit);
+
+  size_t capacity() const { return capacity_; }
+  size_t num_features() const { return num_features_; }
+  /// Next id Append will assign (== total appended so far).
+  uint64_t next_id() const { return next_.load(std::memory_order_relaxed); }
+
+  DecisionLogStats Stats() const;
+
+ private:
+  static constexpr uint64_t kWriting = 1;
+  static constexpr uint64_t kConsumed = 2;
+  static constexpr uint64_t kLabeled = 4;
+  static constexpr uint64_t kLabelOne = 8;
+
+  struct Slot {
+    std::atomic<uint64_t> meta{0};
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint32_t> cluster{0};
+    std::atomic<uint32_t> group{0};
+    std::atomic<uint32_t> model{0};
+    std::atomic<int32_t> predicted{0};
+  };
+
+  size_t SlotOf(uint64_t id) const { return id & (capacity_ - 1); }
+
+  size_t capacity_;
+  size_t num_features_;
+  std::vector<Slot> slots_;
+  /// Feature payloads, capacity_ * num_features_, slot-major. Relaxed
+  /// atomics: torn reads are possible but always discarded (see the
+  /// protocol note above).
+  std::vector<std::atomic<double>> features_;
+  std::atomic<uint64_t> next_{0};
+
+  /// Labeled-but-unconsumed entries currently in the ring: incremented
+  /// by AddFeedback, decremented when such an entry is consumed or
+  /// overwritten. Lets DrainLabeled stop scanning once every pending
+  /// entry has been found.
+  std::atomic<uint64_t> pending_{0};
+  /// Ring position where the next drain starts scanning. Consumer-side
+  /// state, touched only under DrainLabeled's single-consumer contract.
+  size_t drain_cursor_ = 0;
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> labeled_{0};
+  std::atomic<uint64_t> consumed_{0};
+  std::atomic<uint64_t> feedback_missed_{0};
+  std::atomic<uint64_t> overwritten_{0};
+};
+
+}  // namespace falcc::monitor
+
+#endif  // FALCC_MONITOR_DECISION_LOG_H_

@@ -1,0 +1,68 @@
+#include "monitor/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace falcc::monitor {
+
+DriftDetector::DriftDetector(DriftDetectorOptions options,
+                             std::vector<double> baselines)
+    : options_(options) {
+  FALCC_CHECK(!baselines.empty(), "DriftDetector: no baselines");
+  FALCC_CHECK(options_.threshold > 0.0,
+              "DriftDetector: threshold must be positive");
+  FALCC_CHECK(options_.slack >= 0.0, "DriftDetector: negative slack");
+  states_.resize(baselines.size());
+  for (size_t c = 0; c < baselines.size(); ++c) {
+    FALCC_CHECK(std::isfinite(baselines[c]),
+                "DriftDetector: non-finite baseline");
+    states_[c].baseline = baselines[c];
+  }
+}
+
+bool DriftDetector::Update(size_t cluster, double windowed_loss,
+                           size_t window_count) {
+  FALCC_CHECK(cluster < states_.size(), "DriftDetector::Update: range");
+  FALCC_CHECK(std::isfinite(windowed_loss),
+              "DriftDetector::Update: non-finite loss");
+  if (window_count < options_.min_samples) return false;
+  ClusterDriftState& s = states_[cluster];
+  ++s.updates;
+  s.score = std::max(
+      0.0, s.score + (windowed_loss - s.baseline - options_.slack));
+  if (!s.alarmed && s.score >= options_.threshold) {
+    s.alarmed = true;
+    return true;
+  }
+  return false;
+}
+
+bool DriftDetector::Alarmed(size_t cluster) const {
+  FALCC_CHECK(cluster < states_.size(), "DriftDetector::Alarmed: range");
+  return states_[cluster].alarmed;
+}
+
+std::vector<size_t> DriftDetector::AlarmedClusters() const {
+  std::vector<size_t> alarmed;
+  for (size_t c = 0; c < states_.size(); ++c) {
+    if (states_[c].alarmed) alarmed.push_back(c);
+  }
+  return alarmed;
+}
+
+void DriftDetector::Reset(size_t cluster, double new_baseline) {
+  FALCC_CHECK(cluster < states_.size(), "DriftDetector::Reset: range");
+  FALCC_CHECK(std::isfinite(new_baseline),
+              "DriftDetector::Reset: non-finite baseline");
+  ClusterDriftState& s = states_[cluster];
+  s.baseline = new_baseline;
+  s.score = 0.0;
+  s.alarmed = false;
+}
+
+const ClusterDriftState& DriftDetector::State(size_t cluster) const {
+  FALCC_CHECK(cluster < states_.size(), "DriftDetector::State: range");
+  return states_[cluster];
+}
+
+}  // namespace falcc::monitor

@@ -1,0 +1,74 @@
+// Per-cluster CUSUM drift detection on the windowed combined loss.
+//
+// The offline phase freezes each cluster's model combination because it
+// minimized L̂ on the validation split; that loss is stored in the
+// snapshot as the cluster's baseline. Online, the detector accumulates
+// the one-sided CUSUM statistic
+//
+//   S_c ← max(0, S_c + (L̂_window(c) − baseline_c − slack))
+//
+// one step per monitor poll in which cluster c received new labeled
+// samples. Sustained excess loss beyond the slack dead-zone drives S_c
+// up linearly; sampling noise around the baseline decays back to 0. An
+// alarm latches when S_c crosses `threshold` (and the window holds at
+// least `min_samples` samples, so a handful of early mistakes cannot
+// trip it) and stays latched until Reset — the refresher resets with
+// the post-refresh loss as the new baseline.
+
+#ifndef FALCC_MONITOR_DRIFT_DETECTOR_H_
+#define FALCC_MONITOR_DRIFT_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace falcc::monitor {
+
+struct DriftDetectorOptions {
+  /// Alarm when the CUSUM statistic reaches this value. With slack s and
+  /// a per-poll excess e, detection takes ~threshold / (e − s) polls.
+  double threshold = 1.0;
+  /// Dead zone: loss excess below this is treated as noise.
+  double slack = 0.05;
+  /// Minimum window samples before a cluster's updates count.
+  size_t min_samples = 100;
+};
+
+/// Detector state of one cluster (diagnostics / summaries).
+struct ClusterDriftState {
+  double baseline = 0.0;
+  double score = 0.0;     ///< current CUSUM statistic S_c
+  uint64_t updates = 0;   ///< accepted CUSUM steps
+  bool alarmed = false;   ///< latched until Reset
+};
+
+class DriftDetector {
+ public:
+  /// One baseline per cluster (the snapshot's stored offline L̂).
+  DriftDetector(DriftDetectorOptions options, std::vector<double> baselines);
+
+  size_t num_clusters() const { return states_.size(); }
+
+  /// One CUSUM step. Returns true if this step latched a new alarm.
+  /// Steps with window_count < min_samples are ignored.
+  bool Update(size_t cluster, double windowed_loss, size_t window_count);
+
+  bool Alarmed(size_t cluster) const;
+  /// Clusters currently latched, ascending.
+  std::vector<size_t> AlarmedClusters() const;
+
+  /// Clears the alarm and score and installs a new reference level.
+  void Reset(size_t cluster, double new_baseline);
+
+  const ClusterDriftState& State(size_t cluster) const;
+  const DriftDetectorOptions& options() const { return options_; }
+
+ private:
+  DriftDetectorOptions options_;
+  std::vector<ClusterDriftState> states_;
+};
+
+}  // namespace falcc::monitor
+
+#endif  // FALCC_MONITOR_DRIFT_DETECTOR_H_

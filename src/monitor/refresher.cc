@@ -1,0 +1,99 @@
+#include "monitor/refresher.h"
+
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace falcc::monitor {
+
+Refresher::Refresher(serve::FalccEngine* engine) : engine_(engine) {
+  FALCC_CHECK(engine_ != nullptr, "Refresher: null engine");
+}
+
+Result<RefreshOutcome> Refresher::RefreshCluster(const ClusterWindow& window,
+                                                 size_t cluster) {
+  Timer timer;
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::shared_ptr<const FalccModel> snapshot = engine_->snapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("Refresher: no snapshot installed");
+  }
+  if (cluster >= snapshot->num_clusters()) {
+    return Status::InvalidArgument("Refresher: cluster out of range");
+  }
+  const size_t n = window.labels.size();
+  if (n == 0) {
+    return Status::InvalidArgument("Refresher: empty window");
+  }
+  const size_t width = snapshot->num_features();
+  if (window.features.size() != n * width || window.groups.size() != n) {
+    return Status::InvalidArgument("Refresher: window shape mismatch");
+  }
+
+  // The window as a Dataset: PredictMatrix only reads feature rows, so
+  // synthetic column names and no sensitive markers suffice.
+  std::vector<std::string> names(width);
+  for (size_t j = 0; j < width; ++j) names[j] = "f" + std::to_string(j);
+  Result<Dataset> data = Dataset::Create(std::move(names), window.features,
+                                         width, window.labels, {});
+  if (!data.ok()) return data.status();
+
+  const std::vector<std::vector<int>> votes =
+      snapshot->pool().PredictMatrix(data.value());
+  Result<std::vector<ModelCombination>> combos =
+      EnumerateCombinations(snapshot->pool(), snapshot->num_groups());
+  if (!combos.ok()) return combos.status();
+
+  AssessmentContext ctx;
+  ctx.votes = &votes;
+  ctx.labels = data.value().labels();
+  ctx.groups = window.groups;
+  ctx.num_groups = snapshot->num_groups();
+  ctx.mode = snapshot->assess_mode();
+  ctx.metric = snapshot->assess_metric();
+  ctx.lambda = snapshot->assess_lambda();
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+
+  Result<double> current = AssessCombination(
+      ctx, snapshot->selected_combinations()[cluster], rows);
+  if (!current.ok()) return current.status();
+  Result<RegionBest> best = ReassessRegion(ctx, combos.value(), rows);
+  if (!best.ok()) return best.status();
+
+  RefreshOutcome outcome;
+  outcome.cluster = cluster;
+  outcome.current_loss = current.value();
+  outcome.best_loss = best.value().loss;
+  outcome.installed = best.value().loss < current.value();
+
+  if (outcome.installed) {
+    ClusterRefresh refresh;
+    refresh.cluster = cluster;
+    refresh.combination = combos.value()[best.value().index];
+    refresh.baseline_loss = best.value().loss;
+    Result<FalccModel> clone =
+        snapshot->CloneWithRefreshes({&refresh, 1});
+    if (!clone.ok()) return clone.status();
+    engine_->Install(std::move(clone).value());
+    installed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  outcome.seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+RefresherStats Refresher::Stats() const {
+  RefresherStats stats;
+  stats.attempts = attempts_.load(std::memory_order_relaxed);
+  stats.installed = installed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace falcc::monitor

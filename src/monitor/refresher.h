@@ -1,0 +1,66 @@
+// Per-cluster ensemble refresh: the monitor's response to a drift alarm.
+//
+// A refresh re-runs the offline phase's assessment step (§3.6) for ONE
+// cluster over the cluster's windowed stream samples: the existing pool
+// is re-evaluated — no model is retrained — and the combination
+// minimizing the windowed L̂ replaces the serving one. Because the
+// serving combination is itself in the candidate set, the rebuilt loss
+// can never exceed the serving loss on the same window; a refresh is
+// installed only on STRICT improvement, so a no-better-alternative
+// alarm is rejected (and counted) instead of churning snapshots. The
+// install goes through FalccModel::CloneWithRefreshes + the engine's
+// lock-free hot-swap, which leaves every other cluster's decisions
+// bit-identical.
+
+#ifndef FALCC_MONITOR_REFRESHER_H_
+#define FALCC_MONITOR_REFRESHER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "monitor/window_stats.h"
+#include "serve/engine.h"
+
+namespace falcc::monitor {
+
+/// Result of one refresh attempt.
+struct RefreshOutcome {
+  size_t cluster = 0;
+  bool installed = false;    ///< strict improvement found and hot-swapped
+  double current_loss = 0.0; ///< windowed L̂ of the serving combination
+  double best_loss = 0.0;    ///< windowed L̂ of the best candidate
+  double seconds = 0.0;      ///< wall clock of the rebuild (+install)
+};
+
+struct RefresherStats {
+  uint64_t attempts = 0;
+  uint64_t installed = 0;
+  uint64_t rejected = 0;  ///< no candidate strictly beat the serving one
+};
+
+class Refresher {
+ public:
+  /// The engine whose snapshot is read and (on improvement) replaced.
+  /// Must outlive the refresher.
+  explicit Refresher(serve::FalccEngine* engine);
+
+  /// Rebuilds `cluster`'s combination over `window` (its labeled stream
+  /// samples, see WindowStats::Window) and installs the result if it
+  /// strictly improves the windowed L̂. Pure pool re-assessment:
+  /// PredictMatrix + EnumerateCombinations + ReassessRegion, evaluated
+  /// under the snapshot's stored assessment parameters.
+  Result<RefreshOutcome> RefreshCluster(const ClusterWindow& window,
+                                        size_t cluster);
+
+  RefresherStats Stats() const;
+
+ private:
+  serve::FalccEngine* engine_;
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> installed_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace falcc::monitor
+
+#endif  // FALCC_MONITOR_REFRESHER_H_

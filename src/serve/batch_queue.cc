@@ -1,5 +1,7 @@
 #include "serve/batch_queue.h"
 
+#include <algorithm>
+
 namespace falcc::serve {
 
 void MicroBatch::Complete(Status batch_status,
@@ -40,8 +42,12 @@ Result<Ticket> BatchQueue::Submit(std::span<const double> features) {
   }
   if (open_ == nullptr) {
     open_ = std::make_shared<MicroBatch>();
-    open_->features.reserve(options_.max_batch * features.size());
-    open_->submitted.reserve(options_.max_batch);
+    // A batch can never exceed max_pending samples either, so a huge
+    // max_batch (e.g. "effectively unbounded") must not pre-allocate
+    // for samples that can never arrive.
+    const size_t cap = std::min(options_.max_batch, options_.max_pending);
+    open_->features.reserve(cap * features.size());
+    open_->submitted.reserve(cap);
   }
   const bool was_empty = open_->num_samples == 0;
   open_->features.insert(open_->features.end(), features.begin(),

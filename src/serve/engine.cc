@@ -34,6 +34,29 @@ void FalccEngine::Install(FalccModel model) {
   metrics_.AddReloads(1);
 }
 
+void FalccEngine::SetObserver(std::shared_ptr<DecisionObserver> observer) {
+  FALCC_CHECK(observer_ == nullptr,
+              "FalccEngine::SetObserver: observer already set");
+  FALCC_CHECK(observer != nullptr,
+              "FalccEngine::SetObserver: null observer");
+  observer_ = std::move(observer);
+  observer_raw_.store(observer_.get(), std::memory_order_release);
+}
+
+void FalccEngine::NotifyObserver(const ClassifyResponse& response,
+                                 std::span<const double> features) const {
+  DecisionObserver* observer =
+      observer_raw_.load(std::memory_order_acquire);
+  if (observer == nullptr || response.decisions.empty()) return;
+  const uint64_t version = version_.load(std::memory_order_acquire);
+  const size_t width = features.size() / response.decisions.size();
+  for (size_t i = 0; i < response.decisions.size(); ++i) {
+    observer->OnDecision(response.decisions[i],
+                         features.subspan(i * width, width), version);
+  }
+  metrics_.AddObserved(response.decisions.size());
+}
+
 Status FalccEngine::ReloadFromFile(const std::string& path) {
   // Load + validate entirely off the serving path; a failed load leaves
   // the current snapshot serving.
@@ -68,6 +91,7 @@ Result<ClassifyResponse> FalccEngine::ClassifyBatch(
   metrics_.predict().Record(stages.predict);
   metrics_.total().Record(timer.ElapsedSeconds());
   metrics_.AddSamples(response.value().decisions.size());
+  NotifyObserver(response.value(), request.features);
   return response;
 }
 
@@ -134,6 +158,7 @@ void FalccEngine::FlusherLoop() {
     for (const auto& submitted : batch->submitted) {
       metrics_.total().Record(Seconds(submitted, flush_end));
     }
+    NotifyObserver(response.value(), batch->features);
     batch->Complete(Status::OK(),
                     std::move(response.value().decisions));
   }

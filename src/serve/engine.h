@@ -43,6 +43,21 @@ struct FalccEngineOptions {
   bool start_flusher = true;
 };
 
+/// Subscriber to the engine's decision stream (the monitoring hook).
+/// OnDecision is invoked once per successfully classified sample, on
+/// whatever thread produced the decision — direct ClassifyBatch callers
+/// and the flusher thread concurrently — so implementations must be
+/// thread-safe and cheap: the call sits on the serving hot path.
+/// `features` is the sample's original feature vector and is only valid
+/// for the duration of the call.
+class DecisionObserver {
+ public:
+  virtual ~DecisionObserver() = default;
+  virtual void OnDecision(const SampleDecision& decision,
+                          std::span<const double> features,
+                          uint64_t snapshot_version) = 0;
+};
+
 /// Atomically swappable shared_ptr<const FalccModel>: the pointer is
 /// guarded by a one-bit spinlock held only for a reference-count bump
 /// (load) or two pointer swaps (store) — the same technique libstdc++
@@ -111,6 +126,15 @@ class FalccEngine {
     return version_.load(std::memory_order_acquire);
   }
 
+  // --- Decision subscription -------------------------------------------
+
+  /// Subscribes `observer` to every decision the engine produces from
+  /// now on. Set-once: call before serving traffic (typically right
+  /// after the first Install); the engine keeps shared ownership. The
+  /// serving paths read the observer with a single acquire load per
+  /// batch, so a subscription installed before traffic is race-free.
+  void SetObserver(std::shared_ptr<DecisionObserver> observer);
+
   // --- Classification ---------------------------------------------------
 
   /// Direct, caller-thread batch classification on the current
@@ -136,9 +160,17 @@ class FalccEngine {
  private:
   void FlusherLoop();
 
+  /// Fans one successful batch out to the observer, if any.
+  void NotifyObserver(const ClassifyResponse& response,
+                      std::span<const double> features) const;
+
   FalccEngineOptions options_;
   SnapshotPtr snapshot_;
   std::atomic<uint64_t> version_{0};
+  /// Owner + raw publication pointer: hot paths load the raw pointer
+  /// (acquire) once per batch instead of taking a shared_ptr reference.
+  std::shared_ptr<DecisionObserver> observer_;
+  std::atomic<DecisionObserver*> observer_raw_{nullptr};
   /// mutable: recording observability from const classification paths
   /// does not change the engine's logical state. Metrics is internally
   /// thread-safe (relaxed atomics only).

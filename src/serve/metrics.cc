@@ -34,6 +34,14 @@ void AppendSummary(std::ostringstream* out, const char* name,
        << " p99=" << s.p99_seconds * 1e6 << "us\n";
 }
 
+void AppendJsonSummary(std::ostringstream* out, const char* name,
+                       const LatencySummary& s) {
+  *out << "\"" << name << "\": {\"count\": " << s.count
+       << ", \"p50_us\": " << s.p50_seconds * 1e6
+       << ", \"p95_us\": " << s.p95_seconds * 1e6
+       << ", \"p99_us\": " << s.p99_seconds * 1e6 << "}";
+}
+
 }  // namespace
 
 void LatencyHistogram::Record(double seconds) {
@@ -69,6 +77,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snapshot.errors = errors_.load(std::memory_order_relaxed);
   snapshot.flushes = flushes_.load(std::memory_order_relaxed);
   snapshot.reloads = reloads_.load(std::memory_order_relaxed);
+  snapshot.observed = observed_.load(std::memory_order_relaxed);
   snapshot.total = total_.Summarize();
   snapshot.queue_wait = queue_wait_.Summarize();
   snapshot.validate = validate_.Summarize();
@@ -83,13 +92,37 @@ std::string MetricsSnapshot::ToString() const {
   out << "serve metrics:\n"
       << "  requests=" << requests << " samples=" << samples
       << " errors=" << errors << " flushes=" << flushes
-      << " reloads=" << reloads << "\n";
+      << " reloads=" << reloads << " observed=" << observed << "\n";
   AppendSummary(&out, "total", total);
   AppendSummary(&out, "queue_wait", queue_wait);
   AppendSummary(&out, "validate", validate);
   AppendSummary(&out, "transform", transform);
   AppendSummary(&out, "match", match);
   AppendSummary(&out, "predict", predict);
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"requests\": " << requests << ",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"errors\": " << errors << ",\n"
+      << "  \"flushes\": " << flushes << ",\n"
+      << "  \"reloads\": " << reloads << ",\n"
+      << "  \"observed\": " << observed << ",\n  ";
+  AppendJsonSummary(&out, "total", total);
+  out << ",\n  ";
+  AppendJsonSummary(&out, "queue_wait", queue_wait);
+  out << ",\n  ";
+  AppendJsonSummary(&out, "validate", validate);
+  out << ",\n  ";
+  AppendJsonSummary(&out, "transform", transform);
+  out << ",\n  ";
+  AppendJsonSummary(&out, "match", match);
+  out << ",\n  ";
+  AppendJsonSummary(&out, "predict", predict);
+  out << "\n}\n";
   return out.str();
 }
 

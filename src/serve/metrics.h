@@ -51,6 +51,7 @@ struct MetricsSnapshot {
   uint64_t errors = 0;    ///< rejected or failed requests
   uint64_t flushes = 0;   ///< micro-batches processed
   uint64_t reloads = 0;   ///< snapshot installs/hot-swaps
+  uint64_t observed = 0;  ///< decisions fanned out to the observer
   LatencySummary total;       ///< per sample, submit → decision available
   LatencySummary queue_wait;  ///< per sample, submit → flush start
   LatencySummary validate;    ///< per batch-classify call, by stage
@@ -60,6 +61,11 @@ struct MetricsSnapshot {
 
   /// Multi-line human-readable rendering (CLI diagnostics).
   std::string ToString() const;
+
+  /// Single JSON object: counters plus {count, p50_us, p95_us, p99_us}
+  /// per stage — what `falcc_cli classify --metrics-out=FILE` dumps so
+  /// serving histograms survive the process.
+  std::string ToJson() const;
 };
 
 /// Lock-free metrics sink shared by the engine's hot paths.
@@ -70,6 +76,7 @@ class Metrics {
   void AddErrors(uint64_t n) { Add(&errors_, n); }
   void AddFlushes(uint64_t n) { Add(&flushes_, n); }
   void AddReloads(uint64_t n) { Add(&reloads_, n); }
+  void AddObserved(uint64_t n) { Add(&observed_, n); }
 
   LatencyHistogram& total() { return total_; }
   LatencyHistogram& queue_wait() { return queue_wait_; }
@@ -79,6 +86,8 @@ class Metrics {
   LatencyHistogram& predict() { return predict_; }
 
   MetricsSnapshot Snapshot() const;
+  /// Convenience: Snapshot().ToJson().
+  std::string ToJson() const { return Snapshot().ToJson(); }
 
  private:
   static void Add(std::atomic<uint64_t>* counter, uint64_t n) {
@@ -90,6 +99,7 @@ class Metrics {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> observed_{0};
   LatencyHistogram total_;
   LatencyHistogram queue_wait_;
   LatencyHistogram validate_;

@@ -1,0 +1,131 @@
+#include "serve/batch_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace falcc::serve {
+namespace {
+
+constexpr size_t kWidth = 3;
+
+std::vector<double> Sample(double v) { return {v, v + 1.0, v + 2.0}; }
+
+/// Drains every queued batch on the caller's thread, completing each so
+/// tickets resolve; returns the total sample count handed over.
+size_t DrainAndComplete(BatchQueue* queue) {
+  queue->Stop();
+  size_t total = 0;
+  while (std::shared_ptr<MicroBatch> batch = queue->NextBatch()) {
+    EXPECT_EQ(batch->features.size(), batch->num_samples * kWidth);
+    EXPECT_EQ(batch->submitted.size(), batch->num_samples);
+    total += batch->num_samples;
+    batch->Complete(Status::OK(),
+                    std::vector<SampleDecision>(batch->num_samples));
+  }
+  return total;
+}
+
+TEST(BatchQueueTest, RejectsAtMaxPendingSingleThread) {
+  BatchQueueOptions options;
+  options.max_batch = 4;
+  options.max_pending = 6;
+  options.max_delay_seconds = 3600.0;  // no time-based flushes
+  BatchQueue queue(options);
+
+  std::vector<Ticket> accepted;
+  size_t rejected = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    Result<Ticket> ticket = queue.Submit(Sample(static_cast<double>(i)));
+    if (ticket.ok()) {
+      accepted.push_back(ticket.value());
+    } else {
+      EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted.size(), 6u);
+  EXPECT_EQ(rejected, 4u);
+
+  EXPECT_EQ(DrainAndComplete(&queue), 6u);
+  for (const Ticket& ticket : accepted) {
+    EXPECT_TRUE(ticket.Wait().ok());
+  }
+}
+
+// The max_pending rejection path under concurrent submitters: exactly
+// max_pending submissions succeed, every accepted ticket resolves after
+// the drain (no ticket leaks into a batch that never completes), and
+// the rejected ones fail with kUnavailable without corrupting the
+// queue's accounting.
+TEST(BatchQueueTest, ConcurrentSubmittersRespectMaxPending) {
+  BatchQueueOptions options;
+  options.max_batch = 8;
+  options.max_pending = 30;
+  options.max_delay_seconds = 3600.0;
+  BatchQueue queue(options);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 16;  // 128 attempts for 30 slots
+  std::atomic<size_t> accepted_count{0};
+  std::atomic<size_t> rejected_count{0};
+  std::vector<std::vector<Ticket>> accepted(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        Result<Ticket> ticket =
+            queue.Submit(Sample(static_cast<double>(t * kPerThread + i)));
+        if (ticket.ok()) {
+          EXPECT_TRUE(ticket.value().valid());
+          accepted[t].push_back(ticket.value());
+          accepted_count.fetch_add(1);
+        } else {
+          EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+          rejected_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(accepted_count.load(), options.max_pending);
+  EXPECT_EQ(rejected_count.load(), kThreads * kPerThread - options.max_pending);
+
+  // Every accepted sample is in exactly one queued batch.
+  EXPECT_EQ(DrainAndComplete(&queue), options.max_pending);
+
+  // Every accepted ticket resolves (its batch was completed above).
+  for (const auto& per_thread : accepted) {
+    for (const Ticket& ticket : per_thread) {
+      EXPECT_TRUE(ticket.Wait().ok());
+    }
+  }
+}
+
+TEST(BatchQueueTest, SubmitWorksAgainInFreshQueueAfterDrain) {
+  // A drained-and-stopped queue stays rejecting; a fresh queue accepts
+  // again — callers recover by constructing a new engine/queue.
+  BatchQueueOptions options;
+  options.max_batch = 2;
+  options.max_pending = 4;
+  options.max_delay_seconds = 3600.0;
+  {
+    BatchQueue queue(options);
+    ASSERT_TRUE(queue.Submit(Sample(0.0)).ok());
+    EXPECT_EQ(DrainAndComplete(&queue), 1u);
+    Result<Ticket> after = queue.Submit(Sample(1.0));
+    ASSERT_FALSE(after.ok());
+    EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  }
+  BatchQueue fresh(options);
+  EXPECT_TRUE(fresh.Submit(Sample(2.0)).ok());
+  EXPECT_EQ(DrainAndComplete(&fresh), 1u);
+}
+
+}  // namespace
+}  // namespace falcc::serve

@@ -95,5 +95,27 @@ TEST(RowsByGroupTest, PartitionsRows) {
   EXPECT_EQ(buckets.value()[g], (std::vector<size_t>{0, 4}));
 }
 
+TEST(GroupIndexTest, GroupOfOrNearestScratchOverloadMatchesAllocating) {
+  const Dataset d = MakeMultiAttr();
+  const GroupIndex index = GroupIndex::Build(d).value();
+  // Seen keys, unseen combinations, and off-grid values; reuse one dirty
+  // scratch vector across all of them — each call must fully overwrite
+  // whatever the previous call (or the garbage seed) left behind.
+  const std::vector<std::vector<double>> samples = {
+      {0.1, 0.0, 0.0},    // exact key (0,0)
+      {0.2, 1.0, 1.0},    // exact key (1,1)
+      {0.0, 2.0, 7.0},    // unseen, nearest (1,1)
+      {0.0, 0.9, 0.1},    // unseen, nearest (1,0)
+      {0.0, -3.0, 0.4},   // unseen, nearest (0,0)
+      {0.0, 0.49, 0.51},  // near the decision boundary between keys
+  };
+  std::vector<double> scratch = {1e9, -1e9, 42.0, 7.0};  // deliberately dirty
+  for (const auto& sample : samples) {
+    EXPECT_EQ(index.GroupOfOrNearest(sample, &scratch),
+              index.GroupOfOrNearest(sample))
+        << "sample starting " << sample[1] << "," << sample[2];
+  }
+}
+
 }  // namespace
 }  // namespace falcc

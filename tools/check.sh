@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification, three times:
 #   1. plain Release build + ctest (the ROADMAP tier-1 command), plus
-#      Release builds of the train-engine and serving microbenchmarks so
-#      perf regressions in bench/bench_train_engine.cc and
-#      bench/bench_serve.cc surface here,
+#      Release builds of the train-engine, serving, and monitoring
+#      microbenchmarks so perf regressions in bench/bench_train_engine.cc,
+#      bench/bench_serve.cc, and bench/bench_monitor.cc surface here,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
-#      parallel runtime and the serving engine's hot-swap/micro-batch
-#      paths (tests/serve_engine_test.cc, `ctest -L serve`) fail loudly
-#      even on single-core CI machines,
+#      parallel runtime, the serving engine's hot-swap/micro-batch paths,
+#      and the drift monitor's lock-free decision log under concurrent
+#      logging + feedback + refresh (tests/serve_engine_test.cc,
+#      tests/monitor_test.cc; `ctest -L serve` / `ctest -L monitor`) fail
+#      loudly even on single-core CI machines,
 #   3. ASan+UBSan build so memory and UB errors in the pointer-heavy
 #      split engine (ml/tree_builder.cc) fail loudly; the serving tests
 #      run here too.
@@ -37,6 +39,7 @@ if [[ "$run_plain" == 1 ]]; then
   echo "=== check 1/3 (cont.): Release microbenchmark builds ==="
   cmake --build build -j "$jobs" --target bench_train_engine
   cmake --build build -j "$jobs" --target bench_serve
+  cmake --build build -j "$jobs" --target bench_monitor
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

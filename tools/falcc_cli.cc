@@ -8,6 +8,12 @@
 //                     [--k N] [--seed S]
 //   falcc_cli predict --model model.falcc --data data.csv [--label label]
 //   falcc_cli classify --model model.falcc --data data.csv [--label label]
+//                     [--metrics-out metrics.json]
+//   falcc_cli monitor --model model.falcc --data data.csv [--label label]
+//                     [--chunk 256] [--poll-every 1] [--repeat 1]
+//                     [--window 512] [--threshold 1.0] [--slack 0.05]
+//                     [--min-samples 100] [--drift-cluster C]
+//                     [--drift-start N] [--metrics-out metrics.json]
 //   falcc_cli audit   --data data.csv --sensitive race [--label label]
 //   falcc_cli inspect --data data.csv --sensitive race [--label label]
 //                     [--proxy-threshold 0.5]
@@ -21,8 +27,14 @@
 // present, reports accuracy and bias; `classify` routes the rows through
 // the serving engine's validated batch API and emits one line per sample
 // with the full audit trail (prediction, probability, matched cluster,
-// sensitive group, pool model); `audit` compares FALCC against Decouple
-// and the plain baselines on a held-out split.
+// sensitive group, pool model); `monitor` replays a labeled stream
+// through the serving engine with the drift monitor attached —
+// classifying in chunks, feeding the CSV labels back as delayed ground
+// truth (optionally injecting a targeted label shift into one cluster
+// with --drift-cluster/--drift-start), polling the monitor, and
+// reporting alarms, refreshes, and the final summary JSON; `audit`
+// compares FALCC against Decouple and the plain baselines on a held-out
+// split.
 
 #include <algorithm>
 #include <cctype>
@@ -43,6 +55,7 @@
 #include "fairness/audit.h"
 #include "fairness/loss.h"
 #include "fairness/proxy.h"
+#include "monitor/monitor.h"
 #include "serve/engine.h"
 
 namespace falcc {
@@ -111,6 +124,19 @@ class Args {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
 }
 
 Result<FairnessMetric> ParseMetric(const std::string& name) {
@@ -310,6 +336,146 @@ int ClassifySamples(const Args& args) {
                  decisions.size());
   }
   std::fprintf(stderr, "%s", engine.GetMetrics().ToString().c_str());
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status written =
+        WriteStringToFile(metrics_out, engine.GetMetrics().ToJson() + "\n");
+    if (!written.ok()) return Fail(written);
+  }
+  return 0;
+}
+
+// Replays a labeled CSV through the serving engine with the drift
+// monitor attached: classifies in --chunk-sized batches, feeds the CSV
+// labels back as delayed ground truth (decision ids are assigned in
+// append order, so a chunk's ids are next_id()..next_id()+n-1),
+// optionally injecting a targeted label shift into one cluster, and
+// polls the monitor between chunks. Alarms and refreshes stream to
+// stderr; the final monitor summary JSON goes to stdout.
+int Monitor(const Args& args) {
+  const std::string model_path = args.Get("model", "");
+  const std::string data_path = args.Get("data", "");
+  if (model_path.empty() || data_path.empty()) {
+    return Fail(Status::InvalidArgument("--model and --data required"));
+  }
+  serve::FalccEngineOptions engine_options;
+  engine_options.start_flusher = false;  // synchronous replay
+  serve::FalccEngine engine(engine_options);
+  const Status loaded = engine.ReloadFromFile(model_path);
+  if (!loaded.ok()) return Fail(loaded);
+
+  Result<CsvTable> table = ReadCsvFile(data_path);
+  if (!table.ok()) return Fail(table.status());
+
+  // Monitoring needs ground truth: the label column is mandatory here.
+  const std::string label_column = args.Get("label", "label");
+  if (std::find(table.value().header.begin(), table.value().header.end(),
+                label_column) == table.value().header.end()) {
+    return Fail(Status::InvalidArgument(
+        "monitor needs ground truth: no '" + label_column +
+        "' column in " + data_path + " (set --label)"));
+  }
+
+  std::vector<double> flat;
+  std::vector<int> labels;
+  size_t width = 0;
+  for (const auto& row : table.value().rows) {
+    size_t row_width = 0;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (table.value().header[c] == label_column) {
+        labels.push_back(static_cast<int>(row[c]));
+      } else {
+        flat.push_back(row[c]);
+        ++row_width;
+      }
+    }
+    if (width == 0) width = row_width;
+    if (row_width != width) {
+      return Fail(Status::InvalidArgument("ragged CSV: rows mix " +
+                                          std::to_string(width) + " and " +
+                                          std::to_string(row_width) +
+                                          " feature columns"));
+    }
+  }
+  const size_t num_rows = labels.size();
+  if (num_rows == 0) return Fail(Status::InvalidArgument("no data rows"));
+
+  monitor::MonitorOptions monitor_options;
+  monitor_options.log_capacity = args.GetSize("log-capacity", 1 << 14);
+  monitor_options.window = args.GetSize("window", 512);
+  monitor_options.detector.threshold = args.GetDouble("threshold", 1.0);
+  monitor_options.detector.slack = args.GetDouble("slack", 0.05);
+  monitor_options.detector.min_samples = args.GetSize("min-samples", 100);
+  Result<std::unique_ptr<monitor::FairnessMonitor>> attached =
+      monitor::FairnessMonitor::Attach(&engine, monitor_options);
+  if (!attached.ok()) return Fail(attached.status());
+  monitor::FairnessMonitor& mon = *attached.value();
+
+  const size_t chunk = std::max<size_t>(1, args.GetSize("chunk", 256));
+  const size_t poll_every = std::max<size_t>(1, args.GetSize("poll-every", 1));
+  const size_t repeat = std::max<size_t>(1, args.GetSize("repeat", 1));
+  // Drift injection: from global sample index --drift-start onward,
+  // decisions routed to --drift-cluster get truth = 1 - prediction (a
+  // worst-case targeted label shift; other clusters keep CSV labels).
+  const bool inject = !args.Get("drift-cluster", "").empty();
+  const size_t drift_cluster = args.GetSize("drift-cluster", 0);
+  const size_t drift_start = args.GetSize("drift-start", 0);
+
+  const size_t total = num_rows * repeat;
+  size_t sent = 0;
+  size_t chunks = 0;
+  while (sent < total) {
+    const size_t take = std::min(chunk, total - sent);
+    std::vector<double> batch;
+    batch.reserve(take * width);
+    std::vector<int> truth(take);
+    for (size_t i = 0; i < take; ++i) {
+      const size_t row = (sent + i) % num_rows;
+      batch.insert(batch.end(), flat.begin() + row * width,
+                   flat.begin() + (row + 1) * width);
+      truth[i] = labels[row];
+    }
+    ClassifyRequest request;
+    request.num_features = width;
+    request.features = batch;
+    const uint64_t base_id = mon.log().next_id();
+    Result<ClassifyResponse> response = engine.ClassifyBatch(request);
+    if (!response.ok()) return Fail(response.status());
+    const std::vector<SampleDecision>& decisions = response.value().decisions;
+    for (size_t i = 0; i < decisions.size(); ++i) {
+      int label = truth[i];
+      if (inject && sent + i >= drift_start &&
+          decisions[i].cluster == drift_cluster) {
+        label = 1 - decisions[i].label;
+      }
+      mon.AddFeedback(base_id + i, label);
+    }
+    sent += take;
+    ++chunks;
+    if (chunks % poll_every != 0 && sent < total) continue;
+    Result<monitor::MonitorPollResult> poll = mon.Poll();
+    if (!poll.ok()) return Fail(poll.status());
+    for (size_t c : poll.value().new_alarms) {
+      std::fprintf(stderr, "sample %zu: drift alarm on cluster %zu\n", sent,
+                   c);
+    }
+    for (const monitor::RefreshOutcome& r : poll.value().refreshes) {
+      std::fprintf(stderr,
+                   "sample %zu: refresh cluster %zu %s (L %.6f -> %.6f, "
+                   "%.3fs)\n",
+                   sent, r.cluster, r.installed ? "installed" : "rejected",
+                   r.current_loss, r.best_loss, r.seconds);
+    }
+  }
+
+  std::printf("%s\n", mon.Summary().ToJson().c_str());
+  std::fprintf(stderr, "%s", engine.GetMetrics().ToString().c_str());
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status written =
+        WriteStringToFile(metrics_out, engine.GetMetrics().ToJson() + "\n");
+    if (!written.ok()) return Fail(written);
+  }
   return 0;
 }
 
@@ -394,7 +560,8 @@ int Inspect(const Args& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: falcc_cli "
-               "<generate|train|predict|classify|audit|inspect> [--flags]\n"
+               "<generate|train|predict|classify|monitor|audit|inspect> "
+               "[--flags]\n"
                "see the header comment of tools/falcc_cli.cc\n");
   return 2;
 }
@@ -411,6 +578,7 @@ int main(int argc, char** argv) {
   if (command == "train") return falcc::Train(args);
   if (command == "predict") return falcc::Predict(args);
   if (command == "classify") return falcc::ClassifySamples(args);
+  if (command == "monitor") return falcc::Monitor(args);
   if (command == "audit") return falcc::Audit(args);
   if (command == "inspect") return falcc::Inspect(args);
   return falcc::Usage();
