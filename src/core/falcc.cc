@@ -289,10 +289,15 @@ Status FalccModel::Save(std::ostream* out) const {
   for (const auto& c : centroids_) io::WriteVector(out, c);
   *out << selected_.size() << '\n';
   for (const auto& combo : selected_) io::WriteVector(out, combo);
-  *out << kMonitorSection << '\n';
-  *out << assess_lambda_ << ' ' << static_cast<int>(assess_metric_) << ' '
-       << static_cast<int>(assess_mode_) << '\n';
-  io::WriteVector(out, baseline_loss_);
+  // The monitor section is written only when monitoring anchors exist, so
+  // a legacy artifact (no baselines) round-trips byte-identically through
+  // Load → Save instead of growing a section it never had.
+  if (!baseline_loss_.empty()) {
+    *out << kMonitorSection << '\n';
+    *out << assess_lambda_ << ' ' << static_cast<int>(assess_metric_) << ' '
+         << static_cast<int>(assess_mode_) << '\n';
+    io::WriteVector(out, baseline_loss_);
+  }
   if (!*out) return Status::IOError("FalccModel serialization failed");
   return Status::OK();
 }
@@ -325,6 +330,11 @@ Result<FalccModel> FalccModel::Load(std::istream* in) {
     if (c.size() != model.clustering_transform_.num_output_features()) {
       return Status::InvalidArgument("FalccModel: centroid width mismatch");
     }
+    for (double v : c) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("FalccModel: non-finite centroid");
+      }
+    }
   }
 
   size_t num_selected = 0;
@@ -339,11 +349,35 @@ Result<FalccModel> FalccModel::Load(std::istream* in) {
     if (combo.size() != model.group_index_.num_groups()) {
       return Status::InvalidArgument("FalccModel: combination width");
     }
-    for (size_t m : combo) {
+    for (size_t g = 0; g < combo.size(); ++g) {
+      const size_t m = combo[g];
       if (m >= model.pool_.size()) {
         return Status::InvalidArgument("FalccModel: model index range");
       }
+      if (!model.pool_.Applicable(m, g)) {
+        return Status::InvalidArgument(
+            "FalccModel: model " + std::to_string(m) +
+            " selected for group " + std::to_string(g) +
+            " it is not applicable to");
+      }
     }
+  }
+
+  // Cross-component consistency: the sections above are individually
+  // well-formed, but classification indexes samples of width
+  // num_features() through the group index and every pool model, so a
+  // mismatched pair of sections would read out of bounds (or trip an
+  // internal abort) at serving time. Reject it here instead.
+  const size_t width = model.num_features();
+  for (size_t col : model.group_index_.sensitive_features()) {
+    if (col >= width) {
+      return Status::InvalidArgument(
+          "FalccModel: sensitive column " + std::to_string(col) +
+          " out of range for " + std::to_string(width) + " features");
+    }
+  }
+  for (size_t m = 0; m < model.pool_.size(); ++m) {
+    FALCC_RETURN_IF_ERROR(model.pool_.model(m).ValidateForWidth(width));
   }
 
   // Monitoring anchors: optional trailing section (absent in artifacts

@@ -24,6 +24,9 @@ Result<Dataset> DatasetFromCsv(const CsvTable& table,
   if (table.header.size() < 2) {
     return Status::InvalidArgument("CSV needs at least one feature column");
   }
+  if (table.rows.empty()) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
 
   // Feature columns = all but the label, in CSV order.
   std::vector<size_t> feature_cols;
@@ -53,10 +56,13 @@ Result<Dataset> DatasetFromCsv(const CsvTable& table,
   features.reserve(table.num_rows() * feature_cols.size());
   std::vector<int> labels;
   labels.reserve(table.num_rows());
-  for (const auto& row : table.rows) {
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
     const double y = row[static_cast<size_t>(label_idx)];
     if (y != 0.0 && y != 1.0) {
-      return Status::InvalidArgument("labels must be 0 or 1");
+      return Status::InvalidArgument(
+          "CSV data row " + std::to_string(r + 1) + ", column '" +
+          label_column + "': label must be 0 or 1, got " + std::to_string(y));
     }
     labels.push_back(static_cast<int>(y));
     for (size_t c : feature_cols) features.push_back(row[c]);

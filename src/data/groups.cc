@@ -1,5 +1,6 @@
 #include "data/groups.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/serialize.h"
@@ -113,6 +114,9 @@ Status GroupIndex::Serialize(std::ostream* out) const {
 Result<GroupIndex> GroupIndex::Deserialize(std::istream* in) {
   GroupIndex index;
   FALCC_RETURN_IF_ERROR(io::ReadVector(in, &index.sensitive_features_));
+  if (index.sensitive_features_.empty()) {
+    return Status::InvalidArgument("GroupIndex: no sensitive columns");
+  }
   size_t num_groups = 0;
   FALCC_RETURN_IF_ERROR(io::Read(in, &num_groups));
   if (num_groups == 0 || num_groups > 1000000) {
@@ -123,6 +127,11 @@ Result<GroupIndex> GroupIndex::Deserialize(std::istream* in) {
     FALCC_RETURN_IF_ERROR(io::ReadVector(in, &key));
     if (key.size() != index.sensitive_features_.size()) {
       return Status::InvalidArgument("GroupIndex: key width mismatch");
+    }
+    for (double v : key) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("GroupIndex: non-finite group key");
+      }
     }
     auto [it, inserted] = index.key_to_group_.try_emplace(key, g);
     if (!inserted) {

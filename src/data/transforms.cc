@@ -85,6 +85,11 @@ Result<ColumnTransform> ColumnTransform::Deserialize(std::istream* in) {
       return Status::InvalidArgument("ColumnTransform: kept column range");
     }
   }
+  for (size_t j = 0; j < t.offsets_.size(); ++j) {
+    if (!std::isfinite(t.offsets_[j]) || !std::isfinite(t.scales_[j])) {
+      return Status::InvalidArgument("ColumnTransform: non-finite parameters");
+    }
+  }
   return t;
 }
 

@@ -169,6 +169,11 @@ Result<AdaBoost> AdaBoost::DeserializePayload(std::istream* in) {
   FALCC_RETURN_IF_ERROR(io::Read(in, &opt.learning_rate));
   AdaBoost model(opt);
   FALCC_RETURN_IF_ERROR(io::ReadVector(in, &model.alphas_));
+  for (const double alpha : model.alphas_) {
+    if (!std::isfinite(alpha)) {
+      return Status::InvalidArgument("AdaBoost: non-finite alpha");
+    }
+  }
   size_t num_trees = 0;
   FALCC_RETURN_IF_ERROR(io::Read(in, &num_trees));
   if (num_trees != model.alphas_.size()) {
@@ -181,6 +186,13 @@ Result<AdaBoost> AdaBoost::DeserializePayload(std::istream* in) {
     model.trees_.push_back(std::move(tree).value());
   }
   return model;
+}
+
+Status AdaBoost::ValidateForWidth(size_t num_features) const {
+  for (const DecisionTree& tree : trees_) {
+    FALCC_RETURN_IF_ERROR(tree.ValidateForWidth(num_features));
+  }
+  return Status::OK();
 }
 
 std::string AdaBoost::Name() const {

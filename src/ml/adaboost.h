@@ -41,6 +41,7 @@ class AdaBoost final : public Classifier {
   double PredictProba(std::span<const double> features) const override;
   void PredictProbaBatch(const Dataset& data, std::span<const size_t> rows,
                          std::span<double> out) const override;
+  Status ValidateForWidth(size_t num_features) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
   std::string TypeTag() const override { return "adaboost"; }

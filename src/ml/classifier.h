@@ -50,6 +50,18 @@ class Classifier {
                                  std::span<const size_t> rows,
                                  std::span<double> out) const;
 
+  /// Checks that a fitted model is safe to evaluate on samples with
+  /// `num_features` columns: every feature index the model dereferences
+  /// at prediction time must be < num_features, and fixed-width models
+  /// must match the width exactly. Deserialized models are validated with
+  /// this before they may serve traffic — an adversarial payload must be
+  /// rejected with a Status here, never crash inside Predict. The default
+  /// accepts any width (for models that index nothing directly).
+  virtual Status ValidateForWidth(size_t num_features) const {
+    (void)num_features;
+    return Status::OK();
+  }
+
   /// Deep copy, including any fitted state.
   virtual std::unique_ptr<Classifier> Clone() const = 0;
 

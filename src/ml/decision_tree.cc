@@ -1,6 +1,7 @@
 #include "ml/decision_tree.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "data/feature_columns.h"
 #include "ml/tree_builder.h"
@@ -113,11 +114,14 @@ Result<DecisionTree> DecisionTree::DeserializePayload(std::istream* in) {
   size_t num_nodes = 0;
   FALCC_RETURN_IF_ERROR(io::Read(in, &tree.depth_));
   FALCC_RETURN_IF_ERROR(io::Read(in, &num_nodes));
-  if (num_nodes > 100000000) {
+  if (num_nodes == 0 || num_nodes > 100000000) {
     return Status::InvalidArgument("implausible node count");
   }
-  tree.nodes_.resize(num_nodes);
-  for (Node& n : tree.nodes_) {
+  // Incremental growth: a corrupted count over a truncated stream fails
+  // at the first missing token instead of allocating num_nodes up front.
+  tree.nodes_.reserve(std::min<size_t>(num_nodes, 4096));
+  for (size_t i = 0; i < num_nodes; ++i) {
+    Node n;
     FALCC_RETURN_IF_ERROR(io::Read(in, &n.feature));
     FALCC_RETURN_IF_ERROR(io::Read(in, &n.threshold));
     FALCC_RETURN_IF_ERROR(io::Read(in, &n.left));
@@ -128,8 +132,31 @@ Result<DecisionTree> DecisionTree::DeserializePayload(std::istream* in) {
         (n.feature >= 0 && (n.left < 0 || n.right < 0))) {
       return Status::InvalidArgument("corrupt decision tree node");
     }
+    // Both builders emit children strictly after their parent, so any
+    // backward (or self) edge is corruption — and would make the
+    // prediction loop cycle forever if admitted.
+    const int self = static_cast<int>(i);
+    if (n.feature >= 0 && (n.left <= self || n.right <= self)) {
+      return Status::InvalidArgument("decision tree node cycle");
+    }
+    if (!std::isfinite(n.threshold) || !std::isfinite(n.proba) ||
+        n.proba < 0.0 || n.proba > 1.0) {
+      return Status::InvalidArgument("non-finite decision tree parameters");
+    }
+    tree.nodes_.push_back(n);
   }
   return tree;
+}
+
+Status DecisionTree::ValidateForWidth(size_t num_features) const {
+  for (const Node& n : nodes_) {
+    if (n.feature >= 0 && static_cast<size_t>(n.feature) >= num_features) {
+      return Status::InvalidArgument(
+          "DecisionTree: split on feature " + std::to_string(n.feature) +
+          " but samples have " + std::to_string(num_features) + " features");
+    }
+  }
+  return Status::OK();
 }
 
 std::string DecisionTree::Name() const {

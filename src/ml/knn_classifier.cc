@@ -1,5 +1,8 @@
 #include "ml/knn_classifier.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/math.h"
 #include "util/serialize.h"
 
@@ -108,14 +111,53 @@ Result<KnnClassifier> KnnClassifier::DeserializePayload(std::istream* in) {
       d != model.offsets_.size() || n > 100000000) {
     return Status::InvalidArgument("kNN: inconsistent serialized sizes");
   }
-  std::vector<std::vector<double>> points(n, std::vector<double>(d));
-  for (auto& p : points) {
-    for (double& v : p) FALCC_RETURN_IF_ERROR(io::Read(in, &v));
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("kNN: empty serialized model");
+  }
+  if (model.scales_.size() != model.offsets_.size()) {
+    return Status::InvalidArgument("kNN: offset/scale width mismatch");
+  }
+  for (size_t j = 0; j < d; ++j) {
+    if (!std::isfinite(model.offsets_[j]) || !std::isfinite(model.scales_[j])) {
+      return Status::InvalidArgument("kNN: non-finite standardization");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (model.labels_[i] != 0 && model.labels_[i] != 1) {
+      return Status::InvalidArgument("kNN: non-binary label");
+    }
+    if (!std::isfinite(model.vote_weights_[i]) ||
+        model.vote_weights_[i] < 0.0) {
+      return Status::InvalidArgument("kNN: invalid vote weight");
+    }
+  }
+  // Grow row by row so a corrupted point count over a truncated stream
+  // fails at the first missing token instead of allocating n*d up front.
+  std::vector<std::vector<double>> points;
+  points.reserve(std::min<size_t>(n, 4096));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> p(d);
+    for (double& v : p) {
+      FALCC_RETURN_IF_ERROR(io::Read(in, &v));
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("kNN: non-finite point");
+      }
+    }
+    points.push_back(std::move(p));
   }
   Result<KdTree> tree = KdTree::Build(std::move(points));
   if (!tree.ok()) return tree.status();
   model.tree_ = std::move(tree).value();
   return model;
+}
+
+Status KnnClassifier::ValidateForWidth(size_t num_features) const {
+  if (offsets_.size() != num_features) {
+    return Status::InvalidArgument(
+        "kNN: fitted for " + std::to_string(offsets_.size()) +
+        " features but samples have " + std::to_string(num_features));
+  }
+  return Status::OK();
 }
 
 }  // namespace falcc

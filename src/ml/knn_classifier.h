@@ -31,6 +31,7 @@ class KnnClassifier final : public Classifier {
              std::span<const double> sample_weights) override;
   using Classifier::Fit;
   double PredictProba(std::span<const double> features) const override;
+  Status ValidateForWidth(size_t num_features) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override {
     return "kNN(k=" + std::to_string(options_.k) + ")";

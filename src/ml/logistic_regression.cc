@@ -117,7 +117,26 @@ Result<LogisticRegression> LogisticRegression::DeserializePayload(
       model.scales_.size() != model.weights_.size()) {
     return Status::InvalidArgument("LogisticRegression: width mismatch");
   }
+  if (!std::isfinite(model.bias_)) {
+    return Status::InvalidArgument("LogisticRegression: non-finite bias");
+  }
+  for (size_t j = 0; j < model.weights_.size(); ++j) {
+    if (!std::isfinite(model.weights_[j]) || !std::isfinite(model.offsets_[j]) ||
+        !std::isfinite(model.scales_[j])) {
+      return Status::InvalidArgument(
+          "LogisticRegression: non-finite parameters");
+    }
+  }
   return model;
+}
+
+Status LogisticRegression::ValidateForWidth(size_t num_features) const {
+  if (weights_.size() != num_features) {
+    return Status::InvalidArgument(
+        "LogisticRegression: fitted for " + std::to_string(weights_.size()) +
+        " features but samples have " + std::to_string(num_features));
+  }
+  return Status::OK();
 }
 
 }  // namespace falcc

@@ -32,6 +32,7 @@ class LogisticRegression final : public Classifier {
              std::span<const double> sample_weights) override;
   using Classifier::Fit;
   double PredictProba(std::span<const double> features) const override;
+  Status ValidateForWidth(size_t num_features) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "LogisticRegression"; }
   std::string TypeTag() const override { return "logistic_regression"; }

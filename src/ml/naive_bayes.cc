@@ -113,7 +113,32 @@ Result<GaussianNaiveBayes> GaussianNaiveBayes::DeserializePayload(
   if (model.means_[0].size() != model.means_[1].size()) {
     return Status::InvalidArgument("GaussianNB: class width mismatch");
   }
+  if (!std::isfinite(model.log_prior_[0]) ||
+      !std::isfinite(model.log_prior_[1])) {
+    return Status::InvalidArgument("GaussianNB: non-finite log prior");
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < model.means_[c].size(); ++j) {
+      if (!std::isfinite(model.means_[c][j])) {
+        return Status::InvalidArgument("GaussianNB: non-finite mean");
+      }
+      // Variances enter log() and divide likelihoods: anything that is not
+      // strictly positive and finite produces NaN probabilities downstream.
+      if (!std::isfinite(model.vars_[c][j]) || model.vars_[c][j] <= 0.0) {
+        return Status::InvalidArgument("GaussianNB: non-positive variance");
+      }
+    }
+  }
   return model;
+}
+
+Status GaussianNaiveBayes::ValidateForWidth(size_t num_features) const {
+  if (means_[0].size() != num_features) {
+    return Status::InvalidArgument(
+        "GaussianNB: fitted for " + std::to_string(means_[0].size()) +
+        " features but samples have " + std::to_string(num_features));
+  }
+  return Status::OK();
 }
 
 }  // namespace falcc

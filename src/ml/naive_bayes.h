@@ -19,6 +19,7 @@ class GaussianNaiveBayes final : public Classifier {
              std::span<const double> sample_weights) override;
   using Classifier::Fit;
   double PredictProba(std::span<const double> features) const override;
+  Status ValidateForWidth(size_t num_features) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "GaussianNB"; }
   std::string TypeTag() const override { return "gaussian_nb"; }

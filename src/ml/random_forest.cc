@@ -170,6 +170,13 @@ Result<RandomForest> RandomForest::DeserializePayload(std::istream* in) {
   return model;
 }
 
+Status RandomForest::ValidateForWidth(size_t num_features) const {
+  for (const DecisionTree& tree : trees_) {
+    FALCC_RETURN_IF_ERROR(tree.ValidateForWidth(num_features));
+  }
+  return Status::OK();
+}
+
 std::string RandomForest::Name() const {
   std::string name = "RandomForest(B=" + std::to_string(options_.num_trees);
   name += ",depth=" + std::to_string(options_.base.max_depth);

@@ -1,0 +1,31 @@
+#include "testing/faulty_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace falcc {
+namespace testing {
+
+FaultyStreamBuf::FaultyStreamBuf(std::string data, size_t fail_offset,
+                                 FaultMode mode)
+    : data_(std::move(data)),
+      fail_offset_(std::min(fail_offset, data_.size())),
+      mode_(mode) {
+  // Expose the healthy prefix as the initial get area; underflow fires
+  // exactly when a read crosses the fail offset.
+  char* base = data_.data();
+  setg(base, base, base + fail_offset_);
+}
+
+FaultyStreamBuf::int_type FaultyStreamBuf::underflow() {
+  if (mode_ == FaultMode::kError) {
+    // istream input functions catch this and set badbit (the exception is
+    // swallowed under the default exception mask), which is exactly how a
+    // device-level read error surfaces to the loaders.
+    throw std::runtime_error("injected stream fault");
+  }
+  return traits_type::eof();
+}
+
+}  // namespace testing
+}  // namespace falcc

@@ -1,0 +1,57 @@
+// Fault-injecting istream for loader robustness tests.
+//
+// Wraps an in-memory byte buffer and fails at a configurable offset,
+// either by reporting EOF (a short read / truncated file) or by raising
+// a stream error (badbit — a device-level read failure). Sweeping the
+// fail offset over every byte of a valid artifact proves the loaders
+// return a clean Status at every possible interruption point rather than
+// crashing or partially applying state.
+
+#ifndef FALCC_TESTING_FAULTY_STREAM_H_
+#define FALCC_TESTING_FAULTY_STREAM_H_
+
+#include <istream>
+#include <streambuf>
+#include <string>
+
+namespace falcc {
+namespace testing {
+
+/// How the stream misbehaves once the fail offset is reached.
+enum class FaultMode {
+  kTruncate,  ///< EOF at the offset, like a truncated file
+  kError,     ///< badbit at the offset, like an I/O error mid-read
+};
+
+/// streambuf serving `data` up to `fail_offset` bytes, then failing.
+class FaultyStreamBuf : public std::streambuf {
+ public:
+  FaultyStreamBuf(std::string data, size_t fail_offset, FaultMode mode);
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  std::string data_;
+  size_t fail_offset_;
+  FaultMode mode_;
+};
+
+/// istream over FaultyStreamBuf. With mode kError the failure surfaces
+/// as badbit on the stream (exceptions stay masked, matching how the
+/// loaders consume files).
+class FaultyStream : public std::istream {
+ public:
+  FaultyStream(std::string data, size_t fail_offset, FaultMode mode)
+      : std::istream(nullptr), buf_(std::move(data), fail_offset, mode) {
+    rdbuf(&buf_);
+  }
+
+ private:
+  FaultyStreamBuf buf_;
+};
+
+}  // namespace testing
+}  // namespace falcc
+
+#endif  // FALCC_TESTING_FAULTY_STREAM_H_

@@ -1,0 +1,218 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/falcc.h"
+#include "data/csv_dataset.h"
+#include "testing/mutator.h"
+#include "util/csv.h"
+
+namespace falcc {
+namespace testing {
+
+namespace {
+
+Status SaveToStringOrError(const FalccModel& model, std::string* out) {
+  std::ostringstream buffer;
+  FALCC_RETURN_IF_ERROR(model.Save(&buffer));
+  *out = buffer.str();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FuzzSnapshotLoad(const std::string& data) {
+  std::istringstream in(data);
+  Result<FalccModel> loaded = FalccModel::Load(&in);
+  if (!loaded.ok()) {
+    // Clean rejection is the expected outcome for corrupt bytes. The
+    // error must carry a message — a blank diagnostic is a bug too.
+    if (loaded.status().message().empty()) {
+      return Status::Internal("rejection with empty error message");
+    }
+    return Status::OK();
+  }
+
+  // The input was accepted: everything the serving path relies on must
+  // now actually hold. A model that loads but then misbehaves is the
+  // worst outcome a corrupt artifact can produce.
+  const FalccModel& model = loaded.value();
+  const size_t width = model.num_features();
+  if (width == 0) {
+    return Status::Internal("loaded model reports zero features");
+  }
+
+  // Probe classification with a few finite width-correct samples.
+  std::vector<double> batch;
+  const double kProbes[] = {0.0, 1.0, -1.0};
+  for (double v : kProbes) {
+    for (size_t j = 0; j < width; ++j) batch.push_back(v * (1.0 + 0.25 * j));
+  }
+  const size_t num_samples = batch.size() / width;
+  for (size_t i = 0; i < num_samples; ++i) {
+    const std::span<const double> sample(batch.data() + i * width, width);
+    FALCC_RETURN_IF_ERROR(model.ValidateSample(sample));
+    const double p = model.ClassifyProba(sample);
+    if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+      return Status::Internal("ClassifyProba outside [0, 1]: " +
+                              std::to_string(p));
+    }
+    const int label = model.Classify(sample);
+    if (label != 0 && label != 1) {
+      return Status::Internal("Classify returned non-binary label");
+    }
+  }
+  ClassifyRequest request;
+  request.features = batch;
+  request.num_features = width;
+  Result<ClassifyResponse> response = model.ClassifyBatch(request);
+  if (!response.ok()) {
+    return Status::Internal("ClassifyBatch rejected valid samples: " +
+                            response.status().ToString());
+  }
+  if (response.value().decisions.size() != num_samples) {
+    return Status::Internal("ClassifyBatch returned wrong decision count");
+  }
+  for (size_t i = 0; i < num_samples; ++i) {
+    const std::span<const double> sample(batch.data() + i * width, width);
+    if (response.value().decisions[i].label != model.Classify(sample)) {
+      return Status::Internal("ClassifyBatch disagrees with Classify");
+    }
+  }
+
+  // Save∘Load∘Save must be a fixed point: whatever Load accepted, the
+  // round trip is byte-stable (this is what snapshot hot-swap and
+  // CloneWithRefreshes lean on).
+  std::string first;
+  FALCC_RETURN_IF_ERROR(SaveToStringOrError(model, &first));
+  std::istringstream again(first);
+  Result<FalccModel> reloaded = FalccModel::Load(&again);
+  if (!reloaded.ok()) {
+    return Status::Internal("Save output does not reload: " +
+                            reloaded.status().ToString());
+  }
+  std::string second;
+  FALCC_RETURN_IF_ERROR(SaveToStringOrError(reloaded.value(), &second));
+  if (first != second) {
+    return Status::Internal("Save -> Load -> Save is not byte-idempotent");
+  }
+  return Status::OK();
+}
+
+Status FuzzCsvParse(const std::string& data) {
+  Result<CsvTable> parsed = ParseCsv(data);
+  if (!parsed.ok()) {
+    if (parsed.status().message().empty()) {
+      return Status::Internal("rejection with empty error message");
+    }
+    return Status::OK();
+  }
+
+  const CsvTable& table = parsed.value();
+  if (table.header.empty()) {
+    return Status::Internal("accepted CSV with empty header");
+  }
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      return Status::Internal("accepted ragged CSV row");
+    }
+    for (double v : row) {
+      if (!std::isfinite(v)) {
+        return Status::Internal("accepted non-finite CSV cell");
+      }
+    }
+  }
+
+  // Dataset construction over the parsed table must never crash; any
+  // Status outcome is acceptable (labels may be non-binary etc).
+  if (table.header.size() >= 2) {
+    DatasetFromCsv(table, table.header.back(), {}).status();
+  }
+
+  // Re-serializing and re-parsing preserves the shape and the header
+  // exactly (values go through ostream formatting, so only the shape is
+  // byte-stable).
+  Result<CsvTable> round = ParseCsv(ToCsv(table));
+  if (!round.ok()) {
+    return Status::Internal("ToCsv output does not re-parse: " +
+                            round.status().ToString());
+  }
+  if (round.value().header != table.header) {
+    return Status::Internal("header changed across ToCsv round trip");
+  }
+  if (round.value().rows.size() != table.rows.size()) {
+    return Status::Internal("row count changed across ToCsv round trip");
+  }
+  return Status::OK();
+}
+
+Status RunFuzz(const std::vector<std::string>& seeds, const FuzzTarget& target,
+               const FuzzOptions& options, FuzzStats* stats) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("RunFuzz: no seed inputs");
+  }
+  FuzzStats local;
+  for (size_t i = 0; i < options.iterations; ++i) {
+    // A fresh mutator per iteration makes any (seed, i) finding
+    // replayable in isolation.
+    Mutator mutator(options.seed + i);
+    const std::string& base = seeds[i % seeds.size()];
+    const std::string input = mutator.Mutate(base, options.max_mutations);
+    ++local.iterations;
+    const Status verdict = target(input);
+    if (!verdict.ok()) {
+      ++local.findings;
+      if (!options.failure_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.failure_dir, ec);
+        std::ofstream out(options.failure_dir + "/finding-" +
+                              std::to_string(i) + ".bin",
+                          std::ios::binary);
+        out << input;
+      }
+      if (stats != nullptr) *stats = local;
+      return Status::Internal("fuzz finding at iteration " +
+                              std::to_string(i) + " (seed " +
+                              std::to_string(options.seed + i) +
+                              "): " + verdict.ToString());
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+size_t FuzzIterationsFromEnv(size_t fallback) {
+  const char* env = std::getenv("FALCC_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
+Result<std::vector<std::string>> LoadCorpus(const std::string& dir) {
+  std::vector<std::string> inputs;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return inputs;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open corpus file " + path.string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    inputs.push_back(buf.str());
+  }
+  return inputs;
+}
+
+}  // namespace testing
+}  // namespace falcc

@@ -1,0 +1,238 @@
+#include "testing/invariants.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace falcc {
+namespace testing {
+
+namespace {
+
+// Row-major copy of the feature matrix, the layout ClassifyRequest wants.
+std::vector<double> Flatten(const Dataset& data) {
+  std::vector<double> flat;
+  flat.reserve(data.num_rows() * data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return flat;
+}
+
+Result<ClassifyResponse> ClassifyDataset(const FalccModel& model,
+                                         const std::vector<double>& flat,
+                                         size_t num_features) {
+  ClassifyRequest request;
+  request.features = flat;
+  request.num_features = num_features;
+  return model.ClassifyBatch(request);
+}
+
+bool SameDecision(const SampleDecision& a, const SampleDecision& b) {
+  return a.label == b.label && a.probability == b.probability &&
+         a.cluster == b.cluster && a.group == b.group && a.model == b.model;
+}
+
+std::string DecisionDiff(size_t i, const SampleDecision& a,
+                         const SampleDecision& b) {
+  return "sample " + std::to_string(i) + ": (label " +
+         std::to_string(a.label) + ", p " + std::to_string(a.probability) +
+         ", cluster " + std::to_string(a.cluster) + ", group " +
+         std::to_string(a.group) + ", model " + std::to_string(a.model) +
+         ") vs (label " + std::to_string(b.label) + ", p " +
+         std::to_string(b.probability) + ", cluster " +
+         std::to_string(b.cluster) + ", group " + std::to_string(b.group) +
+         ", model " + std::to_string(b.model) + ")";
+}
+
+}  // namespace
+
+Status SaveToString(const FalccModel& model, std::string* out) {
+  std::ostringstream buffer;
+  FALCC_RETURN_IF_ERROR(model.Save(&buffer));
+  *out = buffer.str();
+  return Status::OK();
+}
+
+Result<FalccModel> LoadFromString(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return FalccModel::Load(&in);
+}
+
+Status CheckBatchMatchesSequential(const FalccModel& model,
+                                   const Dataset& data) {
+  const std::vector<double> flat = Flatten(data);
+  Result<ClassifyResponse> batch =
+      ClassifyDataset(model, flat, data.num_features());
+  if (!batch.ok()) return batch.status();
+  if (batch.value().decisions.size() != data.num_rows()) {
+    return Status::Internal("batch decision count != row count");
+  }
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    const SampleDecision& d = batch.value().decisions[i];
+    if (d.label != model.Classify(row)) {
+      return Status::Internal("batch label != sequential Classify at row " +
+                              std::to_string(i));
+    }
+    if (d.probability != model.ClassifyProba(row)) {
+      return Status::Internal(
+          "batch probability != sequential ClassifyProba at row " +
+          std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckPermutationInvariance(const FalccModel& model, const Dataset& data,
+                                  uint64_t seed) {
+  const size_t d = data.num_features();
+  const std::vector<double> flat = Flatten(data);
+  Result<ClassifyResponse> base = ClassifyDataset(model, flat, d);
+  if (!base.ok()) return base.status();
+
+  Rng rng(seed);
+  const std::vector<size_t> perm = rng.Permutation(data.num_rows());
+  std::vector<double> shuffled;
+  shuffled.reserve(flat.size());
+  for (size_t i : perm) {
+    shuffled.insert(shuffled.end(), flat.begin() + static_cast<ptrdiff_t>(i * d),
+                    flat.begin() + static_cast<ptrdiff_t>((i + 1) * d));
+  }
+  Result<ClassifyResponse> permuted = ClassifyDataset(model, shuffled, d);
+  if (!permuted.ok()) return permuted.status();
+
+  for (size_t j = 0; j < perm.size(); ++j) {
+    const SampleDecision& a = permuted.value().decisions[j];
+    const SampleDecision& b = base.value().decisions[perm[j]];
+    if (!SameDecision(a, b)) {
+      return Status::Internal("row permutation changed a decision: " +
+                              DecisionDiff(perm[j], b, a));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckClassifyThreadInvariance(const FalccModel& model,
+                                     const Dataset& data) {
+  const std::vector<double> flat = Flatten(data);
+  const size_t previous = Parallelism();
+  SetParallelism(1);
+  Result<ClassifyResponse> serial =
+      ClassifyDataset(model, flat, data.num_features());
+  SetParallelism(4);
+  Result<ClassifyResponse> parallel =
+      ClassifyDataset(model, flat, data.num_features());
+  SetParallelism(previous);
+  if (!serial.ok()) return serial.status();
+  if (!parallel.ok()) return parallel.status();
+  for (size_t i = 0; i < serial.value().decisions.size(); ++i) {
+    const SampleDecision& a = serial.value().decisions[i];
+    const SampleDecision& b = parallel.value().decisions[i];
+    if (!SameDecision(a, b)) {
+      return Status::Internal("thread count changed a decision: " +
+                              DecisionDiff(i, a, b));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckTrainingThreadInvariance(const Dataset& train,
+                                     const Dataset& validation,
+                                     const Dataset& test,
+                                     const FalccOptions& options) {
+  const size_t previous = Parallelism();
+  SetParallelism(1);
+  Result<FalccModel> serial = FalccModel::Train(train, validation, options);
+  SetParallelism(4);
+  Result<FalccModel> parallel = FalccModel::Train(train, validation, options);
+  SetParallelism(previous);
+  if (!serial.ok()) return serial.status();
+  if (!parallel.ok()) return parallel.status();
+
+  std::string serial_bytes, parallel_bytes;
+  FALCC_RETURN_IF_ERROR(SaveToString(serial.value(), &serial_bytes));
+  FALCC_RETURN_IF_ERROR(SaveToString(parallel.value(), &parallel_bytes));
+  if (serial_bytes != parallel_bytes) {
+    return Status::Internal(
+        "1-thread and 4-thread training produced different snapshots");
+  }
+  if (serial.value().ClassifyAll(test) != parallel.value().ClassifyAll(test)) {
+    return Status::Internal(
+        "1-thread and 4-thread models predict differently");
+  }
+  return Status::OK();
+}
+
+Status CheckSaveLoadSaveIdempotent(const FalccModel& model) {
+  std::string first;
+  FALCC_RETURN_IF_ERROR(SaveToString(model, &first));
+  Result<FalccModel> reloaded = LoadFromString(first);
+  if (!reloaded.ok()) {
+    return Status::Internal("Save output does not reload: " +
+                            reloaded.status().ToString());
+  }
+  std::string second;
+  FALCC_RETURN_IF_ERROR(SaveToString(reloaded.value(), &second));
+  if (first != second) {
+    return Status::Internal("Save -> Load -> Save is not byte-idempotent");
+  }
+  return Status::OK();
+}
+
+Status CheckRefreshIsolation(const FalccModel& model, const Dataset& data,
+                             const ClusterRefresh& refresh) {
+  Result<FalccModel> cloned = model.CloneWithRefreshes({&refresh, 1});
+  if (!cloned.ok()) return cloned.status();
+  const FalccModel& clone = cloned.value();
+
+  if (clone.selected_combinations()[refresh.cluster] != refresh.combination) {
+    return Status::Internal("refreshed cluster did not take the combination");
+  }
+  for (size_t c = 0; c < model.num_clusters(); ++c) {
+    if (c == refresh.cluster) continue;
+    if (clone.selected_combinations()[c] != model.selected_combinations()[c]) {
+      return Status::Internal("refresh touched combination of cluster " +
+                              std::to_string(c));
+    }
+    if (model.has_baseline_losses() &&
+        clone.baseline_losses()[c] != model.baseline_losses()[c]) {
+      return Status::Internal("refresh touched baseline of cluster " +
+                              std::to_string(c));
+    }
+  }
+
+  const std::vector<double> flat = Flatten(data);
+  Result<ClassifyResponse> before =
+      ClassifyDataset(model, flat, data.num_features());
+  if (!before.ok()) return before.status();
+  Result<ClassifyResponse> after =
+      ClassifyDataset(clone, flat, data.num_features());
+  if (!after.ok()) return after.status();
+  for (size_t i = 0; i < before.value().decisions.size(); ++i) {
+    const SampleDecision& b = before.value().decisions[i];
+    const SampleDecision& a = after.value().decisions[i];
+    if (a.cluster != b.cluster || a.group != b.group) {
+      return Status::Internal("refresh changed routing: " +
+                              DecisionDiff(i, b, a));
+    }
+    if (b.cluster == refresh.cluster) {
+      if (a.model != refresh.combination[a.group]) {
+        return Status::Internal(
+            "refreshed cluster serves the wrong model at sample " +
+            std::to_string(i));
+      }
+    } else if (!SameDecision(a, b)) {
+      return Status::Internal("refresh changed an untouched cluster: " +
+                              DecisionDiff(i, b, a));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace testing
+}  // namespace falcc

@@ -1,0 +1,66 @@
+// Metamorphic invariants of the FALCC pipeline, as reusable checks.
+//
+// Each helper states one relation the system promises to hold for every
+// model and every input — batch ≡ sequential, row-permutation
+// equivariance, thread-count independence, serialization fixed points,
+// refresh isolation — and verifies it exhaustively over the given
+// model/data, returning a descriptive error on the first violation.
+// They back both the invariants test suite (over freshly trained models)
+// and the fuzz harness (over whatever a mutated snapshot loads into),
+// replacing the ad-hoc bit-identity checks that used to be copied
+// between test files.
+
+#ifndef FALCC_TESTING_INVARIANTS_H_
+#define FALCC_TESTING_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/falcc.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace falcc {
+namespace testing {
+
+/// Serializes `model` into `out`.
+Status SaveToString(const FalccModel& model, std::string* out);
+
+/// Deserializes a model from `bytes`.
+Result<FalccModel> LoadFromString(const std::string& bytes);
+
+/// ClassifyBatch over all rows of `data` produces exactly the
+/// per-sample Classify / ClassifyProba results, field by field.
+Status CheckBatchMatchesSequential(const FalccModel& model,
+                                   const Dataset& data);
+
+/// Classifying a randomly permuted batch yields the same decision for
+/// every sample as the original order (row independence).
+Status CheckPermutationInvariance(const FalccModel& model, const Dataset& data,
+                                  uint64_t seed);
+
+/// ClassifyBatch on 1 worker and on 4 workers is bit-identical.
+Status CheckClassifyThreadInvariance(const FalccModel& model,
+                                     const Dataset& data);
+
+/// Training on 1 worker and on 4 workers yields byte-identical
+/// serialized models and identical predictions on `test`.
+Status CheckTrainingThreadInvariance(const Dataset& train,
+                                     const Dataset& validation,
+                                     const Dataset& test,
+                                     const FalccOptions& options);
+
+/// Save → Load → Save is a byte fixed point for `model`.
+Status CheckSaveLoadSaveIdempotent(const FalccModel& model);
+
+/// CloneWithRefreshes applied to `refreshed_cluster` leaves every other
+/// cluster's combination, baseline, and per-sample decisions on `data`
+/// bit-identical, while the refreshed cluster serves the new
+/// combination. Routing (cluster/group assignment) never changes.
+Status CheckRefreshIsolation(const FalccModel& model, const Dataset& data,
+                             const ClusterRefresh& refresh);
+
+}  // namespace testing
+}  // namespace falcc
+
+#endif  // FALCC_TESTING_INVARIANTS_H_

@@ -1,0 +1,193 @@
+#include "testing/mutator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace falcc {
+namespace testing {
+
+namespace {
+
+// Boundary tokens that historically break text deserializers: sign flips
+// on unsigned fields, zero counts, counts far beyond any plausible
+// payload, values that overflow strtod, and non-finite parameters.
+const char* const kEvilTokens[] = {
+    "-1", "0", "999999999999", "1e309", "-1e309", "nan",
+    "inf", "-inf", "0.0.0", "x", "18446744073709551615",
+};
+
+// Splits `s` into whitespace-separated token [begin, end) ranges.
+std::vector<std::pair<size_t, size_t>> TokenRanges(const std::string& s) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    const size_t begin = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > begin) ranges.emplace_back(begin, i);
+  }
+  return ranges;
+}
+
+// True if every character of the token could belong to a number; length
+// fields and parameters are the interesting targets, not section markers.
+bool LooksNumeric(const std::string& s, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    const char c = s[i];
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != 'e' &&
+        c != 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Mutator::FlipByte(std::string s) {
+  if (s.empty()) return s;
+  const size_t pos = static_cast<size_t>(rng_.UniformInt(s.size()));
+  s[pos] = static_cast<char>(s[pos] ^ (1u << rng_.UniformInt(8)));
+  return s;
+}
+
+std::string Mutator::Truncate(std::string s) {
+  if (s.empty()) return s;
+  s.resize(static_cast<size_t>(rng_.UniformInt(s.size())));
+  return s;
+}
+
+std::string Mutator::DeleteRange(std::string s) {
+  if (s.size() < 2) return s;
+  const size_t begin = static_cast<size_t>(rng_.UniformInt(s.size() - 1));
+  const size_t len =
+      1 + static_cast<size_t>(rng_.UniformInt(
+              std::min<size_t>(s.size() - begin, 64)));
+  s.erase(begin, len);
+  return s;
+}
+
+std::string Mutator::DuplicateRange(std::string s) {
+  if (s.size() < 2) return s;
+  const size_t begin = static_cast<size_t>(rng_.UniformInt(s.size() - 1));
+  const size_t len =
+      1 + static_cast<size_t>(rng_.UniformInt(
+              std::min<size_t>(s.size() - begin, 64)));
+  const std::string chunk = s.substr(begin, len);
+  const size_t at = static_cast<size_t>(rng_.UniformInt(s.size()));
+  s.insert(at, chunk);
+  return s;
+}
+
+std::string Mutator::SpliceLines(std::string s) {
+  // Line-level splice: delete, duplicate, or swap whole lines. Both
+  // formats are line-structured, so this simulates a section-level cut
+  // that byte ops rarely produce cleanly.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < s.size()) lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.size() < 2) return s;
+  const size_t a = static_cast<size_t>(rng_.UniformInt(lines.size()));
+  switch (rng_.UniformInt(3)) {
+    case 0:
+      lines.erase(lines.begin() + static_cast<ptrdiff_t>(a));
+      break;
+    case 1:
+      lines.insert(lines.begin() + static_cast<ptrdiff_t>(a), lines[a]);
+      break;
+    default: {
+      const size_t b = static_cast<size_t>(rng_.UniformInt(lines.size()));
+      std::swap(lines[a], lines[b]);
+      break;
+    }
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Mutator::MutateToken(std::string s) {
+  const auto ranges = TokenRanges(s);
+  if (ranges.empty()) return s;
+  const auto [begin, end] =
+      ranges[static_cast<size_t>(rng_.UniformInt(ranges.size()))];
+  const char* evil = kEvilTokens[rng_.UniformInt(
+      sizeof(kEvilTokens) / sizeof(kEvilTokens[0]))];
+  s.replace(begin, end - begin, evil);
+  return s;
+}
+
+std::string Mutator::CorruptLengthField(std::string s) {
+  // Target a numeric token specifically (counts and sizes are all
+  // numeric) and replace it with an off-by-something or implausible
+  // count, desynchronizing the header from its payload.
+  const auto ranges = TokenRanges(s);
+  std::vector<size_t> numeric;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (LooksNumeric(s, ranges[i].first, ranges[i].second)) numeric.push_back(i);
+  }
+  if (numeric.empty()) return s;
+  const auto [begin, end] =
+      ranges[numeric[static_cast<size_t>(rng_.UniformInt(numeric.size()))]];
+  std::string replacement;
+  switch (rng_.UniformInt(4)) {
+    case 0:
+      replacement = std::to_string(1 + rng_.UniformInt(1000000));
+      break;
+    case 1:
+      replacement = "0";
+      break;
+    case 2:
+      replacement = std::to_string(100000000 + rng_.UniformInt(1000));
+      break;
+    default:
+      replacement = "-" + std::to_string(1 + rng_.UniformInt(100));
+      break;
+  }
+  s.replace(begin, end - begin, replacement);
+  return s;
+}
+
+std::string Mutator::InsertGarbage(std::string s) {
+  const size_t at = s.empty() ? 0 : static_cast<size_t>(rng_.UniformInt(s.size()));
+  const size_t len = 1 + static_cast<size_t>(rng_.UniformInt(16));
+  std::string garbage;
+  for (size_t i = 0; i < len; ++i) {
+    garbage.push_back(static_cast<char>(rng_.UniformInt(256)));
+  }
+  s.insert(at, garbage);
+  return s;
+}
+
+std::string Mutator::Mutate(const std::string& input, int max_mutations) {
+  std::string s = input;
+  const int n = 1 + static_cast<int>(rng_.UniformInt(
+                        static_cast<uint64_t>(std::max(1, max_mutations))));
+  for (int i = 0; i < n; ++i) {
+    switch (rng_.UniformInt(8)) {
+      case 0: s = FlipByte(std::move(s)); break;
+      case 1: s = Truncate(std::move(s)); break;
+      case 2: s = DeleteRange(std::move(s)); break;
+      case 3: s = DuplicateRange(std::move(s)); break;
+      case 4: s = SpliceLines(std::move(s)); break;
+      case 5: s = MutateToken(std::move(s)); break;
+      case 6: s = CorruptLengthField(std::move(s)); break;
+      default: s = InsertGarbage(std::move(s)); break;
+    }
+  }
+  return s;
+}
+
+}  // namespace testing
+}  // namespace falcc

@@ -1,0 +1,53 @@
+// Structure-aware deterministic input mutator for the fuzz harness.
+//
+// The snapshot and CSV formats are both whitespace-token text, so the
+// mutation catalogue mixes blind byte-level corruption (flips, truncation,
+// splices) with token-level attacks that a byte flipper would need
+// millions of iterations to stumble into: replacing a numeric token with
+// a boundary value (-1, 0, huge, inf, nan) or corrupting a length field
+// so it disagrees with the payload that follows. Everything is driven by
+// the repo's own Rng, so a (seed, iteration) pair replays the exact same
+// mutated input on every platform.
+
+#ifndef FALCC_TESTING_MUTATOR_H_
+#define FALCC_TESTING_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace falcc {
+namespace testing {
+
+/// Deterministic structure-aware mutator over text inputs.
+class Mutator {
+ public:
+  explicit Mutator(uint64_t seed) : rng_(seed) {}
+
+  /// Returns a mutated copy of `input` with 1..max_mutations randomly
+  /// chosen mutations applied in sequence.
+  std::string Mutate(const std::string& input, int max_mutations = 4);
+
+  /// Access to the underlying generator (e.g. to pick seeds).
+  Rng& rng() { return rng_; }
+
+ private:
+  // Individual mutation operators. Each returns the mutated string and
+  // degrades to a no-op on inputs too small for it to apply.
+  std::string FlipByte(std::string s);
+  std::string Truncate(std::string s);
+  std::string DeleteRange(std::string s);
+  std::string DuplicateRange(std::string s);
+  std::string SpliceLines(std::string s);
+  std::string MutateToken(std::string s);
+  std::string CorruptLengthField(std::string s);
+  std::string InsertGarbage(std::string s);
+
+  Rng rng_;
+};
+
+}  // namespace testing
+}  // namespace falcc
+
+#endif  // FALCC_TESTING_MUTATOR_H_

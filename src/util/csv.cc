@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -53,6 +54,16 @@ Result<CsvTable> ParseCsv(const std::string& text) {
     std::vector<std::string> fields = SplitCsvLine(line);
     if (table.header.empty()) {
       table.header = std::move(fields);
+      // An empty name is almost always a stray trailing comma — and a
+      // nameless column cannot be addressed by the dataset layer (or
+      // re-serialized: ToCsv of a lone empty name is a blank line).
+      for (size_t c = 0; c < table.header.size(); ++c) {
+        if (table.header[c].empty()) {
+          return Status::InvalidArgument(
+              "CSV line " + std::to_string(line_no) + ", column " +
+              std::to_string(c + 1) + ": empty header name (trailing comma?)");
+        }
+      }
       continue;
     }
     if (fields.size() != table.header.size()) {
@@ -63,13 +74,23 @@ Result<CsvTable> ParseCsv(const std::string& text) {
     }
     std::vector<double> row;
     row.reserve(fields.size());
-    for (const std::string& f : fields) {
+    for (size_t col = 0; col < fields.size(); ++col) {
+      const std::string& f = fields[col];
+      // "line N, column M ('name')" so a bad cell in a wide file is
+      // findable without bisecting the row by hand.
+      const std::string where = "CSV line " + std::to_string(line_no) +
+                                ", column " + std::to_string(col + 1) + " ('" +
+                                table.header[col] + "')";
       errno = 0;
       char* end = nullptr;
       const double v = std::strtod(f.c_str(), &end);
       if (end == f.c_str() || *end != '\0' || errno == ERANGE) {
-        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
-                                       ": non-numeric cell '" + f + "'");
+        return Status::InvalidArgument(where + ": non-numeric cell '" + f +
+                                       "'");
+      }
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(where + ": non-finite cell '" + f +
+                                       "'");
       }
       row.push_back(v);
     }
@@ -89,11 +110,29 @@ Result<CsvTable> ReadCsvFile(const std::string& path) {
   return ParseCsv(buf.str());
 }
 
+namespace {
+
+// Quotes a header field when it contains a separator, quote, or line
+// break, so ToCsv output re-parses to the same header instead of
+// silently splitting the name into extra columns.
+std::string QuoteCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
 std::string ToCsv(const CsvTable& table) {
   std::ostringstream out;
   for (size_t i = 0; i < table.header.size(); ++i) {
     if (i > 0) out << ',';
-    out << table.header[i];
+    out << QuoteCsvField(table.header[i]);
   }
   out << '\n';
   for (const auto& row : table.rows) {

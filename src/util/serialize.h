@@ -8,9 +8,11 @@
 #ifndef FALCC_UTIL_SERIALIZE_H_
 #define FALCC_UTIL_SERIALIZE_H_
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -55,8 +57,16 @@ Status ReadVector(std::istream* in, std::vector<T>* values,
   if (n > max_size) {
     return Status::InvalidArgument("serialized vector implausibly large");
   }
-  values->resize(n);
-  for (T& v : *values) FALCC_RETURN_IF_ERROR(Read(in, &v));
+  // Grow incrementally instead of resize(n): a corrupted length field on
+  // a truncated stream then fails at the first missing token instead of
+  // allocating max_size elements up front.
+  values->clear();
+  values->reserve(std::min<size_t>(n, 4096));
+  for (size_t i = 0; i < n; ++i) {
+    T v{};
+    FALCC_RETURN_IF_ERROR(Read(in, &v));
+    values->push_back(std::move(v));
+  }
   return Status::OK();
 }
 

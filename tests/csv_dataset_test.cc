@@ -88,5 +88,109 @@ TEST(CsvDatasetTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+// --- Parser edge cases --------------------------------------------------
+
+TEST(CsvEdgeCaseTest, CrlfLineEndings) {
+  const Result<CsvTable> t = ParseCsv("a,b,label\r\n1,2,0\r\n3,4,1\r\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().header, (std::vector<std::string>{"a", "b", "label"}));
+  ASSERT_EQ(t.value().rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.value().rows[1][1], 4.0);
+  const Result<Dataset> d = DatasetFromCsv(t.value(), "label", {});
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+}
+
+TEST(CsvEdgeCaseTest, TrailingCommaIsDiagnosedNotMisparsed) {
+  // A trailing comma means a trailing empty cell; it must surface as a
+  // located error (empty cells are not silently zero).
+  const Result<CsvTable> t = ParseCsv("a,b\n1,\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos)
+      << t.status().ToString();
+  EXPECT_NE(t.status().message().find("column 2"), std::string::npos)
+      << t.status().ToString();
+
+  // On the header it creates an unnamed column — rejected immediately
+  // with the column position (found by the fuzzer: a lone empty header
+  // name serializes to a blank line, which does not re-parse).
+  const Result<CsvTable> h = ParseCsv("a,b,\n1,2\n");
+  ASSERT_FALSE(h.ok());
+  EXPECT_NE(h.status().message().find("column 3"), std::string::npos)
+      << h.status().ToString();
+  EXPECT_NE(h.status().message().find("empty header name"), std::string::npos)
+      << h.status().ToString();
+}
+
+TEST(CsvEdgeCaseTest, QuotedFieldsWithSeparators) {
+  // Quoted header names may contain the separator and escaped quotes;
+  // values parse normally around them.
+  const Result<CsvTable> t =
+      ParseCsv("\"age, years\",\"the \"\"label\"\"\"\n17,1\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().header,
+            (std::vector<std::string>{"age, years", "the \"label\""}));
+  ASSERT_EQ(t.value().rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.value().rows[0][0], 17.0);
+
+  // And ToCsv re-quotes such names so the round trip is stable.
+  const Result<CsvTable> round = ParseCsv(ToCsv(t.value()));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round.value().header, t.value().header);
+
+  // Quoted numeric cells are also fine.
+  const Result<CsvTable> q = ParseCsv("a,b\n\"1.5\",2\n");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_DOUBLE_EQ(q.value().rows[0][0], 1.5);
+}
+
+TEST(CsvEdgeCaseTest, EmptyFileFails) {
+  const Result<CsvTable> t = ParseCsv("");
+  ASSERT_FALSE(t.ok());
+  EXPECT_FALSE(t.status().message().empty());
+  EXPECT_FALSE(ParseCsv("\n\r\n\n").ok());  // only blank lines
+}
+
+TEST(CsvEdgeCaseTest, HeaderOnlyFailsDatasetConversion) {
+  const Result<CsvTable> t = ParseCsv("a,b,label\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();  // a table, just empty
+  EXPECT_TRUE(t.value().rows.empty());
+  const Result<Dataset> d = DatasetFromCsv(t.value(), "label", {});
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("no data rows"), std::string::npos)
+      << d.status().ToString();
+}
+
+TEST(CsvEdgeCaseTest, NonNumericCellCarriesRowAndColumn) {
+  const Result<CsvTable> t = ParseCsv("a,b,label\n1,2,0\n3,oops,1\n");
+  ASSERT_FALSE(t.ok());
+  const std::string& msg = t.status().message();
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'b'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+}
+
+TEST(CsvEdgeCaseTest, NonFiniteCellsAreRejected) {
+  // strtod accepts "nan" and "inf", but a dataset with them poisons
+  // every downstream statistic — the parser rejects them with location.
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    const Result<CsvTable> t =
+        ParseCsv(std::string("a,b\n1,") + bad + "\n");
+    ASSERT_FALSE(t.ok()) << bad;
+    EXPECT_NE(t.status().message().find("column 2"), std::string::npos)
+        << t.status().ToString();
+  }
+}
+
+TEST(CsvEdgeCaseTest, BadLabelCarriesRowDiagnostics) {
+  CsvTable table = MakeTable();
+  table.rows[1][2] = 3.0;
+  const Result<Dataset> d = DatasetFromCsv(table, "label", {"sex"});
+  ASSERT_FALSE(d.ok());
+  const std::string& msg = d.status().message();
+  EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("label"), std::string::npos) << msg;
+}
+
 }  // namespace
 }  // namespace falcc

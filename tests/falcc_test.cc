@@ -91,33 +91,9 @@ TEST(FalccTest, ClassificationIsDeterministic) {
   EXPECT_EQ(a.ClassifyAll(s.test), b.ClassifyAll(s.test));
 }
 
-TEST(FalccTest, TrainingIsDeterministicAcrossThreadCounts) {
-  // The parallel runtime's hard contract: the offline phase run on 1 and
-  // on 4 threads produces byte-identical serialized models and identical
-  // batch predictions.
-  const TrainValTest s = MakeSplits();
-  FalccOptions opt = FastOptions();
-  opt.trainer.family = TrainerFamily::kRandomForest;  // per-tree parallelism
-
-  const size_t previous = Parallelism();
-  SetParallelism(1);
-  const FalccModel serial =
-      FalccModel::Train(s.train, s.validation, opt).value();
-  const std::vector<int> serial_preds = serial.ClassifyAll(s.test);
-  std::ostringstream serial_bytes;
-  ASSERT_TRUE(serial.Save(&serial_bytes).ok());
-
-  SetParallelism(4);
-  const FalccModel parallel =
-      FalccModel::Train(s.train, s.validation, opt).value();
-  const std::vector<int> parallel_preds = parallel.ClassifyAll(s.test);
-  std::ostringstream parallel_bytes;
-  ASSERT_TRUE(parallel.Save(&parallel_bytes).ok());
-  SetParallelism(previous);
-
-  EXPECT_EQ(serial_bytes.str(), parallel_bytes.str());
-  EXPECT_EQ(serial_preds, parallel_preds);
-}
+// Thread-count determinism of training now lives in invariants_test
+// (InvariantsTest.TrainingThreadCountInvariance) via the shared
+// CheckTrainingThreadInvariance helper.
 
 TEST(FalccTest, ValidationRowsCoverAllClusters) {
   const TrainValTest s = MakeSplits();

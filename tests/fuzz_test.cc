@@ -1,0 +1,184 @@
+// Deterministic fuzz harness over the snapshot loader and CSV parser.
+//
+// Two layers, matching how the corpus workflow runs:
+//  * FuzzCorpusTest — replays every checked-in regression input from
+//    tests/corpus/ through the target contracts. Always runs in plain
+//    ctest, so a loader fix can never regress silently.
+//  * FuzzSmokeTest — the seeded mutation loop (label `fuzz`). Default
+//    budget keeps plain ctest fast; `tools/check.sh --fuzz-only` runs it
+//    under ASan/UBSan with FALCC_FUZZ_ITERS=10000 per target.
+
+#include "testing/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/falcc.h"
+#include "data/csv_dataset.h"
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "testing/invariants.h"
+#include "util/csv.h"
+
+namespace falcc {
+namespace {
+
+using testing::FuzzCsvParse;
+using testing::FuzzIterationsFromEnv;
+using testing::FuzzOptions;
+using testing::FuzzSnapshotLoad;
+using testing::FuzzStats;
+using testing::LoadCorpus;
+using testing::RunFuzz;
+
+// A tiny trained model: the structure-aware seed every snapshot
+// mutation starts from. Small on purpose — mutation cost is linear in
+// the seed size and the interesting structure is all near the front.
+const std::string& TinySnapshot() {
+  static const std::string* bytes = [] {
+    SyntheticConfig cfg;
+    cfg.num_samples = 160;
+    cfg.seed = 7;
+    const Dataset d = GenerateImplicitBias(cfg).value();
+    const TrainValTest s = SplitDatasetDefault(d, 11).value();
+    FalccOptions opt;
+    opt.seed = 42;
+    opt.fixed_k = 2;
+    opt.trainer.estimator_grid = {2};
+    opt.trainer.depth_grid = {1};
+    opt.trainer.pool_size = 2;
+    const FalccModel model =
+        FalccModel::Train(s.train, s.validation, opt).value();
+    std::string out;
+    EXPECT_TRUE(testing::SaveToString(model, &out).ok());
+    return new std::string(out);
+  }();
+  return *bytes;
+}
+
+// The same artifact without the optional monitor section — the legacy
+// layout, which exercises the end-of-stream path.
+std::string LegacySnapshot() {
+  const std::string& bytes = TinySnapshot();
+  const size_t marker = bytes.find("falcc-monitor-v1");
+  return marker == std::string::npos ? bytes : bytes.substr(0, marker);
+}
+
+std::string TinyCsv() {
+  SyntheticConfig cfg;
+  cfg.num_samples = 24;
+  cfg.seed = 7;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  return ToCsv(DatasetToCsv(d, "label"));
+}
+
+std::vector<std::string> CorpusOrDie(const std::string& subdir) {
+  Result<std::vector<std::string>> corpus =
+      LoadCorpus(std::string(FALCC_CORPUS_DIR) + "/" + subdir);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return corpus.ok() ? std::move(corpus).value() : std::vector<std::string>{};
+}
+
+TEST(FuzzCorpusTest, SnapshotCorpusReplaysClean) {
+  const std::vector<std::string> corpus = CorpusOrDie("snapshot");
+  ASSERT_FALSE(corpus.empty()) << "tests/corpus/snapshot is missing";
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Status st = FuzzSnapshotLoad(corpus[i]);
+    EXPECT_TRUE(st.ok()) << "corpus input " << i << ": " << st.ToString();
+  }
+}
+
+TEST(FuzzCorpusTest, CsvCorpusReplaysClean) {
+  const std::vector<std::string> corpus = CorpusOrDie("csv");
+  ASSERT_FALSE(corpus.empty()) << "tests/corpus/csv is missing";
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Status st = FuzzCsvParse(corpus[i]);
+    EXPECT_TRUE(st.ok()) << "corpus input " << i << ": " << st.ToString();
+  }
+}
+
+TEST(FuzzCorpusTest, ValidSeedsPassTheContracts) {
+  // The unmutated seeds themselves must satisfy the accept-side checks;
+  // otherwise every smoke finding would be noise.
+  EXPECT_TRUE(FuzzSnapshotLoad(TinySnapshot()).ok());
+  EXPECT_TRUE(FuzzSnapshotLoad(LegacySnapshot()).ok());
+  EXPECT_TRUE(FuzzCsvParse(TinyCsv()).ok());
+}
+
+TEST(SnapshotRegressionTest, ZeroLengthSnapshotIsRejected) {
+  const Result<FalccModel> r = testing::LoadFromString("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().message().empty());
+}
+
+TEST(SnapshotRegressionTest, GarbagePrefixIsRejected) {
+  for (const std::string prefix :
+       {std::string("garbage "), std::string("\x00\xff\x7f", 3),
+        std::string("falcc-model-v2\n")}) {
+    const Result<FalccModel> r =
+        testing::LoadFromString(prefix + TinySnapshot());
+    ASSERT_FALSE(r.ok()) << "prefix '" << prefix << "'";
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+TEST(SnapshotRegressionTest, MidSectionTruncationsReturnDescriptiveErrors) {
+  const std::string& bytes = TinySnapshot();
+  // A cut anywhere strictly inside the mandatory sections must produce a
+  // descriptive error, never an abort or a silently half-loaded model.
+  for (const size_t denom : {16u, 8u, 4u, 3u, 2u}) {
+    const std::string cut = bytes.substr(0, bytes.size() / denom);
+    const Result<FalccModel> r = testing::LoadFromString(cut);
+    ASSERT_FALSE(r.ok()) << "cut at " << cut.size();
+    EXPECT_FALSE(r.status().message().empty()) << "cut at " << cut.size();
+  }
+}
+
+TEST(SnapshotRegressionTest, LegacySnapshotRoundTripsByteIdentically) {
+  // An artifact saved before the drift monitor existed has no
+  // falcc-monitor-v1 section; Load → Save must reproduce it exactly
+  // instead of growing a section the original never had.
+  const std::string legacy = LegacySnapshot();
+  ASSERT_NE(legacy, TinySnapshot());
+  const Result<FalccModel> model = testing::LoadFromString(legacy);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_FALSE(model.value().has_baseline_losses());
+  std::string saved;
+  ASSERT_TRUE(testing::SaveToString(model.value(), &saved).ok());
+  EXPECT_EQ(saved, legacy);
+}
+
+TEST(FuzzSmokeTest, SnapshotLoad) {
+  std::vector<std::string> seeds = {TinySnapshot(), LegacySnapshot()};
+  for (std::string& input : CorpusOrDie("snapshot")) {
+    seeds.push_back(std::move(input));
+  }
+  FuzzOptions options;
+  options.seed = 0x5eedf00d;
+  options.iterations = FuzzIterationsFromEnv(2000);
+  options.failure_dir = ::testing::TempDir() + "/falcc-fuzz-snapshot";
+  FuzzStats stats;
+  const Status st = RunFuzz(seeds, FuzzSnapshotLoad, options, &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.iterations, options.iterations);
+}
+
+TEST(FuzzSmokeTest, CsvParse) {
+  std::vector<std::string> seeds = {TinyCsv()};
+  for (std::string& input : CorpusOrDie("csv")) {
+    seeds.push_back(std::move(input));
+  }
+  FuzzOptions options;
+  options.seed = 0xc57f00d;
+  options.iterations = FuzzIterationsFromEnv(2000);
+  options.failure_dir = ::testing::TempDir() + "/falcc-fuzz-csv";
+  FuzzStats stats;
+  const Status st = RunFuzz(seeds, FuzzCsvParse, options, &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.iterations, options.iterations);
+}
+
+}  // namespace
+}  // namespace falcc

@@ -434,55 +434,10 @@ TEST(SnapshotBaselineTest, LegacyStreamWithoutMonitorSectionStillLoads) {
 
 // --- CloneWithRefreshes ------------------------------------------------
 
-TEST(CloneWithRefreshesTest, UntouchedClustersBitIdentical) {
-  const TrainValTest s = MakeSplits();
-  const FalccModel model =
-      FalccModel::Train(s.train, s.validation, FastOptions()).value();
-  ASSERT_GE(model.num_clusters(), 2u);
-
-  // Swap cluster 0 to a combination that differs from the serving one.
-  const ModelCombination& current = model.selected_combinations()[0];
-  ModelCombination replacement = current;
-  replacement[0] = (current[0] + 1) % model.pool().size();
-  ClusterRefresh refresh;
-  refresh.cluster = 0;
-  refresh.combination = replacement;
-  refresh.baseline_loss = 0.123;
-  const FalccModel clone =
-      model.CloneWithRefreshes({&refresh, 1}).value();
-
-  EXPECT_EQ(clone.selected_combinations()[0], replacement);
-  EXPECT_EQ(clone.baseline_losses()[0], 0.123);
-  for (size_t c = 1; c < model.num_clusters(); ++c) {
-    EXPECT_EQ(clone.selected_combinations()[c],
-              model.selected_combinations()[c]);
-    EXPECT_EQ(clone.baseline_losses()[c], model.baseline_losses()[c]);
-  }
-
-  const std::vector<double> flat = Flatten(s.test);  // outlives the span
-  const ClassifyRequest request{flat, s.test.num_features()};
-  const ClassifyResponse before = model.ClassifyBatch(request).value();
-  const ClassifyResponse after = clone.ClassifyBatch(request).value();
-  ASSERT_EQ(before.decisions.size(), after.decisions.size());
-  for (size_t i = 0; i < before.decisions.size(); ++i) {
-    const SampleDecision& b = before.decisions[i];
-    const SampleDecision& a = after.decisions[i];
-    EXPECT_EQ(a.cluster, b.cluster) << i;  // routing never changes
-    EXPECT_EQ(a.group, b.group) << i;
-    if (b.cluster != 0) {
-      // Bit-identical on every untouched cluster.
-      EXPECT_EQ(a.label, b.label) << i;
-      EXPECT_EQ(a.probability, b.probability) << i;
-      EXPECT_EQ(a.model, b.model) << i;
-    } else {
-      EXPECT_EQ(a.model, replacement[a.group]) << i;
-    }
-  }
-
-  // Out-of-range clusters are rejected.
-  refresh.cluster = model.num_clusters();
-  EXPECT_FALSE(model.CloneWithRefreshes({&refresh, 1}).ok());
-}
+// Refresh isolation (untouched clusters bit-identical, routing stable,
+// invalid refreshes rejected) now lives in invariants_test
+// (InvariantsTest.RefreshLeavesUntouchedClustersBitIdentical) via the
+// shared CheckRefreshIsolation helper.
 
 // --- End-to-end drift → alarm → refresh --------------------------------
 

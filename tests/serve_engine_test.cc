@@ -52,34 +52,9 @@ std::vector<double> Flatten(const Dataset& data) {
   return flat;
 }
 
-TEST(ClassifyBatchTest, MatchesSequentialClassify) {
-  const TrainValTest s = MakeSplits();
-  const FalccModel model =
-      FalccModel::Train(s.train, s.validation, FastOptions()).value();
-
-  const std::vector<double> flat = Flatten(s.test);
-  ClassifyRequest request;
-  request.features = flat;
-  request.num_features = s.test.num_features();
-  const ClassifyResponse response = model.ClassifyBatch(request).value();
-  ASSERT_EQ(response.decisions.size(), s.test.num_rows());
-
-  const std::vector<int> all = model.ClassifyAll(s.test);
-  for (size_t i = 0; i < s.test.num_rows(); ++i) {
-    const auto row = s.test.Row(i);
-    const SampleDecision& d = response.decisions[i];
-    // Bit-identical across every entry point.
-    EXPECT_EQ(d.label, model.Classify(row)) << "row " << i;
-    EXPECT_EQ(d.label, all[i]) << "row " << i;
-    EXPECT_EQ(d.probability, model.ClassifyProba(row)) << "row " << i;
-    // Diagnostics are consistent with the exposed online steps.
-    EXPECT_EQ(d.cluster, model.MatchCluster(row)) << "row " << i;
-    EXPECT_EQ(d.group, model.GroupOf(row).value()) << "row " << i;
-    EXPECT_EQ(d.model, model.selected_combinations()[d.cluster][d.group])
-        << "row " << i;
-    EXPECT_EQ(d.label, d.probability >= 0.5 ? 1 : 0) << "row " << i;
-  }
-}
+// Batch ≡ sequential bit-identity now lives in invariants_test
+// (InvariantsTest.BatchMatchesSequentialClassify) via the shared
+// CheckBatchMatchesSequential helper.
 
 TEST(ClassifyBatchTest, RejectsMalformedInput) {
   const FalccModel model = TrainSmallModel();

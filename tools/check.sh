@@ -14,19 +14,26 @@
 #      split engine (ml/tree_builder.cc) fail loudly; the serving tests
 #      run here too.
 #
-# Usage: tools/check.sh [--plain-only|--tsan-only|--asan-only]
+# --fuzz-only instead runs the adversarial harness (`ctest -L fuzz`:
+# tests/fuzz_test.cc mutation loops + tests/fault_injection_test.cc byte
+# sweeps) in the ASan+UBSan build with a 10k-iteration budget per fuzz
+# target. Override the budget with FALCC_FUZZ_ITERS=<n>.
+#
+# Usage: tools/check.sh [--plain-only|--tsan-only|--asan-only|--fuzz-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_plain=1
 run_tsan=1
 run_asan=1
+run_fuzz=0
 case "${1:-}" in
   --plain-only) run_tsan=0; run_asan=0 ;;
   --tsan-only) run_plain=0; run_asan=0 ;;
   --asan-only) run_plain=0; run_tsan=0 ;;
+  --fuzz-only) run_plain=0; run_tsan=0; run_asan=0; run_fuzz=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--plain-only|--tsan-only|--asan-only]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--plain-only|--tsan-only|--asan-only|--fuzz-only]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 2)"
@@ -56,6 +63,15 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$jobs"
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_fuzz" == 1 ]]; then
+  echo "=== fuzz: ASan+UBSan build, ctest -L fuzz, ${FALCC_FUZZ_ITERS:-10000} iters/target ==="
+  cmake -B build-asan -S . -DFALCC_SANITIZE=address-undefined >/dev/null
+  cmake --build build-asan -j "$jobs"
+  FALCC_FUZZ_ITERS="${FALCC_FUZZ_ITERS:-10000}" \
+    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan -L fuzz --output-on-failure
 fi
 
 echo "all checks passed"
