@@ -1,0 +1,324 @@
+// Compiled-kernel inference benchmark: flat-node SoA traversal
+// (ml/compiled_ensemble.h) vs the interpreted per-model prediction path,
+// single thread, median of --reps passes over a --rows probe set.
+//
+// Cases:
+//
+//  * Model-level — CompiledEnsemble vs Classifier::PredictProbaBatch for
+//    the tree families the pool trains: deep and shallow AdaBoost, a
+//    bagged random forest, and a single CART. This is the kernel itself,
+//    no routing around it.
+//  * End-to-end — FalccModel::ClassifyBatch with the fused per-cluster
+//    kernels on vs off on a trained FALCC model. Includes validation,
+//    transform, and cluster matching, so the speedup is diluted by the
+//    stages compilation does not touch (Amdahl), and is reported
+//    separately from the kernel-level ratio.
+//
+// Every timed pass re-checks bit-identity: compiled probabilities (and,
+// end-to-end, whole decisions) must equal the interpreted ones exactly;
+// the binary exits non-zero on any divergence. Results go to
+// BENCH_infer.json; `--compiled=off` skips the compiled measurements
+// (interpreted baseline only, no speedups).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/falcc.h"
+#include "datagen/synthetic.h"
+#include "ml/adaboost.h"
+#include "ml/compiled_ensemble.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/timer.h"
+
+namespace falcc {
+namespace {
+
+struct CaseResult {
+  std::string name;
+  size_t num_trees = 0;
+  size_t num_nodes = 0;
+  double interpreted_ns_per_row = 0.0;
+  double compiled_ns_per_row = 0.0;
+  double speedup = 0.0;  ///< interpreted / compiled; 0 when not measured
+  bool decisions_identical = true;
+  bool end_to_end = false;
+};
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+std::vector<double> Flatten(const Dataset& data) {
+  std::vector<double> flat;
+  flat.reserve(data.num_rows() * data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return flat;
+}
+
+double MedianSeconds(std::vector<double> times) {
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Times `fn` (which fills one probe pass) `reps` times after a warmup
+/// pass; returns median ns/row.
+template <typename Fn>
+double MedianNsPerRow(size_t rows, size_t reps, const Fn& fn) {
+  fn();  // warmup: page in the tables, size the buffers
+  std::vector<double> times(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Timer wall;
+    fn();
+    times[rep] = wall.ElapsedSeconds();
+  }
+  return MedianSeconds(std::move(times)) * 1e9 / static_cast<double>(rows);
+}
+
+CaseResult RunModelCase(const std::string& name, const Classifier& model,
+                        const Dataset& probe, size_t reps, bool run_compiled) {
+  CaseResult result;
+  result.name = name;
+
+  const std::vector<size_t> rows = AllRows(probe.num_rows());
+  std::vector<double> interpreted(rows.size());
+  std::vector<double> compiled(rows.size());
+
+  result.interpreted_ns_per_row = MedianNsPerRow(
+      rows.size(), reps,
+      [&] { model.PredictProbaBatch(probe, rows, interpreted); });
+  if (!run_compiled) return result;
+
+  const Result<CompiledEnsemble> kernel = CompiledEnsemble::Compile(model);
+  FALCC_CHECK(kernel.ok(), "bench_infer: compile failed");
+  result.num_trees = kernel.value().num_trees();
+  result.num_nodes = kernel.value().num_nodes();
+  result.compiled_ns_per_row = MedianNsPerRow(
+      rows.size(), reps,
+      [&] { kernel.value().PredictProbaBatch(probe, rows, compiled); });
+  result.speedup = result.interpreted_ns_per_row / result.compiled_ns_per_row;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (interpreted[i] != compiled[i]) result.decisions_identical = false;
+  }
+  return result;
+}
+
+/// Training config for the end-to-end case: a pool of deep AdaBoost
+/// ensembles over enough local regions that per-cluster fusion matters.
+FalccOptions EndToEndOptions() {
+  FalccOptions opt;
+  opt.seed = 42;
+  opt.fixed_k = 8;
+  opt.trainer.pool_size = 8;
+  opt.trainer.estimator_grid = {20, 30};
+  opt.trainer.depth_grid = {6, 8};
+  opt.trainer.accuracy_tolerance = 1.0;  // keep every candidate
+  return opt;
+}
+
+CaseResult RunEndToEnd(FalccModel* model, const std::vector<double>& flat,
+                       size_t width, size_t reps, bool run_compiled) {
+  CaseResult result;
+  result.name = "falcc_classify_batch";
+  result.end_to_end = true;
+  const size_t rows = flat.size() / width;
+
+  ClassifyRequest request;
+  request.features = flat;
+  request.num_features = width;
+
+  ClassifyResponse interpreted, compiled;
+  model->set_use_compiled(false);
+  result.interpreted_ns_per_row = MedianNsPerRow(rows, reps, [&] {
+    Result<ClassifyResponse> r = model->ClassifyBatch(request);
+    FALCC_CHECK(r.ok(), "bench_infer: interpreted ClassifyBatch failed");
+    interpreted = std::move(r).value();
+  });
+  if (!run_compiled) {
+    model->set_use_compiled(true);
+    return result;
+  }
+
+  model->set_use_compiled(true);
+  for (size_t c = 0; c < model->num_clusters(); ++c) {
+    result.num_nodes += model->compiled_combo(c)->num_nodes();
+  }
+  result.compiled_ns_per_row = MedianNsPerRow(rows, reps, [&] {
+    Result<ClassifyResponse> r = model->ClassifyBatch(request);
+    FALCC_CHECK(r.ok(), "bench_infer: compiled ClassifyBatch failed");
+    compiled = std::move(r).value();
+  });
+  result.speedup = result.interpreted_ns_per_row / result.compiled_ns_per_row;
+  for (size_t i = 0; i < rows; ++i) {
+    const SampleDecision& a = interpreted.decisions[i];
+    const SampleDecision& b = compiled.decisions[i];
+    if (a.label != b.label || a.probability != b.probability ||
+        a.cluster != b.cluster || a.group != b.group || a.model != b.model) {
+      result.decisions_identical = false;
+    }
+  }
+  return result;
+}
+
+void WriteJson(const std::string& path, size_t rows, size_t reps,
+               bool run_compiled, const std::vector<CaseResult>& results) {
+  double min_kernel_speedup = 0.0;
+  for (const CaseResult& r : results) {
+    if (r.end_to_end || r.speedup <= 0.0) continue;
+    if (min_kernel_speedup == 0.0 || r.speedup < min_kernel_speedup) {
+      min_kernel_speedup = r.speedup;
+    }
+  }
+  std::ofstream out(path);
+  FALCC_CHECK(static_cast<bool>(out), "cannot open BENCH_infer.json");
+  out << "{\n";
+  out << "  \"benchmark\": \"compiled_inference\",\n";
+  out << "  \"dataset\": \"implicit\",\n";
+  out << "  \"rows\": " << rows << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"threads\": " << Parallelism() << ",\n";
+  out << "  \"compiled\": " << (run_compiled ? "true" : "false") << ",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"note\": \"ns_per_row = median of reps passes; model-level "
+         "cases time the bare kernels, falcc_classify_batch is the full "
+         "online path (validate + transform + match + predict) so its "
+         "ratio is Amdahl-diluted; decisions_identical = compiled output "
+         "bit-equal to interpreted\",\n";
+  out << "  \"cases\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    out << "    {\"case\": \"" << r.name << "\", \"end_to_end\": "
+        << (r.end_to_end ? "true" : "false")
+        << ", \"num_trees\": " << r.num_trees
+        << ", \"num_nodes\": " << r.num_nodes
+        << ", \"interpreted_ns_per_row\": " << r.interpreted_ns_per_row
+        << ", \"compiled_ns_per_row\": " << r.compiled_ns_per_row
+        << ", \"speedup\": " << r.speedup << ", \"decisions_identical\": "
+        << (r.decisions_identical ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"min_kernel_speedup\": " << min_kernel_speedup << "\n";
+  out << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  // Single-thread by default: the kernel claim is per-core, and the
+  // model-level loops are serial either way. --threads still overrides.
+  SetParallelism(1);
+  bench::ApplyThreadsFlag(&argc, argv);
+  bench::PrintThreadHeader("bench_infer");
+
+  std::string json_path = "BENCH_infer.json";
+  size_t rows = 20000;
+  size_t reps = 5;
+  bool run_compiled = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      json_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = static_cast<size_t>(std::max(1L, std::atol(argv[i] + 7)));
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<size_t>(std::max(1L, std::atol(argv[i] + 7)));
+    } else if (std::strcmp(argv[i], "--compiled=off") == 0) {
+      run_compiled = false;
+    } else if (std::strcmp(argv[i], "--compiled=on") == 0) {
+      run_compiled = true;
+    }
+  }
+
+  SyntheticConfig cfg;
+  cfg.num_samples = 2000;
+  cfg.seed = 31;
+  const Dataset train = GenerateImplicitBias(cfg).value();
+  cfg.num_samples = rows;
+  cfg.seed = 32;
+  const Dataset probe = GenerateImplicitBias(cfg).value();
+
+  std::vector<CaseResult> results;
+
+  {
+    AdaBoostOptions opt;
+    opt.num_estimators = 40;
+    opt.base.max_depth = 8;
+    AdaBoost model(opt);
+    FALCC_CHECK(model.Fit(train).ok(), "bench_infer: fit failed");
+    results.push_back(
+        RunModelCase("adaboost_deep", model, probe, reps, run_compiled));
+  }
+  {
+    AdaBoostOptions opt;
+    opt.num_estimators = 20;
+    opt.base.max_depth = 4;
+    AdaBoost model(opt);
+    FALCC_CHECK(model.Fit(train).ok(), "bench_infer: fit failed");
+    results.push_back(
+        RunModelCase("adaboost_shallow", model, probe, reps, run_compiled));
+  }
+  {
+    RandomForestOptions opt;
+    opt.num_trees = 40;
+    opt.base.max_depth = 10;
+    RandomForest model(opt);
+    FALCC_CHECK(model.Fit(train).ok(), "bench_infer: fit failed");
+    results.push_back(
+        RunModelCase("random_forest", model, probe, reps, run_compiled));
+  }
+  {
+    DecisionTreeOptions opt;
+    opt.max_depth = 12;
+    DecisionTree model(opt);
+    FALCC_CHECK(model.Fit(train).ok(), "bench_infer: fit failed");
+    results.push_back(
+        RunModelCase("single_tree", model, probe, reps, run_compiled));
+  }
+  {
+    cfg.num_samples = 6000;
+    cfg.seed = 33;
+    const Dataset e2e_train = GenerateImplicitBias(cfg).value();
+    Result<FalccModel> model =
+        FalccModel::Train(e2e_train, probe, EndToEndOptions());
+    FALCC_CHECK(model.ok(), "bench_infer: train failed");
+    const std::vector<double> flat = Flatten(probe);
+    results.push_back(RunEndToEnd(&model.value(), flat, probe.num_features(),
+                                  reps, run_compiled));
+  }
+
+  bool all_identical = true;
+  for (const CaseResult& r : results) {
+    std::printf(
+        "%-22s interpreted %9.1f ns/row   compiled %9.1f ns/row   "
+        "speedup %5.2fx   identical=%s\n",
+        r.name.c_str(), r.interpreted_ns_per_row, r.compiled_ns_per_row,
+        r.speedup, r.decisions_identical ? "true" : "false");
+    all_identical = all_identical && r.decisions_identical;
+  }
+  WriteJson(json_path, rows, reps, run_compiled, results);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "bench_infer: compiled decisions diverged from the "
+                 "interpreted path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace falcc
+
+int main(int argc, char** argv) { return falcc::Main(argc, argv); }

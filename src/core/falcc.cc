@@ -4,10 +4,13 @@
 #include <cmath>
 #include <fstream>
 #include <istream>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "cluster/kdtree.h"
 #include "ml/adaboost.h"
@@ -256,10 +259,44 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
     FALCC_RETURN_IF_ERROR(status);
   }
   FALCC_RETURN_IF_ERROR(model.BuildCentroidIndex());
+  FALCC_RETURN_IF_ERROR(model.CompileKernels());
   if (stage_times != nullptr) {
     stage_times->assess_seconds = assess_timer.ElapsedSeconds();
   }
   return model;
+}
+
+Status FalccModel::CompileKernels() {
+  const size_t k = centroids_.size();
+  compiled_.assign(k, nullptr);
+  // Clusters frequently select the same combination (the global best in
+  // particular); they share one fused kernel.
+  std::map<ModelCombination, std::shared_ptr<const CompiledCombo>> dedup;
+  for (size_t c = 0; c < k; ++c) {
+    auto [it, inserted] = dedup.try_emplace(selected_[c]);
+    if (inserted) {
+      Result<std::shared_ptr<const CompiledCombo>> combo =
+          CompiledCombo::Compile(pool_, selected_[c]);
+      if (!combo.ok()) return combo.status();
+      it->second = std::move(combo).value();
+    }
+    compiled_[c] = it->second;
+  }
+  RebuildComboSlots();
+  return Status::OK();
+}
+
+void FalccModel::RebuildComboSlots() {
+  combo_slot_.assign(compiled_.size(), 0);
+  slot_kernel_.clear();
+  std::map<const CompiledCombo*, uint32_t> slots;
+  for (size_t c = 0; c < compiled_.size(); ++c) {
+    const CompiledCombo* kernel = compiled_[c].get();
+    auto [it, inserted] = slots.try_emplace(
+        kernel, static_cast<uint32_t>(slot_kernel_.size()));
+    if (inserted) slot_kernel_.push_back(kernel);
+    combo_slot_[c] = it->second;
+  }
 }
 
 Status FalccModel::BuildCentroidIndex() {
@@ -303,6 +340,10 @@ Status FalccModel::Save(std::ostream* out) const {
 }
 
 Result<FalccModel> FalccModel::Load(std::istream* in) {
+  return LoadImpl(in, /*compile=*/true);
+}
+
+Result<FalccModel> FalccModel::LoadImpl(std::istream* in, bool compile) {
   FALCC_RETURN_IF_ERROR(io::Expect(in, kModelHeader));
   FalccModel model;
   FALCC_RETURN_IF_ERROR(io::Read(in, &model.pool_entropy_));
@@ -419,6 +460,12 @@ Result<FalccModel> FalccModel::Load(std::istream* in) {
     }
   }
   FALCC_RETURN_IF_ERROR(model.BuildCentroidIndex());
+  // Compile after every validation pass above: the kernels gather
+  // through feature indices the width checks just vetted, so nothing an
+  // accepted artifact contains can make a kernel read out of bounds.
+  if (compile) {
+    FALCC_RETURN_IF_ERROR(model.CompileKernels());
+  }
   return model;
 }
 
@@ -426,7 +473,9 @@ Result<FalccModel> FalccModel::CloneWithRefreshes(
     std::span<const ClusterRefresh> refreshes) const {
   std::stringstream buffer;
   FALCC_RETURN_IF_ERROR(Save(&buffer));
-  Result<FalccModel> clone = Load(&buffer);
+  // The round trip skips compilation: untouched clusters reuse this
+  // model's kernels below, and only refreshed combinations compile.
+  Result<FalccModel> clone = LoadImpl(&buffer, /*compile=*/false);
   if (!clone.ok()) return clone.status();
   FalccModel model = std::move(clone).value();
   for (const ClusterRefresh& refresh : refreshes) {
@@ -455,6 +504,25 @@ Result<FalccModel> FalccModel::CloneWithRefreshes(
     if (model.has_baseline_losses()) {
       model.baseline_loss_[refresh.cluster] = refresh.baseline_loss;
     }
+  }
+  model.use_compiled_ = use_compiled_;
+  if (has_compiled_kernels()) {
+    // Kernel reuse: untouched clusters share this model's compiled
+    // combos pointer-for-pointer; each distinct refreshed combination
+    // compiles exactly once.
+    model.compiled_ = compiled_;
+    std::map<ModelCombination, std::shared_ptr<const CompiledCombo>> fresh;
+    for (const ClusterRefresh& refresh : refreshes) {
+      auto [it, inserted] = fresh.try_emplace(refresh.combination);
+      if (inserted) {
+        Result<std::shared_ptr<const CompiledCombo>> combo =
+            CompiledCombo::Compile(model.pool_, refresh.combination);
+        if (!combo.ok()) return combo.status();
+        it->second = std::move(combo).value();
+      }
+      model.compiled_[refresh.cluster] = it->second;
+    }
+    model.RebuildComboSlots();
   }
   return model;
 }
@@ -519,17 +587,20 @@ double FalccModel::ClassifyProba(std::span<const double> features) const {
 }
 
 void FalccModel::ClassifyRowsInto(const Dataset& data,
-                                  ClassifyResponse* response) const {
+                                  ClassifyResponse* response,
+                                  ClassifyScratch* scratch) const {
   const size_t n = data.num_rows();
   std::vector<SampleDecision>& decisions = response->decisions;
   decisions.assign(n, SampleDecision{});
   Timer stage_timer;
 
   // Stage 1 — sample processing (§3.7 step 1) into one contiguous
-  // row-major matrix. One scratch buffer per chunk: the per-sample Apply
-  // allocation dominates the nearest-centroid lookup on small models.
+  // row-major matrix (caller scratch, reused across batches). One
+  // transform buffer per chunk: the per-sample Apply allocation
+  // dominates the nearest-centroid lookup on small models.
   const size_t width = clustering_transform_.num_output_features();
-  std::vector<double> transformed(n * width);
+  std::vector<double>& transformed = scratch->transformed;
+  transformed.resize(n * width);
   ParallelFor(0, n, 256, [&](size_t /*chunk*/, size_t lo, size_t hi) {
     std::vector<double> scratch;
     for (size_t i = lo; i < hi; ++i) {
@@ -561,32 +632,56 @@ void FalccModel::ClassifyRowsInto(const Dataset& data,
   response->stages.match = stage_timer.ElapsedSeconds();
   stage_timer.Restart();
 
-  // Stage 3 — batch inference, one traversal per model over all its rows
-  // (tree ensembles walk flat node arrays with no per-row virtual
-  // dispatch). A counting sort groups row indices by model, ascending
-  // within each model; per-row results are independent, so the
-  // regrouping cannot change any prediction.
-  const size_t pool_size = pool_.size();
-  std::vector<size_t> offsets(pool_size + 1, 0);
-  for (size_t i = 0; i < n; ++i) ++offsets[decisions[i].model + 1];
-  for (size_t m = 0; m < pool_size; ++m) offsets[m + 1] += offsets[m];
-  std::vector<size_t> rows(n);
-  {
-    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (size_t i = 0; i < n; ++i) rows[cursor[decisions[i].model]++] = i;
-  }
-  ParallelFor(0, pool_size, 1, [&](size_t /*chunk*/, size_t lo, size_t hi) {
-    std::vector<double> proba;
-    for (size_t m = lo; m < hi; ++m) {
-      const std::span<const size_t> model_rows(rows.data() + offsets[m],
-                                               offsets[m + 1] - offsets[m]);
-      if (model_rows.empty()) continue;
-      proba.resize(model_rows.size());
-      pool_.model(m).PredictProbaBatch(data, model_rows, proba);
-      for (size_t j = 0; j < model_rows.size(); ++j) {
-        SampleDecision& d = decisions[model_rows[j]];
-        d.probability = proba[j];
-        d.label = proba[j] >= 0.5 ? 1 : 0;
+  // Stage 3 — batch inference. With compiled kernels, rows group by
+  // (kernel slot, group): each segment runs one fused flat-node walk —
+  // no group routing or per-model virtual dispatch inside the segment —
+  // with non-lowerable models falling back to the interpreted batch
+  // path. Without kernels, rows group by model exactly as before. The
+  // counting sort keeps row ids ascending within each segment and
+  // per-row results are independent, so the regrouping cannot change any
+  // prediction; segments write disjoint slices of the shared scratch
+  // probability buffer, so the parallel loop allocates nothing.
+  const bool fused = use_compiled_ && has_compiled_kernels();
+  const size_t groups = num_groups();
+  const size_t num_keys =
+      fused ? slot_kernel_.size() * groups : pool_.size();
+  auto key_of = [&](const SampleDecision& d) {
+    return fused ? combo_slot_[d.cluster] * groups + d.group : d.model;
+  };
+  std::vector<size_t>& offsets = scratch->offsets;
+  std::vector<size_t>& cursor = scratch->cursor;
+  std::vector<size_t>& rows = scratch->rows;
+  std::vector<double>& proba = scratch->proba;
+  offsets.assign(num_keys + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++offsets[key_of(decisions[i]) + 1];
+  for (size_t s = 0; s < num_keys; ++s) offsets[s + 1] += offsets[s];
+  rows.resize(n);
+  proba.resize(n);
+  cursor.assign(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < n; ++i) rows[cursor[key_of(decisions[i])]++] = i;
+  ParallelFor(0, num_keys, 1, [&](size_t /*chunk*/, size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      const std::span<const size_t> segment_rows(rows.data() + offsets[s],
+                                                 offsets[s + 1] - offsets[s]);
+      if (segment_rows.empty()) continue;
+      const std::span<double> segment_proba(proba.data() + offsets[s],
+                                            segment_rows.size());
+      if (fused) {
+        const CompiledCombo& combo = *slot_kernel_[s / groups];
+        const size_t g = s % groups;
+        if (combo.GroupCompiled(g)) {
+          combo.PredictGroup(data, g, segment_rows, segment_proba);
+        } else {
+          pool_.model(combo.GroupModel(g))
+              .PredictProbaBatch(data, segment_rows, segment_proba);
+        }
+      } else {
+        pool_.model(s).PredictProbaBatch(data, segment_rows, segment_proba);
+      }
+      for (size_t j = 0; j < segment_rows.size(); ++j) {
+        SampleDecision& d = decisions[segment_rows[j]];
+        d.probability = segment_proba[j];
+        d.label = segment_proba[j] >= 0.5 ? 1 : 0;
       }
     }
   });
@@ -597,7 +692,8 @@ std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
   FALCC_CHECK(data.num_features() == num_features(),
               "ClassifyAll: dataset width differs from model num_features()");
   ClassifyResponse response;
-  ClassifyRowsInto(data, &response);
+  ClassifyScratch scratch;
+  ClassifyRowsInto(data, &response, &scratch);
   std::vector<int> out(data.num_rows());
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = response.decisions[i].label;
@@ -607,6 +703,15 @@ std::vector<int> FalccModel::ClassifyAll(const Dataset& data) const {
 
 Result<ClassifyResponse> FalccModel::ClassifyBatch(
     const ClassifyRequest& request) const {
+  // One scratch per serving thread: steady-state batches reuse the
+  // transform matrix, sort arrays, and the wrapper Dataset without any
+  // per-call allocation. Distinct models on one thread just re-grow it.
+  static thread_local ClassifyScratch scratch;
+  return ClassifyBatch(request, &scratch);
+}
+
+Result<ClassifyResponse> FalccModel::ClassifyBatch(
+    const ClassifyRequest& request, ClassifyScratch* scratch) const {
   Timer validate_timer;
   const size_t width = num_features();
   if (request.num_features != width) {
@@ -638,14 +743,25 @@ Result<ClassifyResponse> FalccModel::ClassifyBatch(
   // Wrap the request in a Dataset so the kernel (and the per-model
   // PredictProbaBatch underneath) can run unchanged: placeholder names
   // and labels, the model's own sensitive columns for group routing.
-  std::vector<std::string> names(width);
-  for (size_t j = 0; j < width; ++j) names[j] = "f" + std::to_string(j);
-  Result<Dataset> data = Dataset::Create(
-      std::move(names),
-      std::vector<double>(request.features.begin(), request.features.end()),
-      width, std::vector<int>(n, 0), group_index_.sensitive_features());
-  if (!data.ok()) return data.status();
-  ClassifyRowsInto(data.value(), &response);
+  // The wrapper lives in the scratch; when its cached schema still
+  // matches this model, only the feature rows are replaced in place.
+  Dataset& wrap = scratch->wrap;
+  if (scratch->wrap_valid && wrap.num_features() == width &&
+      wrap.sensitive_features() == group_index_.sensitive_features()) {
+    wrap.ReplaceRows(request.features);
+  } else {
+    scratch->wrap_valid = false;
+    std::vector<std::string> names(width);
+    for (size_t j = 0; j < width; ++j) names[j] = "f" + std::to_string(j);
+    Result<Dataset> data = Dataset::Create(
+        std::move(names),
+        std::vector<double>(request.features.begin(), request.features.end()),
+        width, std::vector<int>(n, 0), group_index_.sensitive_features());
+    if (!data.ok()) return data.status();
+    wrap = std::move(data).value();
+    scratch->wrap_valid = true;
+  }
+  ClassifyRowsInto(wrap, &response, scratch);
   return response;
 }
 

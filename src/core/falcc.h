@@ -35,6 +35,7 @@
 #include "data/groups.h"
 #include "data/transforms.h"
 #include "fairness/proxy.h"
+#include "ml/compiled_ensemble.h"
 #include "ml/grid_search.h"
 
 namespace falcc {
@@ -118,6 +119,24 @@ struct ClassifyResponse {
   ClassifyStageSeconds stages;
 };
 
+/// Reusable buffers for the online kernel. ClassifyBatch allocates its
+/// transform matrix, counting-sort arrays, probability buffer, and the
+/// request-wrapping Dataset out of one of these instead of per call; the
+/// default entry point keeps one instance per thread, so steady-state
+/// serving performs no per-batch heap allocation beyond the response
+/// itself. A scratch holds no model state — any instance works with any
+/// model (buffers grow, and the wrapper Dataset rebuilds itself when the
+/// schema it cached no longer matches).
+struct ClassifyScratch {
+  std::vector<double> transformed;  ///< n × transformed-width matrix
+  std::vector<size_t> offsets;      ///< counting sort: segment bounds
+  std::vector<size_t> cursor;       ///< counting sort: fill cursors
+  std::vector<size_t> rows;         ///< row ids grouped by kernel segment
+  std::vector<double> proba;        ///< per-row P(y=1), segment order
+  Dataset wrap;                     ///< ClassifyBatch request wrapper
+  bool wrap_valid = false;
+};
+
 /// One per-cluster replacement applied by CloneWithRefreshes: the
 /// monitor's refresh path swaps a drifted cluster's model combination
 /// (and its new baseline L̂) without touching any other cluster.
@@ -159,6 +178,9 @@ class FalccModel {
   /// (validation_assignment) are not persisted — a loaded model
   /// classifies identically but reports an empty assignment.
   Status Save(std::ostream* out) const;
+  /// Deserializes, validates, and compiles the per-cluster inference
+  /// kernels (see "Compiled inference" below), so a loaded model serves
+  /// from the fused path immediately.
   static Result<FalccModel> Load(std::istream* in);
   /// File-path convenience wrappers.
   Status SaveToFile(const std::string& path) const;
@@ -190,6 +212,47 @@ class FalccModel {
   /// model state. Decisions are returned in request order and each
   /// carries the full (cluster, group, model) audit trail.
   Result<ClassifyResponse> ClassifyBatch(const ClassifyRequest& request) const;
+
+  /// Same, with caller-owned scratch buffers — for callers that manage
+  /// their own threading and want allocation reuse across batches. The
+  /// scratch must not be shared between concurrent calls.
+  Result<ClassifyResponse> ClassifyBatch(const ClassifyRequest& request,
+                                         ClassifyScratch* scratch) const;
+
+  // --- Compiled inference ----------------------------------------------
+  //
+  // Train and Load lower every cluster's model combination into a fused
+  // flat-node kernel (ml/compiled_ensemble.h); the online batch path
+  // then walks one node table per (cluster, group) row segment instead
+  // of dispatching per model. Kernels are derived state: never
+  // serialized, shared between clusters that selected the same
+  // combination, and shared with refresh clones for untouched clusters.
+  // Decisions are bit-identical with the kernels on or off.
+
+  /// (Re)compiles the per-cluster kernels from the current pool and
+  /// combinations. Idempotent in effect; called by Train and Load, and
+  /// by FalccEngine::Install for models that bypassed both.
+  Status CompileKernels();
+  /// Whether per-cluster kernels are built.
+  bool has_compiled_kernels() const {
+    return !compiled_.empty() && compiled_.size() == centroids_.size();
+  }
+  /// Routing toggle for the online batch path (A/B runs, tests). The
+  /// single-sample entry points always use the interpreted path.
+  void set_use_compiled(bool use_compiled) { use_compiled_ = use_compiled; }
+  bool use_compiled() const { return use_compiled_; }
+  /// Compiled kernel serving `cluster` (nullptr when not compiled).
+  std::shared_ptr<const CompiledCombo> compiled_combo(size_t cluster) const {
+    return cluster < compiled_.size() ? compiled_[cluster] : nullptr;
+  }
+  /// Drops the kernels (memory reclaim for offline-only use; tests force
+  /// FalccEngine::Install's recompile path with this). Classification
+  /// falls back to the interpreted path until CompileKernels runs again.
+  void ClearCompiledKernels() {
+    compiled_.clear();
+    combo_slot_.clear();
+    slot_kernel_.clear();
+  }
 
   /// Checks one sample against the input contract above.
   Status ValidateSample(std::span<const double> features) const;
@@ -266,16 +329,26 @@ class FalccModel {
                                             OfflineStageTimes* stage_times =
                                                 nullptr);
 
+  /// Load body; `compile` gates kernel compilation so CloneWithRefreshes
+  /// can reuse the source model's kernels instead of recompiling all.
+  static Result<FalccModel> LoadImpl(std::istream* in, bool compile);
+
   /// (Re)builds centroid_index_ from centroids_. Called after training
   /// and after Load — the index is derived state and never serialized.
   Status BuildCentroidIndex();
 
+  /// Rebuilds the cluster → kernel-slot mapping from compiled_ (slots
+  /// dedup by kernel identity, so the counting sort keys stay dense).
+  void RebuildComboSlots();
+
   /// Shared online-phase kernel behind ClassifyAll and ClassifyBatch:
   /// transform → nearest-centroid match + group routing → batch
-  /// inference grouped by model. `data` rows must already satisfy the
-  /// width contract. Writes one SampleDecision per row (row order) and
-  /// the per-stage wall clock into `*response`.
-  void ClassifyRowsInto(const Dataset& data, ClassifyResponse* response) const;
+  /// inference grouped by fused kernel segment (or by model on the
+  /// interpreted path). `data` rows must already satisfy the width
+  /// contract. Writes one SampleDecision per row (row order) and the
+  /// per-stage wall clock into `*response`.
+  void ClassifyRowsInto(const Dataset& data, ClassifyResponse* response,
+                        ClassifyScratch* scratch) const;
 
   ModelPool pool_;
   double pool_entropy_ = 0.0;
@@ -288,6 +361,14 @@ class FalccModel {
   std::vector<size_t> assignment_;            // validation rows -> cluster
   std::vector<ModelCombination> selected_;    // cluster -> combination
   std::vector<double> baseline_loss_;         // cluster -> offline L̂
+  /// Fused per-cluster kernels (derived, never serialized). Clusters
+  /// with equal combinations share one CompiledCombo; combo_slot_ maps
+  /// each cluster to a dense kernel slot and slot_kernel_ back to the
+  /// kernel, which keys stage-3 row grouping.
+  std::vector<std::shared_ptr<const CompiledCombo>> compiled_;
+  std::vector<uint32_t> combo_slot_;
+  std::vector<const CompiledCombo*> slot_kernel_;
+  bool use_compiled_ = true;
   double assess_lambda_ = 0.5;
   FairnessMetric assess_metric_ = FairnessMetric::kDemographicParity;
   AssessmentMode assess_mode_ = AssessmentMode::kGroupFairness;

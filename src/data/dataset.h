@@ -73,6 +73,13 @@ class Dataset {
   /// equal num_features(); violations abort (internal invariant).
   void AppendRow(std::span<const double> features, int label);
 
+  /// Replaces the entire feature matrix, keeping the schema (names and
+  /// sensitive columns); labels reset to 0. `features.size()` must be a
+  /// non-zero multiple of num_features() (internal invariant, aborts).
+  /// Reuses existing storage — the serving path rebinds its request
+  /// wrapper with this once per batch instead of constructing a Dataset.
+  void ReplaceRows(std::span<const double> features);
+
   /// Fraction of rows with label 1; 0 for an empty dataset.
   double PositiveRate() const;
 

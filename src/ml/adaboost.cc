@@ -1,5 +1,7 @@
 #include "ml/adaboost.h"
 
+#include "ml/compiled_ensemble.h"
+
 #include <cmath>
 
 #include "data/feature_columns.h"
@@ -136,6 +138,17 @@ void AdaBoost::PredictProbaBatch(const Dataset& data,
   for (size_t j = 0; j < rows.size(); ++j) {
     out[j] = 0.5 * (margins[j] / alpha_sum + 1.0);
   }
+}
+
+bool AdaBoost::LowerToFlat(FlatEnsembleBuilder* builder) const {
+  if (trees_.empty()) return false;
+  builder->SetKind(EnsembleKind::kAdaBoost);
+  // Boosting-round order: the compiled kernel accumulates margins (and
+  // the precomputed alpha_sum) in exactly this sequence.
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    builder->AddTree(trees_[t].nodes(), alphas_[t]);
+  }
+  return true;
 }
 
 AdaBoost AdaBoost::FromParts(const AdaBoostOptions& options,

@@ -47,6 +47,7 @@ class AdaBoost final : public Classifier {
   std::string TypeTag() const override { return "adaboost"; }
   Status SerializePayload(std::ostream* out) const override;
   static Result<AdaBoost> DeserializePayload(std::istream* in);
+  bool LowerToFlat(FlatEnsembleBuilder* builder) const override;
 
   /// Number of estimators actually fitted (early stop on perfect fit).
   size_t num_fitted() const { return trees_.size(); }

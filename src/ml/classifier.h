@@ -20,6 +20,8 @@
 
 namespace falcc {
 
+class FlatEnsembleBuilder;
+
 /// Interface of a trainable binary classifier.
 class Classifier {
  public:
@@ -60,6 +62,17 @@ class Classifier {
   virtual Status ValidateForWidth(size_t num_features) const {
     (void)num_features;
     return Status::OK();
+  }
+
+  /// Lowers this fitted model into the compiled inference layer
+  /// (ml/compiled_ensemble.h): declares the combination rule via
+  /// `builder->SetKind`, then appends every tree in evaluation order.
+  /// Returns false — the default, without touching the builder — for
+  /// types that are not tree ensembles or are unfitted; those keep the
+  /// interpreted PredictProbaBatch path.
+  virtual bool LowerToFlat(FlatEnsembleBuilder* builder) const {
+    (void)builder;
+    return false;
   }
 
   /// Deep copy, including any fitted state.

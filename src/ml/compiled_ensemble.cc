@@ -1,0 +1,321 @@
+#include "ml/compiled_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace falcc {
+
+namespace {
+
+// Rows per traversal block: enough independent walks to hide the
+// dependent-load latency of `children[2i + b]`, small enough that the
+// row pointers, node cursors, and accumulators stay in registers / L1.
+constexpr size_t kRowBlock = 32;
+
+bool SameDoubleBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+template <typename T>
+bool SameVectorBits(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+// Advances every row's node cursor until it rests on a leaf (at most
+// `tree.steps` levels). Each step is one gather plus a branchless child
+// select — `v > threshold` indexes the children pair, which decides
+// exactly like the interpreted `v <= threshold ? left : right`. Leaves
+// self-loop, so a converged row spins in place; children sit strictly
+// after their parent, so `next != i` iff some row is still descending,
+// and the level loop stops as soon as the whole block has converged
+// (real trees are unbalanced — most blocks finish well before the
+// worst-case depth). The exit cannot change where any cursor lands.
+inline void WalkTree(const FlatTable& table, const TreeRef& tree,
+                     const double* const* row, size_t n, uint32_t* node) {
+  const int32_t* feature = table.feature.data();
+  const double* threshold = table.threshold.data();
+  const uint32_t* children = table.children.data();
+  for (size_t r = 0; r < n; ++r) node[r] = tree.root;
+  for (uint32_t step = 0; step < tree.steps; ++step) {
+    uint32_t moved = 0;
+    for (size_t r = 0; r < n; ++r) {
+      const uint32_t i = node[r];
+      const double v = row[r][feature[i]];
+      const uint32_t next =
+          children[2 * i + static_cast<uint32_t>(v > threshold[i])];
+      moved |= next ^ i;
+      node[r] = next;
+    }
+    if (moved == 0) break;
+  }
+}
+
+// The shared fused kernel: walks every tree of one entry over `rows` in
+// blocks and combines leaves per `kind`. Accumulation mirrors the
+// interpreted batch paths operation for operation (margins in boosting-
+// round order against a precomputed alpha_sum; forest votes divided by
+// the tree count), so the output is bit-identical to PredictProbaBatch.
+void PredictFlat(const FlatTable& table, std::span<const TreeRef> trees,
+                 std::span<const double> alphas, EnsembleKind kind,
+                 double alpha_sum, const Dataset& data,
+                 std::span<const size_t> rows, std::span<double> out) {
+  const double* leaf = table.leaf_proba.data();
+  const double num_trees = static_cast<double>(trees.size());
+  for (size_t begin = 0; begin < rows.size(); begin += kRowBlock) {
+    const size_t n = std::min(kRowBlock, rows.size() - begin);
+    const double* row[kRowBlock];
+    double acc[kRowBlock];
+    uint32_t node[kRowBlock];
+    for (size_t r = 0; r < n; ++r) {
+      row[r] = data.Row(rows[begin + r]).data();
+      acc[r] = 0.0;
+    }
+    for (size_t t = 0; t < trees.size(); ++t) {
+      WalkTree(table, trees[t], row, n, node);
+      switch (kind) {
+        case EnsembleKind::kTree:
+          for (size_t r = 0; r < n; ++r) acc[r] = leaf[node[r]];
+          break;
+        case EnsembleKind::kAdaBoost: {
+          const double alpha = alphas[t];
+          for (size_t r = 0; r < n; ++r) {
+            acc[r] += alpha * (leaf[node[r]] >= 0.5 ? 1.0 : -1.0);
+          }
+          break;
+        }
+        case EnsembleKind::kForest:
+          for (size_t r = 0; r < n; ++r) {
+            if (leaf[node[r]] >= 0.5) acc[r] += 1.0;
+          }
+          break;
+      }
+    }
+    switch (kind) {
+      case EnsembleKind::kTree:
+        for (size_t r = 0; r < n; ++r) out[begin + r] = acc[r];
+        break;
+      case EnsembleKind::kAdaBoost:
+        if (alpha_sum <= 0.0) {
+          for (size_t r = 0; r < n; ++r) out[begin + r] = 0.5;
+        } else {
+          for (size_t r = 0; r < n; ++r) {
+            out[begin + r] = 0.5 * (acc[r] / alpha_sum + 1.0);
+          }
+        }
+        break;
+      case EnsembleKind::kForest:
+        for (size_t r = 0; r < n; ++r) out[begin + r] = acc[r] / num_trees;
+        break;
+    }
+  }
+}
+
+// |alpha| sum over one entry's trees, in round order — the same
+// floating-point sequence the interpreted AdaBoost batch accumulates, so
+// precomputing it at compile time cannot change a probability bit.
+double AlphaSum(std::span<const double> alphas) {
+  double sum = 0.0;
+  for (double alpha : alphas) sum += std::fabs(alpha);
+  return sum;
+}
+
+}  // namespace
+
+void FlatEnsembleBuilder::SetKind(EnsembleKind kind) {
+  if (!status_.ok()) return;
+  if (has_kind_) {
+    status_ = Status::Internal("FlatEnsembleBuilder: SetKind called twice");
+    return;
+  }
+  kind_ = kind;
+  has_kind_ = true;
+}
+
+void FlatEnsembleBuilder::AddTree(std::span<const TreeNode> nodes,
+                                  double alpha) {
+  if (!status_.ok()) return;
+  if (!has_kind_) {
+    status_ = Status::Internal("FlatEnsembleBuilder: AddTree before SetKind");
+    return;
+  }
+  if (nodes.empty()) {
+    status_ = Status::Internal("FlatEnsembleBuilder: empty tree");
+    return;
+  }
+  const size_t base = table_->num_nodes();
+  if (base + nodes.size() > (1u << 30)) {
+    status_ = Status::Internal("FlatEnsembleBuilder: node table overflow");
+    return;
+  }
+
+  // Recompute the walk length from the node structure — a serialized
+  // depth field is never trusted. Children sit strictly after their
+  // parent (the shape deserialization enforces), so one forward pass
+  // sees every parent before its children; taking the max over incoming
+  // edges makes the walk long enough for every root-to-leaf path even if
+  // a corrupt-but-accepted artifact shares subtrees.
+  depth_scratch_.assign(nodes.size(), 0);
+  uint32_t steps = 0;
+  const int n = static_cast<int>(nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const TreeNode& node = nodes[static_cast<size_t>(i)];
+    if (node.feature >= 0) {
+      if (node.left <= i || node.left >= n || node.right <= i ||
+          node.right >= n) {
+        status_ = Status::Internal(
+            "FlatEnsembleBuilder: tree children not strictly forward");
+        return;
+      }
+      const uint32_t child_depth = depth_scratch_[static_cast<size_t>(i)] + 1;
+      auto& left = depth_scratch_[static_cast<size_t>(node.left)];
+      auto& right = depth_scratch_[static_cast<size_t>(node.right)];
+      left = std::max(left, child_depth);
+      right = std::max(right, child_depth);
+    } else {
+      steps = std::max(steps, depth_scratch_[static_cast<size_t>(i)]);
+    }
+  }
+
+  table_->feature.reserve(base + nodes.size());
+  table_->threshold.reserve(base + nodes.size());
+  table_->children.reserve(2 * (base + nodes.size()));
+  table_->leaf_proba.reserve(base + nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& node = nodes[i];
+    const uint32_t self = static_cast<uint32_t>(base + i);
+    if (node.feature >= 0) {
+      table_->feature.push_back(node.feature);
+      table_->threshold.push_back(node.threshold);
+      table_->children.push_back(static_cast<uint32_t>(base) +
+                                 static_cast<uint32_t>(node.left));
+      table_->children.push_back(static_cast<uint32_t>(base) +
+                                 static_cast<uint32_t>(node.right));
+      table_->leaf_proba.push_back(0.0);
+    } else {
+      // Leaf: feature 0 keeps the gather in bounds, the self-loop makes
+      // the fixed-length walk idempotent once the leaf is reached.
+      table_->feature.push_back(0);
+      table_->threshold.push_back(0.0);
+      table_->children.push_back(self);
+      table_->children.push_back(self);
+      table_->leaf_proba.push_back(node.proba);
+    }
+  }
+  trees_->push_back(TreeRef{static_cast<uint32_t>(base), steps});
+  alphas_->push_back(alpha);
+  ++num_trees_added_;
+}
+
+Result<CompiledEnsemble> CompiledEnsemble::Compile(const Classifier& model) {
+  CompiledEnsemble compiled;
+  FlatEnsembleBuilder builder(&compiled.table_, &compiled.trees_,
+                              &compiled.alphas_);
+  if (!model.LowerToFlat(&builder)) {
+    return Status::FailedPrecondition("CompiledEnsemble: " + model.Name() +
+                                      " does not lower to a flat ensemble");
+  }
+  FALCC_RETURN_IF_ERROR(builder.status());
+  if (!builder.has_kind() || compiled.trees_.empty()) {
+    return Status::Internal("CompiledEnsemble: lowering produced no trees");
+  }
+  compiled.kind_ = builder.kind();
+  compiled.alpha_sum_ = AlphaSum(compiled.alphas_);
+  return compiled;
+}
+
+void CompiledEnsemble::PredictProbaBatch(const Dataset& data,
+                                         std::span<const size_t> rows,
+                                         std::span<double> out) const {
+  FALCC_CHECK(rows.size() == out.size(),
+              "CompiledEnsemble: rows/out size mismatch");
+  PredictFlat(table_, trees_, alphas_, kind_, alpha_sum_, data, rows, out);
+}
+
+Result<std::shared_ptr<const CompiledCombo>> CompiledCombo::Compile(
+    const ModelPool& pool, const ModelCombination& combo) {
+  std::shared_ptr<CompiledCombo> compiled(new CompiledCombo());
+  compiled->groups_.resize(combo.size());
+  // Groups served by the same pool model share one lowered entry — the
+  // common case when a cluster's best combination repeats a model.
+  std::vector<int> entry_of_model(pool.size(), -1);
+  for (size_t g = 0; g < combo.size(); ++g) {
+    const size_t m = combo[g];
+    if (m >= pool.size()) {
+      return Status::InvalidArgument("CompiledCombo: model index " +
+                                     std::to_string(m) + " out of range");
+    }
+    GroupEntry& entry = compiled->groups_[g];
+    entry.model = static_cast<uint32_t>(m);
+    if (entry_of_model[m] >= 0) {
+      entry = compiled->groups_[static_cast<size_t>(entry_of_model[m])];
+      continue;
+    }
+    const uint32_t tree_begin = static_cast<uint32_t>(compiled->trees_.size());
+    FlatEnsembleBuilder builder(&compiled->table_, &compiled->trees_,
+                                &compiled->alphas_);
+    if (!pool.model(m).LowerToFlat(&builder)) {
+      // Not a tree ensemble: the group keeps the interpreted path.
+      entry_of_model[m] = static_cast<int>(g);
+      continue;
+    }
+    FALCC_RETURN_IF_ERROR(builder.status());
+    if (builder.num_trees_added() == 0) {
+      return Status::Internal("CompiledCombo: model lowered zero trees");
+    }
+    entry.kind = builder.kind();
+    entry.tree_begin = tree_begin;
+    entry.tree_end = static_cast<uint32_t>(compiled->trees_.size());
+    entry.alpha_sum = AlphaSum(std::span<const double>(compiled->alphas_)
+                                   .subspan(tree_begin));
+    entry.compiled = true;
+    entry_of_model[m] = static_cast<int>(g);
+  }
+  return std::shared_ptr<const CompiledCombo>(std::move(compiled));
+}
+
+void CompiledCombo::PredictGroup(const Dataset& data, size_t g,
+                                 std::span<const size_t> rows,
+                                 std::span<double> out) const {
+  FALCC_CHECK(g < groups_.size(), "CompiledCombo: group out of range");
+  FALCC_CHECK(rows.size() == out.size(),
+              "CompiledCombo: rows/out size mismatch");
+  const GroupEntry& entry = groups_[g];
+  FALCC_CHECK(entry.compiled, "CompiledCombo: PredictGroup on fallback group");
+  const size_t count = entry.tree_end - entry.tree_begin;
+  PredictFlat(table_,
+              std::span<const TreeRef>(trees_).subspan(entry.tree_begin, count),
+              std::span<const double>(alphas_).subspan(entry.tree_begin, count),
+              entry.kind, entry.alpha_sum, data, rows, out);
+}
+
+bool CompiledCombo::SameBits(const CompiledCombo& other) const {
+  if (groups_.size() != other.groups_.size()) return false;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const GroupEntry& a = groups_[g];
+    const GroupEntry& b = other.groups_[g];
+    if (a.kind != b.kind || a.tree_begin != b.tree_begin ||
+        a.tree_end != b.tree_end || a.model != b.model ||
+        a.compiled != b.compiled || !SameDoubleBits(a.alpha_sum, b.alpha_sum)) {
+      return false;
+    }
+  }
+  return SameVectorBits(trees_, other.trees_) &&
+         SameVectorBits(alphas_, other.alphas_) &&
+         SameVectorBits(table_.feature, other.table_.feature) &&
+         SameVectorBits(table_.threshold, other.table_.threshold) &&
+         SameVectorBits(table_.children, other.table_.children) &&
+         SameVectorBits(table_.leaf_proba, other.table_.leaf_proba);
+}
+
+size_t CompiledCombo::num_compiled_groups() const {
+  size_t count = 0;
+  for (const GroupEntry& entry : groups_) {
+    if (entry.compiled) ++count;
+  }
+  return count;
+}
+
+}  // namespace falcc

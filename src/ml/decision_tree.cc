@@ -1,5 +1,7 @@
 #include "ml/decision_tree.h"
 
+#include "ml/compiled_ensemble.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -77,6 +79,13 @@ void DecisionTree::PredictProbaBatch(const Dataset& data,
     }
     out[j] = nodes[node].proba;
   }
+}
+
+bool DecisionTree::LowerToFlat(FlatEnsembleBuilder* builder) const {
+  if (nodes_.empty()) return false;
+  builder->SetKind(EnsembleKind::kTree);
+  builder->AddTree(nodes_);
+  return true;
 }
 
 std::unique_ptr<Classifier> DecisionTree::Clone() const {

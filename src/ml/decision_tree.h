@@ -71,10 +71,14 @@ class DecisionTree final : public Classifier {
   Status SerializePayload(std::ostream* out) const override;
   static Result<DecisionTree> DeserializePayload(std::istream* in);
 
+  bool LowerToFlat(FlatEnsembleBuilder* builder) const override;
+
   /// Number of nodes in the fitted tree (0 before Fit).
   size_t num_nodes() const { return nodes_.size(); }
   /// Depth of the fitted tree (0 = single leaf).
   size_t depth() const { return depth_; }
+  /// Flat node array of the fitted tree (compiled-inference lowering).
+  std::span<const TreeNode> nodes() const { return nodes_; }
 
   /// Assembles a fitted tree from externally built parts. Used by the
   /// frozen seed trainer (ml/reference_trainer.h) and by tests; normal

@@ -1,5 +1,7 @@
 #include "ml/random_forest.h"
 
+#include "ml/compiled_ensemble.h"
+
 #include <cmath>
 
 #include "data/feature_columns.h"
@@ -125,6 +127,15 @@ void RandomForest::PredictProbaBatch(const Dataset& data,
   for (size_t j = 0; j < rows.size(); ++j) {
     out[j] = votes[j] / static_cast<double>(trees_.size());
   }
+}
+
+bool RandomForest::LowerToFlat(FlatEnsembleBuilder* builder) const {
+  if (trees_.empty()) return false;
+  builder->SetKind(EnsembleKind::kForest);
+  for (const DecisionTree& tree : trees_) {
+    builder->AddTree(tree.nodes());
+  }
+  return true;
 }
 
 RandomForest RandomForest::FromParts(const RandomForestOptions& options,

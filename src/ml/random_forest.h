@@ -46,6 +46,7 @@ class RandomForest final : public Classifier {
   std::string TypeTag() const override { return "random_forest"; }
   Status SerializePayload(std::ostream* out) const override;
   static Result<RandomForest> DeserializePayload(std::istream* in);
+  bool LowerToFlat(FlatEnsembleBuilder* builder) const override;
 
   /// Assembles a fitted forest from externally built parts. Used by the
   /// frozen seed trainer (ml/reference_trainer.h) and by tests.

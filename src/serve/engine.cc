@@ -28,6 +28,21 @@ FalccEngine::FalccEngine(FalccEngineOptions options)
 FalccEngine::~FalccEngine() { Shutdown(); }
 
 void FalccEngine::Install(FalccModel model) {
+  // Compile the flat-node inference kernels before the snapshot is
+  // published, so the serving path never pays compilation latency and
+  // never observes a half-compiled model. Models arriving from Load
+  // already carry kernels; this covers hand-assembled or clone-derived
+  // models. Compilation failure is not fatal — the snapshot serves
+  // through the interpreted path instead.
+  if (model.use_compiled() && !model.has_compiled_kernels()) {
+    Timer compile_timer;
+    const Status compiled = model.CompileKernels();
+    if (compiled.ok()) {
+      metrics_.compile().Record(compile_timer.ElapsedSeconds());
+    } else {
+      model.set_use_compiled(false);
+    }
+  }
   auto snapshot = std::make_shared<const FalccModel>(std::move(model));
   snapshot_.store(std::move(snapshot));
   version_.fetch_add(1, std::memory_order_acq_rel);

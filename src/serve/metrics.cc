@@ -84,6 +84,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snapshot.transform = transform_.Summarize();
   snapshot.match = match_.Summarize();
   snapshot.predict = predict_.Summarize();
+  snapshot.compile = compile_.Summarize();
   return snapshot;
 }
 
@@ -99,6 +100,7 @@ std::string MetricsSnapshot::ToString() const {
   AppendSummary(&out, "transform", transform);
   AppendSummary(&out, "match", match);
   AppendSummary(&out, "predict", predict);
+  AppendSummary(&out, "compile", compile);
   return out.str();
 }
 
@@ -122,6 +124,8 @@ std::string MetricsSnapshot::ToJson() const {
   AppendJsonSummary(&out, "match", match);
   out << ",\n  ";
   AppendJsonSummary(&out, "predict", predict);
+  out << ",\n  ";
+  AppendJsonSummary(&out, "compile", compile);
   out << "\n}\n";
   return out.str();
 }

@@ -58,6 +58,7 @@ struct MetricsSnapshot {
   LatencySummary transform;
   LatencySummary match;
   LatencySummary predict;
+  LatencySummary compile;     ///< per Install, kernel compilation time
 
   /// Multi-line human-readable rendering (CLI diagnostics).
   std::string ToString() const;
@@ -84,6 +85,7 @@ class Metrics {
   LatencyHistogram& transform() { return transform_; }
   LatencyHistogram& match() { return match_; }
   LatencyHistogram& predict() { return predict_; }
+  LatencyHistogram& compile() { return compile_; }
 
   MetricsSnapshot Snapshot() const;
   /// Convenience: Snapshot().ToJson().
@@ -106,6 +108,7 @@ class Metrics {
   LatencyHistogram transform_;
   LatencyHistogram match_;
   LatencyHistogram predict_;
+  LatencyHistogram compile_;
 };
 
 }  // namespace falcc::serve

@@ -9,6 +9,7 @@
 
 #include "core/falcc.h"
 #include "data/csv_dataset.h"
+#include "testing/invariants.h"
 #include "testing/mutator.h"
 #include "util/csv.h"
 
@@ -41,7 +42,7 @@ Status FuzzSnapshotLoad(const std::string& data) {
   // The input was accepted: everything the serving path relies on must
   // now actually hold. A model that loads but then misbehaves is the
   // worst outcome a corrupt artifact can produce.
-  const FalccModel& model = loaded.value();
+  FalccModel& model = loaded.value();
   const size_t width = model.num_features();
   if (width == 0) {
     return Status::Internal("loaded model reports zero features");
@@ -84,6 +85,20 @@ Status FuzzSnapshotLoad(const std::string& data) {
       return Status::Internal("ClassifyBatch disagrees with Classify");
     }
   }
+
+  // Whatever the artifact loaded into, its compiled flat-node kernels
+  // must agree bit-for-bit with the interpreted models on the probes.
+  std::vector<std::string> names(width);
+  for (size_t j = 0; j < width; ++j) names[j] = "f" + std::to_string(j);
+  Result<Dataset> probe_data =
+      Dataset::Create(std::move(names), std::vector<double>(batch), width,
+                      std::vector<int>(num_samples, 0), {});
+  if (!probe_data.ok()) {
+    return Status::Internal("probe dataset rejected: " +
+                            probe_data.status().ToString());
+  }
+  FALCC_RETURN_IF_ERROR(
+      CheckCompiledMatchesInterpreted(&model, probe_data.value()));
 
   // Save∘Load∘Save must be a fixed point: whatever Load accepted, the
   // round trip is byte-stable (this is what snapshot hot-swap and

@@ -184,6 +184,42 @@ Status CheckSaveLoadSaveIdempotent(const FalccModel& model) {
   return Status::OK();
 }
 
+Status CheckCompiledMatchesInterpreted(FalccModel* model,
+                                       const Dataset& data) {
+  if (!model->has_compiled_kernels()) {
+    const Status compiled = model->CompileKernels();
+    if (!compiled.ok()) {
+      return Status::Internal("validated model failed to compile kernels: " +
+                              compiled.ToString());
+    }
+  }
+  const std::vector<double> flat = Flatten(data);
+  const bool previous = model->use_compiled();
+  model->set_use_compiled(false);
+  Result<ClassifyResponse> interpreted =
+      ClassifyDataset(*model, flat, data.num_features());
+  model->set_use_compiled(true);
+  Result<ClassifyResponse> compiled =
+      ClassifyDataset(*model, flat, data.num_features());
+  model->set_use_compiled(previous);
+  if (!interpreted.ok()) return interpreted.status();
+  if (!compiled.ok()) return compiled.status();
+  if (interpreted.value().decisions.size() !=
+      compiled.value().decisions.size()) {
+    return Status::Internal(
+        "compiled and interpreted decision counts differ");
+  }
+  for (size_t i = 0; i < interpreted.value().decisions.size(); ++i) {
+    const SampleDecision& a = interpreted.value().decisions[i];
+    const SampleDecision& b = compiled.value().decisions[i];
+    if (!SameDecision(a, b)) {
+      return Status::Internal("compiled kernel diverged from interpreter: " +
+                              DecisionDiff(i, a, b));
+    }
+  }
+  return Status::OK();
+}
+
 Status CheckRefreshIsolation(const FalccModel& model, const Dataset& data,
                              const ClusterRefresh& refresh) {
   Result<FalccModel> cloned = model.CloneWithRefreshes({&refresh, 1});

@@ -53,6 +53,13 @@ Status CheckTrainingThreadInvariance(const Dataset& train,
 /// Save → Load → Save is a byte fixed point for `model`.
 Status CheckSaveLoadSaveIdempotent(const FalccModel& model);
 
+/// The compiled flat-node kernels produce bit-identical decisions to the
+/// interpreted per-model path on every row of `data`: label, probability,
+/// and routing fields all match. Compiles kernels first if the model has
+/// none; flips `use_compiled` both ways and restores the original setting
+/// before returning.
+Status CheckCompiledMatchesInterpreted(FalccModel* model, const Dataset& data);
+
 /// CloneWithRefreshes applied to `refreshed_cluster` leaves every other
 /// cluster's combination, baseline, and per-sample decisions on `data`
 /// bit-identical, while the refreshed cluster serves the new

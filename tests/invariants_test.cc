@@ -15,6 +15,7 @@ namespace {
 
 using testing::CheckBatchMatchesSequential;
 using testing::CheckClassifyThreadInvariance;
+using testing::CheckCompiledMatchesInterpreted;
 using testing::CheckPermutationInvariance;
 using testing::CheckRefreshIsolation;
 using testing::CheckSaveLoadSaveIdempotent;
@@ -111,6 +112,16 @@ TEST(InvariantsTest, SaveLoadSaveIsByteIdempotent) {
   EXPECT_TRUE(served.ok()) << served.ToString();
   EXPECT_EQ(reloaded.ClassifyAll(f.splits.test),
             f.model.ClassifyAll(f.splits.test));
+}
+
+TEST(InvariantsTest, CompiledKernelsMatchInterpretedBitForBit) {
+  Fixture& f = Shared();
+  ASSERT_TRUE(f.model.has_compiled_kernels());
+  const Status st = CheckCompiledMatchesInterpreted(&f.model, f.splits.test);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  // The invariant restores the routing toggle it found.
+  EXPECT_TRUE(f.model.use_compiled());
 }
 
 TEST(InvariantsTest, RefreshLeavesUntouchedClustersBitIdentical) {

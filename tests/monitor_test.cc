@@ -439,6 +439,78 @@ TEST(SnapshotBaselineTest, LegacyStreamWithoutMonitorSectionStillLoads) {
 // (InvariantsTest.RefreshLeavesUntouchedClustersBitIdentical) via the
 // shared CheckRefreshIsolation helper.
 
+TEST(RefreshCompileTest, UntouchedClustersReuseKernelsAcrossHotSwap) {
+  const TrainValTest s = MakeSplits();
+  FalccModel model =
+      FalccModel::Train(s.train, s.validation, FastOptions()).value();
+  ASSERT_TRUE(model.has_compiled_kernels());
+  ASSERT_GE(model.num_clusters(), 2u);
+
+  // Refresh cluster 0 to a combination that differs from the serving one.
+  ModelCombination replacement = model.selected_combinations()[0];
+  replacement[0] = (replacement[0] + 1) % model.pool().size();
+  ClusterRefresh refresh;
+  refresh.cluster = 0;
+  refresh.combination = replacement;
+  refresh.baseline_loss = 0.25;
+
+  FalccModel clone = model.CloneWithRefreshes({&refresh, 1}).value();
+  ASSERT_TRUE(clone.has_compiled_kernels());
+
+  // Untouched clusters share the source's kernel objects verbatim — the
+  // refresh path must reuse, not recompile.
+  for (size_t c = 1; c < model.num_clusters(); ++c) {
+    EXPECT_EQ(clone.compiled_combo(c).get(), model.compiled_combo(c).get())
+        << "cluster " << c;
+  }
+
+  // The refreshed cluster got a new kernel, bit-identical to compiling
+  // its combination from scratch against the clone's pool.
+  ASSERT_NE(clone.compiled_combo(0), nullptr);
+  EXPECT_NE(clone.compiled_combo(0).get(), model.compiled_combo(0).get());
+  const std::shared_ptr<const CompiledCombo> scratch =
+      CompiledCombo::Compile(clone.pool(), replacement).value();
+  EXPECT_TRUE(clone.compiled_combo(0)->SameBits(*scratch));
+
+  // Hot-swapping the clone must not trigger a recompile: the installed
+  // snapshot serves the exact kernel objects the clone carried in.
+  std::vector<const CompiledCombo*> expected;
+  expected.reserve(clone.num_clusters());
+  for (size_t c = 0; c < clone.num_clusters(); ++c) {
+    expected.push_back(clone.compiled_combo(c).get());
+  }
+  serve::FalccEngineOptions engine_options;
+  engine_options.start_flusher = false;
+  serve::FalccEngine engine(engine_options);
+  engine.Install(std::move(clone));
+  const std::shared_ptr<const FalccModel> snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  for (size_t c = 0; c < snapshot->num_clusters(); ++c) {
+    EXPECT_EQ(snapshot->compiled_combo(c).get(), expected[c])
+        << "cluster " << c;
+  }
+
+  // And the swapped snapshot still serves the refreshed combination
+  // through the compiled path exactly as the interpreter would.
+  const std::vector<double> flat = Flatten(s.test);
+  ClassifyRequest request{flat, s.test.num_features()};
+  const ClassifyResponse compiled_response =
+      engine.ClassifyBatch(request).value();
+  FalccModel interpreted = model.CloneWithRefreshes({&refresh, 1}).value();
+  interpreted.set_use_compiled(false);
+  const ClassifyResponse interpreted_response =
+      interpreted.ClassifyBatch(request).value();
+  ASSERT_EQ(compiled_response.decisions.size(),
+            interpreted_response.decisions.size());
+  for (size_t i = 0; i < compiled_response.decisions.size(); ++i) {
+    const SampleDecision& a = compiled_response.decisions[i];
+    const SampleDecision& b = interpreted_response.decisions[i];
+    EXPECT_EQ(a.label, b.label) << "row " << i;
+    EXPECT_EQ(a.probability, b.probability) << "row " << i;
+    EXPECT_EQ(a.model, b.model) << "row " << i;
+  }
+}
+
 // --- End-to-end drift → alarm → refresh --------------------------------
 
 struct Replay {

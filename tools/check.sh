@@ -3,16 +3,24 @@
 #   1. plain Release build + ctest (the ROADMAP tier-1 command), plus
 #      Release builds of the train-engine, serving, and monitoring
 #      microbenchmarks so perf regressions in bench/bench_train_engine.cc,
-#      bench/bench_serve.cc, and bench/bench_monitor.cc surface here,
+#      bench/bench_serve.cc, and bench/bench_monitor.cc surface here, and
+#      a short bench_infer run — the binary exits non-zero if the
+#      compiled flat-node kernels' decisions diverge from the
+#      interpreted path (golden-model bit-identity itself runs in ctest
+#      via compiled_ensemble_test in every build below),
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
-#      parallel runtime, the serving engine's hot-swap/micro-batch paths,
-#      and the drift monitor's lock-free decision log under concurrent
-#      logging + feedback + refresh (tests/serve_engine_test.cc,
-#      tests/monitor_test.cc; `ctest -L serve` / `ctest -L monitor`) fail
-#      loudly even on single-core CI machines,
+#      parallel runtime, the serving engine's hot-swap/micro-batch paths
+#      (including concurrent classify during a hot-swap kernel recompile,
+#      tests/compiled_ensemble_test.cc), and the drift monitor's
+#      lock-free decision log under concurrent logging + feedback +
+#      refresh (tests/serve_engine_test.cc, tests/monitor_test.cc;
+#      `ctest -L serve` / `ctest -L monitor`) fail loudly even on
+#      single-core CI machines,
 #   3. ASan+UBSan build so memory and UB errors in the pointer-heavy
-#      split engine (ml/tree_builder.cc) fail loudly; the serving tests
-#      run here too.
+#      split engine (ml/tree_builder.cc) and the compiled-kernel table
+#      walks (ml/compiled_ensemble.cc) fail loudly; the serving tests run
+#      here too, plus a short ASan bench_infer pass over the same
+#      compiled-vs-interpreted decision check.
 #
 # --fuzz-only instead runs the adversarial harness (`ctest -L fuzz`:
 # tests/fuzz_test.cc mutation loops + tests/fault_injection_test.cc byte
@@ -47,6 +55,9 @@ if [[ "$run_plain" == 1 ]]; then
   cmake --build build -j "$jobs" --target bench_train_engine
   cmake --build build -j "$jobs" --target bench_serve
   cmake --build build -j "$jobs" --target bench_monitor
+  cmake --build build -j "$jobs" --target bench_infer
+  echo "=== check 1/3 (cont.): compiled-kernel decision check ==="
+  ./build/bench/bench_infer --rows=4000 --reps=2 --out=build/BENCH_infer_check.json
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -63,6 +74,10 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$jobs"
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
+  cmake --build build-asan -j "$jobs" --target bench_infer
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/bench/bench_infer --rows=1000 --reps=1 \
+    --out=build-asan/BENCH_infer_check.json
 fi
 
 if [[ "$run_fuzz" == 1 ]]; then

@@ -8,7 +8,7 @@
 //                     [--k N] [--seed S]
 //   falcc_cli predict --model model.falcc --data data.csv [--label label]
 //   falcc_cli classify --model model.falcc --data data.csv [--label label]
-//                     [--metrics-out metrics.json]
+//                     [--metrics-out metrics.json] [--compiled on|off]
 //   falcc_cli monitor --model model.falcc --data data.csv [--label label]
 //                     [--chunk 256] [--poll-every 1] [--repeat 1]
 //                     [--window 512] [--threshold 1.0] [--slack 0.05]
@@ -281,8 +281,19 @@ int ClassifySamples(const Args& args) {
   serve::FalccEngineOptions options;
   options.start_flusher = false;  // one-shot batch, no micro-batching
   serve::FalccEngine engine(options);
-  const Status loaded = engine.ReloadFromFile(model_path);
-  if (!loaded.ok()) return Fail(loaded);
+  // --compiled=off serves through the interpreted per-model path instead
+  // of the fused flat-node kernels — the A/B switch for comparing the
+  // two (they are bit-identical by contract; see DESIGN.md §13).
+  const std::string compiled = args.Get("compiled", "on");
+  if (compiled != "on" && compiled != "off") {
+    return Fail(Status::InvalidArgument("--compiled must be on or off"));
+  }
+  {
+    Result<FalccModel> model = FalccModel::LoadFromFile(model_path);
+    if (!model.ok()) return Fail(model.status());
+    model.value().set_use_compiled(compiled == "on");
+    engine.Install(std::move(model).value());
+  }
 
   Result<CsvTable> table = ReadCsvFile(data_path);
   if (!table.ok()) return Fail(table.status());
