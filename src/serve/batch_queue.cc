@@ -26,10 +26,38 @@ Result<SampleDecision> Ticket::Wait() const {
   return batch_->decisions[index_];
 }
 
-BatchQueue::BatchQueue(BatchQueueOptions options) : options_(options) {
+namespace {
+// Seed service estimates for a queue that has not observed a batch yet:
+// per-row cost of the compiled fused kernels plus a fixed per-flush
+// overhead, both from BENCH_infer/BENCH_serve on the reference box.
+constexpr double kSeedRowSeconds = 2e-6;
+constexpr double kSeedOverheadSeconds = 20e-6;
+constexpr double kServiceEwmaAlpha = 0.125;
+}  // namespace
+
+void ServiceTimeModel::Update(size_t rows, double seconds) {
+  if (rows == 0 || !(seconds > 0.0)) return;
+  // Attribute the observation with the other term held at its current
+  // estimate; alternating the two EWMAs keeps both identifiable without
+  // a regression solve on the hot path.
+  const double row_obs =
+      std::max(0.0, seconds - overhead_) / static_cast<double>(rows);
+  per_row_ += alpha_ * (row_obs - per_row_);
+  if (per_row_ < 1e-9) per_row_ = 1e-9;
+  const double overhead_obs =
+      std::max(0.0, seconds - per_row_ * static_cast<double>(rows));
+  overhead_ += alpha_ * (overhead_obs - overhead_);
+}
+
+BatchQueue::BatchQueue(BatchQueueOptions options)
+    : options_(options),
+      service_model_(kSeedRowSeconds, kSeedOverheadSeconds,
+                     kServiceEwmaAlpha) {
   FALCC_CHECK(options_.max_batch > 0, "BatchQueue: max_batch must be > 0");
   FALCC_CHECK(options_.max_delay_seconds >= 0.0,
               "BatchQueue: max_delay_seconds must be >= 0");
+  FALCC_CHECK(options_.slo_seconds >= 0.0,
+              "BatchQueue: slo_seconds must be >= 0");
 }
 
 Result<Ticket> BatchQueue::Submit(std::span<const double> features) {
@@ -77,10 +105,20 @@ std::shared_ptr<MicroBatch> BatchQueue::NextBatch() {
       return batch;
     }
     if (open_ != nullptr && open_->num_samples > 0) {
+      // Fixed-delay flush by default; with an SLO configured, flush when
+      // classifying the batch *now* is predicted to land the oldest
+      // sample right at its deadline — any later and the SLO is breached,
+      // any earlier and batching headroom is left on the table.
+      double wait_budget = options_.max_delay_seconds;
+      if (options_.slo_seconds > 0.0) {
+        wait_budget = std::max(
+            0.0, options_.slo_seconds -
+                     service_model_.Predict(open_->num_samples));
+      }
       const auto deadline =
           open_->submitted.front() +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(options_.max_delay_seconds));
+              std::chrono::duration<double>(wait_budget));
       if (stopped_ || std::chrono::steady_clock::now() >= deadline) {
         std::shared_ptr<MicroBatch> batch = std::move(open_);
         open_ = nullptr;
@@ -93,6 +131,11 @@ std::shared_ptr<MicroBatch> BatchQueue::NextBatch() {
     if (stopped_) return nullptr;
     flusher_cv_.wait(lock);
   }
+}
+
+void BatchQueue::ReportServiceTime(size_t rows, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  service_model_.Update(rows, seconds);
 }
 
 void BatchQueue::Stop() {

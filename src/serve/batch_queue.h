@@ -31,10 +31,49 @@ struct BatchQueueOptions {
   /// Flush as soon as a batch holds this many samples.
   size_t max_batch = 256;
   /// Flush a partial batch once its oldest sample has waited this long.
+  /// Ignored when slo_seconds > 0 (deadline-driven flush below).
   double max_delay_seconds = 200e-6;
   /// Backpressure: Submit fails with kUnavailable once this many samples
   /// are queued and not yet handed to the flusher.
   size_t max_pending = 1 << 16;
+  /// When > 0, replaces the fixed max_delay flush with a deadline-driven
+  /// one: the open batch is flushed as soon as the oldest sample's
+  /// predicted completion — now + the EWMA service estimate for the
+  /// batch, fed back via ReportServiceTime — would breach its
+  /// submit-time + slo_seconds deadline. Batches grow while there is
+  /// SLO slack and collapse toward 1 when a lone sample is close to its
+  /// deadline.
+  double slo_seconds = 0.0;
+};
+
+/// Online linear model of batch service time: Predict(n) = overhead +
+/// n · per_row, both terms exponentially-weighted moving averages fed by
+/// Update after every classified batch. Seeds come from the compiled-
+/// kernel benchmark numbers so the very first flush decisions are sane;
+/// the estimate then tracks the deployed model and hardware. Not
+/// thread-safe — owned by whichever single thread runs the flush loop.
+class ServiceTimeModel {
+ public:
+  ServiceTimeModel(double seed_row_seconds, double seed_overhead_seconds,
+                   double alpha)
+      : per_row_(seed_row_seconds), overhead_(seed_overhead_seconds),
+        alpha_(alpha) {}
+
+  /// Predicted wall-clock seconds to classify a batch of `rows`.
+  double Predict(size_t rows) const {
+    return overhead_ + static_cast<double>(rows) * per_row_;
+  }
+
+  /// Folds one observed (rows, seconds) batch into the estimate.
+  void Update(size_t rows, double seconds);
+
+  double per_row_seconds() const { return per_row_; }
+  double overhead_seconds() const { return overhead_; }
+
+ private:
+  double per_row_;
+  double overhead_;
+  double alpha_;
 };
 
 /// One micro-batch: filled under the queue lock by submitters, then
@@ -96,8 +135,15 @@ class BatchQueue {
   /// until drained, then returns nullptr.
   void Stop();
 
+  /// Flusher side: feeds one observed batch-classify time back into the
+  /// service-time model that drives the deadline flush (slo_seconds).
+  void ReportServiceTime(size_t rows, double seconds);
+
  private:
   const BatchQueueOptions options_;
+  /// EWMA of batch service time; guarded by mu_ (written via
+  /// ReportServiceTime, read by NextBatch's deadline computation).
+  ServiceTimeModel service_model_;
   std::mutex mu_;
   std::condition_variable flusher_cv_;
   std::shared_ptr<MicroBatch> open_;               // being filled

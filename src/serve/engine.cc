@@ -162,20 +162,29 @@ void FalccEngine::FlusherLoop() {
       batch->Complete(response.status(), {});
       continue;
     }
+    const size_t batch_rows = response.value().decisions.size();
     metrics_.AddFlushes(1);
-    metrics_.AddSamples(response.value().decisions.size());
+    metrics_.AddSamples(batch_rows);
     const ClassifyStageSeconds& stages = response.value().stages;
     metrics_.validate().Record(stages.validate);
     metrics_.transform().Record(stages.transform);
     metrics_.match().Record(stages.match);
     metrics_.predict().Record(stages.predict);
-    const auto flush_end = std::chrono::steady_clock::now();
-    for (const auto& submitted : batch->submitted) {
-      metrics_.total().Record(Seconds(submitted, flush_end));
-    }
+    // Feed the observed service time back into the queue's deadline
+    // model before waking anyone, so the very next flush decision sees
+    // this batch.
+    queue_.ReportServiceTime(
+        batch_rows, Seconds(flush_start, std::chrono::steady_clock::now()));
     NotifyObserver(response.value(), batch->features);
     batch->Complete(Status::OK(),
                     std::move(response.value().decisions));
+    // True submit-to-completion latency: stamped after Complete has
+    // published the decisions, when a Ticket::Wait can actually observe
+    // them — not the batch-granular pre-completion time used before.
+    const auto completed = std::chrono::steady_clock::now();
+    for (const auto& submitted : batch->submitted) {
+      metrics_.total().Record(Seconds(submitted, completed));
+    }
   }
 }
 

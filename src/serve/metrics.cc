@@ -7,9 +7,16 @@ namespace falcc::serve {
 
 namespace {
 
-/// Upper bound of bucket b in seconds: 2^b µs (bucket 0 is < 1 µs).
+/// Upper bound of bucket b in seconds. Bucket 0 is < 1 µs; bucket
+/// 1 + e*kSubBuckets + s covers
+/// [2^e * (1 + s/kSubBuckets), 2^e * (1 + (s+1)/kSubBuckets)) µs.
 double BucketUpperSeconds(size_t bucket) {
-  return std::ldexp(1e-6, static_cast<int>(bucket));
+  if (bucket == 0) return 1e-6;
+  const size_t e = (bucket - 1) / LatencyHistogram::kSubBuckets;
+  const size_t sub = (bucket - 1) % LatencyHistogram::kSubBuckets;
+  const double decade = std::ldexp(1e-6, static_cast<int>(e));
+  return decade * (1.0 + static_cast<double>(sub + 1) /
+                             LatencyHistogram::kSubBuckets);
 }
 
 double Quantile(const std::array<uint64_t, LatencyHistogram::kNumBuckets>&
@@ -48,11 +55,26 @@ void LatencyHistogram::Record(double seconds) {
   const double micros = seconds * 1e6;
   size_t bucket = 0;
   if (micros >= 1.0) {
-    const int exp = std::ilogb(micros);
-    bucket = static_cast<size_t>(exp) + 1;
-    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+    size_t exp = static_cast<size_t>(std::ilogb(micros));
+    if (exp >= kNumExponents) {
+      bucket = kNumBuckets - 1;
+    } else {
+      // micros / 2^exp is in [1, 2): the fractional part picks the
+      // linear sub-bucket inside the decade.
+      const double frac = std::ldexp(micros, -static_cast<int>(exp)) - 1.0;
+      size_t sub = static_cast<size_t>(frac * kSubBuckets);
+      if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+      bucket = 1 + exp * kSubBuckets + sub;
+    }
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
 }
 
 LatencySummary LatencyHistogram::Summarize() const {
@@ -68,6 +90,22 @@ LatencySummary LatencyHistogram::Summarize() const {
   summary.p95_seconds = Quantile(counts, total, 0.95);
   summary.p99_seconds = Quantile(counts, total, 0.99);
   return summary;
+}
+
+void Metrics::MergeFrom(const Metrics& other) {
+  AddRequests(other.requests_.load(std::memory_order_relaxed));
+  AddSamples(other.samples_.load(std::memory_order_relaxed));
+  AddErrors(other.errors_.load(std::memory_order_relaxed));
+  AddFlushes(other.flushes_.load(std::memory_order_relaxed));
+  AddReloads(other.reloads_.load(std::memory_order_relaxed));
+  AddObserved(other.observed_.load(std::memory_order_relaxed));
+  total_.MergeFrom(other.total_);
+  queue_wait_.MergeFrom(other.queue_wait_);
+  validate_.MergeFrom(other.validate_);
+  transform_.MergeFrom(other.transform_);
+  match_.MergeFrom(other.match_);
+  predict_.MergeFrom(other.predict_);
+  compile_.MergeFrom(other.compile_);
 }
 
 MetricsSnapshot Metrics::Snapshot() const {

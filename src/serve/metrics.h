@@ -2,12 +2,16 @@
 // latency histograms, written lock-free from the hot path and read as a
 // consistent-enough snapshot by benchmarks, tests, and the CLI.
 //
-// Histograms use power-of-two microsecond buckets (bucket b counts
-// latencies in [2^(b-1), 2^b) µs; bucket 0 is < 1 µs). Percentiles are
-// therefore approximate: a reported quantile is the upper bound of the
-// bucket containing it, i.e. exact to within a factor of two. That
-// resolution is intentional — recording is a single relaxed atomic
-// increment, cheap enough for per-sample accounting in the flush path.
+// Histograms use log-linear microsecond buckets: each power-of-two
+// decade [2^e, 2^(e+1)) µs is split into kSubBuckets equal-width linear
+// sub-buckets (bucket 0 collects < 1 µs). A reported quantile is the
+// upper bound of the sub-bucket containing it, so the relative error is
+// at most 1/kSubBuckets ≈ 1.6% — tight enough that an SLO check against
+// the histogram means what it says, unlike the previous pure
+// power-of-two buckets whose quantiles were only exact to 2×.
+// Recording stays a single relaxed atomic increment (exponent via
+// ilogb, sub-bucket via one multiply), cheap enough for per-ticket
+// accounting in the flush path.
 
 #ifndef FALCC_SERVE_METRICS_H_
 #define FALCC_SERVE_METRICS_H_
@@ -27,18 +31,30 @@ struct LatencySummary {
   double p99_seconds = 0.0;
 };
 
-/// Fixed-bucket latency histogram; thread-safe, no locks.
+/// Fixed-bucket log-linear latency histogram; thread-safe, no locks.
 class LatencyHistogram {
  public:
-  /// Buckets 0..kNumBuckets-1 cover < 1 µs up to ~2097 s; the last
-  /// bucket absorbs everything beyond.
-  static constexpr size_t kNumBuckets = 32;
+  /// Linear sub-buckets per power-of-two decade; bounds the relative
+  /// error of a reported quantile to 1/kSubBuckets.
+  static constexpr size_t kSubBuckets = 64;
+  /// Decades cover 1 µs up to 2^kNumExponents µs (~67 s); the last
+  /// sub-bucket absorbs everything beyond.
+  static constexpr size_t kNumExponents = 26;
+  /// Bucket 0 is < 1 µs; then kNumExponents × kSubBuckets log-linear
+  /// buckets.
+  static constexpr size_t kNumBuckets = 1 + kNumExponents * kSubBuckets;
 
   void Record(double seconds);
 
   /// Approximate quantiles over everything recorded so far. Concurrent
   /// Record calls may or may not be included (relaxed reads).
   LatencySummary Summarize() const;
+
+  /// Adds every count recorded in `other` into this histogram — the
+  /// aggregation primitive behind fleet-level (per-shard) summaries.
+  /// Relaxed reads of `other`: counts recorded concurrently with the
+  /// merge may or may not be included.
+  void MergeFrom(const LatencyHistogram& other);
 
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
@@ -90,6 +106,11 @@ class Metrics {
   MetricsSnapshot Snapshot() const;
   /// Convenience: Snapshot().ToJson().
   std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Adds `other`'s counters and histogram counts into this sink —
+  /// how a sharded engine folds its per-shard metrics into one
+  /// fleet-level view. Relaxed reads; see LatencyHistogram::MergeFrom.
+  void MergeFrom(const Metrics& other);
 
  private:
   static void Add(std::atomic<uint64_t>* counter, uint64_t n) {

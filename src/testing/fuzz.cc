@@ -100,6 +100,14 @@ Status FuzzSnapshotLoad(const std::string& data) {
   FALCC_RETURN_IF_ERROR(
       CheckCompiledMatchesInterpreted(&model, probe_data.value()));
 
+  // Serving the accepted model through the sharded fleet must be
+  // routing-invisible: decisions bit-identical to the single-sample
+  // loop. Two shards keep the per-iteration thread cost low; the full
+  // {1, 2, 8} sweep runs in the invariants/serve test suites.
+  const size_t kFuzzShards[] = {2};
+  FALCC_RETURN_IF_ERROR(
+      CheckShardedMatchesSingleLoop(model, probe_data.value(), kFuzzShards));
+
   // Save∘Load∘Save must be a fixed point: whatever Load accepted, the
   // round trip is byte-stable (this is what snapshot hot-swap and
   // CloneWithRefreshes lean on).

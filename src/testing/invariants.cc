@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "serve/sharded_engine.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -215,6 +216,78 @@ Status CheckCompiledMatchesInterpreted(FalccModel* model,
     if (!SameDecision(a, b)) {
       return Status::Internal("compiled kernel diverged from interpreter: " +
                               DecisionDiff(i, a, b));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckShardedMatchesSingleLoop(const FalccModel& model,
+                                     const Dataset& data,
+                                     std::span<const size_t> shard_counts) {
+  if (data.num_features() != model.num_features()) {
+    return Status::InvalidArgument(
+        "sharded check: dataset width != model num_features");
+  }
+  const size_t n = data.num_rows();
+
+  // Single-loop reference: the per-sample entry points, one row at a
+  // time — the path every sharded decision must reproduce bit for bit.
+  std::vector<SampleDecision> reference(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    SampleDecision& d = reference[i];
+    d.probability = model.ClassifyProba(row);
+    d.label = model.Classify(row);
+    d.cluster = model.MatchCluster(row);
+    Result<size_t> group = model.GroupOf(row);
+    if (!group.ok()) return group.status();
+    d.group = group.value();
+    d.model = model.selected_combinations()[d.cluster][d.group];
+  }
+
+  std::string bytes;
+  FALCC_RETURN_IF_ERROR(SaveToString(model, &bytes));
+
+  for (const size_t shards : shard_counts) {
+    Result<FalccModel> served = LoadFromString(bytes);
+    if (!served.ok()) {
+      return Status::Internal("sharded check: model does not reload: " +
+                              served.status().ToString());
+    }
+    serve::ShardedEngineOptions options;
+    options.num_shards = shards;
+    serve::ShardedEngine engine(options);
+    engine.Install(std::move(served).value());
+
+    // Interleave round-robin and affinity-keyed submissions: both
+    // routing modes must be invisible in every decision field.
+    std::vector<serve::ShardTicket> tickets;
+    tickets.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Result<serve::ShardTicket> ticket =
+          (i % 2 == 0) ? engine.Submit(data.Row(i))
+                       : engine.SubmitWithKey(static_cast<uint64_t>(i),
+                                              data.Row(i));
+      if (!ticket.ok()) {
+        return Status::Internal("sharded check: Submit failed at row " +
+                                std::to_string(i) + ": " +
+                                ticket.status().ToString());
+      }
+      tickets.push_back(std::move(ticket).value());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Result<SampleDecision> decision = tickets[i].Wait();
+      if (!decision.ok()) {
+        return Status::Internal("sharded check: Wait failed at row " +
+                                std::to_string(i) + ": " +
+                                decision.status().ToString());
+      }
+      if (!SameDecision(decision.value(), reference[i])) {
+        return Status::Internal(
+            "sharded (" + std::to_string(shards) +
+            " shards) decision differs from single loop: " +
+            DecisionDiff(i, decision.value(), reference[i]));
+      }
     }
   }
   return Status::OK();

@@ -14,6 +14,7 @@
 #define FALCC_TESTING_INVARIANTS_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/falcc.h"
@@ -59,6 +60,19 @@ Status CheckSaveLoadSaveIdempotent(const FalccModel& model);
 /// none; flips `use_compiled` both ways and restores the original setting
 /// before returning.
 Status CheckCompiledMatchesInterpreted(FalccModel* model, const Dataset& data);
+
+/// Routing determinism of the sharded serving fleet: the same rows
+/// submitted through a ShardedEngine at each of `shard_counts` produce
+/// decisions bit-identical — label, probability, and the full
+/// (cluster, group, model) audit trail — to the single-sample loop
+/// (Classify / ClassifyProba / MatchCluster / GroupOf per row). Rows are
+/// submitted both round-robin and with per-row affinity keys; shard
+/// choice must never leak into any decision field. Requires a
+/// serializable pool (each engine serves a Save/Load round trip of
+/// `model`, so the check also covers serialization identity).
+Status CheckShardedMatchesSingleLoop(const FalccModel& model,
+                                     const Dataset& data,
+                                     std::span<const size_t> shard_counts);
 
 /// CloneWithRefreshes applied to `refreshed_cluster` leaves every other
 /// cluster's combination, baseline, and per-sample decisions on `data`

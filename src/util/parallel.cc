@@ -23,9 +23,13 @@ struct Region {
   size_t grain = 1;
   size_t num_chunks = 0;
   size_t range_end = 0;
+  /// Pool workers beyond this many skip the region (ScopedParallelismCap);
+  /// the calling thread always participates and is not counted here.
+  size_t max_extra_workers = 0;
   const std::function<void(size_t, size_t, size_t)>* body = nullptr;
   std::vector<std::exception_ptr> errors;
 
+  std::atomic<size_t> worker_claims{0};
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> chunks_done{0};
   std::mutex mu;
@@ -67,6 +71,10 @@ struct Region {
 // Marks threads that belong to the pool so nested parallel calls run
 // inline instead of deadlocking on the pool they occupy.
 thread_local bool t_in_pool_worker = false;
+
+// Per-thread parallelism ceiling (ScopedParallelismCap). SIZE_MAX means
+// uncapped; 1 forces every loop issued from this thread inline.
+thread_local size_t t_parallelism_cap = SIZE_MAX;
 
 class Pool {
  public:
@@ -162,7 +170,12 @@ class Pool {
         if (stop_) return;
         region = active_region_;
       }
-      region->Drain();
+      // Respect the issuing thread's parallelism cap: workers past the
+      // limit leave the region to the threads already in it.
+      if (region->worker_claims.fetch_add(1, std::memory_order_relaxed) <
+          region->max_extra_workers) {
+        region->Drain();
+      }
       // Park until the owner retires this region; prevents busy-spinning
       // on a region whose chunks are all claimed but not yet finished.
       std::unique_lock<std::mutex> lock(mu_);
@@ -183,6 +196,18 @@ class Pool {
 
 size_t Parallelism() { return Pool::Instance().parallelism(); }
 
+ScopedParallelismCap::ScopedParallelismCap(size_t cap)
+    : previous_(t_parallelism_cap) {
+  const size_t wanted = cap < 1 ? 1 : cap;
+  t_parallelism_cap = wanted < previous_ ? wanted : previous_;
+}
+
+ScopedParallelismCap::~ScopedParallelismCap() {
+  t_parallelism_cap = previous_;
+}
+
+size_t CurrentParallelismCap() { return t_parallelism_cap; }
+
 void SetParallelism(size_t n) { Pool::Instance().set_parallelism(n); }
 
 void ShutdownParallelPool() { Pool::Instance().Shutdown(); }
@@ -199,10 +224,12 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   if (num_chunks == 0) return;
   const size_t g = grain < 1 ? 1 : grain;
 
-  // Serial fallback: single chunk, parallelism 1, or nested inside a pool
-  // worker. Runs chunks inline in order — identical chunking, identical
-  // combine order, no synchronization.
-  if (num_chunks == 1 || t_in_pool_worker || Parallelism() == 1) {
+  // Serial fallback: single chunk, parallelism (or the issuing thread's
+  // cap) 1, or nested inside a pool worker. Runs chunks inline in order —
+  // identical chunking, identical combine order, no synchronization.
+  const size_t effective =
+      std::min(Parallelism(), t_parallelism_cap);
+  if (num_chunks == 1 || t_in_pool_worker || effective == 1) {
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       const size_t lo = begin + chunk * g;
       const size_t hi = std::min(lo + g, end);
@@ -216,6 +243,7 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   region->grain = g;
   region->num_chunks = num_chunks;
   region->range_end = end;
+  region->max_extra_workers = effective - 1;
   region->body = &body;
   region->errors.assign(num_chunks, nullptr);
   Pool::Instance().Run(region);

@@ -43,6 +43,32 @@ void SetParallelism(size_t n);
 /// pool at the configured size. Mainly for tests and clean shutdown.
 void ShutdownParallelPool();
 
+/// Caps the parallelism of every ParallelFor/ParallelMap issued from the
+/// current thread while the scope is alive: a loop uses at most
+/// min(Parallelism(), cap) threads, and cap 1 runs it inline with zero
+/// pool involvement. Scopes nest by taking the minimum — an inner scope
+/// can tighten the cap but never raise it above an enclosing one.
+///
+/// This is the oversubscription guard for threads that are themselves one
+/// lane of a wider parallel structure (the serving shard workers): N
+/// shard workers each fanning a ClassifyBatch out over the global pool
+/// would put N× the hardware's worth of runnable threads on the box.
+/// Chunk decomposition depends only on range and grain (never on the
+/// cap), so capped and uncapped runs stay bit-identical.
+class ScopedParallelismCap {
+ public:
+  explicit ScopedParallelismCap(size_t cap);
+  ~ScopedParallelismCap();
+  ScopedParallelismCap(const ScopedParallelismCap&) = delete;
+  ScopedParallelismCap& operator=(const ScopedParallelismCap&) = delete;
+
+ private:
+  size_t previous_;
+};
+
+/// The current thread's effective cap (SIZE_MAX when uncapped).
+size_t CurrentParallelismCap();
+
 /// Number of chunks ParallelFor splits [begin, end) into with grain
 /// `grain`: ceil((end - begin) / max(grain, 1)). Depends only on the
 /// range and grain, never on the thread count — callers use it to

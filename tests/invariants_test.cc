@@ -19,6 +19,7 @@ using testing::CheckCompiledMatchesInterpreted;
 using testing::CheckPermutationInvariance;
 using testing::CheckRefreshIsolation;
 using testing::CheckSaveLoadSaveIdempotent;
+using testing::CheckShardedMatchesSingleLoop;
 using testing::CheckTrainingThreadInvariance;
 using testing::LoadFromString;
 using testing::SaveToString;
@@ -122,6 +123,16 @@ TEST(InvariantsTest, CompiledKernelsMatchInterpretedBitForBit) {
 
   // The invariant restores the routing toggle it found.
   EXPECT_TRUE(f.model.use_compiled());
+}
+
+TEST(InvariantsTest, ShardedServingMatchesSingleLoop) {
+  // Routing is invisible: 1, 2, and 8 shards all reproduce the
+  // single-sample loop bit for bit, under round-robin and keyed routing.
+  Fixture& f = Shared();
+  const size_t kShardCounts[] = {1, 2, 8};
+  const Status st =
+      CheckShardedMatchesSingleLoop(f.model, f.splits.test, kShardCounts);
+  EXPECT_TRUE(st.ok()) << st.ToString();
 }
 
 TEST(InvariantsTest, RefreshLeavesUntouchedClustersBitIdentical) {

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace falcc {
@@ -161,6 +164,70 @@ TEST_F(ParallelTest, PoolRestartsAfterShutdown) {
   count = 0;
   ParallelFor(0, 50, 1, [&](size_t, size_t, size_t) { count++; });
   EXPECT_EQ(count, 50u);
+}
+
+TEST_F(ParallelTest, ScopedCapForcesInlineExecution) {
+  // The shard-worker oversubscription guard: with a cap of 1, every
+  // chunk runs on the calling thread even though the pool has workers.
+  SetParallelism(4);
+  std::set<std::thread::id> cap_threads;
+  {
+    ScopedParallelismCap cap(1);
+    EXPECT_EQ(CurrentParallelismCap(), 1u);
+    ParallelFor(0, 64, 1, [&](size_t, size_t, size_t) {
+      cap_threads.insert(std::this_thread::get_id());
+    });
+  }
+  EXPECT_EQ(cap_threads.size(), 1u);
+  EXPECT_EQ(*cap_threads.begin(), std::this_thread::get_id());
+  EXPECT_EQ(CurrentParallelismCap(), SIZE_MAX);  // restored on scope exit
+}
+
+TEST_F(ParallelTest, ScopedCapNestsByMinimum) {
+  SetParallelism(8);
+  ScopedParallelismCap outer(2);
+  EXPECT_EQ(CurrentParallelismCap(), 2u);
+  {
+    ScopedParallelismCap wider(6);  // cannot widen an enclosing cap
+    EXPECT_EQ(CurrentParallelismCap(), 2u);
+    {
+      ScopedParallelismCap tighter(1);
+      EXPECT_EQ(CurrentParallelismCap(), 1u);
+    }
+    EXPECT_EQ(CurrentParallelismCap(), 2u);
+  }
+  EXPECT_EQ(CurrentParallelismCap(), 2u);
+}
+
+TEST_F(ParallelTest, ScopedCapDoesNotChangeChunking) {
+  // Capped and uncapped runs see identical chunk decomposition, so
+  // chunk-ordered reductions stay bit-identical (the determinism
+  // contract the sharded engine relies on).
+  SetParallelism(4);
+  const size_t n = 1000;
+  const size_t grain = 32;
+  auto bounds = [&]() {
+    std::vector<std::pair<size_t, size_t>> b(NumChunks(0, n, grain));
+    ParallelFor(0, n, grain,
+                [&](size_t chunk, size_t lo, size_t hi) { b[chunk] = {lo, hi}; });
+    return b;
+  };
+  const auto uncapped = bounds();
+  ScopedParallelismCap cap(1);
+  EXPECT_EQ(bounds(), uncapped);
+}
+
+TEST_F(ParallelTest, ScopedCapBoundsWorkerFanOut) {
+  // A cap of 2 admits at most the caller plus one pool worker.
+  SetParallelism(4);
+  ScopedParallelismCap cap(2);
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  ParallelFor(0, 256, 1, [&](size_t, size_t, size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    threads.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(threads.size(), 2u);
 }
 
 TEST_F(ParallelTest, ManyBackToBackLoops) {

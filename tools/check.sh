@@ -7,15 +7,20 @@
 #      a short bench_infer run — the binary exits non-zero if the
 #      compiled flat-node kernels' decisions diverge from the
 #      interpreted path (golden-model bit-identity itself runs in ctest
-#      via compiled_ensemble_test in every build below),
+#      via compiled_ensemble_test in every build below) — and a
+#      bench_serve --smoke run, which exits non-zero if sharded-fleet
+#      decisions diverge from the single-loop reference at any shard
+#      count or the fleet's achieved p99 exceeds 10x the configured SLO,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
 #      parallel runtime, the serving engine's hot-swap/micro-batch paths
 #      (including concurrent classify during a hot-swap kernel recompile,
-#      tests/compiled_ensemble_test.cc), and the drift monitor's
-#      lock-free decision log under concurrent logging + feedback +
-#      refresh (tests/serve_engine_test.cc, tests/monitor_test.cc;
-#      `ctest -L serve` / `ctest -L monitor`) fail loudly even on
-#      single-core CI machines,
+#      tests/compiled_ensemble_test.cc), the sharded fleet's lock-free
+#      submit rings, wakeup protocol, and shutdown drain under concurrent
+#      submits racing hot-swaps (tests/sharded_engine_test.cc), and the
+#      drift monitor's lock-free decision log under concurrent logging +
+#      feedback + refresh (tests/serve_engine_test.cc,
+#      tests/monitor_test.cc; `ctest -L serve` / `ctest -L monitor`) fail
+#      loudly even on single-core CI machines,
 #   3. ASan+UBSan build so memory and UB errors in the pointer-heavy
 #      split engine (ml/tree_builder.cc) and the compiled-kernel table
 #      walks (ml/compiled_ensemble.cc) fail loudly; the serving tests run
@@ -58,6 +63,8 @@ if [[ "$run_plain" == 1 ]]; then
   cmake --build build -j "$jobs" --target bench_infer
   echo "=== check 1/3 (cont.): compiled-kernel decision check ==="
   ./build/bench/bench_infer --rows=4000 --reps=2 --out=build/BENCH_infer_check.json
+  echo "=== check 1/3 (cont.): sharded-serving smoke (divergence + 10x-SLO gate) ==="
+  ./build/bench/bench_serve --smoke --out=build/BENCH_serve_smoke.json
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

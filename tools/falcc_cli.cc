@@ -9,6 +9,7 @@
 //   falcc_cli predict --model model.falcc --data data.csv [--label label]
 //   falcc_cli classify --model model.falcc --data data.csv [--label label]
 //                     [--metrics-out metrics.json] [--compiled on|off]
+//                     [--shards N] [--slo-us K]
 //   falcc_cli monitor --model model.falcc --data data.csv [--label label]
 //                     [--chunk 256] [--poll-every 1] [--repeat 1]
 //                     [--window 512] [--threshold 1.0] [--slack 0.05]
@@ -27,7 +28,10 @@
 // present, reports accuracy and bias; `classify` routes the rows through
 // the serving engine's validated batch API and emits one line per sample
 // with the full audit trail (prediction, probability, matched cluster,
-// sensitive group, pool model); `monitor` replays a labeled stream
+// sensitive group, pool model) — with --shards N the rows go through the
+// sharded serving fleet (per-row affinity keys, SLO-driven adaptive
+// batching at p99 < K µs) instead of one direct batch call, and the
+// audit output is bit-identical either way; `monitor` replays a labeled stream
 // through the serving engine with the drift monitor attached —
 // classifying in chunks, feeding the CSV labels back as delayed ground
 // truth (optionally injecting a targeted label shift into one cluster
@@ -57,6 +61,7 @@
 #include "fairness/proxy.h"
 #include "monitor/monitor.h"
 #include "serve/engine.h"
+#include "serve/sharded_engine.h"
 
 namespace falcc {
 namespace {
@@ -269,18 +274,25 @@ int Predict(const Args& args) {
   return 0;
 }
 
-// Serving-path classification: loads the artifact into a FalccEngine and
-// routes all rows through the validated ClassifyBatch API, emitting the
-// per-sample audit trail. Engine metrics go to stderr.
+// Serving-path classification: routes all rows through the validated
+// serving API — one direct ClassifyBatch call by default, or the sharded
+// fleet (per-row affinity keys, SLO-driven adaptive batching) with
+// --shards N — emitting the per-sample audit trail. The two paths are
+// bit-identical by contract. Engine metrics go to stderr.
 int ClassifySamples(const Args& args) {
   const std::string model_path = args.Get("model", "");
   const std::string data_path = args.Get("data", "");
   if (model_path.empty() || data_path.empty()) {
     return Fail(Status::InvalidArgument("--model and --data required"));
   }
-  serve::FalccEngineOptions options;
-  options.start_flusher = false;  // one-shot batch, no micro-batching
-  serve::FalccEngine engine(options);
+  const long shards = std::atol(args.Get("shards", "0").c_str());
+  const double slo_us = std::atof(args.Get("slo-us", "1000").c_str());
+  if (shards < 0) {
+    return Fail(Status::InvalidArgument("--shards must be >= 0"));
+  }
+  if (slo_us <= 0.0) {
+    return Fail(Status::InvalidArgument("--slo-us must be positive"));
+  }
   // --compiled=off serves through the interpreted per-model path instead
   // of the fused flat-node kernels — the A/B switch for comparing the
   // two (they are bit-identical by contract; see DESIGN.md §13).
@@ -288,12 +300,9 @@ int ClassifySamples(const Args& args) {
   if (compiled != "on" && compiled != "off") {
     return Fail(Status::InvalidArgument("--compiled must be on or off"));
   }
-  {
-    Result<FalccModel> model = FalccModel::LoadFromFile(model_path);
-    if (!model.ok()) return Fail(model.status());
-    model.value().set_use_compiled(compiled == "on");
-    engine.Install(std::move(model).value());
-  }
+  Result<FalccModel> model = FalccModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  model.value().set_use_compiled(compiled == "on");
 
   Result<CsvTable> table = ReadCsvFile(data_path);
   if (!table.ok()) return Fail(table.status());
@@ -326,15 +335,49 @@ int ClassifySamples(const Args& args) {
     }
   }
 
-  ClassifyRequest request;
-  request.features = flat;
-  request.num_features = width;
-  Result<ClassifyResponse> response = engine.ClassifyBatch(request);
-  if (!response.ok()) return Fail(response.status());
+  std::vector<SampleDecision> decisions;
+  serve::MetricsSnapshot metrics;
+  if (shards > 0) {
+    // Sharded fleet: one submission per row, keyed by row index so the
+    // routing (and any diagnostics) is reproducible run to run.
+    serve::ShardedEngineOptions options;
+    options.num_shards = static_cast<size_t>(shards);
+    options.slo_seconds = slo_us * 1e-6;
+    serve::ShardedEngine engine(options);
+    engine.Install(std::move(model).value());
+    const size_t rows = width == 0 ? 0 : flat.size() / width;
+    std::vector<serve::ShardTicket> tickets;
+    tickets.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      const std::span<const double> sample(flat.data() + i * width, width);
+      Result<serve::ShardTicket> ticket = engine.SubmitWithKey(i, sample);
+      if (!ticket.ok()) return Fail(ticket.status());
+      tickets.push_back(std::move(ticket).value());
+    }
+    decisions.reserve(rows);
+    for (const serve::ShardTicket& ticket : tickets) {
+      Result<SampleDecision> d = ticket.Wait();
+      if (!d.ok()) return Fail(d.status());
+      decisions.push_back(std::move(d).value());
+    }
+    engine.Shutdown();  // join workers so per-ticket totals are recorded
+    metrics = engine.GetMetrics();
+  } else {
+    serve::FalccEngineOptions options;
+    options.start_flusher = false;  // one-shot batch, no micro-batching
+    serve::FalccEngine engine(options);
+    engine.Install(std::move(model).value());
+    ClassifyRequest request;
+    request.features = flat;
+    request.num_features = width;
+    Result<ClassifyResponse> response = engine.ClassifyBatch(request);
+    if (!response.ok()) return Fail(response.status());
+    decisions = std::move(response.value().decisions);
+    metrics = engine.GetMetrics();
+  }
 
   std::printf("prediction,probability,cluster,group,model\n");
   size_t correct = 0;
-  const std::vector<SampleDecision>& decisions = response.value().decisions;
   for (size_t i = 0; i < decisions.size(); ++i) {
     const SampleDecision& d = decisions[i];
     std::printf("%d,%.17g,%zu,%zu,%zu\n", d.label, d.probability, d.cluster,
@@ -346,11 +389,11 @@ int ClassifySamples(const Args& args) {
                  static_cast<double>(correct) / decisions.size(),
                  decisions.size());
   }
-  std::fprintf(stderr, "%s", engine.GetMetrics().ToString().c_str());
+  std::fprintf(stderr, "%s", metrics.ToString().c_str());
   const std::string metrics_out = args.Get("metrics-out", "");
   if (!metrics_out.empty()) {
     const Status written =
-        WriteStringToFile(metrics_out, engine.GetMetrics().ToJson() + "\n");
+        WriteStringToFile(metrics_out, metrics.ToJson() + "\n");
     if (!written.ok()) return Fail(written);
   }
   return 0;
