@@ -81,6 +81,18 @@ struct ShardedRow {
   bool predictions_identical = true;
 };
 
+/// Snapshot-distribution costs: what a replica pays to pick up a new
+/// model the three ways the engine supports (full stream reload, mmapped
+/// zero-copy reload, incremental delta apply).
+struct ReloadResult {
+  size_t full_bytes = 0;
+  size_t delta_bytes = 0;
+  double full_reload_seconds = 0.0;
+  double mapped_reload_seconds = 0.0;
+  double delta_apply_seconds = 0.0;
+  bool predictions_identical = true;
+};
+
 constexpr size_t kMaxBatch = 16384;
 constexpr double kMaxDelaySeconds = 200e-6;
 
@@ -353,6 +365,92 @@ ShardedRow RunSharded(const std::string& model_bytes,
   return row;
 }
 
+ReloadResult RunReloadBench(const FalccModel& model,
+                            const std::string& model_bytes, size_t reps,
+                            const std::vector<double>& flat, size_t width,
+                            const ClassifyResponse& reference) {
+  ReloadResult result;
+  result.full_bytes = model_bytes.size();
+
+  const std::string path = "BENCH_serve_reload.falcc";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    FALCC_CHECK(static_cast<bool>(out), "bench: cannot write reload model");
+    out << model_bytes;
+  }
+
+  // The delta: cluster 0 re-pointed at a different pool model, exactly
+  // what monitor::Refresher publishes after an alarm.
+  ModelCombination changed = model.selected_combinations()[0];
+  changed[0] = (changed[0] + 1) % model.pool().size();
+  ClusterRefresh refresh;
+  refresh.cluster = 0;
+  refresh.combination = changed;
+  refresh.baseline_loss = 0.25;
+  const FalccModel next = model.CloneWithRefreshes({&refresh, 1}).value();
+  std::string delta_bytes;
+  {
+    std::ostringstream out;
+    const size_t clusters[] = {0};
+    FALCC_CHECK(
+        next.SaveDelta(&out, clusters, model.ContentHash().value()).ok(),
+        "bench: SaveDelta failed");
+    delta_bytes = out.str();
+  }
+  result.delta_bytes = delta_bytes.size();
+
+  serve::FalccEngineOptions options;
+  options.start_flusher = false;
+  serve::FalccEngine engine(options);
+
+  std::vector<double> full_times(reps), mapped_times(reps), delta_times(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Timer full;
+    FALCC_CHECK(engine.ReloadFromFile(path).ok(), "bench: reload failed");
+    full_times[rep] = full.ElapsedSeconds();
+
+    Timer mapped;
+    FALCC_CHECK(engine.ReloadMapped(path).ok(), "bench: mmap reload failed");
+    mapped_times[rep] = mapped.ElapsedSeconds();
+
+    // The mapped snapshot is the delta's base, so apply is timed from
+    // exactly the state a replica would be in.
+    Timer delta;
+    FALCC_CHECK(engine.ApplyDeltaBytes(delta_bytes).ok(),
+                "bench: delta apply failed");
+    delta_times[rep] = delta.ElapsedSeconds();
+  }
+  std::sort(full_times.begin(), full_times.end());
+  std::sort(mapped_times.begin(), mapped_times.end());
+  std::sort(delta_times.begin(), delta_times.end());
+  result.full_reload_seconds = full_times[reps / 2];
+  result.mapped_reload_seconds = mapped_times[reps / 2];
+  result.delta_apply_seconds = delta_times[reps / 2];
+
+  // The post-delta engine serves the refreshed model bit-identically;
+  // untouched clusters match the pre-delta reference.
+  ClassifyRequest request;
+  request.features = flat;
+  request.num_features = width;
+  const ClassifyResponse served = engine.ClassifyBatch(request).value();
+  const ClassifyResponse expected = next.ClassifyBatch(request).value();
+  for (size_t i = 0; i < served.decisions.size(); ++i) {
+    const SampleDecision& s = served.decisions[i];
+    const SampleDecision& e = expected.decisions[i];
+    if (s.label != e.label || s.probability != e.probability ||
+        s.cluster != e.cluster || s.model != e.model) {
+      result.predictions_identical = false;
+    }
+    if (s.cluster != 0 &&
+        (s.label != reference.decisions[i].label ||
+         s.probability != reference.decisions[i].probability)) {
+      result.predictions_identical = false;
+    }
+  }
+  std::remove(path.c_str());
+  return result;
+}
+
 void WriteServeJson(const std::string& path, size_t train_rows,
                     size_t probe_rows, size_t closed_loop_rows,
                     const FalccModel& model, size_t reps, double slo_seconds,
@@ -360,7 +458,7 @@ void WriteServeJson(const std::string& path, size_t train_rows,
                     const std::vector<LoadPoint>& single_queue,
                     double single_queue_at_slo, double single_queue_best,
                     const std::vector<ShardedRow>& sharded,
-                    double ratio_4threads) {
+                    const ReloadResult& reload, double ratio_4threads) {
   const unsigned cores = std::thread::hardware_concurrency();
   std::ofstream out(path);
   FALCC_CHECK(static_cast<bool>(out), "cannot open BENCH_serve.json");
@@ -450,6 +548,18 @@ void WriteServeJson(const std::string& path, size_t train_rows,
     out << "     ]}" << (i + 1 < sharded.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"reload\": {\"full_bytes\": " << reload.full_bytes
+      << ", \"delta_bytes\": " << reload.delta_bytes
+      << ", \"delta_over_full_bytes\": "
+      << (reload.full_bytes > 0
+              ? static_cast<double>(reload.delta_bytes) / reload.full_bytes
+              : 0.0)
+      << ",\n             \"full_reload_ms\": "
+      << reload.full_reload_seconds * 1e3
+      << ", \"mapped_reload_ms\": " << reload.mapped_reload_seconds * 1e3
+      << ", \"delta_apply_ms\": " << reload.delta_apply_seconds * 1e3
+      << ", \"predictions_identical\": "
+      << (reload.predictions_identical ? "true" : "false") << "},\n";
   out << "  \"ratio_4threads\": " << ratio_4threads << "\n";
   out << "}\n";
 }
@@ -615,9 +725,24 @@ int Main(int argc, char** argv) {
     sharded.push_back(std::move(row));
   }
 
+  // --- Snapshot distribution: full reload vs mmap vs delta apply. --------
+  const ReloadResult reload =
+      RunReloadBench(model, model_bytes, reps, flat, width, reference);
+  std::printf("--- snapshot distribution ---\n"
+              "  full=%zu bytes (%.2f ms reload, %.2f ms mmapped)  "
+              "delta=%zu bytes (%.3f ms apply, %.4fx of full)  "
+              "identical=%s\n",
+              reload.full_bytes, reload.full_reload_seconds * 1e3,
+              reload.mapped_reload_seconds * 1e3, reload.delta_bytes,
+              reload.delta_apply_seconds * 1e3,
+              static_cast<double>(reload.delta_bytes) / reload.full_bytes,
+              reload.predictions_identical ? "yes" : "NO");
+  all_identical = all_identical && reload.predictions_identical;
+
   WriteServeJson(json_path, train.num_rows(), probe.num_rows(), closed_rows,
                  model, reps, slo_seconds, results, single_queue,
-                 single_queue_at_slo, single_queue_best, sharded, ratio);
+                 single_queue_at_slo, single_queue_best, sharded, reload,
+                 ratio);
   std::printf("  -> %s\n", json_path.c_str());
   if (!all_identical) {
     std::fprintf(stderr, "ERROR: serving decisions differ from the "

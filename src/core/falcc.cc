@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <map>
@@ -13,6 +14,8 @@
 #include <utility>
 
 #include "cluster/kdtree.h"
+#include "io/flat_kernel.h"
+#include "io/mapped_file.h"
 #include "ml/adaboost.h"
 #include "util/math.h"
 #include "util/parallel.h"
@@ -96,7 +99,7 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
   }
 
   FalccModel model;
-  model.pool_ = std::move(pool);
+  model.pool_ = std::make_shared<const ModelPool>(std::move(pool));
   model.pool_entropy_ = pool_entropy;
 
   // Sensitive groups observed in the validation data.
@@ -208,7 +211,7 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
   // Drop empty regions from assessment but keep centroid indexing intact
   // by assigning them the globally best combination later.
   const std::vector<std::vector<int>> votes =
-      model.pool_.PredictMatrix(validation);
+      model.pool_->PredictMatrix(validation);
 
   AssessmentContext ctx;
   ctx.votes = &votes;
@@ -220,7 +223,7 @@ Result<FalccModel> FalccModel::RunOfflinePhase(ModelPool pool,
   ctx.lambda = options.lambda;
 
   Result<std::vector<ModelCombination>> combos =
-      EnumerateCombinations(model.pool_, num_groups);
+      EnumerateCombinations(*model.pool_, num_groups);
   if (!combos.ok()) return combos.status();
 
   std::vector<size_t> all_rows(validation.num_rows());
@@ -276,7 +279,7 @@ Status FalccModel::CompileKernels() {
     auto [it, inserted] = dedup.try_emplace(selected_[c]);
     if (inserted) {
       Result<std::shared_ptr<const CompiledCombo>> combo =
-          CompiledCombo::Compile(pool_, selected_[c]);
+          CompiledCombo::Compile(*pool_, selected_[c]);
       if (!combo.ok()) return combo.status();
       it->second = std::move(combo).value();
     }
@@ -308,18 +311,82 @@ Status FalccModel::BuildCentroidIndex() {
 
 namespace {
 constexpr char kModelHeader[] = "falcc-model-v1";
-/// Optional trailing section holding the monitoring anchors: assessment
-/// parameters and the per-cluster baseline L̂. Artifacts written before
-/// monitoring existed simply end after the combinations; Load treats the
-/// section as absent and leaves the baselines empty.
+/// Optional trailing v1 section holding the monitoring anchors:
+/// assessment parameters and the per-cluster baseline L̂. Artifacts
+/// written before monitoring existed simply end after the combinations;
+/// Load treats the section as absent and leaves the baselines empty.
 constexpr char kMonitorSection[] = "falcc-monitor-v1";
+
+// v2 section names, in canonical manifest order (the combo sections sit
+// between clustering and monitor, one per cluster).
+constexpr char kSectionMeta[] = "meta";
+constexpr char kSectionPool[] = "pool";
+constexpr char kSectionGroups[] = "groups";
+constexpr char kSectionTransform[] = "transform";
+constexpr char kSectionClustering[] = "clustering";
+constexpr char kSectionMonitor[] = "monitor";
+constexpr char kComboSectionPrefix[] = "combo.";
+
+std::string ComboSectionName(size_t cluster) {
+  return kComboSectionPrefix + std::to_string(cluster);
+}
+
+/// Every section parser ends with this: a v2 section is a closed unit,
+/// so trailing tokens mean the artifact disagrees with its manifest.
+Status ExpectSectionEnd(std::istream* in, const std::string& name) {
+  std::string extra;
+  if (*in >> extra) {
+    return Status::InvalidArgument("FalccModel: trailing data in section '" +
+                                   name + "'");
+  }
+  return Status::OK();
+}
+
+/// Strict "combo.<index>" parser for delta manifests: digits only, no
+/// leading zeros, value below `num_clusters`.
+Result<size_t> ParseComboSectionName(const std::string& name,
+                                     size_t num_clusters) {
+  const std::string_view prefix = kComboSectionPrefix;
+  if (name.size() <= prefix.size() ||
+      std::string_view(name).substr(0, prefix.size()) != prefix) {
+    return Status::InvalidArgument(
+        "FalccModel: delta may only carry combo sections, found '" + name +
+        "'");
+  }
+  const std::string_view digits = std::string_view(name).substr(prefix.size());
+  if (digits.size() > 1 && digits[0] == '0') {
+    return Status::InvalidArgument("FalccModel: bad combo section name '" +
+                                   name + "'");
+  }
+  size_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9' || value > num_clusters) {
+      return Status::InvalidArgument("FalccModel: bad combo section name '" +
+                                     name + "'");
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  if (value >= num_clusters) {
+    return Status::InvalidArgument("FalccModel: delta cluster " +
+                                   std::to_string(value) + " out of range");
+  }
+  return value;
+}
 }  // namespace
 
 Status FalccModel::Save(std::ostream* out) const {
+  return Save(out, save_format_);
+}
+
+Status FalccModel::Save(std::ostream* out, SnapshotFormat format) const {
+  return format == SnapshotFormat::kV1 ? SaveV1(out) : SaveV2(out, nullptr);
+}
+
+Status FalccModel::SaveV1(std::ostream* out) const {
   io::PrepareStream(out);
   *out << kModelHeader << '\n';
   *out << pool_entropy_ << '\n';
-  FALCC_RETURN_IF_ERROR(pool_.Serialize(out));
+  FALCC_RETURN_IF_ERROR(pool_->Serialize(out));
   FALCC_RETURN_IF_ERROR(group_index_.Serialize(out));
   FALCC_RETURN_IF_ERROR(clustering_transform_.Serialize(out));
   *out << centroids_.size() << '\n';
@@ -339,18 +406,125 @@ Status FalccModel::Save(std::ostream* out) const {
   return Status::OK();
 }
 
+void FalccModel::WriteComboSection(std::ostream* out, size_t cluster) const {
+  io::WriteVector(out, selected_[cluster]);
+  // Self-describing baseline: a delta section replays without the base
+  // artifact in hand, so it must say whether a baseline exists.
+  if (baseline_loss_.empty()) {
+    *out << "none\n";
+  } else {
+    *out << "baseline " << baseline_loss_[cluster] << '\n';
+  }
+}
+
+void FalccModel::CanonicalSlots(std::vector<uint32_t>* slot_of_cluster,
+                                std::vector<size_t>* slot_clusters) const {
+  slot_of_cluster->assign(selected_.size(), 0);
+  slot_clusters->clear();
+  std::map<ModelCombination, uint32_t> slots;
+  for (size_t c = 0; c < selected_.size(); ++c) {
+    auto [it, inserted] = slots.try_emplace(
+        selected_[c], static_cast<uint32_t>(slot_clusters->size()));
+    if (inserted) slot_clusters->push_back(c);
+    (*slot_of_cluster)[c] = it->second;
+  }
+}
+
+Status FalccModel::SaveV2(std::ostream* out,
+                          io::SnapshotManifest* manifest_out) const {
+  io::SnapshotWriter writer(out);
+  *writer.BeginSection(kSectionMeta) << "entropy " << pool_entropy_ << '\n';
+  FALCC_RETURN_IF_ERROR(writer.EndSection());
+  FALCC_RETURN_IF_ERROR(pool_->Serialize(writer.BeginSection(kSectionPool)));
+  FALCC_RETURN_IF_ERROR(writer.EndSection());
+  FALCC_RETURN_IF_ERROR(
+      group_index_.Serialize(writer.BeginSection(kSectionGroups)));
+  FALCC_RETURN_IF_ERROR(writer.EndSection());
+  FALCC_RETURN_IF_ERROR(
+      clustering_transform_.Serialize(writer.BeginSection(kSectionTransform)));
+  FALCC_RETURN_IF_ERROR(writer.EndSection());
+  {
+    std::ostream* s = writer.BeginSection(kSectionClustering);
+    *s << centroids_.size() << '\n';
+    for (const auto& c : centroids_) io::WriteVector(s, c);
+    FALCC_RETURN_IF_ERROR(writer.EndSection());
+  }
+  for (size_t c = 0; c < selected_.size(); ++c) {
+    WriteComboSection(writer.BeginSection(ComboSectionName(c)), c);
+    FALCC_RETURN_IF_ERROR(writer.EndSection());
+  }
+  if (!baseline_loss_.empty()) {
+    *writer.BeginSection(kSectionMonitor)
+        << assess_lambda_ << ' ' << static_cast<int>(assess_metric_) << ' '
+        << static_cast<int>(assess_mode_) << '\n';
+    FALCC_RETURN_IF_ERROR(writer.EndSection());
+  }
+  // The flat section is derived state: written when kernels exist,
+  // rebuilt (or verified) by Load when absent (or present). Slots are
+  // keyed by combination value, not kernel pointer, so the bytes are a
+  // pure function of (pool, selected_) — clones and fresh compiles
+  // serialize identically.
+  if (has_compiled_kernels()) {
+    std::vector<uint32_t> slot_of_cluster;
+    std::vector<size_t> slot_clusters;
+    CanonicalSlots(&slot_of_cluster, &slot_clusters);
+    std::vector<const CompiledCombo*> slots;
+    slots.reserve(slot_clusters.size());
+    for (size_t first_cluster : slot_clusters) {
+      slots.push_back(compiled_[first_cluster].get());
+    }
+    FALCC_RETURN_IF_ERROR(io::EncodeFlatSection(
+        writer.BeginSection(io::kFlatSectionName), centroids_,
+        slot_of_cluster, slots));
+    FALCC_RETURN_IF_ERROR(writer.EndSection());
+  }
+  return writer.Finish(manifest_out);
+}
+
 Result<FalccModel> FalccModel::Load(std::istream* in) {
-  return LoadImpl(in, /*compile=*/true);
+  // Slurp once, then sniff the format from the first bytes. Incremental
+  // token reads would work for v1 but a v2 manifest needs the byte
+  // layout, and a single read path keeps stream-fault handling uniform.
+  std::string bytes;
+  char chunk[65536];
+  for (;;) {
+    in->read(chunk, sizeof(chunk));
+    bytes.append(chunk, static_cast<size_t>(in->gcount()));
+    if (!*in) break;
+  }
+  if (in->bad()) return Status::IOError("FalccModel: stream read failed");
+  const std::string_view view(bytes);
+  const auto starts_with = [view](const char* header) {
+    const std::string_view h(header);
+    return view.size() > h.size() && view.substr(0, h.size()) == h &&
+           view[h.size()] == '\n';
+  };
+  if (starts_with(io::kSnapshotHeaderV2)) {
+    Result<io::SnapshotReader> reader =
+        io::SnapshotReader::Parse(std::move(bytes));
+    if (!reader.ok()) return reader.status();
+    return LoadV2(std::move(reader).value(), nullptr);
+  }
+  if (starts_with(io::kDeltaHeaderV2)) {
+    return Status::InvalidArgument(
+        "FalccModel: artifact is a delta snapshot; apply it to its base "
+        "with ApplyDelta instead of loading it directly");
+  }
+  std::istringstream stream{std::move(bytes)};
+  return LoadImpl(&stream, /*compile=*/true);
 }
 
 Result<FalccModel> FalccModel::LoadImpl(std::istream* in, bool compile) {
   FALCC_RETURN_IF_ERROR(io::Expect(in, kModelHeader));
   FalccModel model;
+  // Sticky format: a legacy artifact keeps saving as v1 so the golden
+  // byte-identity contract holds for existing snapshots.
+  model.save_format_ = SnapshotFormat::kV1;
   FALCC_RETURN_IF_ERROR(io::Read(in, &model.pool_entropy_));
 
   Result<ModelPool> pool = ModelPool::Deserialize(in);
   if (!pool.ok()) return pool.status();
-  model.pool_ = std::move(pool).value();
+  model.pool_ = std::make_shared<const ModelPool>(std::move(pool).value());
 
   Result<GroupIndex> index = GroupIndex::Deserialize(in);
   if (!index.ok()) return index.status();
@@ -392,10 +566,10 @@ Result<FalccModel> FalccModel::LoadImpl(std::istream* in, bool compile) {
     }
     for (size_t g = 0; g < combo.size(); ++g) {
       const size_t m = combo[g];
-      if (m >= model.pool_.size()) {
+      if (m >= model.pool_->size()) {
         return Status::InvalidArgument("FalccModel: model index range");
       }
-      if (!model.pool_.Applicable(m, g)) {
+      if (!model.pool_->Applicable(m, g)) {
         return Status::InvalidArgument(
             "FalccModel: model " + std::to_string(m) +
             " selected for group " + std::to_string(g) +
@@ -417,8 +591,8 @@ Result<FalccModel> FalccModel::LoadImpl(std::istream* in, bool compile) {
           " out of range for " + std::to_string(width) + " features");
     }
   }
-  for (size_t m = 0; m < model.pool_.size(); ++m) {
-    FALCC_RETURN_IF_ERROR(model.pool_.model(m).ValidateForWidth(width));
+  for (size_t m = 0; m < model.pool_->size(); ++m) {
+    FALCC_RETURN_IF_ERROR(model.pool_->model(m).ValidateForWidth(width));
   }
 
   // Monitoring anchors: optional trailing section (absent in artifacts
@@ -469,15 +643,428 @@ Result<FalccModel> FalccModel::LoadImpl(std::istream* in, bool compile) {
   return model;
 }
 
+Result<FalccModel> FalccModel::LoadV2(io::SnapshotReader reader,
+                                      std::shared_ptr<const void> backing) {
+  if (reader.is_delta()) {
+    return Status::InvalidArgument(
+        "FalccModel: artifact is a delta snapshot; apply it to its base "
+        "with ApplyDelta instead of loading it directly");
+  }
+  const io::SnapshotManifest& manifest = reader.manifest();
+  // ReadSection verifies the section checksum; its error names the
+  // failing section and file offset, which is the diagnostic v2 exists
+  // to give.
+  auto section = [&](const std::string& name) -> Result<std::string_view> {
+    if (!manifest.Has(name)) {
+      return Status::InvalidArgument("FalccModel: snapshot is missing the '" +
+                                     name + "' section");
+    }
+    return reader.ReadSection(name);
+  };
+
+  FalccModel model;
+  model.save_format_ = SnapshotFormat::kV2;
+  {
+    Result<std::string_view> payload = section(kSectionMeta);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    FALCC_RETURN_IF_ERROR(io::Expect(&s, "entropy"));
+    FALCC_RETURN_IF_ERROR(io::Read(&s, &model.pool_entropy_));
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, kSectionMeta));
+  }
+  {
+    Result<std::string_view> payload = section(kSectionPool);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    Result<ModelPool> pool = ModelPool::Deserialize(&s);
+    if (!pool.ok()) return pool.status();
+    model.pool_ = std::make_shared<const ModelPool>(std::move(pool).value());
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, kSectionPool));
+  }
+  {
+    Result<std::string_view> payload = section(kSectionGroups);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    Result<GroupIndex> index = GroupIndex::Deserialize(&s);
+    if (!index.ok()) return index.status();
+    model.group_index_ = std::move(index).value();
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, kSectionGroups));
+  }
+  {
+    Result<std::string_view> payload = section(kSectionTransform);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    Result<ColumnTransform> transform = ColumnTransform::Deserialize(&s);
+    if (!transform.ok()) return transform.status();
+    model.clustering_transform_ = std::move(transform).value();
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, kSectionTransform));
+  }
+  {
+    Result<std::string_view> payload = section(kSectionClustering);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    size_t num_centroids = 0;
+    FALCC_RETURN_IF_ERROR(io::Read(&s, &num_centroids));
+    if (num_centroids == 0 || num_centroids > 10000000) {
+      return Status::InvalidArgument("FalccModel: implausible centroid count");
+    }
+    model.centroids_.resize(num_centroids);
+    for (auto& c : model.centroids_) {
+      FALCC_RETURN_IF_ERROR(io::ReadVector(&s, &c));
+      if (c.size() != model.clustering_transform_.num_output_features()) {
+        return Status::InvalidArgument("FalccModel: centroid width mismatch");
+      }
+      for (double v : c) {
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument("FalccModel: non-finite centroid");
+        }
+      }
+    }
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, kSectionClustering));
+  }
+  const size_t k = model.centroids_.size();
+  const size_t num_groups = model.group_index_.num_groups();
+
+  // The manifest must list exactly the canonical sections in canonical
+  // order — section layout is part of the format, and enforcing it keeps
+  // Save ∘ Load ∘ Save a byte fixed point.
+  const bool has_monitor = manifest.Has(kSectionMonitor);
+  const bool has_flat = manifest.Has(io::kFlatSectionName);
+  {
+    std::vector<std::string> expected = {kSectionMeta, kSectionPool,
+                                         kSectionGroups, kSectionTransform,
+                                         kSectionClustering};
+    for (size_t c = 0; c < k; ++c) expected.push_back(ComboSectionName(c));
+    if (has_monitor) expected.push_back(kSectionMonitor);
+    if (has_flat) expected.push_back(io::kFlatSectionName);
+    if (manifest.sections.size() != expected.size()) {
+      return Status::InvalidArgument(
+          "FalccModel: snapshot has " +
+          std::to_string(manifest.sections.size()) + " sections, expected " +
+          std::to_string(expected.size()));
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (manifest.sections[i].name != expected[i]) {
+        return Status::InvalidArgument(
+            "FalccModel: unexpected section '" + manifest.sections[i].name +
+            "' at position " + std::to_string(i) + " (expected '" +
+            expected[i] + "')");
+      }
+    }
+  }
+
+  if (has_monitor) {
+    Result<std::string_view> payload = section(kSectionMonitor);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    int metric = 0;
+    int mode = 0;
+    FALCC_RETURN_IF_ERROR(io::Read(&s, &model.assess_lambda_));
+    FALCC_RETURN_IF_ERROR(io::Read(&s, &metric));
+    FALCC_RETURN_IF_ERROR(io::Read(&s, &mode));
+    if (model.assess_lambda_ < 0.0 || model.assess_lambda_ > 1.0) {
+      return Status::InvalidArgument("FalccModel: lambda out of range");
+    }
+    if (metric < 0 ||
+        metric > static_cast<int>(FairnessMetric::kTreatmentEquality)) {
+      return Status::InvalidArgument("FalccModel: unknown fairness metric");
+    }
+    if (mode < 0 || mode > static_cast<int>(AssessmentMode::kConsistency)) {
+      return Status::InvalidArgument("FalccModel: unknown assessment mode");
+    }
+    model.assess_metric_ = static_cast<FairnessMetric>(metric);
+    model.assess_mode_ = static_cast<AssessmentMode>(mode);
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, kSectionMonitor));
+    model.baseline_loss_.assign(k, 0.0);
+  }
+
+  model.selected_.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    const std::string name = ComboSectionName(c);
+    Result<std::string_view> payload = section(name);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    ModelCombination& combo = model.selected_[c];
+    FALCC_RETURN_IF_ERROR(io::ReadVector(&s, &combo));
+    if (combo.size() != num_groups) {
+      return Status::InvalidArgument("FalccModel: combination width");
+    }
+    for (size_t g = 0; g < combo.size(); ++g) {
+      const size_t m = combo[g];
+      if (m >= model.pool_->size()) {
+        return Status::InvalidArgument("FalccModel: model index range");
+      }
+      if (!model.pool_->Applicable(m, g)) {
+        return Status::InvalidArgument(
+            "FalccModel: model " + std::to_string(m) + " selected for group " +
+            std::to_string(g) + " it is not applicable to");
+      }
+    }
+    std::string tag;
+    if (!(s >> tag)) {
+      return Status::InvalidArgument("FalccModel: truncated section '" + name +
+                                     "'");
+    }
+    if (tag == "baseline") {
+      if (!has_monitor) {
+        return Status::InvalidArgument(
+            "FalccModel: section '" + name +
+            "' carries a baseline but the snapshot has no monitor section");
+      }
+      double loss = 0.0;
+      FALCC_RETURN_IF_ERROR(io::Read(&s, &loss));
+      if (!std::isfinite(loss)) {
+        return Status::InvalidArgument("FalccModel: non-finite baseline");
+      }
+      model.baseline_loss_[c] = loss;
+    } else if (tag == "none") {
+      if (has_monitor) {
+        return Status::InvalidArgument(
+            "FalccModel: section '" + name +
+            "' lacks a baseline despite the monitor section");
+      }
+    } else {
+      return Status::InvalidArgument("FalccModel: bad baseline tag '" + tag +
+                                     "' in section '" + name + "'");
+    }
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, name));
+  }
+
+  // Cross-component consistency (identical to the v1 checks): the online
+  // phase indexes width-num_features() samples through the group index
+  // and every pool model, so a mismatched pair of individually
+  // well-formed sections must be rejected here.
+  const size_t width = model.num_features();
+  for (size_t col : model.group_index_.sensitive_features()) {
+    if (col >= width) {
+      return Status::InvalidArgument(
+          "FalccModel: sensitive column " + std::to_string(col) +
+          " out of range for " + std::to_string(width) + " features");
+    }
+  }
+  for (size_t m = 0; m < model.pool_->size(); ++m) {
+    FALCC_RETURN_IF_ERROR(model.pool_->model(m).ValidateForWidth(width));
+  }
+  FALCC_RETURN_IF_ERROR(model.BuildCentroidIndex());
+
+  if (has_flat) {
+    Result<std::string_view> payload = section(io::kFlatSectionName);
+    if (!payload.ok()) return payload.status();
+    Result<io::DecodedFlat> decoded = io::DecodeFlatSection(
+        payload.value(), num_groups, width, model.pool_->size(), backing);
+    if (!decoded.ok()) return decoded.status();
+    const io::DecodedFlat& flat = decoded.value();
+    auto flat_mismatch = [](const std::string& what) {
+      return Status::InvalidArgument(
+          "FalccModel: flat section does not match the semantic sections (" +
+          what + ")");
+    };
+    if (flat.slot_of_cluster.size() != k) {
+      return flat_mismatch("cluster count");
+    }
+    if (flat.centroid_width !=
+        model.clustering_transform_.num_output_features()) {
+      return flat_mismatch("centroid width");
+    }
+    // Centroid bit-equality against the authoritative text section: the
+    // flat copy exists so the match stage can gather from one contiguous
+    // array, and any divergence would silently re-route samples.
+    for (size_t c = 0; c < k; ++c) {
+      if (std::memcmp(model.centroids_[c].data(),
+                      flat.centroids.data() + c * flat.centroid_width,
+                      flat.centroid_width * sizeof(double)) != 0) {
+        return flat_mismatch("centroid bits of cluster " + std::to_string(c));
+      }
+    }
+    // Routing honesty: every (cluster, group) entry in the flat section
+    // must dispatch to exactly the pool model the combo sections select.
+    for (size_t c = 0; c < k; ++c) {
+      const CompiledCombo& kernel =
+          *flat.slot_kernels[flat.slot_of_cluster[c]];
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (kernel.GroupModel(g) != model.selected_[c][g]) {
+          return flat_mismatch("entry model of cluster " + std::to_string(c) +
+                               ", group " + std::to_string(g));
+        }
+      }
+    }
+    if (backing != nullptr) {
+      // Zero-copy install: the kernels alias the mapping (structural
+      // safety was established by FromParts; `falcc_cli snapshot verify`
+      // provides the full recompile check offline).
+      model.compiled_.assign(k, nullptr);
+      for (size_t c = 0; c < k; ++c) {
+        model.compiled_[c] = flat.slot_kernels[flat.slot_of_cluster[c]];
+      }
+      model.RebuildComboSlots();
+    } else {
+      // Stream load: the pool stays authoritative — compile from it and
+      // require the flat section to match bit for bit.
+      FALCC_RETURN_IF_ERROR(model.CompileKernels());
+      if (model.combo_slot_ != flat.slot_of_cluster ||
+          model.slot_kernel_.size() != flat.slot_kernels.size()) {
+        return flat_mismatch("kernel slot layout");
+      }
+      for (size_t s = 0; s < model.slot_kernel_.size(); ++s) {
+        if (!model.slot_kernel_[s]->SameBits(*flat.slot_kernels[s])) {
+          return flat_mismatch("kernel bits of slot " + std::to_string(s));
+        }
+      }
+    }
+  } else {
+    FALCC_RETURN_IF_ERROR(model.CompileKernels());
+  }
+  model.manifest_ = manifest;
+  return model;
+}
+
+Result<FalccModel> FalccModel::LoadMapped(const std::string& path) {
+  Result<io::MappedFile> file = io::MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto holder = std::make_shared<const io::MappedFile>(std::move(file).value());
+  const std::string_view view = holder->view();
+  const std::string header = std::string(io::kSnapshotHeaderV2) + "\n";
+  if (view.size() <= header.size() || view.substr(0, header.size()) != header) {
+    // Legacy (or delta) artifact: no flat section to alias, so the
+    // stream path is the same work.
+    return LoadFromFile(path);
+  }
+  Result<io::SnapshotReader> reader = io::SnapshotReader::ParseView(view);
+  if (!reader.ok()) return reader.status();
+  return LoadV2(std::move(reader).value(), holder);
+}
+
+Status FalccModel::SaveDelta(std::ostream* out,
+                             std::span<const size_t> clusters,
+                             uint64_t base_hash) const {
+  if (clusters.empty()) {
+    return Status::InvalidArgument("SaveDelta: no clusters listed");
+  }
+  std::vector<size_t> sorted(clusters.begin(), clusters.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= centroids_.size()) {
+      return Status::InvalidArgument("SaveDelta: cluster " +
+                                     std::to_string(sorted[i]) +
+                                     " out of range");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument("SaveDelta: duplicate cluster " +
+                                     std::to_string(sorted[i]));
+    }
+  }
+  io::SnapshotWriter writer(out);
+  writer.SetDeltaBase(base_hash);
+  for (size_t c : sorted) {
+    WriteComboSection(writer.BeginSection(ComboSectionName(c)), c);
+    FALCC_RETURN_IF_ERROR(writer.EndSection());
+  }
+  return writer.Finish();
+}
+
+Result<FalccModel> FalccModel::ApplyDeltaBytes(std::string_view bytes) const {
+  Result<io::SnapshotReader> parsed = io::SnapshotReader::ParseView(bytes);
+  if (!parsed.ok()) return parsed.status();
+  const io::SnapshotReader& reader = parsed.value();
+  if (!reader.is_delta()) {
+    return Status::InvalidArgument(
+        "ApplyDelta: artifact is a full snapshot, not a delta");
+  }
+  Result<uint64_t> hash = ContentHash();
+  if (!hash.ok()) return hash.status();
+  if (reader.base_hash() != hash.value()) {
+    return Status::FailedPrecondition(
+        "ApplyDelta: delta applies to base " +
+        io::HashHex(reader.base_hash()) +
+        " but the installed snapshot has content hash " +
+        io::HashHex(hash.value()));
+  }
+  const bool has_baselines = !baseline_loss_.empty();
+  std::vector<ClusterRefresh> refreshes;
+  std::vector<bool> seen(centroids_.size(), false);
+  for (const io::SectionInfo& info : reader.manifest().sections) {
+    Result<size_t> cluster =
+        ParseComboSectionName(info.name, centroids_.size());
+    if (!cluster.ok()) return cluster.status();
+    if (seen[cluster.value()]) {
+      return Status::InvalidArgument("ApplyDelta: duplicate cluster " +
+                                     std::to_string(cluster.value()));
+    }
+    seen[cluster.value()] = true;
+    Result<std::string_view> payload = reader.ReadSection(info.name);
+    if (!payload.ok()) return payload.status();
+    std::istringstream s{std::string(payload.value())};
+    ClusterRefresh refresh;
+    refresh.cluster = cluster.value();
+    FALCC_RETURN_IF_ERROR(io::ReadVector(&s, &refresh.combination));
+    std::string tag;
+    if (!(s >> tag)) {
+      return Status::InvalidArgument("ApplyDelta: truncated section '" +
+                                     info.name + "'");
+    }
+    if (tag == "baseline") {
+      if (!has_baselines) {
+        return Status::InvalidArgument(
+            "ApplyDelta: delta carries a baseline but the base snapshot "
+            "has none");
+      }
+      FALCC_RETURN_IF_ERROR(io::Read(&s, &refresh.baseline_loss));
+    } else if (tag == "none") {
+      if (has_baselines) {
+        return Status::InvalidArgument(
+            "ApplyDelta: delta lacks a baseline the base snapshot tracks");
+      }
+    } else {
+      return Status::InvalidArgument("ApplyDelta: bad baseline tag '" + tag +
+                                     "' in section '" + info.name + "'");
+    }
+    FALCC_RETURN_IF_ERROR(ExpectSectionEnd(&s, info.name));
+    refreshes.push_back(std::move(refresh));
+  }
+  // Combination validity (width, range, applicability, finite baseline)
+  // is enforced by CloneWithRefreshes — the same gate the monitor's
+  // in-process refresh goes through.
+  return CloneWithRefreshes(refreshes);
+}
+
+Status FalccModel::EnsureManifest() {
+  if (manifest_.has_value()) return Status::OK();
+  std::ostringstream sink;
+  io::SnapshotManifest manifest;
+  FALCC_RETURN_IF_ERROR(SaveV2(&sink, &manifest));
+  manifest_ = std::move(manifest);
+  return Status::OK();
+}
+
+Result<uint64_t> FalccModel::ContentHash() const {
+  if (manifest_.has_value()) return manifest_->ContentHash();
+  std::ostringstream sink;
+  io::SnapshotManifest manifest;
+  FALCC_RETURN_IF_ERROR(SaveV2(&sink, &manifest));
+  return manifest.ContentHash();
+}
+
 Result<FalccModel> FalccModel::CloneWithRefreshes(
     std::span<const ClusterRefresh> refreshes) const {
-  std::stringstream buffer;
-  FALCC_RETURN_IF_ERROR(Save(&buffer));
-  // The round trip skips compilation: untouched clusters reuse this
-  // model's kernels below, and only refreshed combinations compile.
-  Result<FalccModel> clone = LoadImpl(&buffer, /*compile=*/false);
-  if (!clone.ok()) return clone.status();
-  FalccModel model = std::move(clone).value();
+  // In-memory clone: the pool is shared (immutable, by far the largest
+  // component) and everything else is copied, so the clone costs
+  // O(refreshed clusters + routing tables), not a serialization round
+  // trip of the whole model. Training diagnostics (assignment_) are not
+  // carried over, matching what a save/load round trip would drop.
+  FalccModel model;
+  model.pool_ = pool_;
+  model.pool_entropy_ = pool_entropy_;
+  model.group_index_ = group_index_;
+  model.clustering_transform_ = clustering_transform_;
+  model.centroids_ = centroids_;
+  model.centroid_index_ = centroid_index_;
+  model.selected_ = selected_;
+  model.baseline_loss_ = baseline_loss_;
+  model.use_compiled_ = use_compiled_;
+  model.assess_lambda_ = assess_lambda_;
+  model.assess_metric_ = assess_metric_;
+  model.assess_mode_ = assess_mode_;
+  model.save_format_ = save_format_;
   for (const ClusterRefresh& refresh : refreshes) {
     if (refresh.cluster >= model.centroids_.size()) {
       return Status::InvalidArgument("CloneWithRefreshes: cluster " +
@@ -490,7 +1077,7 @@ Result<FalccModel> FalccModel::CloneWithRefreshes(
     }
     for (size_t g = 0; g < refresh.combination.size(); ++g) {
       const size_t m = refresh.combination[g];
-      if (m >= model.pool_.size() || !model.pool_.Applicable(m, g)) {
+      if (m >= model.pool_->size() || !model.pool_->Applicable(m, g)) {
         return Status::InvalidArgument(
             "CloneWithRefreshes: model " + std::to_string(m) +
             " is not applicable to group " + std::to_string(g));
@@ -505,7 +1092,6 @@ Result<FalccModel> FalccModel::CloneWithRefreshes(
       model.baseline_loss_[refresh.cluster] = refresh.baseline_loss;
     }
   }
-  model.use_compiled_ = use_compiled_;
   if (has_compiled_kernels()) {
     // Kernel reuse: untouched clusters share this model's compiled
     // combos pointer-for-pointer; each distinct refreshed combination
@@ -516,13 +1102,43 @@ Result<FalccModel> FalccModel::CloneWithRefreshes(
       auto [it, inserted] = fresh.try_emplace(refresh.combination);
       if (inserted) {
         Result<std::shared_ptr<const CompiledCombo>> combo =
-            CompiledCombo::Compile(model.pool_, refresh.combination);
+            CompiledCombo::Compile(*model.pool_, refresh.combination);
         if (!combo.ok()) return combo.status();
         it->second = std::move(combo).value();
       }
       model.compiled_[refresh.cluster] = it->second;
     }
     model.RebuildComboSlots();
+  }
+  // Incremental manifest update: a refresh changes only the refreshed
+  // clusters' combo sections (and invalidates the derived flat cache),
+  // so the clone's content hash is recomputed from per-section metadata
+  // without serializing the model. Offsets go stale but nothing reads
+  // them (ContentHash folds name/length/checksum only); EnsureManifest
+  // on a fresh save restores exact offsets.
+  if (manifest_.has_value()) {
+    io::SnapshotManifest manifest = *manifest_;
+    bool consistent = true;
+    for (const ClusterRefresh& refresh : refreshes) {
+      std::ostringstream payload;
+      io::PrepareStream(&payload);
+      model.WriteComboSection(&payload, refresh.cluster);
+      const std::string bytes = std::move(payload).str();
+      bool found = false;
+      for (io::SectionInfo& info : manifest.sections) {
+        if (info.name == ComboSectionName(refresh.cluster)) {
+          info.length = bytes.size();
+          info.checksum = io::Fnv1a(bytes);
+          found = true;
+          break;
+        }
+      }
+      consistent = consistent && found;
+    }
+    std::erase_if(manifest.sections, [](const io::SectionInfo& info) {
+      return info.name == io::kFlatSectionName;
+    });
+    if (consistent) model.manifest_ = std::move(manifest);
   }
   return model;
 }
@@ -576,14 +1192,14 @@ int FalccModel::Classify(std::span<const double> features) const {
   const size_t cluster = MatchCluster(features);
   const size_t group = group_index_.GroupOfOrNearest(features);
   const size_t m = selected_[cluster][group];
-  return pool_.model(m).Predict(features);
+  return pool_->model(m).Predict(features);
 }
 
 double FalccModel::ClassifyProba(std::span<const double> features) const {
   const size_t cluster = MatchCluster(features);
   const size_t group = group_index_.GroupOfOrNearest(features);
   const size_t m = selected_[cluster][group];
-  return pool_.model(m).PredictProba(features);
+  return pool_->model(m).PredictProba(features);
 }
 
 void FalccModel::ClassifyRowsInto(const Dataset& data,
@@ -644,7 +1260,7 @@ void FalccModel::ClassifyRowsInto(const Dataset& data,
   const bool fused = use_compiled_ && has_compiled_kernels();
   const size_t groups = num_groups();
   const size_t num_keys =
-      fused ? slot_kernel_.size() * groups : pool_.size();
+      fused ? slot_kernel_.size() * groups : pool_->size();
   auto key_of = [&](const SampleDecision& d) {
     return fused ? combo_slot_[d.cluster] * groups + d.group : d.model;
   };
@@ -672,11 +1288,11 @@ void FalccModel::ClassifyRowsInto(const Dataset& data,
         if (combo.GroupCompiled(g)) {
           combo.PredictGroup(data, g, segment_rows, segment_proba);
         } else {
-          pool_.model(combo.GroupModel(g))
+          pool_->model(combo.GroupModel(g))
               .PredictProbaBatch(data, segment_rows, segment_proba);
         }
       } else {
-        pool_.model(s).PredictProbaBatch(data, segment_rows, segment_proba);
+        pool_->model(s).PredictProbaBatch(data, segment_rows, segment_proba);
       }
       for (size_t j = 0; j < segment_rows.size(); ++j) {
         SampleDecision& d = decisions[segment_rows[j]];

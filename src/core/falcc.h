@@ -35,6 +35,7 @@
 #include "data/groups.h"
 #include "data/transforms.h"
 #include "fairness/proxy.h"
+#include "io/snapshot.h"
 #include "ml/compiled_ensemble.h"
 #include "ml/grid_search.h"
 
@@ -148,6 +149,18 @@ struct ClusterRefresh {
   double baseline_loss = 0.0;
 };
 
+/// On-disk snapshot format. kV1 is the legacy whitespace-token stream
+/// (header `falcc-model-v1`); kV2 is the sectioned container of
+/// io/snapshot.h with per-section checksums, a content hash, an optional
+/// compiled-kernel `flat` section, and delta support. Loading records
+/// the source format and Save reproduces it by default, so a legacy
+/// artifact round-trips byte-identically while everything newly trained
+/// writes v2.
+enum class SnapshotFormat {
+  kV1,
+  kV2,
+};
+
 /// A trained FALCC classifier (offline phase output + online phase).
 class FalccModel {
  public:
@@ -172,26 +185,80 @@ class FalccModel {
                                           double pool_entropy = 0.0);
 
   /// Serializes the full trained model (pool, transform, centroids,
-  /// group index, per-cluster combinations). Requires every pool model's
-  /// type to support serialization (true for everything the built-in
-  /// diverse trainer produces). Training-time diagnostics
-  /// (validation_assignment) are not persisted — a loaded model
-  /// classifies identically but reports an empty assignment.
+  /// group index, per-cluster combinations) in the model's sticky format
+  /// (see SnapshotFormat). Requires every pool model's type to support
+  /// serialization (true for everything the built-in diverse trainer
+  /// produces). Training-time diagnostics (validation_assignment) are
+  /// not persisted — a loaded model classifies identically but reports
+  /// an empty assignment.
   Status Save(std::ostream* out) const;
-  /// Deserializes, validates, and compiles the per-cluster inference
-  /// kernels (see "Compiled inference" below), so a loaded model serves
-  /// from the fused path immediately.
+  /// Same, with an explicit format (v2 → v1 downgrade or forced upgrade).
+  Status Save(std::ostream* out, SnapshotFormat format) const;
+  /// Deserializes (either format, sniffed from the first bytes),
+  /// validates, and compiles the per-cluster inference kernels (see
+  /// "Compiled inference" below), so a loaded model serves from the
+  /// fused path immediately. For v2 artifacts every section checksum is
+  /// verified and a failure names the section and its file offset; the
+  /// `flat` section, when present, is additionally checked bit-for-bit
+  /// against freshly compiled kernels.
   static Result<FalccModel> Load(std::istream* in);
   /// File-path convenience wrappers.
   Status SaveToFile(const std::string& path) const;
   static Result<FalccModel> LoadFromFile(const std::string& path);
 
+  /// Zero-copy load of a v2 artifact: the file is mmapped and the
+  /// compiled kernel tables in its `flat` section are served directly
+  /// out of the mapping (after full structural validation) instead of
+  /// being recompiled — decisions are bit-identical to Load. The file
+  /// must not be modified in place while the model is alive (replace
+  /// via write-new + rename). Falls back to Load semantics when the
+  /// artifact has no flat section.
+  static Result<FalccModel> LoadMapped(const std::string& path);
+
+  // --- Delta publication -----------------------------------------------
+  //
+  // A refresh touches one cluster's combination; shipping the full
+  // snapshot to every serving replica for that is O(model). SaveDelta
+  // writes a `falcc-delta-v2` artifact holding only the listed clusters'
+  // combo sections plus the content hash of the snapshot it applies to;
+  // ApplyDeltaBytes replays it onto a loaded model, re-validating only
+  // the shipped sections and leaving every untouched cluster's compiled
+  // kernel pointer-identical.
+
+  /// Serializes only `clusters`' combo sections as a delta against the
+  /// snapshot whose content hash is `base_hash` (normally the hash of
+  /// the model this one was cloned from).
+  Status SaveDelta(std::ostream* out, std::span<const size_t> clusters,
+                   uint64_t base_hash) const;
+
+  /// Applies a delta artifact to this model: returns a clone with the
+  /// shipped clusters' combinations (and baselines) replaced. Fails with
+  /// FailedPrecondition (naming both hashes) when the delta's base hash
+  /// does not match this model's content hash, and InvalidArgument on
+  /// any malformed or non-applicable section.
+  Result<FalccModel> ApplyDeltaBytes(std::string_view bytes) const;
+
+  /// Computes (and caches) the v2 manifest of this model, making
+  /// ContentHash O(1). FalccEngine::Install calls this before freezing a
+  /// snapshot; requires a serializable pool.
+  Status EnsureManifest();
+  /// The snapshot's identity (see io::SnapshotManifest::ContentHash).
+  /// O(1) after EnsureManifest / a v2 load; otherwise serializes once.
+  Result<uint64_t> ContentHash() const;
+  /// Cached manifest, if any (v2 load or EnsureManifest).
+  const std::optional<io::SnapshotManifest>& manifest() const {
+    return manifest_;
+  }
+  /// The format Save reproduces by default.
+  SnapshotFormat save_format() const { return save_format_; }
+
   /// Clone with the listed clusters' combinations (and baseline L̂)
-  /// replaced — the monitor's refresh primitive. Implemented as a
-  /// serialize/deserialize round trip, so the clone classifies
-  /// bit-identically to this model on every cluster not listed; requires
-  /// a serializable pool (like Save). Each refresh is validated: cluster
-  /// in range, one applicable pool model per sensitive group.
+  /// replaced — the monitor's refresh primitive. The clone shares this
+  /// model's pool and every untouched cluster's compiled kernel pointer
+  /// for pointer, so the clone is O(refreshed clusters), not O(model);
+  /// it classifies bit-identically to this model on every cluster not
+  /// listed. Each refresh is validated: cluster in range, one applicable
+  /// pool model per sensitive group.
   Result<FalccModel> CloneWithRefreshes(
       std::span<const ClusterRefresh> refreshes) const;
 
@@ -285,7 +352,7 @@ class FalccModel {
 
   size_t num_clusters() const { return centroids_.size(); }
   size_t num_groups() const { return group_index_.num_groups(); }
-  const ModelPool& pool() const { return pool_; }
+  const ModelPool& pool() const { return *pool_; }
   double pool_entropy() const { return pool_entropy_; }
   /// Chosen combination per cluster.
   const std::vector<ModelCombination>& selected_combinations() const {
@@ -329,9 +396,28 @@ class FalccModel {
                                             OfflineStageTimes* stage_times =
                                                 nullptr);
 
-  /// Load body; `compile` gates kernel compilation so CloneWithRefreshes
-  /// can reuse the source model's kernels instead of recompiling all.
+  /// v1 load body; `compile` gates kernel compilation (tests exercise
+  /// the uncompiled path).
   static Result<FalccModel> LoadImpl(std::istream* in, bool compile);
+
+  /// v2 load body over a parsed container. When `backing` is non-null
+  /// the artifact bytes outlive the model (mmap path) and compiled
+  /// kernels alias the flat section; otherwise kernels are compiled from
+  /// the pool and the flat section only cross-checks them.
+  static Result<FalccModel> LoadV2(io::SnapshotReader reader,
+                                   std::shared_ptr<const void> backing);
+
+  Status SaveV1(std::ostream* out) const;
+  Status SaveV2(std::ostream* out, io::SnapshotManifest* manifest_out) const;
+  /// Serializes one cluster's combo section (combination + optional
+  /// baseline) — the unit a delta ships.
+  void WriteComboSection(std::ostream* out, size_t cluster) const;
+  /// Canonical kernel-slot layout: clusters dedup by combination value
+  /// in first-appearance order (a pure function of selected_, unlike the
+  /// pointer-identity slots of RebuildComboSlots). `slot_clusters[s]` is
+  /// the first cluster of slot s.
+  void CanonicalSlots(std::vector<uint32_t>* slot_of_cluster,
+                      std::vector<size_t>* slot_clusters) const;
 
   /// (Re)builds centroid_index_ from centroids_. Called after training
   /// and after Load — the index is derived state and never serialized.
@@ -350,7 +436,10 @@ class FalccModel {
   void ClassifyRowsInto(const Dataset& data, ClassifyResponse* response,
                         ClassifyScratch* scratch) const;
 
-  ModelPool pool_;
+  /// Shared, not owned: refresh clones point at the same immutable pool
+  /// (the pool is by far the largest model component, and a refresh
+  /// never changes it).
+  std::shared_ptr<const ModelPool> pool_;
   double pool_entropy_ = 0.0;
   GroupIndex group_index_;
   ColumnTransform clustering_transform_;  // §3.7 step 1 (sample processing)
@@ -372,6 +461,12 @@ class FalccModel {
   double assess_lambda_ = 0.5;
   FairnessMetric assess_metric_ = FairnessMetric::kDemographicParity;
   AssessmentMode assess_mode_ = AssessmentMode::kGroupFairness;
+  /// Format Load recorded (trained models default to v2) — Save's
+  /// default, so legacy artifacts round-trip byte-identically.
+  SnapshotFormat save_format_ = SnapshotFormat::kV2;
+  /// Manifest of this model's v2 serialization (cached by a v2 load,
+  /// EnsureManifest, or an ApplyDeltaBytes/CloneWithRefreshes update).
+  std::optional<io::SnapshotManifest> manifest_;
 };
 
 }  // namespace falcc

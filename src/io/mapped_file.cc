@@ -1,0 +1,92 @@
+#include "io/mapped_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FALCC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FALCC_HAVE_MMAP 0
+#endif
+
+namespace falcc::io {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    data_ = mapped_ ? other.data_ : fallback_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+#if FALCC_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+  fallback_.clear();
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if FALCC_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::IOError("MappedFile: cannot stat " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return Status::IOError("MappedFile: " + path + " is empty");
+    }
+    void* data = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (data != MAP_FAILED) {
+      MappedFile file;
+      file.data_ = data;
+      file.size_ = size;
+      file.mapped_ = true;
+      return file;
+    }
+    // mmap refused (e.g. a pseudo-filesystem): fall through to the read
+    // fallback below.
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("MappedFile: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("MappedFile: read of " + path +
+                                       " failed");
+  MappedFile file;
+  file.fallback_ = std::move(buffer).str();
+  if (file.fallback_.empty()) {
+    return Status::IOError("MappedFile: " + path + " is empty");
+  }
+  file.size_ = file.fallback_.size();
+  file.data_ = file.fallback_.data();
+  file.mapped_ = false;
+  return file;
+}
+
+}  // namespace falcc::io

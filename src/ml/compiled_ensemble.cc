@@ -13,12 +13,14 @@ namespace {
 // row pointers, node cursors, and accumulators stay in registers / L1.
 constexpr size_t kRowBlock = 32;
 
+using FlatParts = CompiledCombo::FlatParts;
+
 bool SameDoubleBits(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
 }
 
 template <typename T>
-bool SameVectorBits(const std::vector<T>& a, const std::vector<T>& b) {
+bool SameSpanBits(std::span<const T> a, std::span<const T> b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
@@ -33,11 +35,11 @@ bool SameVectorBits(const std::vector<T>& a, const std::vector<T>& b) {
 // and the level loop stops as soon as the whole block has converged
 // (real trees are unbalanced — most blocks finish well before the
 // worst-case depth). The exit cannot change where any cursor lands.
-inline void WalkTree(const FlatTable& table, const TreeRef& tree,
+inline void WalkTree(const FlatParts& parts, const TreeRef& tree,
                      const double* const* row, size_t n, uint32_t* node) {
-  const int32_t* feature = table.feature.data();
-  const double* threshold = table.threshold.data();
-  const uint32_t* children = table.children.data();
+  const int32_t* feature = parts.feature.data();
+  const double* threshold = parts.threshold.data();
+  const uint32_t* children = parts.children.data();
   for (size_t r = 0; r < n; ++r) node[r] = tree.root;
   for (uint32_t step = 0; step < tree.steps; ++step) {
     uint32_t moved = 0;
@@ -58,11 +60,11 @@ inline void WalkTree(const FlatTable& table, const TreeRef& tree,
 // interpreted batch paths operation for operation (margins in boosting-
 // round order against a precomputed alpha_sum; forest votes divided by
 // the tree count), so the output is bit-identical to PredictProbaBatch.
-void PredictFlat(const FlatTable& table, std::span<const TreeRef> trees,
+void PredictFlat(const FlatParts& parts, std::span<const TreeRef> trees,
                  std::span<const double> alphas, EnsembleKind kind,
                  double alpha_sum, const Dataset& data,
                  std::span<const size_t> rows, std::span<double> out) {
-  const double* leaf = table.leaf_proba.data();
+  const double* leaf = parts.leaf_proba.data();
   const double num_trees = static_cast<double>(trees.size());
   for (size_t begin = 0; begin < rows.size(); begin += kRowBlock) {
     const size_t n = std::min(kRowBlock, rows.size() - begin);
@@ -74,7 +76,7 @@ void PredictFlat(const FlatTable& table, std::span<const TreeRef> trees,
       acc[r] = 0.0;
     }
     for (size_t t = 0; t < trees.size(); ++t) {
-      WalkTree(table, trees[t], row, n, node);
+      WalkTree(parts, trees[t], row, n, node);
       switch (kind) {
         case EnsembleKind::kTree:
           for (size_t r = 0; r < n; ++r) acc[r] = leaf[node[r]];
@@ -231,7 +233,23 @@ void CompiledEnsemble::PredictProbaBatch(const Dataset& data,
                                          std::span<double> out) const {
   FALCC_CHECK(rows.size() == out.size(),
               "CompiledEnsemble: rows/out size mismatch");
-  PredictFlat(table_, trees_, alphas_, kind_, alpha_sum_, data, rows, out);
+  FlatParts parts;
+  parts.feature = table_.feature;
+  parts.threshold = table_.threshold;
+  parts.children = table_.children;
+  parts.leaf_proba = table_.leaf_proba;
+  parts.trees = trees_;
+  parts.alphas = alphas_;
+  PredictFlat(parts, trees_, alphas_, kind_, alpha_sum_, data, rows, out);
+}
+
+void CompiledCombo::BindOwned() {
+  parts_.feature = table_.feature;
+  parts_.threshold = table_.threshold;
+  parts_.children = table_.children;
+  parts_.leaf_proba = table_.leaf_proba;
+  parts_.trees = trees_;
+  parts_.alphas = alphas_;
 }
 
 Result<std::shared_ptr<const CompiledCombo>> CompiledCombo::Compile(
@@ -273,6 +291,96 @@ Result<std::shared_ptr<const CompiledCombo>> CompiledCombo::Compile(
     entry.compiled = true;
     entry_of_model[m] = static_cast<int>(g);
   }
+  compiled->BindOwned();
+  return std::shared_ptr<const CompiledCombo>(std::move(compiled));
+}
+
+Result<std::shared_ptr<const CompiledCombo>> CompiledCombo::FromParts(
+    const FlatParts& parts, std::vector<GroupEntry> groups,
+    size_t num_features, size_t pool_size,
+    std::shared_ptr<const void> backing) {
+  auto invalid = [](const std::string& what) {
+    return Status::InvalidArgument("CompiledCombo: flat " + what);
+  };
+  const size_t n = parts.feature.size();
+  if (parts.threshold.size() != n || parts.leaf_proba.size() != n ||
+      parts.children.size() != 2 * n) {
+    return invalid("node array sizes disagree");
+  }
+  if (n > (1u << 30)) return invalid("node table overflow");
+  if (parts.alphas.size() != parts.trees.size()) {
+    return invalid("tree/alpha count mismatch");
+  }
+  const uint32_t node_count = static_cast<uint32_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t self = static_cast<uint32_t>(i);
+    const uint32_t left = parts.children[2 * i];
+    const uint32_t right = parts.children[2 * i + 1];
+    if (left == self && right == self) {
+      // Leaf: the canonical encoding is fully pinned so a flat section is
+      // a pure function of the model (and corruption cannot hide in
+      // ignored fields).
+      if (parts.feature[i] != 0) return invalid("leaf with nonzero feature");
+      if (!SameDoubleBits(parts.threshold[i], 0.0)) {
+        return invalid("leaf with nonzero threshold");
+      }
+      const double p = parts.leaf_proba[i];
+      if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+        return invalid("leaf probability outside [0, 1]");
+      }
+    } else {
+      if (left <= self || left >= node_count || right <= self ||
+          right >= node_count) {
+        return invalid("children not strictly forward");
+      }
+      if (parts.feature[i] < 0 ||
+          static_cast<size_t>(parts.feature[i]) >= num_features) {
+        return invalid("feature index out of range");
+      }
+      if (!std::isfinite(parts.threshold[i])) {
+        return invalid("non-finite threshold");
+      }
+      if (!SameDoubleBits(parts.leaf_proba[i], 0.0)) {
+        return invalid("interior node with nonzero leaf probability");
+      }
+    }
+  }
+  for (const TreeRef& tree : parts.trees) {
+    if (tree.root >= node_count) return invalid("tree root out of range");
+    if (tree.steps > node_count) return invalid("tree walk length too long");
+  }
+  for (double alpha : parts.alphas) {
+    if (!std::isfinite(alpha)) return invalid("non-finite alpha");
+  }
+  for (const GroupEntry& entry : groups) {
+    switch (entry.kind) {
+      case EnsembleKind::kTree:
+      case EnsembleKind::kAdaBoost:
+      case EnsembleKind::kForest:
+        break;
+      default:
+        return invalid("unknown ensemble kind");
+    }
+    if (entry.model >= pool_size) return invalid("entry model out of range");
+    if (entry.compiled) {
+      if (entry.tree_begin >= entry.tree_end ||
+          entry.tree_end > parts.trees.size()) {
+        return invalid("entry tree slice out of range");
+      }
+      const double recomputed = AlphaSum(parts.alphas.subspan(
+          entry.tree_begin, entry.tree_end - entry.tree_begin));
+      if (!SameDoubleBits(entry.alpha_sum, recomputed)) {
+        return invalid("entry alpha normalizer does not match its trees");
+      }
+    } else if (entry.tree_begin != 0 || entry.tree_end != 0 ||
+               !SameDoubleBits(entry.alpha_sum, 0.0)) {
+      return invalid("fallback entry with kernel state");
+    }
+  }
+  std::shared_ptr<CompiledCombo> compiled(new CompiledCombo());
+  compiled->parts_ = parts;
+  compiled->groups_ = std::move(groups);
+  compiled->backing_ = std::move(backing);
   return std::shared_ptr<const CompiledCombo>(std::move(compiled));
 }
 
@@ -285,10 +393,9 @@ void CompiledCombo::PredictGroup(const Dataset& data, size_t g,
   const GroupEntry& entry = groups_[g];
   FALCC_CHECK(entry.compiled, "CompiledCombo: PredictGroup on fallback group");
   const size_t count = entry.tree_end - entry.tree_begin;
-  PredictFlat(table_,
-              std::span<const TreeRef>(trees_).subspan(entry.tree_begin, count),
-              std::span<const double>(alphas_).subspan(entry.tree_begin, count),
-              entry.kind, entry.alpha_sum, data, rows, out);
+  PredictFlat(parts_, parts_.trees.subspan(entry.tree_begin, count),
+              parts_.alphas.subspan(entry.tree_begin, count), entry.kind,
+              entry.alpha_sum, data, rows, out);
 }
 
 bool CompiledCombo::SameBits(const CompiledCombo& other) const {
@@ -302,12 +409,12 @@ bool CompiledCombo::SameBits(const CompiledCombo& other) const {
       return false;
     }
   }
-  return SameVectorBits(trees_, other.trees_) &&
-         SameVectorBits(alphas_, other.alphas_) &&
-         SameVectorBits(table_.feature, other.table_.feature) &&
-         SameVectorBits(table_.threshold, other.table_.threshold) &&
-         SameVectorBits(table_.children, other.table_.children) &&
-         SameVectorBits(table_.leaf_proba, other.table_.leaf_proba);
+  return SameSpanBits(parts_.trees, other.parts_.trees) &&
+         SameSpanBits(parts_.alphas, other.parts_.alphas) &&
+         SameSpanBits(parts_.feature, other.parts_.feature) &&
+         SameSpanBits(parts_.threshold, other.parts_.threshold) &&
+         SameSpanBits(parts_.children, other.parts_.children) &&
+         SameSpanBits(parts_.leaf_proba, other.parts_.leaf_proba);
 }
 
 size_t CompiledCombo::num_compiled_groups() const {

@@ -140,8 +140,35 @@ class CompiledEnsemble {
 /// group-indexed entry point. Immutable once compiled; FalccModel shares
 /// instances across clusters that selected the same combination (and
 /// across refresh clones), which is why Compile returns a shared_ptr.
+///
+/// The kernels read every array through spans. A combo built by Compile
+/// owns its storage (the spans point at it); one built by FromParts over
+/// a memory-mapped snapshot aliases the mapping directly — zero copy —
+/// and keeps it alive through `backing`. Both serve bit-identically.
 class CompiledCombo {
  public:
+  /// Per-group dispatch record: the tree slice of the shared table plus
+  /// the precomputed AdaBoost normalizer. Public because the snapshot
+  /// layer serializes entries verbatim into the flat section.
+  struct GroupEntry {
+    EnsembleKind kind = EnsembleKind::kTree;
+    uint32_t tree_begin = 0;
+    uint32_t tree_end = 0;
+    double alpha_sum = 0.0;
+    uint32_t model = 0;  ///< pool index (also the fallback route)
+    bool compiled = false;
+  };
+
+  /// The six arrays one fused kernel walks, as views.
+  struct FlatParts {
+    std::span<const int32_t> feature;
+    std::span<const double> threshold;
+    std::span<const uint32_t> children;
+    std::span<const double> leaf_proba;
+    std::span<const TreeRef> trees;
+    std::span<const double> alphas;
+  };
+
   /// Lowers `combo` (one pool model index per sensitive group) against
   /// `pool`. Groups whose model does not lower become fallback entries
   /// (GroupCompiled(g) == false); groups sharing a pool model share one
@@ -149,6 +176,22 @@ class CompiledCombo {
   /// deserialization and training both rule out.
   static Result<std::shared_ptr<const CompiledCombo>> Compile(
       const ModelPool& pool, const ModelCombination& combo);
+
+  /// Builds a combo whose kernels alias `parts` (kept alive by
+  /// `backing`) after full structural validation: child links in range
+  /// and strictly forward (leaves self-loop), features inside
+  /// [0, num_features), finite thresholds/alphas, leaf probabilities in
+  /// [0, 1], walk lengths bounded by the node count, entry tree slices
+  /// in range with bit-exact recomputed alpha normalizers. An accepted
+  /// table therefore cannot read out of bounds, loop, or produce an
+  /// out-of-range probability — the mmap path's safety contract.
+  static Result<std::shared_ptr<const CompiledCombo>> FromParts(
+      const FlatParts& parts, std::vector<GroupEntry> groups,
+      size_t num_features, size_t pool_size,
+      std::shared_ptr<const void> backing);
+
+  CompiledCombo(const CompiledCombo&) = delete;
+  CompiledCombo& operator=(const CompiledCombo&) = delete;
 
   size_t num_groups() const { return groups_.size(); }
   /// Whether group g's model was lowered (false = caller must use the
@@ -167,27 +210,31 @@ class CompiledCombo {
   /// compile" means in tests.
   bool SameBits(const CompiledCombo& other) const;
 
-  size_t num_nodes() const { return table_.num_nodes(); }
+  size_t num_nodes() const { return parts_.feature.size(); }
+  size_t num_trees() const { return parts_.trees.size(); }
   size_t num_compiled_groups() const;
+
+  /// The entry table (serialized verbatim by the snapshot layer).
+  std::span<const GroupEntry> groups() const { return groups_; }
+  /// The kernel arrays as views (aliasing owned storage or a mapping).
+  const FlatParts& parts() const { return parts_; }
 
  private:
   CompiledCombo() = default;
 
-  /// Per-group dispatch record: the tree slice of the shared table plus
-  /// the precomputed AdaBoost normalizer.
-  struct GroupEntry {
-    EnsembleKind kind = EnsembleKind::kTree;
-    uint32_t tree_begin = 0;
-    uint32_t tree_end = 0;
-    double alpha_sum = 0.0;
-    uint32_t model = 0;  ///< pool index (also the fallback route)
-    bool compiled = false;
-  };
+  /// Points the span views at the owned storage. Called once the object
+  /// sits at its final address (Compile heap-allocates, so members never
+  /// move afterwards).
+  void BindOwned();
 
+  // Owned storage (empty when the combo aliases a mapping via backing_).
   FlatTable table_;
   std::vector<TreeRef> trees_;
   std::vector<double> alphas_;
+
+  FlatParts parts_;
   std::vector<GroupEntry> groups_;
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace falcc

@@ -15,7 +15,7 @@ FairnessMonitor::FairnessMonitor(serve::FalccEngine* engine,
       log_(std::move(log)),
       windows_(window_options),
       detector_(options.detector, std::move(baselines)),
-      refresher_(engine) {}
+      refresher_(engine, RefresherOptions{options.delta_dir}) {}
 
 Result<std::unique_ptr<FairnessMonitor>> FairnessMonitor::Attach(
     serve::FalccEngine* engine, MonitorOptions options) {

@@ -45,6 +45,10 @@ struct MonitorOptions {
   /// Attempt a refresh automatically inside Poll() for every latched
   /// alarm. Disable to observe alarms and refresh manually.
   bool auto_refresh = true;
+  /// Forwarded to RefresherOptions::delta_dir: when non-empty, every
+  /// installed refresh also publishes a delta artifact there for
+  /// replicas to apply incrementally.
+  std::string delta_dir;
 };
 
 /// What one Poll() did.

@@ -1,15 +1,19 @@
 #include "monitor/refresher.h"
 
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "io/snapshot.h"
 #include "util/timer.h"
 
 namespace falcc::monitor {
 
-Refresher::Refresher(serve::FalccEngine* engine) : engine_(engine) {
+Refresher::Refresher(serve::FalccEngine* engine, RefresherOptions options)
+    : engine_(engine), options_(std::move(options)) {
   FALCC_CHECK(engine_ != nullptr, "Refresher: null engine");
 }
 
@@ -79,6 +83,19 @@ Result<RefreshOutcome> Refresher::RefreshCluster(const ClusterWindow& window,
     Result<FalccModel> clone =
         snapshot->CloneWithRefreshes({&refresh, 1});
     if (!clone.ok()) return clone.status();
+    // Delta publication targets replicas still serving the pre-refresh
+    // snapshot, so the base hash is computed from it before the swap.
+    uint64_t base_hash = 0;
+    bool have_base = false;
+    if (!options_.delta_dir.empty()) {
+      const Result<uint64_t> hash = snapshot->ContentHash();
+      have_base = hash.ok();
+      base_hash = hash.ValueOr(0);
+      if (!have_base) delta_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (have_base) {
+      PublishDelta(clone.value(), cluster, base_hash, &outcome);
+    }
     engine_->Install(std::move(clone).value());
     installed_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -88,11 +105,40 @@ Result<RefreshOutcome> Refresher::RefreshCluster(const ClusterWindow& window,
   return outcome;
 }
 
+void Refresher::PublishDelta(const FalccModel& next, size_t cluster,
+                             uint64_t base_hash, RefreshOutcome* outcome) {
+  std::ostringstream bytes;
+  const size_t clusters[] = {cluster};
+  if (!next.SaveDelta(&bytes, clusters, base_hash).ok()) {
+    delta_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Versioned by the install this delta reproduces: the engine's next
+  // publish. Named uniquely enough that re-refreshes never clobber an
+  // artifact a replica may be mid-read on.
+  const std::string path = options_.delta_dir + "/delta-v" +
+                           std::to_string(engine_->snapshot_version() + 1) +
+                           "-c" + std::to_string(cluster) + "-" +
+                           io::HashHex(base_hash) + ".falcc";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes.str();
+  out.flush();
+  if (!out) {
+    delta_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  delta_published_.fetch_add(1, std::memory_order_relaxed);
+  outcome->delta_path = path;
+  outcome->delta_bytes = bytes.str().size();
+}
+
 RefresherStats Refresher::Stats() const {
   RefresherStats stats;
   stats.attempts = attempts_.load(std::memory_order_relaxed);
   stats.installed = installed_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.delta_published = delta_published_.load(std::memory_order_relaxed);
+  stats.delta_failures = delta_failures_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -17,11 +17,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "monitor/window_stats.h"
 #include "serve/engine.h"
 
 namespace falcc::monitor {
+
+struct RefresherOptions {
+  /// When non-empty, every installed refresh also publishes a delta
+  /// artifact `delta-v<version>-c<cluster>-<basehash>.falcc` into this
+  /// directory: the refreshed cluster's combination section plus a
+  /// manifest referencing the pre-refresh snapshot by content hash.
+  /// Replicas serving that base apply it via SnapshotSource::ApplyDelta
+  /// without revalidating (or recompiling) any untouched section.
+  /// Publication failures never block the local install.
+  std::string delta_dir;
+};
 
 /// Result of one refresh attempt.
 struct RefreshOutcome {
@@ -30,19 +42,24 @@ struct RefreshOutcome {
   double current_loss = 0.0; ///< windowed L̂ of the serving combination
   double best_loss = 0.0;    ///< windowed L̂ of the best candidate
   double seconds = 0.0;      ///< wall clock of the rebuild (+install)
+  std::string delta_path;    ///< published delta artifact, if any
+  size_t delta_bytes = 0;    ///< size of the delta artifact
 };
 
 struct RefresherStats {
   uint64_t attempts = 0;
   uint64_t installed = 0;
   uint64_t rejected = 0;  ///< no candidate strictly beat the serving one
+  uint64_t delta_published = 0;
+  uint64_t delta_failures = 0;  ///< non-fatal: install succeeded anyway
 };
 
 class Refresher {
  public:
   /// The engine whose snapshot is read and (on improvement) replaced.
   /// Must outlive the refresher.
-  explicit Refresher(serve::FalccEngine* engine);
+  explicit Refresher(serve::FalccEngine* engine,
+                     RefresherOptions options = {});
 
   /// Rebuilds `cluster`'s combination over `window` (its labeled stream
   /// samples, see WindowStats::Window) and installs the result if it
@@ -55,10 +72,18 @@ class Refresher {
   RefresherStats Stats() const;
 
  private:
+  /// Serializes and writes the delta artifact for an installed refresh.
+  /// Best-effort: errors are counted, never propagated.
+  void PublishDelta(const FalccModel& next, size_t cluster,
+                    uint64_t base_hash, RefreshOutcome* outcome);
+
   serve::FalccEngine* engine_;
+  RefresherOptions options_;
   std::atomic<uint64_t> attempts_{0};
   std::atomic<uint64_t> installed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> delta_published_{0};
+  std::atomic<uint64_t> delta_failures_{0};
 };
 
 }  // namespace falcc::monitor

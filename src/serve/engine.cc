@@ -43,6 +43,11 @@ void FalccEngine::Install(FalccModel model) {
       model.set_use_compiled(false);
     }
   }
+  // Cache the v2 manifest (and with it the content hash) while the model
+  // is still mutable, so delta application against the frozen snapshot
+  // is O(1) and never races on lazily computed state. Failure is benign:
+  // ApplyDeltaBytes recomputes the hash on demand.
+  (void)model.EnsureManifest();
   auto snapshot = std::make_shared<const FalccModel>(std::move(model));
   snapshot_.store(std::move(snapshot));
   version_.fetch_add(1, std::memory_order_acq_rel);
@@ -81,6 +86,36 @@ Status FalccEngine::ReloadFromFile(const std::string& path) {
     return loaded.status();
   }
   Install(std::move(loaded).value());
+  return Status::OK();
+}
+
+Status FalccEngine::ReloadMapped(const std::string& path) {
+  Result<FalccModel> loaded = FalccModel::LoadMapped(path);
+  if (!loaded.ok()) {
+    metrics_.AddErrors(1);
+    return loaded.status();
+  }
+  Install(std::move(loaded).value());
+  return Status::OK();
+}
+
+Status FalccEngine::ApplyDeltaBytes(std::string_view bytes) {
+  const std::shared_ptr<const FalccModel> base = snapshot_.load();
+  if (base == nullptr) {
+    metrics_.AddErrors(1);
+    return Status::Unavailable(
+        "FalccEngine: no model snapshot installed to apply a delta to");
+  }
+  // Validation and the per-cluster recompile happen off the serving
+  // path, against the immutable base; a failed delta leaves the current
+  // snapshot serving. Untouched clusters share the base's compiled
+  // kernels pointer-identically.
+  Result<FalccModel> next = base->ApplyDeltaBytes(bytes);
+  if (!next.ok()) {
+    metrics_.AddErrors(1);
+    return next.status();
+  }
+  Install(std::move(next).value());
   return Status::OK();
 }
 

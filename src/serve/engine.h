@@ -27,6 +27,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "core/falcc.h"
@@ -115,6 +116,21 @@ class FalccEngine {
   /// in. On failure the current snapshot stays untouched and serving
   /// continues uninterrupted.
   Status ReloadFromFile(const std::string& path);
+
+  /// Like ReloadFromFile, but serves v2 snapshots' compiled kernels
+  /// directly out of a read-only file mapping — no deserialize copy of
+  /// the hot tables. Decisions are bit-identical to the copying path.
+  /// Falls back to the regular loader for v1 artifacts.
+  Status ReloadMapped(const std::string& path);
+
+  /// Applies a delta artifact (SaveDelta output) to the installed
+  /// snapshot: only the clusters named in the delta are re-validated and
+  /// recompiled; every untouched cluster's compiled kernel is shared
+  /// pointer-identically with the previous snapshot. Fails without
+  /// touching the snapshot when no model is installed, when the delta's
+  /// base hash does not match the installed snapshot, or when any delta
+  /// section is invalid.
+  Status ApplyDeltaBytes(std::string_view bytes);
 
   /// Current snapshot (nullptr before the first Install/Reload).
   std::shared_ptr<const FalccModel> snapshot() const {

@@ -40,6 +40,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -112,6 +113,20 @@ class ShardedEngine {
   /// Loads, validates, and swaps in a serialized model; a failed load
   /// keeps every shard serving the current snapshot.
   Status ReloadFromFile(const std::string& path);
+
+  /// Zero-copy variant: serves v2 compiled kernels straight out of a
+  /// read-only file mapping (see FalccEngine::ReloadMapped).
+  Status ReloadMapped(const std::string& path) {
+    return engine_.ReloadMapped(path);
+  }
+
+  /// Applies a delta artifact to the installed snapshot; untouched
+  /// clusters keep their compiled kernels pointer-identically across the
+  /// swap (see FalccEngine::ApplyDeltaBytes). Shards pick up the new
+  /// snapshot on their next flush.
+  Status ApplyDeltaBytes(std::string_view bytes) {
+    return engine_.ApplyDeltaBytes(bytes);
+  }
 
   std::shared_ptr<const FalccModel> snapshot() const {
     return engine_.snapshot();

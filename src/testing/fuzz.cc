@@ -9,6 +9,7 @@
 
 #include "core/falcc.h"
 #include "data/csv_dataset.h"
+#include "io/snapshot.h"
 #include "testing/invariants.h"
 #include "testing/mutator.h"
 #include "util/csv.h"
@@ -125,6 +126,58 @@ Status FuzzSnapshotLoad(const std::string& data) {
     return Status::Internal("Save -> Load -> Save is not byte-idempotent");
   }
   return Status::OK();
+}
+
+Status FuzzDeltaApply(const FalccModel& base, const std::string& data) {
+  Result<FalccModel> applied = base.ApplyDeltaBytes(data);
+  if (!applied.ok()) {
+    if (applied.status().message().empty()) {
+      return Status::Internal("rejection with empty error message");
+    }
+    return Status::OK();
+  }
+
+  // The delta was accepted: the result must be a valid serving model
+  // that differs from the base only where the delta says so.
+  const FalccModel& model = applied.value();
+  if (model.num_features() != base.num_features() ||
+      model.num_clusters() != base.num_clusters()) {
+    return Status::Internal("accepted delta changed the model shape");
+  }
+  // Clusters the delta does not name must keep the base's compiled
+  // kernel pointer-identically — that is the incremental-hot-swap
+  // guarantee. (Named clusters recompile even when their combination is
+  // unchanged; re-parse the manifest to tell the two apart. The parse
+  // cannot fail: ApplyDeltaBytes just accepted these bytes.)
+  Result<io::SnapshotReader> reader =
+      io::SnapshotReader::ParseView(data);
+  if (!reader.ok()) {
+    return Status::Internal("accepted delta fails to re-parse: " +
+                            reader.status().ToString());
+  }
+  std::vector<bool> refreshed(model.num_clusters(), false);
+  for (const io::SectionInfo& section : reader.value().manifest().sections) {
+    constexpr std::string_view kPrefix = "combo.";
+    if (section.name.size() > kPrefix.size() &&
+        std::string_view(section.name).substr(0, kPrefix.size()) == kPrefix) {
+      const size_t c = std::strtoull(
+          section.name.c_str() + kPrefix.size(), nullptr, 10);
+      if (c < refreshed.size()) refreshed[c] = true;
+    }
+  }
+  for (size_t c = 0; c < model.num_clusters(); ++c) {
+    if (!refreshed[c] && model.compiled_combo(c) != base.compiled_combo(c)) {
+      return Status::Internal("untouched cluster " + std::to_string(c) +
+                              " lost its shared compiled kernel");
+    }
+  }
+
+  // Route the result through the full snapshot contract: probe
+  // classifications, compiled ≡ interpreted, sharded ≡ single loop, and
+  // the Save∘Load∘Save byte fixed point.
+  std::string saved;
+  FALCC_RETURN_IF_ERROR(SaveToStringOrError(model, &saved));
+  return FuzzSnapshotLoad(saved);
 }
 
 Status FuzzCsvParse(const std::string& data) {

@@ -19,6 +19,9 @@
 #include "util/status.h"
 
 namespace falcc {
+
+class FalccModel;
+
 namespace testing {
 
 /// A fuzz target: consumes one (possibly corrupt) input and returns OK
@@ -51,6 +54,14 @@ Status FuzzSnapshotLoad(const std::string& data);
 
 /// Contract for ParseCsv / DatasetFromCsv on arbitrary bytes.
 Status FuzzCsvParse(const std::string& data);
+
+/// Contract for FalccModel::ApplyDeltaBytes on arbitrary bytes against
+/// `base`: a clean rejection, or an accepted delta whose result keeps the
+/// base's shape, classifies sanely, shares every unchanged cluster's
+/// compiled kernel pointer-identically with the base, and whose
+/// serialization is a Save∘Load∘Save fixed point. `base` must hold
+/// compiled kernels. Bind the base with a lambda to get a FuzzTarget.
+Status FuzzDeltaApply(const FalccModel& base, const std::string& data);
 
 /// Runs `target` on `options.iterations` mutated variants of the seed
 /// inputs (round-robin). Returns OK when no input violated the contract;

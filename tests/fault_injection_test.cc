@@ -15,6 +15,7 @@
 #include "data/csv_dataset.h"
 #include "data/split.h"
 #include "datagen/synthetic.h"
+#include "io/snapshot.h"
 #include "serve/engine.h"
 #include "testing/faulty_stream.h"
 #include "testing/invariants.h"
@@ -177,6 +178,100 @@ TEST(FaultInjectionTest, ReloadKeepsServingAcrossPrefixSweep) {
   }
   EXPECT_GE(swaps, 1u);  // the full-length file must swap in
   std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, PerSectionCorruptionNamesTheSectionAndKeepsServing) {
+  // One flipped byte in each v2 section's payload: the load must fail
+  // citing exactly that section (incremental validation), and an engine
+  // mid-reload must keep serving its current snapshot.
+  const FalccModel model = TrainTinyModel(42);
+  const std::string bytes = Snapshot(model);
+  const Result<io::SnapshotReader> reader = io::SnapshotReader::ParseView(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const size_t payload = reader.value().payload_file_offset();
+
+  serve::FalccEngineOptions eopt;
+  eopt.start_flusher = false;
+  serve::FalccEngine engine(eopt);
+  engine.Install(TrainTinyModel(42));
+  const std::vector<double> probe(model.num_features(), 0.5);
+  const std::string path = ::testing::TempDir() + "/falcc-section-corrupt.bin";
+
+  ASSERT_FALSE(reader.value().manifest().sections.empty());
+  for (const io::SectionInfo& section : reader.value().manifest().sections) {
+    ASSERT_GT(section.length, 0u) << section.name;
+    std::string corrupt = bytes;
+    corrupt[payload + section.offset + section.length / 2] ^= 0x01;
+
+    const Result<FalccModel> direct = testing::LoadFromString(corrupt);
+    ASSERT_FALSE(direct.ok()) << section.name;
+    EXPECT_NE(direct.status().message().find("'" + section.name + "'"),
+              std::string::npos)
+        << section.name << ": " << direct.status().message();
+
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << corrupt;
+    }
+    const uint64_t version = engine.snapshot_version();
+    EXPECT_FALSE(engine.ReloadFromFile(path).ok()) << section.name;
+    EXPECT_FALSE(engine.ReloadMapped(path).ok()) << section.name;
+    EXPECT_EQ(engine.snapshot_version(), version) << section.name;
+    ClassifyRequest request;
+    request.features = probe;
+    request.num_features = probe.size();
+    EXPECT_TRUE(engine.ClassifyBatch(request).ok()) << section.name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, DeltaFaultsNeverKillAServingEngine) {
+  // Wrong-base, mutated, and truncated deltas must all reject cleanly
+  // while the engine keeps serving; only the valid delta swaps.
+  const FalccModel a = TrainTinyModel(42);
+  const FalccModel b = TrainTinyModel(43);
+
+  serve::FalccEngineOptions eopt;
+  eopt.start_flusher = false;
+  serve::FalccEngine engine(eopt);
+
+  // No snapshot installed yet: a delta has nothing to apply to.
+  EXPECT_EQ(engine.ApplyDeltaBytes("falcc-delta-v2\n").code(),
+            StatusCode::kUnavailable);
+
+  engine.Install(TrainTinyModel(42));
+  const std::vector<double> probe(a.num_features(), 0.5);
+
+  // A delta built against B's content hash, fired at an engine serving A.
+  std::ostringstream wrong;
+  const size_t clusters[] = {0};
+  ASSERT_TRUE(b.SaveDelta(&wrong, clusters, b.ContentHash().value()).ok());
+  const uint64_t version = engine.snapshot_version();
+  const Status rejected = engine.ApplyDeltaBytes(wrong.str());
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.snapshot_version(), version);
+
+  // Every prefix of a valid delta: reject cleanly or apply; serving
+  // never pauses either way.
+  std::ostringstream valid;
+  const uint64_t base_hash =
+      engine.snapshot()->ContentHash().value();
+  ASSERT_TRUE(a.SaveDelta(&valid, clusters, base_hash).ok());
+  const std::string delta = valid.str();
+  size_t applied = 0;
+  for (size_t off = 0; off <= delta.size(); ++off) {
+    const Status st = engine.ApplyDeltaBytes(delta.substr(0, off));
+    if (st.ok()) {
+      ++applied;
+    } else {
+      EXPECT_FALSE(st.message().empty()) << "offset " << off;
+    }
+    ClassifyRequest request;
+    request.features = probe;
+    request.num_features = probe.size();
+    EXPECT_TRUE(engine.ClassifyBatch(request).ok()) << "offset " << off;
+  }
+  EXPECT_GE(applied, 1u);  // the full delta must apply
 }
 
 }  // namespace

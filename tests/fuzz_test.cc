@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,8 +37,8 @@ using testing::RunFuzz;
 // A tiny trained model: the structure-aware seed every snapshot
 // mutation starts from. Small on purpose — mutation cost is linear in
 // the seed size and the interesting structure is all near the front.
-const std::string& TinySnapshot() {
-  static const std::string* bytes = [] {
+const FalccModel& TinyModel() {
+  static const FalccModel* model = [] {
     SyntheticConfig cfg;
     cfg.num_samples = 160;
     cfg.seed = 7;
@@ -49,21 +50,54 @@ const std::string& TinySnapshot() {
     opt.trainer.estimator_grid = {2};
     opt.trainer.depth_grid = {1};
     opt.trainer.pool_size = 2;
-    const FalccModel model =
-        FalccModel::Train(s.train, s.validation, opt).value();
+    return new FalccModel(
+        FalccModel::Train(s.train, s.validation, opt).value());
+  }();
+  return *model;
+}
+
+// The model in the sectioned v2 container (the default save format for
+// trained models).
+const std::string& TinySnapshot() {
+  static const std::string* bytes = [] {
     std::string out;
-    EXPECT_TRUE(testing::SaveToString(model, &out).ok());
+    EXPECT_TRUE(testing::SaveToString(TinyModel(), &out).ok());
     return new std::string(out);
   }();
   return *bytes;
 }
 
-// The same artifact without the optional monitor section — the legacy
+// The same model in the legacy v1 text format.
+const std::string& TinyV1Snapshot() {
+  static const std::string* bytes = [] {
+    std::ostringstream out;
+    EXPECT_TRUE(TinyModel().Save(&out, SnapshotFormat::kV1).ok());
+    return new std::string(out.str());
+  }();
+  return *bytes;
+}
+
+// The v1 artifact without the optional monitor section — the oldest
 // layout, which exercises the end-of-stream path.
 std::string LegacySnapshot() {
-  const std::string& bytes = TinySnapshot();
+  const std::string& bytes = TinyV1Snapshot();
   const size_t marker = bytes.find("falcc-monitor-v1");
   return marker == std::string::npos ? bytes : bytes.substr(0, marker);
+}
+
+// A valid one-cluster delta against TinyModel's content hash: the
+// structure-aware seed for delta mutation.
+const std::string& TinyDelta() {
+  static const std::string* bytes = [] {
+    std::ostringstream out;
+    const Result<uint64_t> hash = TinyModel().ContentHash();
+    EXPECT_TRUE(hash.ok());
+    const size_t clusters[] = {0};
+    EXPECT_TRUE(
+        TinyModel().SaveDelta(&out, clusters, hash.ValueOr(0)).ok());
+    return new std::string(out.str());
+  }();
+  return *bytes;
 }
 
 std::string TinyCsv() {
@@ -90,6 +124,18 @@ TEST(FuzzCorpusTest, SnapshotCorpusReplaysClean) {
   }
 }
 
+TEST(FuzzCorpusTest, DeltaCorpusReplaysClean) {
+  // Delta findings replay against the deterministic tiny model. Entries
+  // whose base hash no longer matches are still exercised — a clean
+  // wrong-base rejection is inside the contract.
+  const std::vector<std::string> corpus = CorpusOrDie("delta");
+  ASSERT_FALSE(corpus.empty()) << "tests/corpus/delta is missing";
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Status st = testing::FuzzDeltaApply(TinyModel(), corpus[i]);
+    EXPECT_TRUE(st.ok()) << "corpus input " << i << ": " << st.ToString();
+  }
+}
+
 TEST(FuzzCorpusTest, CsvCorpusReplaysClean) {
   const std::vector<std::string> corpus = CorpusOrDie("csv");
   ASSERT_FALSE(corpus.empty()) << "tests/corpus/csv is missing";
@@ -103,7 +149,9 @@ TEST(FuzzCorpusTest, ValidSeedsPassTheContracts) {
   // The unmutated seeds themselves must satisfy the accept-side checks;
   // otherwise every smoke finding would be noise.
   EXPECT_TRUE(FuzzSnapshotLoad(TinySnapshot()).ok());
+  EXPECT_TRUE(FuzzSnapshotLoad(TinyV1Snapshot()).ok());
   EXPECT_TRUE(FuzzSnapshotLoad(LegacySnapshot()).ok());
+  EXPECT_TRUE(testing::FuzzDeltaApply(TinyModel(), TinyDelta()).ok());
   EXPECT_TRUE(FuzzCsvParse(TinyCsv()).ok());
 }
 
@@ -139,9 +187,10 @@ TEST(SnapshotRegressionTest, MidSectionTruncationsReturnDescriptiveErrors) {
 TEST(SnapshotRegressionTest, LegacySnapshotRoundTripsByteIdentically) {
   // An artifact saved before the drift monitor existed has no
   // falcc-monitor-v1 section; Load → Save must reproduce it exactly
-  // instead of growing a section the original never had.
+  // instead of growing a section the original never had — or silently
+  // migrating it to the v2 container.
   const std::string legacy = LegacySnapshot();
-  ASSERT_NE(legacy, TinySnapshot());
+  ASSERT_NE(legacy, TinyV1Snapshot());
   const Result<FalccModel> model = testing::LoadFromString(legacy);
   ASSERT_TRUE(model.ok()) << model.status().ToString();
   EXPECT_FALSE(model.value().has_baseline_losses());
@@ -150,8 +199,62 @@ TEST(SnapshotRegressionTest, LegacySnapshotRoundTripsByteIdentically) {
   EXPECT_EQ(saved, legacy);
 }
 
+TEST(SnapshotRegressionTest, V1SnapshotRoundTripsByteIdentically) {
+  // Save format is sticky: a model loaded from a v1 artifact saves v1
+  // again by default, so pre-v2 pipelines keep producing the bytes their
+  // golden files expect.
+  const std::string& v1 = TinyV1Snapshot();
+  const Result<FalccModel> model = testing::LoadFromString(v1);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().save_format(), SnapshotFormat::kV1);
+  std::string saved;
+  ASSERT_TRUE(testing::SaveToString(model.value(), &saved).ok());
+  EXPECT_EQ(saved, v1);
+}
+
+TEST(SnapshotRegressionTest, CorruptedSectionIsNamedInTheError) {
+  // Flipping one payload byte inside a v2 section must fail checksum
+  // verification with the section's name and offset in the message —
+  // incremental validation is the operator's first triage tool.
+  const std::string& bytes = TinySnapshot();
+  const size_t pool_payload = bytes.find("\nadaboost");
+  ASSERT_NE(pool_payload, std::string::npos);
+  std::string corrupt = bytes;
+  corrupt[pool_payload + 1] ^= 0x20;
+  const Result<FalccModel> r = testing::LoadFromString(corrupt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'pool'"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(SnapshotRegressionTest, DeltaOnWrongBaseIsRejected) {
+  // A delta names its base by content hash; applying it to any other
+  // snapshot must fail cleanly, citing both hashes.
+  const std::string& delta = TinyDelta();
+  const Result<FalccModel> other = testing::LoadFromString(LegacySnapshot());
+  ASSERT_TRUE(other.ok());
+  const Result<FalccModel> applied = other.value().ApplyDeltaBytes(delta);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(applied.status().message().find("content hash"),
+            std::string::npos)
+      << applied.status().message();
+}
+
+TEST(SnapshotRegressionTest, DeltaFedToLoadIsRedirected) {
+  // Load on a delta artifact cannot succeed (there is no base), but the
+  // error must say what the input was and where it goes instead.
+  const Result<FalccModel> r = testing::LoadFromString(TinyDelta());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("delta"), std::string::npos)
+      << r.status().message();
+}
+
 TEST(FuzzSmokeTest, SnapshotLoad) {
-  std::vector<std::string> seeds = {TinySnapshot(), LegacySnapshot()};
+  std::vector<std::string> seeds = {TinySnapshot(), TinyV1Snapshot(),
+                                    LegacySnapshot()};
   for (std::string& input : CorpusOrDie("snapshot")) {
     seeds.push_back(std::move(input));
   }
@@ -161,6 +264,27 @@ TEST(FuzzSmokeTest, SnapshotLoad) {
   options.failure_dir = ::testing::TempDir() + "/falcc-fuzz-snapshot";
   FuzzStats stats;
   const Status st = RunFuzz(seeds, FuzzSnapshotLoad, options, &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.iterations, options.iterations);
+}
+
+TEST(FuzzSmokeTest, DeltaApply) {
+  std::vector<std::string> seeds = {TinyDelta()};
+  for (std::string& input : CorpusOrDie("delta")) {
+    seeds.push_back(std::move(input));
+  }
+  FuzzOptions options;
+  options.seed = 0xde17af00d;
+  options.iterations = FuzzIterationsFromEnv(500);
+  options.failure_dir = ::testing::TempDir() + "/falcc-fuzz-delta";
+  FuzzStats stats;
+  const FalccModel& base = TinyModel();
+  const Status st = RunFuzz(
+      seeds,
+      [&base](const std::string& data) {
+        return testing::FuzzDeltaApply(base, data);
+      },
+      options, &stats);
   EXPECT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(stats.iterations, options.iterations);
 }

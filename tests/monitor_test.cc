@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -403,7 +405,8 @@ TEST(SnapshotBaselineTest, LegacyStreamWithoutMonitorSectionStillLoads) {
   const FalccModel model =
       FalccModel::Train(s.train, s.validation, FastOptions()).value();
   std::stringstream buffer;
-  ASSERT_TRUE(model.Save(&buffer).ok());
+  // Pre-monitoring artifacts only ever existed in the v1 text format.
+  ASSERT_TRUE(model.Save(&buffer, SnapshotFormat::kV1).ok());
 
   // A pre-monitoring artifact is exactly the bytes before the trailing
   // monitor section.
@@ -587,6 +590,7 @@ TEST(MonitorE2ETest, AlarmOnlyOnShiftedClusterAndRefreshImproves) {
   options.detector.threshold = 1.0;
   options.detector.slack = 0.1;
   options.detector.min_samples = 100;
+  options.delta_dir = ::testing::TempDir();  // publish refresh deltas
   std::unique_ptr<FairnessMonitor> monitor =
       FairnessMonitor::Attach(&engine, options).value();
 
@@ -609,6 +613,10 @@ TEST(MonitorE2ETest, AlarmOnlyOnShiftedClusterAndRefreshImproves) {
   const uint64_t version_before = engine.snapshot_version();
   const ClassifyResponse before =
       engine.ClassifyBatch(probe_request).value();
+  // A "replica" would be serving this exact snapshot when the primary's
+  // refresher publishes a delta against it.
+  std::ostringstream base_bytes;
+  ASSERT_TRUE(engine.snapshot()->Save(&base_bytes).ok());
 
   std::vector<MonitorPollResult> drifted;
   ReplayChunks(&replay, 20000, 250, static_cast<int64_t>(target), &drifted);
@@ -634,6 +642,26 @@ TEST(MonitorE2ETest, AlarmOnlyOnShiftedClusterAndRefreshImproves) {
   EXPECT_EQ(engine.snapshot_version(), version_before + 1);
   EXPECT_FALSE(monitor->detector().Alarmed(target));  // reset post-refresh
 
+  // The install also published a delta artifact: O(one combo section),
+  // named after the base snapshot it applies to.
+  EXPECT_EQ(monitor->refresher_stats().delta_published, 1u);
+  EXPECT_EQ(monitor->refresher_stats().delta_failures, 0u);
+  ASSERT_FALSE(outcome.delta_path.empty());
+  EXPECT_GT(outcome.delta_bytes, 0u);
+  EXPECT_LT(outcome.delta_bytes, base_bytes.str().size() / 4);
+  std::ifstream delta_in(outcome.delta_path, std::ios::binary);
+  ASSERT_TRUE(delta_in.good()) << outcome.delta_path;
+  std::ostringstream delta_bytes;
+  delta_bytes << delta_in.rdbuf();
+  ASSERT_EQ(delta_bytes.str().size(), outcome.delta_bytes);
+
+  // A replica serving the base snapshot applies the delta and converges
+  // on the primary's refreshed snapshot without a full reload.
+  serve::FalccEngine replica(engine_options);
+  std::istringstream base_in(base_bytes.str());
+  replica.Install(FalccModel::Load(&base_in).value());
+  ASSERT_TRUE(replica.ApplyDeltaBytes(delta_bytes.str()).ok());
+
   // Decisions on every unshifted cluster are bit-identical before and
   // after the hot-swap refresh.
   const ClassifyResponse after = engine.ClassifyBatch(probe_request).value();
@@ -653,6 +681,20 @@ TEST(MonitorE2ETest, AlarmOnlyOnShiftedClusterAndRefreshImproves) {
     }
   }
   EXPECT_GT(target_changed, 0u);  // the target really serves new models
+
+  // The replica's post-delta decisions match the primary bit for bit.
+  const ClassifyResponse replica_after =
+      replica.ClassifyBatch(probe_request).value();
+  ASSERT_EQ(replica_after.decisions.size(), after.decisions.size());
+  for (size_t i = 0; i < after.decisions.size(); ++i) {
+    const SampleDecision& p = after.decisions[i];
+    const SampleDecision& r = replica_after.decisions[i];
+    EXPECT_TRUE(p.label == r.label && p.probability == r.probability &&
+                p.cluster == r.cluster && p.group == r.group &&
+                p.model == r.model)
+        << "sample " << i;
+  }
+  std::remove(outcome.delta_path.c_str());
 
   // The summary reflects the episode.
   const monitor::MonitorSummary summary = monitor->Summary();

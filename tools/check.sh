@@ -10,7 +10,10 @@
 #      via compiled_ensemble_test in every build below) — and a
 #      bench_serve --smoke run, which exits non-zero if sharded-fleet
 #      decisions diverge from the single-loop reference at any shard
-#      count or the fleet's achieved p99 exceeds 10x the configured SLO,
+#      count, the fleet's achieved p99 exceeds 10x the configured SLO,
+#      or the snapshot-distribution row (full reload vs mmapped reload
+#      vs delta apply, the "reload" object in BENCH_serve.json) serves
+#      decisions diverging from the reference,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
 #      parallel runtime, the serving engine's hot-swap/micro-batch paths
 #      (including concurrent classify during a hot-swap kernel recompile,
@@ -28,9 +31,12 @@
 #      compiled-vs-interpreted decision check.
 #
 # --fuzz-only instead runs the adversarial harness (`ctest -L fuzz`:
-# tests/fuzz_test.cc mutation loops + tests/fault_injection_test.cc byte
-# sweeps) in the ASan+UBSan build with a 10k-iteration budget per fuzz
-# target. Override the budget with FALCC_FUZZ_ITERS=<n>.
+# tests/fuzz_test.cc mutation loops over v1 snapshots, v2 sectioned
+# snapshots, and v2 delta artifacts, + tests/fault_injection_test.cc byte
+# sweeps including the per-section corruption sweep and the delta-prefix
+# sweep against a live engine) in the ASan+UBSan build with a
+# 10k-iteration budget per fuzz target. Override the budget with
+# FALCC_FUZZ_ITERS=<n>.
 #
 # Usage: tools/check.sh [--plain-only|--tsan-only|--asan-only|--fuzz-only]
 set -euo pipefail

@@ -18,6 +18,9 @@
 //   falcc_cli audit   --data data.csv --sensitive race [--label label]
 //   falcc_cli inspect --data data.csv --sensitive race [--label label]
 //                     [--proxy-threshold 0.5]
+//   falcc_cli snapshot inspect --model model.falcc
+//   falcc_cli snapshot verify  --model model.falcc
+//   falcc_cli snapshot diff    --model a.falcc --other b.falcc
 //
 // Flags take values as either `--flag value` or `--flag=value`; flags
 // may repeat where noted (--sensitive).
@@ -31,21 +34,31 @@
 // sensitive group, pool model) — with --shards N the rows go through the
 // sharded serving fleet (per-row affinity keys, SLO-driven adaptive
 // batching at p99 < K µs) instead of one direct batch call, and the
-// audit output is bit-identical either way; `monitor` replays a labeled stream
+// audit output is bit-identical either way, and `--mmap on` serves a v2
+// model's compiled kernels straight out of a read-only file mapping
+// (bit-identical decisions, no deserialize copy); `monitor` replays a labeled stream
 // through the serving engine with the drift monitor attached —
 // classifying in chunks, feeding the CSV labels back as delayed ground
 // truth (optionally injecting a targeted label shift into one cluster
 // with --drift-cluster/--drift-start), polling the monitor, and
-// reporting alarms, refreshes, and the final summary JSON; `audit`
-// compares FALCC against Decouple and the plain baselines on a held-out
-// split.
+// reporting alarms, refreshes, and the final summary JSON — with
+// --delta-dir DIR every installed refresh also publishes a delta
+// artifact there for replicas to apply incrementally; `audit` compares
+// FALCC against Decouple and the plain baselines on a held-out split;
+// `snapshot` operates on serialized artifacts: `inspect` prints the v2
+// section manifest as JSON, `verify` checks every section checksum (and
+// fully loads full snapshots), `diff` compares two artifacts section by
+// section — between a base and the snapshot a delta produces, it shows
+// exactly the combo sections the delta carries.
 
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,9 +72,11 @@
 #include "fairness/audit.h"
 #include "fairness/loss.h"
 #include "fairness/proxy.h"
+#include "io/snapshot.h"
 #include "monitor/monitor.h"
 #include "serve/engine.h"
 #include "serve/sharded_engine.h"
+#include "serve/snapshot_source.h"
 
 namespace falcc {
 namespace {
@@ -300,7 +315,17 @@ int ClassifySamples(const Args& args) {
   if (compiled != "on" && compiled != "off") {
     return Fail(Status::InvalidArgument("--compiled must be on or off"));
   }
-  Result<FalccModel> model = FalccModel::LoadFromFile(model_path);
+  // --mmap=on serves a v2 snapshot's compiled kernels directly out of a
+  // read-only file mapping; decisions are bit-identical to the copying
+  // load. (Implies the compiled path: a mapped model's kernels ARE the
+  // artifact's flat section.)
+  const std::string mmap = args.Get("mmap", "off");
+  if (mmap != "on" && mmap != "off") {
+    return Fail(Status::InvalidArgument("--mmap must be on or off"));
+  }
+  Result<FalccModel> model = mmap == "on"
+                                 ? FalccModel::LoadMapped(model_path)
+                                 : FalccModel::LoadFromFile(model_path);
   if (!model.ok()) return Fail(model.status());
   model.value().set_use_compiled(compiled == "on");
 
@@ -415,7 +440,10 @@ int Monitor(const Args& args) {
   serve::FalccEngineOptions engine_options;
   engine_options.start_flusher = false;  // synchronous replay
   serve::FalccEngine engine(engine_options);
-  const Status loaded = engine.ReloadFromFile(model_path);
+  serve::SnapshotSourceOptions source_options;
+  source_options.prefer_mmap = args.Get("mmap", "off") == "on";
+  serve::SnapshotSource source(&engine, source_options);
+  const Status loaded = source.LoadFull(model_path);
   if (!loaded.ok()) return Fail(loaded);
 
   Result<CsvTable> table = ReadCsvFile(data_path);
@@ -460,6 +488,7 @@ int Monitor(const Args& args) {
   monitor_options.detector.threshold = args.GetDouble("threshold", 1.0);
   monitor_options.detector.slack = args.GetDouble("slack", 0.05);
   monitor_options.detector.min_samples = args.GetSize("min-samples", 100);
+  monitor_options.delta_dir = args.Get("delta-dir", "");
   Result<std::unique_ptr<monitor::FairnessMonitor>> attached =
       monitor::FairnessMonitor::Attach(&engine, monitor_options);
   if (!attached.ok()) return Fail(attached.status());
@@ -519,6 +548,10 @@ int Monitor(const Args& args) {
                    "%.3fs)\n",
                    sent, r.cluster, r.installed ? "installed" : "rejected",
                    r.current_loss, r.best_loss, r.seconds);
+      if (!r.delta_path.empty()) {
+        std::fprintf(stderr, "sample %zu: published delta %s (%zu bytes)\n",
+                     sent, r.delta_path.c_str(), r.delta_bytes);
+      }
     }
   }
 
@@ -611,11 +644,179 @@ int Inspect(const Args& args) {
   return 0;
 }
 
+// --- snapshot subcommand ------------------------------------------------
+
+Result<std::string> ReadArtifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read error on '" + path + "'");
+  return buffer.str();
+}
+
+bool IsV1Artifact(const std::string& bytes) {
+  return bytes.rfind("falcc-model-v1\n", 0) == 0;
+}
+
+/// One artifact's manifest as a JSON object (keys always in the same
+/// order so diffs of inspect output are stable).
+std::string ManifestJson(const std::string& path,
+                         const io::SnapshotReader& reader) {
+  std::ostringstream json;
+  json << "{\"path\": \"" << path << "\", \"format\": \""
+       << (reader.is_delta() ? io::kDeltaHeaderV2 : io::kSnapshotHeaderV2)
+       << "\", \"content_hash\": \""
+       << io::HashHex(reader.manifest().ContentHash()) << "\"";
+  if (reader.is_delta()) {
+    json << ", \"base\": \"" << io::HashHex(reader.base_hash()) << "\"";
+  }
+  json << ", \"payload_offset\": " << reader.payload_file_offset()
+       << ", \"sections\": [";
+  for (size_t i = 0; i < reader.manifest().sections.size(); ++i) {
+    const io::SectionInfo& s = reader.manifest().sections[i];
+    if (i > 0) json << ", ";
+    json << "{\"name\": \"" << s.name << "\", \"offset\": " << s.offset
+         << ", \"length\": " << s.length << ", \"checksum\": \""
+         << io::HashHex(s.checksum) << "\", \"derived\": "
+         << (io::SnapshotManifest::IsDerived(s.name) ? "true" : "false")
+         << "}";
+  }
+  json << "]}";
+  return json.str();
+}
+
+int SnapshotInspect(const std::string& path) {
+  Result<std::string> bytes = ReadArtifact(path);
+  if (!bytes.ok()) return Fail(bytes.status());
+  if (IsV1Artifact(bytes.value())) {
+    // v1 has no manifest; report what there is to know.
+    std::printf("{\"path\": \"%s\", \"format\": \"falcc-model-v1\", "
+                "\"bytes\": %zu}\n",
+                path.c_str(), bytes.value().size());
+    return 0;
+  }
+  Result<io::SnapshotReader> reader =
+      io::SnapshotReader::Parse(std::move(bytes).value());
+  if (!reader.ok()) return Fail(reader.status());
+  std::printf("%s\n", ManifestJson(path, reader.value()).c_str());
+  return 0;
+}
+
+int SnapshotVerify(const std::string& path) {
+  Result<std::string> bytes = ReadArtifact(path);
+  if (!bytes.ok()) return Fail(bytes.status());
+  if (IsV1Artifact(bytes.value())) {
+    // No per-section checksums in v1: a full load is the only check.
+    Result<FalccModel> model = FalccModel::LoadFromFile(path);
+    if (!model.ok()) return Fail(model.status());
+    std::printf("%s: ok (falcc-model-v1, full load)\n", path.c_str());
+    return 0;
+  }
+  Result<io::SnapshotReader> reader =
+      io::SnapshotReader::Parse(std::move(bytes).value());
+  if (!reader.ok()) return Fail(reader.status());
+  // Per-section checksums first: a corrupt artifact is reported by
+  // failing section name + offset, not as a generic load error.
+  const Status verified = reader.value().VerifyAll();
+  if (!verified.ok()) return Fail(verified);
+  const size_t sections = reader.value().manifest().sections.size();
+  if (reader.value().is_delta()) {
+    std::printf("%s: ok (%zu sections, delta on base %s)\n", path.c_str(),
+                sections, io::HashHex(reader.value().base_hash()).c_str());
+    return 0;
+  }
+  // Checksums say the bytes are intact; a full load says the sections
+  // also make semantic sense together.
+  Result<FalccModel> model = FalccModel::LoadFromFile(path);
+  if (!model.ok()) return Fail(model.status());
+  std::printf("%s: ok (%zu sections, content hash %s, full load)\n",
+              path.c_str(), sections,
+              io::HashHex(reader.value().manifest().ContentHash()).c_str());
+  return 0;
+}
+
+int SnapshotDiff(const std::string& path_a, const std::string& path_b) {
+  Result<std::string> bytes_a = ReadArtifact(path_a);
+  if (!bytes_a.ok()) return Fail(bytes_a.status());
+  Result<std::string> bytes_b = ReadArtifact(path_b);
+  if (!bytes_b.ok()) return Fail(bytes_b.status());
+  if (IsV1Artifact(bytes_a.value()) || IsV1Artifact(bytes_b.value())) {
+    return Fail(Status::InvalidArgument(
+        "snapshot diff needs v2 artifacts (v1 has no section manifest)"));
+  }
+  Result<io::SnapshotReader> a =
+      io::SnapshotReader::Parse(std::move(bytes_a).value());
+  if (!a.ok()) return Fail(a.status());
+  Result<io::SnapshotReader> b =
+      io::SnapshotReader::Parse(std::move(bytes_b).value());
+  if (!b.ok()) return Fail(b.status());
+
+  const uint64_t hash_a = a.value().manifest().ContentHash();
+  const uint64_t hash_b = b.value().manifest().ContentHash();
+  std::printf("a: %s (%s)\n", path_a.c_str(), io::HashHex(hash_a).c_str());
+  std::printf("b: %s (%s)\n", path_b.c_str(), io::HashHex(hash_b).c_str());
+  if (b.value().is_delta()) {
+    std::printf("b is a delta on base %s: %s\n",
+                io::HashHex(b.value().base_hash()).c_str(),
+                b.value().base_hash() == hash_a ? "applies to a"
+                                                : "does NOT apply to a");
+  }
+
+  size_t differing = 0;
+  for (const io::SectionInfo& sa : a.value().manifest().sections) {
+    const io::SectionInfo* sb = b.value().manifest().Find(sa.name);
+    if (sb == nullptr) {
+      std::printf("  - %s (only in a: %llu bytes)\n", sa.name.c_str(),
+                  static_cast<unsigned long long>(sa.length));
+      ++differing;
+    } else if (sb->length != sa.length || sb->checksum != sa.checksum) {
+      std::printf("  ~ %s (%llu -> %llu bytes, checksum %s -> %s)\n",
+                  sa.name.c_str(),
+                  static_cast<unsigned long long>(sa.length),
+                  static_cast<unsigned long long>(sb->length),
+                  io::HashHex(sa.checksum).c_str(),
+                  io::HashHex(sb->checksum).c_str());
+      ++differing;
+    }
+  }
+  for (const io::SectionInfo& sb : b.value().manifest().sections) {
+    if (!a.value().manifest().Has(sb.name)) {
+      std::printf("  + %s (only in b: %llu bytes)\n", sb.name.c_str(),
+                  static_cast<unsigned long long>(sb.length));
+      ++differing;
+    }
+  }
+  if (differing == 0) std::printf("  sections identical\n");
+  return 0;
+}
+
+int Snapshot(int argc, char** argv) {
+  const std::string action = argc >= 3 ? argv[2] : "";
+  if (action != "inspect" && action != "verify" && action != "diff") {
+    return Fail(Status::InvalidArgument(
+        "usage: falcc_cli snapshot <inspect|verify|diff> --model <path> "
+        "[--other <path>]"));
+  }
+  // Shift past the action so Args sees `--model ...` at its usual index.
+  const Args args(argc - 1, argv + 1);
+  if (!args.status().ok()) return Fail(args.status());
+  const std::string model = args.Get("model", "");
+  if (model.empty()) return Fail(Status::InvalidArgument("--model required"));
+  if (action == "inspect") return SnapshotInspect(model);
+  if (action == "verify") return SnapshotVerify(model);
+  const std::string other = args.Get("other", "");
+  if (other.empty()) {
+    return Fail(Status::InvalidArgument("snapshot diff needs --other"));
+  }
+  return SnapshotDiff(model, other);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: falcc_cli "
-               "<generate|train|predict|classify|monitor|audit|inspect> "
-               "[--flags]\n"
+               "<generate|train|predict|classify|monitor|audit|inspect|"
+               "snapshot> [--flags]\n"
                "see the header comment of tools/falcc_cli.cc\n");
   return 2;
 }
@@ -626,6 +827,7 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return falcc::Usage();
   const std::string command = argv[1];
+  if (command == "snapshot") return falcc::Snapshot(argc, argv);
   const falcc::Args args(argc, argv);
   if (!args.status().ok()) return falcc::Fail(args.status());
   if (command == "generate") return falcc::Generate(args);
