@@ -235,7 +235,10 @@ class FalccModel {
   /// shipped clusters' combinations (and baselines) replaced. Fails with
   /// FailedPrecondition (naming both hashes) when the delta's base hash
   /// does not match this model's content hash, and InvalidArgument on
-  /// any malformed or non-applicable section.
+  /// any malformed or non-applicable section. Idempotent: a delta whose
+  /// sections are already live bit for bit (an at-least-once feed
+  /// redelivery — the post-apply content hash equals this model's) is a
+  /// success no-op returning an identical clone.
   Result<FalccModel> ApplyDeltaBytes(std::string_view bytes) const;
 
   /// Computes (and caches) the v2 manifest of this model, making

@@ -33,6 +33,10 @@
 #include "monitor/window_stats.h"
 #include "serve/engine.h"
 
+namespace falcc::serve {
+class ShardedEngine;
+}  // namespace falcc::serve
+
 namespace falcc::monitor {
 
 struct MonitorOptions {
@@ -46,9 +50,15 @@ struct MonitorOptions {
   /// alarm. Disable to observe alarms and refresh manually.
   bool auto_refresh = true;
   /// Forwarded to RefresherOptions::delta_dir: when non-empty, every
-  /// installed refresh also publishes a delta artifact there for
+  /// installed refresh also publishes a delta artifact there (through a
+  /// replicate::DeltaPublisher — sequence-numbered, temp+rename) for
   /// replicas to apply incrementally.
   std::string delta_dir;
+  /// Forwarded to RefresherOptions::checkpoint_every: a full-snapshot
+  /// checkpoint is published to delta_dir after this many deltas so
+  /// late-joining replicas bootstrap without replaying history (0 =
+  /// never).
+  size_t checkpoint_every = 8;
 };
 
 /// What one Poll() did.
@@ -87,6 +97,15 @@ class FairnessMonitor {
   /// outlive the monitor.
   static Result<std::unique_ptr<FairnessMonitor>> Attach(
       serve::FalccEngine* engine, MonitorOptions options = {});
+
+  /// Sharded variant: one monitor watches the whole fleet. Decisions fan
+  /// in from every shard via ShardedEngine::SetDecisionObserver (the
+  /// DecisionLog ring is multi-writer safe), and refreshes hot-swap
+  /// through the fleet's snapshot store, so every shard serves the
+  /// refreshed snapshot on its next flush. Same preconditions and
+  /// set-once observer discipline as the single-engine overload.
+  static Result<std::unique_ptr<FairnessMonitor>> Attach(
+      serve::ShardedEngine* engine, MonitorOptions options = {});
 
   /// Reports ground truth for decision `id` (ids are assigned in
   /// append order; see DecisionLog). Thread-safe, wait-free. Returns

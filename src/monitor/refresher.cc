@@ -1,13 +1,11 @@
 #include "monitor/refresher.h"
 
-#include <fstream>
 #include <numeric>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "io/snapshot.h"
+#include "replicate/publisher.h"
 #include "util/timer.h"
 
 namespace falcc::monitor {
@@ -16,6 +14,8 @@ Refresher::Refresher(serve::FalccEngine* engine, RefresherOptions options)
     : engine_(engine), options_(std::move(options)) {
   FALCC_CHECK(engine_ != nullptr, "Refresher: null engine");
 }
+
+Refresher::~Refresher() = default;
 
 Result<RefreshOutcome> Refresher::RefreshCluster(const ClusterWindow& window,
                                                  size_t cluster) {
@@ -107,29 +107,37 @@ Result<RefreshOutcome> Refresher::RefreshCluster(const ClusterWindow& window,
 
 void Refresher::PublishDelta(const FalccModel& next, size_t cluster,
                              uint64_t base_hash, RefreshOutcome* outcome) {
-  std::ostringstream bytes;
-  const size_t clusters[] = {cluster};
-  if (!next.SaveDelta(&bytes, clusters, base_hash).ok()) {
-    delta_failures_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  if (publisher_ == nullptr) {
+    replicate::DeltaPublisherOptions publisher_options;
+    publisher_options.dir = options_.delta_dir;
+    publisher_options.checkpoint_every = options_.checkpoint_every;
+    Result<replicate::DeltaPublisher> opened =
+        replicate::DeltaPublisher::Open(publisher_options);
+    if (!opened.ok()) {
+      delta_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    publisher_ = std::make_unique<replicate::DeltaPublisher>(
+        std::move(opened).value());
   }
-  // Versioned by the install this delta reproduces: the engine's next
-  // publish. Named uniquely enough that re-refreshes never clobber an
-  // artifact a replica may be mid-read on.
-  const std::string path = options_.delta_dir + "/delta-v" +
-                           std::to_string(engine_->snapshot_version() + 1) +
-                           "-c" + std::to_string(cluster) + "-" +
-                           io::HashHex(base_hash) + ".falcc";
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << bytes.str();
-  out.flush();
-  if (!out) {
+  const size_t clusters[] = {cluster};
+  Result<replicate::PublishReport> report =
+      publisher_->PublishDelta(next, clusters, base_hash);
+  if (!report.ok()) {
     delta_failures_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   delta_published_.fetch_add(1, std::memory_order_relaxed);
-  outcome->delta_path = path;
-  outcome->delta_bytes = bytes.str().size();
+  // The delta is always the first artifact; a cadence checkpoint (and
+  // its GC) may ride along in the same report.
+  outcome->delta_path = report.value().artifacts.front().path;
+  outcome->delta_bytes = report.value().artifacts.front().bytes;
+  for (const replicate::PublishedArtifact& artifact :
+       report.value().artifacts) {
+    if (artifact.kind == replicate::ArtifactKind::kFull) {
+      checkpoints_published_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 RefresherStats Refresher::Stats() const {
@@ -139,6 +147,8 @@ RefresherStats Refresher::Stats() const {
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.delta_published = delta_published_.load(std::memory_order_relaxed);
   stats.delta_failures = delta_failures_.load(std::memory_order_relaxed);
+  stats.checkpoints_published =
+      checkpoints_published_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -17,22 +17,36 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "monitor/window_stats.h"
 #include "serve/engine.h"
 
+namespace falcc::replicate {
+class DeltaPublisher;
+}  // namespace falcc::replicate
+
 namespace falcc::monitor {
 
 struct RefresherOptions {
   /// When non-empty, every installed refresh also publishes a delta
-  /// artifact `delta-v<version>-c<cluster>-<basehash>.falcc` into this
-  /// directory: the refreshed cluster's combination section plus a
-  /// manifest referencing the pre-refresh snapshot by content hash.
-  /// Replicas serving that base apply it via SnapshotSource::ApplyDelta
-  /// without revalidating (or recompiling) any untouched section.
-  /// Publication failures never block the local install.
+  /// artifact into this directory through a replicate::DeltaPublisher:
+  /// `<seq>-delta-c<cluster>-<basehash>.falcc`, where <seq> is a
+  /// zero-padded monotonic sequence so directory order equals apply
+  /// order (plain version numbers sort wrong past 9), written via
+  /// temp+rename so a replica never reads a partial artifact. The delta
+  /// is the refreshed cluster's combination section plus a manifest
+  /// referencing the pre-refresh snapshot by content hash; replicas
+  /// serving that base apply it via SnapshotSource::ApplyDelta without
+  /// revalidating (or recompiling) any untouched section. Publication
+  /// failures never block the local install.
   std::string delta_dir;
+  /// Checkpoint cadence: after this many published deltas the publisher
+  /// also writes a full-snapshot checkpoint and garbage-collects
+  /// superseded artifacts, so late-joining replicas bootstrap without
+  /// replaying history. 0 = never checkpoint.
+  size_t checkpoint_every = 8;
 };
 
 /// Result of one refresh attempt.
@@ -52,6 +66,7 @@ struct RefresherStats {
   uint64_t rejected = 0;  ///< no candidate strictly beat the serving one
   uint64_t delta_published = 0;
   uint64_t delta_failures = 0;  ///< non-fatal: install succeeded anyway
+  uint64_t checkpoints_published = 0;  ///< cadence checkpoints written
 };
 
 class Refresher {
@@ -60,6 +75,7 @@ class Refresher {
   /// Must outlive the refresher.
   explicit Refresher(serve::FalccEngine* engine,
                      RefresherOptions options = {});
+  ~Refresher();
 
   /// Rebuilds `cluster`'s combination over `window` (its labeled stream
   /// samples, see WindowStats::Window) and installs the result if it
@@ -79,11 +95,16 @@ class Refresher {
 
   serve::FalccEngine* engine_;
   RefresherOptions options_;
+  /// Lazily opened on the first publish (creating the directory then);
+  /// sequencing, temp+rename writes, checkpoint cadence, and GC all
+  /// live in the publisher.
+  std::unique_ptr<replicate::DeltaPublisher> publisher_;
   std::atomic<uint64_t> attempts_{0};
   std::atomic<uint64_t> installed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> delta_published_{0};
   std::atomic<uint64_t> delta_failures_{0};
+  std::atomic<uint64_t> checkpoints_published_{0};
 };
 
 }  // namespace falcc::monitor

@@ -1,0 +1,94 @@
+// DeltaFeed: the ordered artifact feed a serving replica consumes.
+//
+// A feed is a sequence of snapshot artifacts — ~150-byte deltas
+// (`falcc-delta-v2`) punctuated by full-snapshot checkpoints — in the
+// order a replica must apply them. The reference implementation is
+// DirectoryFeed, a polling watcher over the directory the monitor's
+// Refresher publishes into (DESIGN.md §16): artifacts are named
+// `<zero-padded sequence>-<kind>-<detail>.falcc`, so lexicographic
+// directory order IS apply order, and a feed needs no index file or
+// broker — `scp`, NFS, or an object-store sync loop is the transport.
+//
+// Partial-write tolerance is by convention, not by locking: publishers
+// write to a `.tmp`-suffixed name in the same directory and rename into
+// place (DeltaPublisher does this), so a conforming feed never exposes a
+// half-written artifact. Anything that still fails to sniff — truncated
+// copies, corrupted bytes, an unreadable file — is reported as
+// kUnreadable rather than hidden, and the puller decides (quarantine +
+// full-reload fallback, never stopping the engine).
+
+#ifndef FALCC_REPLICATE_FEED_H_
+#define FALCC_REPLICATE_FEED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace falcc::replicate {
+
+/// What an artifact in the feed is, sniffed from its header line.
+enum class ArtifactKind {
+  kDelta,       ///< `falcc-delta-v2`: applies to a base content hash
+  kFull,        ///< full snapshot (v2 sectioned or legacy v1)
+  kUnreadable,  ///< unopenable, empty, or unrecognized header
+};
+
+/// One feed entry: an artifact and where it sits in the apply order.
+struct FeedEntry {
+  uint64_t sequence = 0;   ///< position in the feed; apply order
+  ArtifactKind kind = ArtifactKind::kUnreadable;
+  std::string path;        ///< full path to the artifact
+  uint64_t base_hash = 0;  ///< delta only: content hash it applies to
+  uint64_t bytes = 0;      ///< artifact size on disk
+};
+
+/// An ordered artifact feed. Poll is stateless with respect to the feed
+/// object: the caller owns its cursor and passes it back, so one feed
+/// can serve many consumers and a recovery scan is just Poll(0).
+class DeltaFeed {
+ public:
+  virtual ~DeltaFeed() = default;
+
+  /// Every entry with sequence > `after_sequence`, ascending. Entries
+  /// that fail to sniff come back as kUnreadable instead of being
+  /// dropped, so a consumer can tell "nothing new" from "something new
+  /// but broken". Errors are feed-level only (e.g. the directory
+  /// disappeared) — per-artifact problems never fail the poll.
+  virtual Result<std::vector<FeedEntry>> Poll(uint64_t after_sequence) = 0;
+};
+
+/// Canonical artifact filename: `<8-digit zero-padded sequence>-<stem>`.
+/// Zero padding makes directory order equal apply order past sequence 9
+/// (plain `v10` sorts before `v9` lexicographically); sequences beyond 8
+/// digits stay correct because consumers parse the number, they do not
+/// compare strings.
+std::string SequencedName(uint64_t sequence, const std::string& stem);
+
+/// Parses the leading `<digits>-` sequence prefix of an artifact
+/// filename. Fails on names that do not follow the convention.
+Result<uint64_t> ParseSequence(const std::string& filename);
+
+/// Polling directory watcher over a publisher directory. Not internally
+/// synchronized; each consumer owns one (they are cheap — all state is
+/// the directory path).
+class DirectoryFeed final : public DeltaFeed {
+ public:
+  explicit DirectoryFeed(std::string dir);
+
+  /// Scans the directory, skipping `.tmp` in-progress writes and any
+  /// name without the `<sequence>-*.falcc` shape, and sniffs each new
+  /// artifact's kind (and, for deltas, its base hash) from the first
+  /// lines. IOError only when the directory itself cannot be listed.
+  Result<std::vector<FeedEntry>> Poll(uint64_t after_sequence) override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace falcc::replicate
+
+#endif  // FALCC_REPLICATE_FEED_H_

@@ -1,0 +1,72 @@
+#include "replicate/fleet.h"
+
+#include <utility>
+
+namespace falcc::replicate {
+
+namespace {
+
+serve::FalccEngineOptions ReplicaEngineOptions() {
+  serve::FalccEngineOptions options;
+  // Replicas classify through the direct batch path; no flusher thread.
+  options.start_flusher = false;
+  return options;
+}
+
+}  // namespace
+
+ReplicaFleet::Replica::Replica() : engine(ReplicaEngineOptions()) {}
+
+ReplicaFleet::ReplicaFleet(ReplicaFleetOptions options)
+    : options_(std::move(options)) {
+  FALCC_CHECK(options_.num_replicas > 0, "ReplicaFleet: no replicas");
+  FALCC_CHECK(!options_.feed_dir.empty(), "ReplicaFleet: empty feed_dir");
+  replicas_.reserve(options_.num_replicas);
+  for (size_t i = 0; i < options_.num_replicas; ++i) {
+    auto replica = std::make_unique<Replica>();
+    DeltaPullerOptions puller_options = options_.puller;
+    // Decorrelate backoff across the fleet.
+    puller_options.jitter_seed = options_.puller.jitter_seed + i + 1;
+    replica->puller = std::make_unique<DeltaPuller>(
+        &replica->engine, std::make_unique<DirectoryFeed>(options_.feed_dir),
+        puller_options);
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+Status ReplicaFleet::Bootstrap(const std::string& snapshot_path) {
+  for (auto& replica : replicas_) {
+    FALCC_RETURN_IF_ERROR(options_.puller.prefer_mmap
+                              ? replica->engine.ReloadMapped(snapshot_path)
+                              : replica->engine.ReloadFromFile(snapshot_path));
+  }
+  return Status::OK();
+}
+
+std::vector<PullReport> ReplicaFleet::PollAll() {
+  std::vector<PullReport> reports;
+  reports.reserve(replicas_.size());
+  for (auto& replica : replicas_) {
+    reports.push_back(replica->puller->PollOnce());
+  }
+  return reports;
+}
+
+size_t ReplicaFleet::CountConverged(uint64_t hash) const {
+  size_t converged = 0;
+  for (const auto& replica : replicas_) {
+    const Result<uint64_t> serving = replica->puller->ServingHash();
+    if (serving.ok() && serving.value() == hash) ++converged;
+  }
+  return converged;
+}
+
+void ReplicaFleet::StartAll() {
+  for (auto& replica : replicas_) replica->puller->Start();
+}
+
+void ReplicaFleet::StopAll() {
+  for (auto& replica : replicas_) replica->puller->Stop();
+}
+
+}  // namespace falcc::replicate

@@ -115,6 +115,15 @@ Status FalccEngine::ApplyDeltaBytes(std::string_view bytes) {
     metrics_.AddErrors(1);
     return next.status();
   }
+  // Idempotent redelivery (or a delta that re-selects the serving
+  // combination): the result hashes identically to what is serving, so
+  // skip the install — no version churn, no needless snapshot swap.
+  const Result<uint64_t> base_hash = base->ContentHash();
+  const Result<uint64_t> next_hash = next.value().ContentHash();
+  if (base_hash.ok() && next_hash.ok() &&
+      base_hash.value() == next_hash.value()) {
+    return Status::OK();
+  }
   Install(std::move(next).value());
   return Status::OK();
 }

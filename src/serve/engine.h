@@ -129,7 +129,9 @@ class FalccEngine {
   /// pointer-identically with the previous snapshot. Fails without
   /// touching the snapshot when no model is installed, when the delta's
   /// base hash does not match the installed snapshot, or when any delta
-  /// section is invalid.
+  /// section is invalid. Idempotent under at-least-once delivery: a
+  /// delta whose result hashes identically to the serving snapshot
+  /// succeeds without reinstalling (no version churn).
   Status ApplyDeltaBytes(std::string_view bytes);
 
   /// Current snapshot (nullptr before the first Install/Reload).

@@ -62,6 +62,19 @@ Status ShardedEngine::ReloadFromFile(const std::string& path) {
   return engine_.ReloadFromFile(path);
 }
 
+void ShardedEngine::SetDecisionObserver(
+    std::shared_ptr<DecisionObserver> observer) {
+  FALCC_CHECK(observer != nullptr,
+              "ShardedEngine::SetDecisionObserver: null observer");
+  DecisionObserver* raw = observer.get();
+  // The inner engine owns the observer (and enforces set-once); it also
+  // notifies for any classification routed directly through the
+  // snapshot store. Shard flushes bypass the inner engine's classify
+  // path entirely, so they fan in through the raw pointer below.
+  engine_.SetObserver(std::move(observer));
+  observer_raw_.store(raw, std::memory_order_release);
+}
+
 Result<ShardTicket> ShardedEngine::Submit(std::span<const double> features) {
   return SubmitToShard(router_.RouteNext(), features);
 }
@@ -258,6 +271,17 @@ void ShardedEngine::FlushBatch(Shard* shard, std::vector<ShardTask*>* batch,
   shard->metrics.predict().Record(stages.predict);
 
   const std::vector<SampleDecision>& decisions = response.value().decisions;
+  // Fleet-wide observer fan-in: every shard notifies the one observer
+  // (multi-writer safe by contract) before completing tickets, matching
+  // FalccEngine's notify-then-complete order.
+  if (DecisionObserver* observer =
+          observer_raw_.load(std::memory_order_acquire)) {
+    const uint64_t version = engine_.snapshot_version();
+    for (size_t i = 0; i < n; ++i) {
+      observer->OnDecision(decisions[i], (*batch)[i]->features, version);
+    }
+    shard->metrics.AddObserved(n);
+  }
   for (size_t i = 0; i < n; ++i) {
     (*batch)[i]->Complete(Status::OK(), decisions[i]);
   }

@@ -133,6 +133,22 @@ class ShardedEngine {
   }
   uint64_t snapshot_version() const { return engine_.snapshot_version(); }
 
+  /// The inner snapshot store. Installs and reloads through it are what
+  /// every shard serves (shards read its snapshot per flush), which is
+  /// how the monitor's Refresher hot-swaps the whole fleet at once.
+  /// Classifying through it directly bypasses the shards.
+  FalccEngine* snapshot_store() { return &engine_; }
+
+  // --- Decision subscription -------------------------------------------
+
+  /// Fleet-wide decision fan-in: subscribes `observer` to every decision
+  /// any shard flushes, plus direct classifications through the snapshot
+  /// store. Set-once, before serving traffic — the same discipline as
+  /// FalccEngine::SetObserver (which keeps ownership). One thread-safe
+  /// observer (e.g. the monitor's DecisionLog, a multi-writer ring)
+  /// watches the whole fleet.
+  void SetDecisionObserver(std::shared_ptr<DecisionObserver> observer);
+
   // --- Classification ---------------------------------------------------
 
   /// Enqueues one sample on the round-robin shard. Validates against the
@@ -205,6 +221,9 @@ class ShardedEngine {
 
   ShardedEngineOptions options_;
   FalccEngine engine_;  ///< snapshot store + validation; flusher disabled
+  /// Raw fan-in pointer for the shard flush path; owned by engine_ (set
+  /// through SetDecisionObserver, which forwards ownership there).
+  std::atomic<DecisionObserver*> observer_raw_{nullptr};
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};

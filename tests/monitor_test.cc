@@ -27,6 +27,7 @@
 #include "monitor/refresher.h"
 #include "monitor/window_stats.h"
 #include "serve/engine.h"
+#include "serve/sharded_engine.h"
 
 namespace falcc {
 namespace {
@@ -703,6 +704,91 @@ TEST(MonitorE2ETest, AlarmOnlyOnShiftedClusterAndRefreshImproves) {
   const std::string json = summary.ToJson();
   EXPECT_NE(json.find("\"refresh\""), std::string::npos);
   EXPECT_NE(json.find("\"clusters\""), std::string::npos);
+}
+
+// --- Monitor over a sharded fleet --------------------------------------
+
+// The same drift → alarm → refresh loop, but decisions fan in from a
+// ShardedEngine's flush workers through SetDecisionObserver and the
+// refresh installs through the fleet's snapshot store — every shard
+// serves the refreshed combination on its next flush.
+TEST(MonitorShardedTest, ObserverFanInDrivesRefreshAcrossShards) {
+  const TrainValTest s = MakeSplits(11, 3000);
+  FalccModel model =
+      FalccModel::Train(s.train, s.validation, FastOptions()).value();
+  const size_t num_clusters = model.num_clusters();
+
+  // Drift target: the replay pool's most populated cluster.
+  const std::vector<double> pool = Flatten(s.test);
+  const size_t width = s.test.num_features();
+  const size_t num_rows = s.test.num_rows();
+  const ClassifyRequest probe_request{pool, width};
+  const ClassifyResponse probe = model.ClassifyBatch(probe_request).value();
+  std::vector<size_t> per_cluster(num_clusters, 0);
+  for (const SampleDecision& d : probe.decisions) ++per_cluster[d.cluster];
+  const size_t target = static_cast<size_t>(
+      std::max_element(per_cluster.begin(), per_cluster.end()) -
+      per_cluster.begin());
+
+  serve::ShardedEngineOptions engine_options;
+  engine_options.num_shards = 4;
+  serve::ShardedEngine engine(engine_options);
+  engine.Install(std::move(model));
+
+  MonitorOptions options;
+  options.log_capacity = 1 << 12;
+  options.window = 256;
+  options.detector.threshold = 1.0;
+  options.detector.slack = 0.1;
+  options.detector.min_samples = 100;
+  std::unique_ptr<FairnessMonitor> monitor =
+      FairnessMonitor::Attach(&engine, options).value();
+  const uint64_t version_before = engine.snapshot_version();
+
+  // Stream through the shards. Classify is Submit + Wait, and the shard
+  // flush runs the observer before completing the ticket, so sequential
+  // calls produce sequential log ids — the id grabbed before the call is
+  // the decision's.
+  std::vector<RefreshOutcome> refreshes;
+  size_t streamed = 0;
+  for (size_t iter = 0; iter < 20000 && refreshes.empty(); ++iter) {
+    const size_t row = iter % num_rows;
+    const uint64_t id = monitor->log().next_id();
+    const SampleDecision decision =
+        engine.Classify(std::span<const double>(pool.data() + row * width,
+                                                width))
+            .value();
+    const bool flip = decision.cluster == target;
+    ASSERT_TRUE(monitor->AddFeedback(id, flip ? 1 - decision.label
+                                              : decision.label));
+    ++streamed;
+    if ((iter + 1) % 250 == 0) {
+      const MonitorPollResult poll = monitor->Poll().value();
+      refreshes.insert(refreshes.end(), poll.refreshes.begin(),
+                       poll.refreshes.end());
+    }
+  }
+
+  // The flipped cluster alarmed and its refresh hot-swapped the fleet.
+  ASSERT_EQ(refreshes.size(), 1u);
+  EXPECT_EQ(refreshes[0].cluster, target);
+  EXPECT_TRUE(refreshes[0].installed);
+  EXPECT_EQ(engine.snapshot_version(), version_before + 1);
+
+  // Every streamed decision reached the log through the fleet observer,
+  // and the fleet's own observation counter agrees.
+  EXPECT_EQ(monitor->log().Stats().appended, streamed);
+  EXPECT_EQ(engine.GetMetrics().observed, streamed);
+
+  // Shards serve the refreshed snapshot: their decisions match the
+  // snapshot store's bit for bit.
+  const std::shared_ptr<const FalccModel> refreshed = engine.snapshot();
+  for (size_t row = 0; row < std::min<size_t>(num_rows, 64); ++row) {
+    const std::span<const double> features(pool.data() + row * width, width);
+    const SampleDecision via_shard = engine.Classify(features).value();
+    EXPECT_EQ(via_shard.label, refreshed->Classify(features)) << row;
+  }
+  engine.Shutdown();
 }
 
 // --- Concurrency (ThreadSanitizer coverage) ----------------------------

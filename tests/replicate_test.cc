@@ -1,0 +1,782 @@
+// Tests of the delta replication subsystem: feed naming and sniffing,
+// publisher sequencing/checkpointing/GC, the puller's in-order and
+// out-of-order apply paths, every fault-fallback route (chain break,
+// corrupt artifact, persistent gap, deleted checkpoint — the replica
+// must never stop serving), redelivery idempotency, late-joiner
+// bootstrap, fleet convergence, and the pull-while-classify race the
+// TSan stage exercises.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/falcc.h"
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "replicate/feed.h"
+#include "replicate/fleet.h"
+#include "replicate/publisher.h"
+#include "replicate/puller.h"
+#include "serve/engine.h"
+#include "serve/sharded_engine.h"
+#include "testing/faulty_stream.h"
+#include "testing/mutator.h"
+
+namespace falcc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using replicate::ArtifactKind;
+using replicate::DeltaPublisher;
+using replicate::DeltaPublisherOptions;
+using replicate::DeltaPuller;
+using replicate::DeltaPullerOptions;
+using replicate::DeltaPullerStats;
+using replicate::DirectoryFeed;
+using replicate::FeedEntry;
+using replicate::ParseSequence;
+using replicate::PublishedArtifact;
+using replicate::PublishReport;
+using replicate::PullReport;
+using replicate::ReplicaFleet;
+using replicate::ReplicaFleetOptions;
+using replicate::SequencedName;
+
+TrainValTest MakeSplits(uint64_t seed = 11, size_t n = 2000) {
+  SyntheticConfig cfg;
+  cfg.num_samples = n;
+  cfg.seed = 7;
+  const Dataset d = GenerateImplicitBias(cfg).value();
+  return SplitDatasetDefault(d, seed).value();
+}
+
+FalccOptions FastOptions() {
+  FalccOptions opt;
+  opt.seed = 42;
+  opt.trainer.estimator_grid = {5};
+  opt.trainer.depth_grid = {1, 4};
+  opt.trainer.pool_size = 3;
+  opt.fixed_k = 4;
+  return opt;
+}
+
+/// One training run for the whole binary; every test deserializes its
+/// own copy (FalccModel is move-only, engines own their snapshots).
+const std::string& SharedModelBytes() {
+  static const std::string* bytes = [] {
+    const TrainValTest s = MakeSplits();
+    const FalccModel model =
+        FalccModel::Train(s.train, s.validation, FastOptions()).value();
+    auto* out = new std::string;
+    std::ostringstream buffer;
+    FALCC_CHECK(model.Save(&buffer).ok(), "test: model save failed");
+    *out = buffer.str();
+    return out;
+  }();
+  return *bytes;
+}
+
+FalccModel FreshModel() {
+  std::istringstream in(SharedModelBytes());
+  return FalccModel::Load(&in).value();
+}
+
+/// The version after `base`: one cluster's combination rotated to the
+/// next pool model — exactly the shape of a monitor refresh.
+FalccModel NextVersion(const FalccModel& base, size_t cluster) {
+  ModelCombination combo = base.selected_combinations()[cluster];
+  combo[0] = (combo[0] + 1) % base.pool().size();
+  ClusterRefresh refresh;
+  refresh.cluster = cluster;
+  refresh.combination = combo;
+  refresh.baseline_loss = 0.25;
+  return base.CloneWithRefreshes({&refresh, 1}).value();
+}
+
+uint64_t HashOf(const FalccModel& model) { return model.ContentHash().value(); }
+
+std::string SaveBytes(const FalccModel& model) {
+  std::ostringstream out;
+  FALCC_CHECK(model.Save(&out).ok(), "test: save failed");
+  return out.str();
+}
+
+std::string DeltaBytes(const FalccModel& next, size_t cluster,
+                       uint64_t base_hash) {
+  std::ostringstream out;
+  const size_t clusters[] = {cluster};
+  FALCC_CHECK(next.SaveDelta(&out, clusters, base_hash).ok(),
+              "test: delta save failed");
+  return out.str();
+}
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  FALCC_CHECK(static_cast<bool>(out), "test: artifact write failed");
+}
+
+serve::FalccEngineOptions NoFlusher() {
+  serve::FalccEngineOptions options;
+  options.start_flusher = false;
+  return options;
+}
+
+/// Puller options tuned for deterministic tests: retry instantly so a
+/// recovery test needs no wall-clock sleeps.
+DeltaPullerOptions FastPuller() {
+  DeltaPullerOptions options;
+  options.backoff_initial_seconds = 0.0;
+  return options;
+}
+
+DeltaPublisher OpenPublisher(const std::string& dir, size_t checkpoint_every) {
+  DeltaPublisherOptions options;
+  options.dir = dir;
+  options.checkpoint_every = checkpoint_every;
+  return DeltaPublisher::Open(options).value();
+}
+
+/// Feed with test-controlled visibility: artifacts live on disk (the
+/// publisher wrote them), but the feed only reports what the test has
+/// exposed — simulating replication transports where artifacts arrive
+/// late or out of order.
+class ScriptedFeed final : public replicate::DeltaFeed {
+ public:
+  Result<std::vector<FeedEntry>> Poll(uint64_t after_sequence) override {
+    std::vector<FeedEntry> out;
+    for (const FeedEntry& entry : visible_) {
+      if (entry.sequence > after_sequence) out.push_back(entry);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FeedEntry& a, const FeedEntry& b) {
+                return a.sequence < b.sequence;
+              });
+    return out;
+  }
+
+  void Expose(const PublishedArtifact& artifact, uint64_t base_hash = 0) {
+    FeedEntry entry;
+    entry.sequence = artifact.sequence;
+    entry.kind = artifact.kind;
+    entry.path = artifact.path;
+    entry.bytes = artifact.bytes;
+    entry.base_hash = base_hash;
+    visible_.push_back(entry);
+  }
+
+ private:
+  std::vector<FeedEntry> visible_;
+};
+
+// --- Feed naming and sniffing ------------------------------------------
+
+TEST(FeedNameTest, SequencedNameZeroPadsSoDirectoryOrderIsApplyOrder) {
+  EXPECT_EQ(SequencedName(7, "delta-x.falcc"), "00000007-delta-x.falcc");
+  // The motivating bug: plain version numbers sort wrong past 9.
+  const std::string v9 = SequencedName(9, "a.falcc");
+  const std::string v10 = SequencedName(10, "a.falcc");
+  const std::string v100 = SequencedName(100, "a.falcc");
+  EXPECT_LT(v9, v10);
+  EXPECT_LT(v10, v100);
+  // Past the padding width, consumers parse numbers — names still parse.
+  EXPECT_EQ(ParseSequence(SequencedName(123456789012ull, "a.falcc")).value(),
+            123456789012ull);
+}
+
+TEST(FeedNameTest, ParseSequenceRejectsNonConformingNames) {
+  EXPECT_EQ(ParseSequence("00000010-delta.falcc").value(), 10u);
+  EXPECT_FALSE(ParseSequence("delta.falcc").ok());
+  EXPECT_FALSE(ParseSequence("-delta.falcc").ok());
+  EXPECT_FALSE(ParseSequence("").ok());
+  EXPECT_FALSE(ParseSequence("99999999999999999999999-x.falcc").ok());
+}
+
+TEST(DirectoryFeedTest, OrdersSniffsAndSkipsInProgressWrites) {
+  const std::string dir = FreshDir("replicate_feed");
+  const FalccModel v0 = FreshModel();
+  const uint64_t h0 = HashOf(v0);
+  const FalccModel v1 = NextVersion(v0, 0);
+
+  // Written shuffled: a garbage artifact, a full snapshot, a delta, an
+  // in-progress `.tmp`, and an unrelated file.
+  WriteFile(dir + "/" + SequencedName(3, "delta.falcc"),
+            DeltaBytes(v1, 0, h0));
+  WriteFile(dir + "/" + SequencedName(1, "garbage.falcc"), "not a snapshot\n");
+  WriteFile(dir + "/" + SequencedName(2, "checkpoint.falcc"), SaveBytes(v0));
+  WriteFile(dir + "/" + SequencedName(4, "syncing.falcc") + ".tmp", "partial");
+  WriteFile(dir + "/README.md", "not an artifact");
+
+  DirectoryFeed feed(dir);
+  const std::vector<FeedEntry> entries = feed.Poll(0).value();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].sequence, 1u);
+  EXPECT_EQ(entries[0].kind, ArtifactKind::kUnreadable);
+  EXPECT_EQ(entries[1].sequence, 2u);
+  EXPECT_EQ(entries[1].kind, ArtifactKind::kFull);
+  EXPECT_EQ(entries[2].sequence, 3u);
+  EXPECT_EQ(entries[2].kind, ArtifactKind::kDelta);
+  EXPECT_EQ(entries[2].base_hash, h0);
+  EXPECT_GT(entries[2].bytes, 0u);
+
+  // The cursor filter.
+  const std::vector<FeedEntry> tail = feed.Poll(2).value();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].sequence, 3u);
+
+  // A feed over a missing directory fails the poll, not the process.
+  DirectoryFeed missing(dir + "/no-such-subdir");
+  EXPECT_FALSE(missing.Poll(0).ok());
+}
+
+// --- Publisher ----------------------------------------------------------
+
+TEST(PublisherTest, SequencesCheckpointsOnCadenceAndGarbageCollects) {
+  const std::string dir = FreshDir("replicate_pub");
+  DeltaPublisher publisher = OpenPublisher(dir, /*checkpoint_every=*/2);
+  EXPECT_EQ(publisher.next_sequence(), 1u);
+
+  const FalccModel v0 = FreshModel();
+  const FalccModel v1 = NextVersion(v0, 0);
+  const FalccModel v2 = NextVersion(v1, 1);
+
+  const PublishReport checkpoint =
+      publisher.PublishCheckpoint(v0).value();
+  ASSERT_EQ(checkpoint.artifacts.size(), 1u);
+  EXPECT_EQ(checkpoint.artifacts[0].sequence, 1u);
+  EXPECT_EQ(checkpoint.artifacts[0].kind, ArtifactKind::kFull);
+
+  const size_t clusters0[] = {0};
+  const PublishReport first =
+      publisher.PublishDelta(v1, clusters0, HashOf(v0)).value();
+  ASSERT_EQ(first.artifacts.size(), 1u);  // cadence not due yet
+  EXPECT_EQ(first.artifacts[0].sequence, 2u);
+  EXPECT_EQ(first.artifacts[0].kind, ArtifactKind::kDelta);
+
+  // Second delta trips the cadence: delta + checkpoint of the post-delta
+  // state + GC of everything the checkpoint supersedes.
+  const size_t clusters1[] = {1};
+  const PublishReport second =
+      publisher.PublishDelta(v2, clusters1, HashOf(v1)).value();
+  ASSERT_EQ(second.artifacts.size(), 2u);
+  EXPECT_EQ(second.artifacts[0].sequence, 3u);
+  EXPECT_EQ(second.artifacts[0].kind, ArtifactKind::kDelta);
+  EXPECT_EQ(second.artifacts[1].sequence, 4u);
+  EXPECT_EQ(second.artifacts[1].kind, ArtifactKind::kFull);
+  EXPECT_EQ(second.gc_removed, 3u);  // sequences 1..3 superseded
+
+  DirectoryFeed feed(dir);
+  const std::vector<FeedEntry> remaining = feed.Poll(0).value();
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].sequence, 4u);
+  EXPECT_EQ(remaining[0].kind, ArtifactKind::kFull);
+
+  // No half-written artifacts left behind.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+
+  // A restarted publisher resumes the sequence instead of renumbering.
+  DeltaPublisher reopened = OpenPublisher(dir, 2);
+  EXPECT_EQ(reopened.next_sequence(), 5u);
+}
+
+// --- Puller: the happy chain -------------------------------------------
+
+TEST(PullerTest, BootstrapsFromCheckpointAndAppliesDeltasInOrder) {
+  const std::string dir = FreshDir("replicate_chain");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  const FalccModel v0 = FreshModel();
+  const FalccModel v1 = NextVersion(v0, 0);
+  const FalccModel v2 = NextVersion(v1, 1);
+
+  publisher.PublishCheckpoint(v0).value();
+  const size_t c0[] = {0};
+  publisher.PublishDelta(v1, c0, HashOf(v0)).value();
+  const size_t c1[] = {1};
+  publisher.PublishDelta(v2, c1, HashOf(v1)).value();
+
+  serve::FalccEngine engine(NoFlusher());
+  DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir),
+                     FastPuller());
+  EXPECT_FALSE(puller.ServingHash().ok());  // empty replica
+
+  const PullReport report = puller.PollOnce();
+  EXPECT_EQ(report.full_reloads, 1u);   // the bootstrap checkpoint
+  EXPECT_EQ(report.deltas_applied, 2u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_FALSE(report.recovery_pending);
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v2));
+
+  // Idle poll: nothing new, nothing churns.
+  const uint64_t version = engine.snapshot_version();
+  const PullReport idle = puller.PollOnce();
+  EXPECT_EQ(idle.entries_seen, 0u);
+  EXPECT_EQ(engine.snapshot_version(), version);
+
+  // The replica's decisions are the primary's, bit for bit.
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  for (size_t i = 0; i < s.test.num_rows(); ++i) {
+    const auto row = s.test.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const ClassifyRequest request{flat, s.test.num_features()};
+  const ClassifyResponse primary = v2.ClassifyBatch(request).value();
+  const ClassifyResponse replica = engine.ClassifyBatch(request).value();
+  ASSERT_EQ(primary.decisions.size(), replica.decisions.size());
+  for (size_t i = 0; i < primary.decisions.size(); ++i) {
+    const SampleDecision& p = primary.decisions[i];
+    const SampleDecision& r = replica.decisions[i];
+    EXPECT_TRUE(p.label == r.label && p.probability == r.probability &&
+                p.cluster == r.cluster && p.group == r.group &&
+                p.model == r.model)
+        << "sample " << i;
+  }
+}
+
+TEST(PullerTest, ShardedEngineFollowsTheSameFeed) {
+  const std::string dir = FreshDir("replicate_sharded");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  const FalccModel v0 = FreshModel();
+  const FalccModel v1 = NextVersion(v0, 2);
+  publisher.PublishCheckpoint(v0).value();
+  const size_t c2[] = {2};
+  publisher.PublishDelta(v1, c2, HashOf(v0)).value();
+
+  serve::ShardedEngineOptions options;
+  options.num_shards = 2;
+  serve::ShardedEngine engine(options);
+  DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir),
+                     FastPuller());
+  puller.PollOnce();
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v1));
+
+  const TrainValTest s = MakeSplits();
+  for (size_t i = 0; i < std::min<size_t>(s.test.num_rows(), 32); ++i) {
+    const SampleDecision d = engine.Classify(s.test.Row(i)).value();
+    EXPECT_EQ(d.label, v1.Classify(s.test.Row(i))) << "row " << i;
+  }
+  engine.Shutdown();
+}
+
+// --- Redelivery idempotency --------------------------------------------
+
+TEST(DeltaIdempotencyTest, RedeliveredDeltaIsASuccessNoOp) {
+  const FalccModel v0 = FreshModel();
+  const uint64_t h0 = HashOf(v0);
+  const FalccModel v1 = NextVersion(v0, 0);
+  const uint64_t h1 = HashOf(v1);
+  ASSERT_NE(h0, h1);
+  const std::string delta = DeltaBytes(v1, 0, h0);
+
+  // Model level: first apply advances the hash; the redelivered copy no
+  // longer matches the base hash but its sections are already live, so
+  // it succeeds as a no-op instead of failing the chain.
+  const FalccModel applied = v0.ApplyDeltaBytes(delta).value();
+  EXPECT_EQ(HashOf(applied), h1);
+  const FalccModel reapplied = applied.ApplyDeltaBytes(delta).value();
+  EXPECT_EQ(HashOf(reapplied), h1);
+
+  // A delta that matches neither the base nor the live sections still
+  // fails with the chain-break code.
+  const FalccModel v2 = NextVersion(v1, 0);
+  const Result<FalccModel> wrong =
+      v0.ApplyDeltaBytes(DeltaBytes(v2, 0, h1));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+
+  // Engine level: the redelivery succeeds without reinstalling (no
+  // version churn, snapshot untouched).
+  serve::FalccEngine engine(NoFlusher());
+  engine.Install(FreshModel());
+  ASSERT_TRUE(engine.ApplyDeltaBytes(delta).ok());
+  const uint64_t version = engine.snapshot_version();
+  const std::shared_ptr<const FalccModel> snapshot = engine.snapshot();
+  ASSERT_TRUE(engine.ApplyDeltaBytes(delta).ok());
+  EXPECT_EQ(engine.snapshot_version(), version);
+  EXPECT_EQ(engine.snapshot().get(), snapshot.get());
+}
+
+// --- Out-of-order arrivals and gaps ------------------------------------
+
+TEST(PullerTest, BuffersOutOfOrderArrivalsUntilTheGapFills) {
+  const std::string dir = FreshDir("replicate_ooo");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  const FalccModel v0 = FreshModel();
+  const FalccModel v1 = NextVersion(v0, 0);
+  const FalccModel v2 = NextVersion(v1, 1);
+  const PublishedArtifact a1 =
+      publisher.PublishCheckpoint(v0).value().artifacts[0];
+  const size_t c0[] = {0};
+  const PublishedArtifact a2 =
+      publisher.PublishDelta(v1, c0, HashOf(v0)).value().artifacts[0];
+  const size_t c1[] = {1};
+  const PublishedArtifact a3 =
+      publisher.PublishDelta(v2, c1, HashOf(v1)).value().artifacts[0];
+
+  auto feed = std::make_unique<ScriptedFeed>();
+  ScriptedFeed* script = feed.get();
+  DeltaPullerOptions options = FastPuller();
+  options.gap_patience_polls = 10;  // patient: this test never falls back
+  serve::FalccEngine engine(NoFlusher());
+  DeltaPuller puller(&engine, std::move(feed), options);
+
+  // Sequence 3 arrives before sequence 2: it waits in the buffer.
+  script->Expose(a1);
+  script->Expose(a3, HashOf(v1));
+  puller.PollOnce();
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v0));
+  EXPECT_EQ(puller.Stats().buffered, 1u);
+  puller.PollOnce();
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v0));
+
+  // The gap fills: both deltas apply in order within one poll.
+  script->Expose(a2, HashOf(v0));
+  const PullReport report = puller.PollOnce();
+  EXPECT_EQ(report.deltas_applied, 2u);
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v2));
+  const DeltaPullerStats stats = puller.Stats();
+  EXPECT_EQ(stats.gap_fallbacks, 0u);
+  EXPECT_EQ(stats.recoveries, 0u);
+  EXPECT_EQ(stats.buffered, 0u);
+}
+
+TEST(PullerTest, PersistentGapFallsBackAndCheckpointJumpsIt) {
+  const std::string dir = FreshDir("replicate_gap");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  const FalccModel v0 = FreshModel();
+  const FalccModel v1 = NextVersion(v0, 0);
+  const FalccModel v2 = NextVersion(v1, 1);
+  const PublishedArtifact a1 =
+      publisher.PublishCheckpoint(v0).value().artifacts[0];
+  const size_t c0[] = {0};
+  publisher.PublishDelta(v1, c0, HashOf(v0)).value();  // sequence 2: lost
+  const size_t c1[] = {1};
+  const PublishedArtifact a3 =
+      publisher.PublishDelta(v2, c1, HashOf(v1)).value().artifacts[0];
+
+  auto feed = std::make_unique<ScriptedFeed>();
+  ScriptedFeed* script = feed.get();
+  DeltaPullerOptions options = FastPuller();
+  options.gap_patience_polls = 1;
+  serve::FalccEngine engine(NoFlusher());
+  DeltaPuller puller(&engine, std::move(feed), options);
+
+  // Sequence 2 never arrives; the replica keeps serving v0 throughout.
+  script->Expose(a1);
+  script->Expose(a3, HashOf(v1));
+  for (int i = 0; i < 4; ++i) {
+    puller.PollOnce();
+    EXPECT_EQ(puller.ServingHash().value(), HashOf(v0)) << "poll " << i;
+  }
+  EXPECT_GE(puller.Stats().gap_fallbacks, 1u);
+
+  // A checkpoint at the head subsumes the lost delta: the replica jumps
+  // the gap and converges.
+  const PublishedArtifact a4 =
+      publisher.PublishCheckpoint(v2).value().artifacts[0];
+  script->Expose(a4);
+  puller.PollOnce();
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v2));
+  EXPECT_FALSE(puller.Stats().recovery_pending);
+}
+
+// --- Fault injection ----------------------------------------------------
+
+TEST(PullerFaultTest, MutatedDeltaNeverStopsServingAndRecovers) {
+  const FalccModel v0 = FreshModel();
+  const uint64_t h0 = HashOf(v0);
+  const FalccModel v1 = NextVersion(v0, 0);
+  const uint64_t h1 = HashOf(v1);
+  const std::string delta = DeltaBytes(v1, 0, h0);
+  const std::string full0 = SaveBytes(v0);
+  const std::string full1 = SaveBytes(v1);
+
+  const TrainValTest s = MakeSplits();
+  std::vector<double> probe;
+  const size_t probe_rows = std::min<size_t>(s.test.num_rows(), 16);
+  for (size_t i = 0; i < probe_rows; ++i) {
+    const auto row = s.test.Row(i);
+    probe.insert(probe.end(), row.begin(), row.end());
+  }
+  const ClassifyRequest request{probe, s.test.num_features()};
+
+  testing::Mutator mutator(7);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::string dir = FreshDir("replicate_mut");
+    WriteFile(dir + "/" + SequencedName(1, "checkpoint.falcc"), full0);
+    WriteFile(dir + "/" + SequencedName(2, "delta.falcc"),
+              mutator.Mutate(delta));
+
+    serve::FalccEngine engine(NoFlusher());
+    DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir),
+                       FastPuller());
+    for (int p = 0; p < 6; ++p) puller.PollOnce();
+
+    // Whatever the mutation did, the replica serves a real snapshot —
+    // the base, or (if the mutation happened to be semantically inert)
+    // the applied version — and classification works.
+    const Result<uint64_t> serving = puller.ServingHash();
+    ASSERT_TRUE(serving.ok()) << "iter " << iter;
+    EXPECT_TRUE(serving.value() == h0 || serving.value() == h1)
+        << "iter " << iter;
+    EXPECT_TRUE(engine.ClassifyBatch(request).ok()) << "iter " << iter;
+
+    // A later good checkpoint always repairs the replica.
+    WriteFile(dir + "/" + SequencedName(3, "checkpoint-good.falcc"), full1);
+    for (int p = 0; p < 6 && puller.ServingHash().value() != h1; ++p) {
+      puller.PollOnce();
+    }
+    EXPECT_EQ(puller.ServingHash().value(), h1) << "iter " << iter;
+  }
+}
+
+TEST(PullerFaultTest, TruncatedArtifactsFailCleanAndQuarantine) {
+  const FalccModel v0 = FreshModel();
+  const uint64_t h0 = HashOf(v0);
+  const FalccModel v1 = NextVersion(v0, 0);
+  const std::string delta = DeltaBytes(v1, 0, h0);
+  const std::string full = SaveBytes(v0);
+
+  // Loader sweep: a full snapshot interrupted at any offset — short read
+  // or device error — returns a clean status, never a crash or a
+  // partially applied model.
+  const size_t step = std::max<size_t>(1, full.size() / 64);
+  for (const testing::FaultMode mode :
+       {testing::FaultMode::kTruncate, testing::FaultMode::kError}) {
+    for (size_t offset = 0; offset < full.size(); offset += step) {
+      testing::FaultyStream in(full, offset, mode);
+      EXPECT_FALSE(FalccModel::Load(&in).ok())
+          << "offset " << offset << " mode " << static_cast<int>(mode);
+    }
+  }
+  // Delta prefix sweep: every truncation point is rejected.
+  const size_t delta_step = std::max<size_t>(1, delta.size() / 64);
+  for (size_t len = 0; len < delta.size(); len += delta_step) {
+    EXPECT_FALSE(v0.ApplyDeltaBytes(delta.substr(0, len)).ok())
+        << "length " << len;
+  }
+
+  // Feed level: a truncated delta artifact is quarantined and the
+  // replica keeps serving the checkpoint.
+  const std::string dir = FreshDir("replicate_trunc");
+  WriteFile(dir + "/" + SequencedName(1, "checkpoint.falcc"), full);
+  WriteFile(dir + "/" + SequencedName(2, "delta.falcc"),
+            delta.substr(0, delta.size() / 2));
+  serve::FalccEngine engine(NoFlusher());
+  DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir),
+                     FastPuller());
+  for (int p = 0; p < 4; ++p) puller.PollOnce();
+  EXPECT_EQ(puller.ServingHash().value(), h0);
+  EXPECT_GE(puller.Stats().quarantined, 1u);
+  EXPECT_TRUE(engine.snapshot() != nullptr);
+}
+
+TEST(PullerFaultTest, ChainBreakWithDeletedCheckpointKeepsServingUntilRepair) {
+  const std::string dir = FreshDir("replicate_deleted");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  const FalccModel v0 = FreshModel();
+  const FalccModel v1 = NextVersion(v0, 0);
+  const PublishedArtifact checkpoint =
+      publisher.PublishCheckpoint(v0).value().artifacts[0];
+
+  serve::FalccEngine engine(NoFlusher());
+  DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir),
+                     FastPuller());
+  puller.PollOnce();
+  ASSERT_EQ(puller.ServingHash().value(), HashOf(v0));
+
+  // The only checkpoint disappears (operator error, aggressive sync),
+  // then a delta arrives whose base is not what we serve: chain break
+  // with nothing to recover from.
+  fs::remove(checkpoint.path);
+  const size_t c0[] = {0};
+  publisher.PublishDelta(v1, c0, /*base_hash=*/0x1234abcd).value();
+  const PullReport broken = puller.PollOnce();
+  EXPECT_GE(broken.chain_breaks, 1u);
+  EXPECT_TRUE(broken.recovery_pending);
+  // Cardinal rule: still serving the last-good snapshot.
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v0));
+  EXPECT_GE(puller.Stats().retries, 1u);
+
+  // A fresh checkpoint repairs the fleet.
+  publisher.PublishCheckpoint(v1).value();
+  for (int p = 0; p < 4 && puller.Stats().recovery_pending; ++p) {
+    puller.PollOnce();
+  }
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(v1));
+  EXPECT_FALSE(puller.Stats().recovery_pending);
+  EXPECT_GE(puller.Stats().recoveries, 1u);
+}
+
+// --- Late joiner and retention -----------------------------------------
+
+TEST(PullerTest, LateJoinerBootstrapsFromTheRetainedTail) {
+  const std::string dir = FreshDir("replicate_late");
+  DeltaPublisher publisher = OpenPublisher(dir, /*checkpoint_every=*/2);
+  FalccModel head = FreshModel();
+  publisher.PublishCheckpoint(head).value();
+  size_t published = 1;
+  for (size_t i = 0; i < 5; ++i) {
+    FalccModel next = NextVersion(head, i % head.num_clusters());
+    const size_t clusters[] = {i % head.num_clusters()};
+    const PublishReport report =
+        publisher.PublishDelta(next, clusters, HashOf(head)).value();
+    published += report.artifacts.size();
+    head = std::move(next);
+  }
+
+  // GC pruned the feed's history: far fewer artifacts remain than were
+  // published, yet a late joiner still converges on the head.
+  DirectoryFeed feed(dir);
+  const size_t remaining = feed.Poll(0).value().size();
+  EXPECT_LT(remaining, published);
+
+  serve::FalccEngine engine(NoFlusher());
+  DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir),
+                     FastPuller());
+  puller.PollOnce();
+  EXPECT_EQ(puller.ServingHash().value(), HashOf(head));
+  EXPECT_FALSE(puller.Stats().recovery_pending);
+}
+
+// --- Fleet convergence --------------------------------------------------
+
+TEST(FleetTest, ReplicasConvergeToPrimaryWithBitIdenticalDecisions) {
+  const std::string dir = FreshDir("replicate_fleet");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  FalccModel head = FreshModel();
+  publisher.PublishCheckpoint(head).value();
+  const std::string model_path =
+      (fs::path(::testing::TempDir()) / "replicate_fleet_v0.falcc").string();
+  ASSERT_TRUE(head.SaveToFile(model_path).ok());
+
+  ReplicaFleetOptions options;
+  options.num_replicas = 4;
+  options.feed_dir = dir;
+  options.puller = FastPuller();
+  ReplicaFleet fleet(options);
+  ASSERT_TRUE(fleet.Bootstrap(model_path).ok());
+  fleet.PollAll();  // consume the seed checkpoint
+  ASSERT_TRUE(fleet.ConvergedTo(HashOf(head)));
+
+  for (size_t event = 0; event < 3; ++event) {
+    FalccModel next = NextVersion(head, event % head.num_clusters());
+    const size_t clusters[] = {event % head.num_clusters()};
+    publisher.PublishDelta(next, clusters, HashOf(head)).value();
+    head = std::move(next);
+    bool converged = false;
+    for (int poll = 0; poll < 20 && !converged; ++poll) {
+      fleet.PollAll();
+      converged = fleet.ConvergedTo(HashOf(head));
+    }
+    EXPECT_TRUE(converged) << "event " << event;
+  }
+
+  // Hash convergence implies decision identity — verify it directly.
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  for (size_t i = 0; i < s.test.num_rows(); ++i) {
+    const auto row = s.test.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const ClassifyRequest request{flat, s.test.num_features()};
+  const ClassifyResponse primary = head.ClassifyBatch(request).value();
+  for (size_t r = 0; r < fleet.size(); ++r) {
+    const ClassifyResponse replica =
+        fleet.engine(r)->ClassifyBatch(request).value();
+    ASSERT_EQ(replica.decisions.size(), primary.decisions.size());
+    for (size_t i = 0; i < primary.decisions.size(); ++i) {
+      const SampleDecision& p = primary.decisions[i];
+      const SampleDecision& d = replica.decisions[i];
+      ASSERT_TRUE(p.label == d.label && p.probability == d.probability &&
+                  p.cluster == d.cluster && p.group == d.group &&
+                  p.model == d.model)
+          << "replica " << r << " sample " << i;
+    }
+  }
+}
+
+// --- Concurrency (ThreadSanitizer coverage) ----------------------------
+
+// A replica classifies continuously while its background puller applies
+// deltas (lock-free hot-swaps) — the pull-while-classify race.
+TEST(PullerConcurrencyTest, BackgroundPullWhileClassifyRace) {
+  const std::string dir = FreshDir("replicate_race");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  FalccModel head = FreshModel();
+  publisher.PublishCheckpoint(head).value();
+
+  serve::FalccEngine engine(NoFlusher());
+  engine.Install(FreshModel());
+
+  DeltaPullerOptions options = FastPuller();
+  options.poll_interval_seconds = 1e-3;
+  DeltaPuller puller(&engine, std::make_unique<DirectoryFeed>(dir), options);
+  puller.Start();
+  puller.Start();  // idempotent
+
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  const size_t rows = std::min<size_t>(s.test.num_rows(), 64);
+  for (size_t i = 0; i < rows; ++i) {
+    const auto row = s.test.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const size_t width = s.test.num_features();
+
+  std::atomic<bool> stop{false};
+  std::thread classifier([&] {
+    const ClassifyRequest request{flat, width};
+    while (!stop.load(std::memory_order_acquire)) {
+      const Result<ClassifyResponse> response = engine.ClassifyBatch(request);
+      EXPECT_TRUE(response.ok());
+    }
+  });
+
+  for (size_t event = 0; event < 5; ++event) {
+    FalccModel next = NextVersion(head, event % head.num_clusters());
+    const size_t clusters[] = {event % head.num_clusters()};
+    ASSERT_TRUE(
+        publisher.PublishDelta(next, clusters, HashOf(head)).ok());
+    head = std::move(next);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // The background thread converges on the head without manual polls.
+  const uint64_t target = HashOf(head);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Result<uint64_t> serving = puller.ServingHash();
+    if (serving.ok() && serving.value() == target) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  classifier.join();
+  puller.Stop();
+  EXPECT_EQ(puller.ServingHash().value(), target);
+  EXPECT_EQ(puller.Stats().deltas_applied, 5u);
+}
+
+}  // namespace
+}  // namespace falcc

@@ -13,7 +13,11 @@
 #      count, the fleet's achieved p99 exceeds 10x the configured SLO,
 #      or the snapshot-distribution row (full reload vs mmapped reload
 #      vs delta apply, the "reload" object in BENCH_serve.json) serves
-#      decisions diverging from the reference,
+#      decisions diverging from the reference, and a bench_replicate
+#      --smoke run, which exits non-zero if any fleet replica fails to
+#      converge on the primary's content hash, serves decisions that
+#      are not bit-identical to the primary's, stops serving during an
+#      injected chain break, or fails to recover from it,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
 #      parallel runtime, the serving engine's hot-swap/micro-batch paths
 #      (including concurrent classify during a hot-swap kernel recompile,
@@ -22,8 +26,10 @@
 #      submits racing hot-swaps (tests/sharded_engine_test.cc), and the
 #      drift monitor's lock-free decision log under concurrent logging +
 #      feedback + refresh (tests/serve_engine_test.cc,
-#      tests/monitor_test.cc; `ctest -L serve` / `ctest -L monitor`) fail
-#      loudly even on single-core CI machines,
+#      tests/monitor_test.cc; `ctest -L serve` / `ctest -L monitor`), and
+#      the replication puller's background pull-while-classify hot-swap
+#      race (tests/replicate_test.cc; `ctest -L replicate`) fail loudly
+#      even on single-core CI machines,
 #   3. ASan+UBSan build so memory and UB errors in the pointer-heavy
 #      split engine (ml/tree_builder.cc) and the compiled-kernel table
 #      walks (ml/compiled_ensemble.cc) fail loudly; the serving tests run
@@ -71,6 +77,10 @@ if [[ "$run_plain" == 1 ]]; then
   ./build/bench/bench_infer --rows=4000 --reps=2 --out=build/BENCH_infer_check.json
   echo "=== check 1/3 (cont.): sharded-serving smoke (divergence + 10x-SLO gate) ==="
   ./build/bench/bench_serve --smoke --out=build/BENCH_serve_smoke.json
+  echo "=== check 1/3 (cont.): replication tests + fleet-divergence smoke ==="
+  ctest --test-dir build -L replicate --output-on-failure
+  cmake --build build -j "$jobs" --target bench_replicate
+  ./build/bench/bench_replicate --smoke --out=build/BENCH_replicate_smoke.json
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -79,6 +89,8 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j "$jobs"
   FALCC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+  FALCC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -L replicate --output-on-failure
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -87,6 +99,8 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$jobs"
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan -L replicate --output-on-failure
   cmake --build build-asan -j "$jobs" --target bench_infer
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/bench/bench_infer --rows=1000 --reps=1 \

@@ -9,7 +9,7 @@
 //   falcc_cli predict --model model.falcc --data data.csv [--label label]
 //   falcc_cli classify --model model.falcc --data data.csv [--label label]
 //                     [--metrics-out metrics.json] [--compiled on|off]
-//                     [--shards N] [--slo-us K]
+//                     [--shards N] [--slo-us K] [--follow dir]
 //   falcc_cli monitor --model model.falcc --data data.csv [--label label]
 //                     [--chunk 256] [--poll-every 1] [--repeat 1]
 //                     [--window 512] [--threshold 1.0] [--slack 0.05]
@@ -21,6 +21,7 @@
 //   falcc_cli snapshot inspect --model model.falcc
 //   falcc_cli snapshot verify  --model model.falcc
 //   falcc_cli snapshot diff    --model a.falcc --other b.falcc
+//   falcc_cli replicate status --dir feed/
 //
 // Flags take values as either `--flag value` or `--flag=value`; flags
 // may repeat where noted (--sensitive).
@@ -49,7 +50,12 @@
 // section manifest as JSON, `verify` checks every section checksum (and
 // fully loads full snapshots), `diff` compares two artifacts section by
 // section — between a base and the snapshot a delta produces, it shows
-// exactly the combo sections the delta carries.
+// exactly the combo sections the delta carries; `replicate status` lists
+// a feed directory's artifacts in apply order and walks the delta chain
+// (checkpoint loads + delta applications), reporting breaks and the head
+// content hash. `classify --follow DIR` drains the feed through a
+// DeltaPuller before classifying, so the decisions come from the feed's
+// head snapshot rather than the --model file as shipped.
 
 #include <algorithm>
 #include <cctype>
@@ -58,8 +64,11 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/falcc.h"
@@ -74,6 +83,8 @@
 #include "fairness/proxy.h"
 #include "io/snapshot.h"
 #include "monitor/monitor.h"
+#include "replicate/feed.h"
+#include "replicate/puller.h"
 #include "serve/engine.h"
 #include "serve/sharded_engine.h"
 #include "serve/snapshot_source.h"
@@ -289,6 +300,38 @@ int Predict(const Args& args) {
   return 0;
 }
 
+// Drains a replication feed before classifying: a DeltaPuller over a
+// DirectoryFeed applies every pending artifact — deltas in chain order,
+// checkpoints as full reloads — until a poll sees nothing new and no
+// recovery is pending (bounded, so a feed that is permanently broken
+// degrades to serving the last-good snapshot instead of hanging the
+// command). Works for both engine shapes via the puller's overloads.
+template <typename Engine>
+void DrainFeed(Engine* engine, const std::string& dir) {
+  replicate::DeltaPuller puller(
+      engine, std::make_unique<replicate::DirectoryFeed>(dir));
+  for (int i = 0; i < 64; ++i) {
+    const replicate::PullReport report = puller.PollOnce();
+    if (report.entries_seen == 0 && !report.recovery_pending) break;
+  }
+  const replicate::DeltaPullerStats stats = puller.Stats();
+  std::fprintf(stderr,
+               "follow %s: %llu deltas applied, %llu full reloads, "
+               "%llu recoveries, %llu quarantined (feed position %llu)\n",
+               dir.c_str(),
+               static_cast<unsigned long long>(stats.deltas_applied),
+               static_cast<unsigned long long>(stats.full_reloads),
+               static_cast<unsigned long long>(stats.recoveries),
+               static_cast<unsigned long long>(stats.quarantined),
+               static_cast<unsigned long long>(stats.last_sequence));
+  if (stats.recovery_pending) {
+    std::fprintf(stderr,
+                 "follow %s: feed degraded (%s); serving last-good "
+                 "snapshot\n",
+                 dir.c_str(), stats.last_error.c_str());
+  }
+}
+
 // Serving-path classification: routes all rows through the validated
 // serving API — one direct ClassifyBatch call by default, or the sharded
 // fleet (per-row affinity keys, SLO-driven adaptive batching) with
@@ -370,6 +413,8 @@ int ClassifySamples(const Args& args) {
     options.slo_seconds = slo_us * 1e-6;
     serve::ShardedEngine engine(options);
     engine.Install(std::move(model).value());
+    const std::string follow = args.Get("follow", "");
+    if (!follow.empty()) DrainFeed(&engine, follow);
     const size_t rows = width == 0 ? 0 : flat.size() / width;
     std::vector<serve::ShardTicket> tickets;
     tickets.reserve(rows);
@@ -392,6 +437,8 @@ int ClassifySamples(const Args& args) {
     options.start_flusher = false;  // one-shot batch, no micro-batching
     serve::FalccEngine engine(options);
     engine.Install(std::move(model).value());
+    const std::string follow = args.Get("follow", "");
+    if (!follow.empty()) DrainFeed(&engine, follow);
     ClassifyRequest request;
     request.features = flat;
     request.num_features = width;
@@ -489,6 +536,7 @@ int Monitor(const Args& args) {
   monitor_options.detector.slack = args.GetDouble("slack", 0.05);
   monitor_options.detector.min_samples = args.GetSize("min-samples", 100);
   monitor_options.delta_dir = args.Get("delta-dir", "");
+  monitor_options.checkpoint_every = args.GetSize("checkpoint-every", 8);
   Result<std::unique_ptr<monitor::FairnessMonitor>> attached =
       monitor::FairnessMonitor::Attach(&engine, monitor_options);
   if (!attached.ok()) return Fail(attached.status());
@@ -812,11 +860,115 @@ int Snapshot(int argc, char** argv) {
   return SnapshotDiff(model, other);
 }
 
+// --- replicate subcommand -----------------------------------------------
+
+/// Lists a feed directory's artifacts in apply order and walks the
+/// delta chain exactly as a replica would: checkpoints load, deltas
+/// apply to the walked state; base-hash mismatches are reported as
+/// chain breaks (the puller's full-reload-fallback trigger) without
+/// aborting the walk — the next checkpoint re-anchors it.
+int ReplicateStatus(const Args& args) {
+  const std::string dir = args.Get("dir", "");
+  if (dir.empty()) return Fail(Status::InvalidArgument("--dir required"));
+  replicate::DirectoryFeed feed(dir);
+  Result<std::vector<replicate::FeedEntry>> polled = feed.Poll(0);
+  if (!polled.ok()) return Fail(polled.status());
+  const std::vector<replicate::FeedEntry>& entries = polled.value();
+
+  std::optional<FalccModel> state;  // the walked replica state
+  uint64_t head_hash = 0;
+  size_t checkpoints = 0, deltas = 0, unreadable = 0, breaks = 0;
+  std::printf("sequence,kind,bytes,base,status,path\n");
+  for (const replicate::FeedEntry& entry : entries) {
+    std::string kind, base, status;
+    switch (entry.kind) {
+      case replicate::ArtifactKind::kFull: {
+        kind = "full";
+        ++checkpoints;
+        Result<FalccModel> loaded = FalccModel::LoadFromFile(entry.path);
+        if (loaded.ok()) {
+          const Result<uint64_t> hash = loaded.value().ContentHash();
+          if (hash.ok()) {
+            state.emplace(std::move(loaded).value());
+            head_hash = hash.value();
+            status = "ok " + io::HashHex(head_hash);
+          } else {
+            status = "unhashable";
+          }
+        } else {
+          status = "load failed";
+        }
+        break;
+      }
+      case replicate::ArtifactKind::kDelta: {
+        kind = "delta";
+        ++deltas;
+        base = io::HashHex(entry.base_hash);
+        if (!state.has_value()) {
+          status = "no base yet";
+        } else if (entry.base_hash != head_hash) {
+          status = "CHAIN BREAK (walked state is " + io::HashHex(head_hash) +
+                   ")";
+          ++breaks;
+        } else {
+          Result<std::string> bytes = ReadArtifact(entry.path);
+          Result<FalccModel> next =
+              bytes.ok() ? state->ApplyDeltaBytes(bytes.value())
+                         : Result<FalccModel>(bytes.status());
+          if (next.ok()) {
+            const Result<uint64_t> hash = next.value().ContentHash();
+            if (hash.ok()) {
+              state.emplace(std::move(next).value());
+              head_hash = hash.value();
+              status = "ok -> " + io::HashHex(head_hash);
+            } else {
+              status = "unhashable";
+            }
+          } else {
+            status = "apply failed";
+          }
+        }
+        break;
+      }
+      case replicate::ArtifactKind::kUnreadable:
+        kind = "unreadable";
+        ++unreadable;
+        status = "quarantine candidate";
+        break;
+    }
+    std::printf("%llu,%s,%llu,%s,%s,%s\n",
+                static_cast<unsigned long long>(entry.sequence), kind.c_str(),
+                static_cast<unsigned long long>(entry.bytes), base.c_str(),
+                status.c_str(), entry.path.c_str());
+  }
+  std::fprintf(stderr,
+               "%zu artifacts: %zu checkpoints, %zu deltas, %zu unreadable, "
+               "%zu chain breaks\n",
+               entries.size(), checkpoints, deltas, unreadable, breaks);
+  if (state.has_value()) {
+    std::fprintf(stderr, "head: %s\n", io::HashHex(head_hash).c_str());
+  } else {
+    std::fprintf(stderr, "head: none (no loadable checkpoint)\n");
+  }
+  return breaks == 0 && unreadable == 0 ? 0 : 1;
+}
+
+int Replicate(int argc, char** argv) {
+  const std::string action = argc >= 3 ? argv[2] : "";
+  if (action != "status") {
+    return Fail(Status::InvalidArgument(
+        "usage: falcc_cli replicate status --dir <feed-dir>"));
+  }
+  const Args args(argc - 1, argv + 1);
+  if (!args.status().ok()) return Fail(args.status());
+  return ReplicateStatus(args);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: falcc_cli "
                "<generate|train|predict|classify|monitor|audit|inspect|"
-               "snapshot> [--flags]\n"
+               "snapshot|replicate> [--flags]\n"
                "see the header comment of tools/falcc_cli.cc\n");
   return 2;
 }
@@ -828,6 +980,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return falcc::Usage();
   const std::string command = argv[1];
   if (command == "snapshot") return falcc::Snapshot(argc, argv);
+  if (command == "replicate") return falcc::Replicate(argc, argv);
   const falcc::Args args(argc, argv);
   if (!args.status().ok()) return falcc::Fail(args.status());
   if (command == "generate") return falcc::Generate(args);
