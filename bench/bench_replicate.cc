@@ -27,18 +27,32 @@
 // ShardedEngine replays the probe set with and without a fleet-wide
 // DecisionLog observer attached (best of --reps).
 //
+// A fifth section compares feed TRANSPORTS end to end: the same delta
+// stream is followed by background-pulling fleets over (a) a purely
+// polled directory (watch_directory=false, the poll-interval baseline),
+// (b) an inotify-woken directory, and (c) a unix-socket push feed
+// (SocketPublisher/SocketFeed). Lag here is publish → converged WALL
+// time with the pullers free-running on their own threads, so the poll
+// interval is part of the cost — the number a deployment actually sees,
+// unlike the tight-PollAll-loop mode section above. The socket fleet's
+// decisions are also compared bit-for-bit against the primary.
+// `--transport=socket` (or `=directory`) runs only that transport's
+// rows and gate — the CI smoke for the socket path.
+//
 // Results go to BENCH_replicate.json. The exit code gates REPLICA
 // DIVERGENCE only (a replica failing to converge, a bit mismatch, or a
-// failed chain-break recovery) — lag comparisons are reported, not
-// gated. `--smoke` shrinks the workload for CI.
+// failed chain-break recovery, on any transport) — lag comparisons are
+// reported, not gated. `--smoke` shrinks the workload for CI.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -50,6 +64,7 @@
 #include "monitor/decision_log.h"
 #include "replicate/fleet.h"
 #include "replicate/publisher.h"
+#include "replicate/socket_feed.h"
 #include "serve/sharded_engine.h"
 #include "util/timer.h"
 
@@ -196,12 +211,114 @@ ModeResult RunMode(Mode mode, const std::string& model_path,
   return result;
 }
 
+struct TransportResult {
+  std::vector<double> lag_seconds;  ///< one per event (wall, free-running)
+  size_t diverged = 0;              ///< events that missed the deadline
+  size_t decision_mismatches = 0;   ///< replica decisions != primary's
+};
+
+/// End-to-end transport lag: a background-pulling fleet follows the
+/// delta stream over `transport` (directory_poll, directory_inotify, or
+/// socket); per event the clock runs from publish to every replica
+/// serving the new hash, with the pullers pacing themselves — so the
+/// poll interval (the re-poll ceiling pushes and inotify wakes cut
+/// short) is part of the measured cost. Afterwards every replica's
+/// probe decisions are compared field-by-field against the primary's.
+TransportResult RunTransport(const std::string& transport,
+                             const std::string& model_path,
+                             const FalccModel& v0, size_t replicas,
+                             size_t events, const ClassifyRequest& probe) {
+  const std::string dir = FreshDir("bench_replicate_t_" + transport);
+  // The deployment-shaped cadence: long enough that pure polling pays a
+  // visible latency tax, short enough that the baseline row finishes
+  // quickly. Event-woken transports should come in far under it.
+  const double poll_interval = 0.05;
+
+  std::unique_ptr<replicate::SocketPublisher> socket_publisher;
+  std::optional<replicate::DeltaPublisher> dir_publisher;
+
+  replicate::ReplicaFleetOptions fleet_options;
+  fleet_options.num_replicas = replicas;
+  fleet_options.puller.backoff_initial_seconds = 0.001;
+  fleet_options.puller.poll_interval_seconds = poll_interval;
+  if (transport == "socket") {
+    replicate::SocketPublisherOptions options;
+    options.listen =
+        "unix://" +
+        (fs::temp_directory_path() / "bench_replicate_feed.sock").string();
+    options.publisher.dir = dir;
+    options.publisher.checkpoint_every = 0;  // pure delta stream
+    socket_publisher =
+        replicate::SocketPublisher::Open(std::move(options)).value();
+    fleet_options.feed_endpoint = socket_publisher->endpoint();
+    fleet_options.socket.reconnect_initial_seconds = 0.01;
+  } else {
+    replicate::DeltaPublisherOptions options;
+    options.dir = dir;
+    options.checkpoint_every = 0;
+    dir_publisher.emplace(replicate::DeltaPublisher::Open(options).value());
+    fleet_options.feed_dir = dir;
+    fleet_options.watch_directory = (transport == "directory_inotify");
+  }
+
+  replicate::ReplicaFleet fleet(fleet_options);
+  FALCC_CHECK(fleet.Bootstrap(model_path).ok(), "bench: bootstrap failed");
+  fleet.StartAll();
+
+  TransportResult result;
+  FalccModel head = FalccModel::LoadFromFile(model_path).value();
+  FALCC_CHECK(HashOf(head) == HashOf(v0), "bench: v0 hash drift");
+  for (size_t event = 0; event < events; ++event) {
+    const size_t cluster = event % head.num_clusters();
+    FalccModel next = NextVersion(head, cluster);
+    const uint64_t target = HashOf(next);
+    const size_t clusters[] = {cluster};
+    Timer lag;
+    if (socket_publisher != nullptr) {
+      socket_publisher->PublishDelta(next, clusters, HashOf(head)).value();
+    } else {
+      dir_publisher->PublishDelta(next, clusters, HashOf(head)).value();
+    }
+    bool converged = false;
+    while (!converged && lag.ElapsedSeconds() < 30.0) {
+      converged = fleet.ConvergedTo(target);
+      if (!converged) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    if (converged) {
+      result.lag_seconds.push_back(lag.ElapsedSeconds());
+    } else {
+      ++result.diverged;
+    }
+    head = std::move(next);
+  }
+  fleet.StopAll();
+
+  const ClassifyResponse reference = head.ClassifyBatch(probe).value();
+  for (size_t r = 0; r < fleet.size(); ++r) {
+    const ClassifyResponse replica =
+        fleet.engine(r)->ClassifyBatch(probe).value();
+    for (size_t i = 0; i < reference.decisions.size(); ++i) {
+      const SampleDecision& p = reference.decisions[i];
+      const SampleDecision& d = replica.decisions[i];
+      if (p.label != d.label || p.probability != d.probability ||
+          p.cluster != d.cluster || p.group != d.group || p.model != d.model) {
+        ++result.decision_mismatches;
+      }
+    }
+  }
+  if (socket_publisher != nullptr) socket_publisher->Close();
+  return result;
+}
+
 int Main(int argc, char** argv) {
   bench::ApplyThreadsFlag(&argc, argv);
   bench::PrintThreadHeader("bench_replicate");
 
   std::string json_path = "BENCH_replicate.json";
   std::string model_cache;
+  std::string transport = "all";
   size_t replicas = 4;
   size_t events = 16;
   size_t reps = 3;
@@ -217,11 +334,18 @@ int Main(int argc, char** argv) {
       reps = std::max(1L, std::atol(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--model=", 8) == 0) {
       model_cache = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transport = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     }
   }
   if (smoke) events = std::min<size_t>(events, 6);
+  if (transport != "all" && transport != "socket" &&
+      transport != "directory") {
+    std::fprintf(stderr, "--transport must be all, socket, or directory\n");
+    return 2;
+  }
 
   SyntheticConfig cfg;
   cfg.num_samples = smoke ? 2000 : 8000;
@@ -260,6 +384,87 @@ int Main(int argc, char** argv) {
       (fs::temp_directory_path() / "bench_replicate_v0.falcc").string();
   FALCC_CHECK(model.SaveToFile(model_path).ok(), "bench: cannot save v0");
   const uint64_t snapshot_bytes = fs::file_size(model_path);
+
+  const std::vector<double> flat = Flatten(probe);
+  const size_t width = probe.num_features();
+  ClassifyRequest probe_request;
+  probe_request.features = flat;
+  probe_request.num_features = width;
+
+  // --- transport lag (free-running pullers) ---------------------------
+  std::vector<std::string> transport_names;
+  if (transport == "all" || transport == "directory") {
+    transport_names.push_back("directory_poll");
+    transport_names.push_back("directory_inotify");
+  }
+  if (transport == "all" || transport == "socket") {
+    transport_names.push_back("socket");
+  }
+  std::vector<TransportResult> transport_results;
+  size_t transport_diverged = 0;
+  size_t transport_mismatches = 0;
+  for (const std::string& name : transport_names) {
+    transport_results.push_back(
+        RunTransport(name, model_path, model, replicas, events,
+                     probe_request));
+    const TransportResult& r = transport_results.back();
+    transport_diverged += r.diverged;
+    transport_mismatches += r.decision_mismatches;
+    std::printf("=== transport %s (%zu replicas, %zu events, 50ms re-poll "
+                "ceiling) ===\n",
+                name.c_str(), replicas, events);
+    if (r.lag_seconds.empty()) {
+      std::printf("  DIVERGED on every event\n");
+    } else {
+      std::printf(
+          "  lag p50 %.3fms  p99 %.3fms  mean %.3fms  diverged %zu  "
+          "decision mismatches %zu\n",
+          PercentileMs(r.lag_seconds, 50), PercentileMs(r.lag_seconds, 99),
+          MeanMs(r.lag_seconds), r.diverged, r.decision_mismatches);
+    }
+  }
+  const auto transports_json = [&](std::ostream& out) {
+    out << "  \"transports\": {";
+    for (size_t t = 0; t < transport_names.size(); ++t) {
+      const TransportResult& r = transport_results[t];
+      out << (t == 0 ? "\n" : ",\n");
+      out << "    \"" << transport_names[t] << "\": {";
+      if (r.lag_seconds.empty()) {
+        out << "\"diverged\": " << r.diverged;
+      } else {
+        out << "\"p50_ms\": " << PercentileMs(r.lag_seconds, 50)
+            << ", \"p99_ms\": " << PercentileMs(r.lag_seconds, 99)
+            << ", \"mean_ms\": " << MeanMs(r.lag_seconds)
+            << ", \"diverged\": " << r.diverged;
+      }
+      out << ", \"decision_mismatches\": " << r.decision_mismatches << "}";
+    }
+    out << "\n  }";
+  };
+
+  if (transport != "all") {
+    // Transport-only run (the CI socket smoke): write a reduced JSON and
+    // gate on convergence + decision identity for the selected rows.
+    std::ofstream out(json_path);
+    FALCC_CHECK(static_cast<bool>(out), "cannot open transport JSON");
+    out << "{\n";
+    out << "  \"benchmark\": \"replicate\",\n";
+    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "  \"transport_only\": \"" << transport << "\",\n";
+    out << "  \"replicas\": " << replicas << ",\n";
+    out << "  \"events_per_transport\": " << events << ",\n";
+    transports_json(out);
+    out << "\n}\n";
+    std::printf("  -> %s\n", json_path.c_str());
+    if (transport_diverged > 0 || transport_mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAILED: transport divergence (diverged=%zu "
+                   "mismatches=%zu)\n",
+                   transport_diverged, transport_mismatches);
+      return 1;
+    }
+    return 0;
+  }
 
   // --- propagation lag per mode ---------------------------------------
   size_t diverged_total = 0;
@@ -338,11 +543,6 @@ int Main(int argc, char** argv) {
               recovered ? "converged" : "FAILED", recovery_seconds * 1e3);
 
   // --- bit identity ----------------------------------------------------
-  const std::vector<double> flat = Flatten(probe);
-  const size_t width = probe.num_features();
-  ClassifyRequest probe_request;
-  probe_request.features = flat;
-  probe_request.num_features = width;
   const ClassifyResponse reference = v2.ClassifyBatch(probe_request).value();
   size_t mismatches = 0;
   for (size_t r = 0; r < break_fleet.size(); ++r) {
@@ -426,6 +626,7 @@ int Main(int argc, char** argv) {
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   out << "  \"replicas\": " << replicas << ",\n";
   out << "  \"events_per_mode\": " << events << ",\n";
+  out << "  \"events_per_transport\": " << events << ",\n";
   out << "  \"snapshot_bytes\": " << snapshot_bytes << ",\n";
   out << "  \"delta_bytes\": " << results[0].delta_bytes << ",\n";
   out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -453,6 +654,15 @@ int Main(int argc, char** argv) {
     }
   }
   out << "\n  },\n";
+  out << "  \"transport_note\": \"transports follow the same delta stream "
+         "with FREE-RUNNING background pullers (50ms re-poll ceiling), so "
+         "lag includes the waiting a deployment actually pays: "
+         "directory_poll waits out the interval, directory_inotify wakes "
+         "on the rename, socket wakes on the pushed frame; "
+         "decision_mismatches compares every replica's probe decisions "
+         "field-by-field against the primary's\",\n";
+  transports_json(out);
+  out << ",\n";
   out << "  \"chain_break\": {\"serving_through_break\": "
       << serving_during_break << ", \"recovered\": "
       << (recovered ? "true" : "false")
@@ -465,6 +675,17 @@ int Main(int argc, char** argv) {
   out << "}\n";
   std::printf("  -> %s\n", json_path.c_str());
 
+  // Informational: the push transport should beat the polled directory
+  // by roughly the poll interval.
+  if (transport_results.size() == 3 &&
+      !transport_results[0].lag_seconds.empty() &&
+      !transport_results[2].lag_seconds.empty() &&
+      PercentileMs(transport_results[2].lag_seconds, 99) >=
+          PercentileMs(transport_results[0].lag_seconds, 99)) {
+    std::fprintf(stderr,
+                 "WARNING: socket p99 did not beat directory-poll p99\n");
+  }
+
   // Informational comparison (not gated): delta apply should beat the
   // full-reload path once the model is big enough to matter.
   if (!results[0].lag_seconds.empty() && !results[1].lag_seconds.empty() &&
@@ -474,16 +695,20 @@ int Main(int argc, char** argv) {
                  "WARNING: delta-apply p99 did not beat full-reload p50\n");
   }
 
-  // The gate: replicas must converge, recover, and match bit-for-bit.
+  // The gate: replicas must converge, recover, and match bit-for-bit —
+  // on every transport.
   const bool diverged =
       diverged_total > 0 || !recovered || mismatches > 0 ||
-      serving_during_break != replicas;
+      serving_during_break != replicas || transport_diverged > 0 ||
+      transport_mismatches > 0;
   if (diverged) {
     std::fprintf(stderr, "FAILED: replica divergence detected "
                          "(diverged=%zu recovered=%d mismatches=%zu "
-                         "serving_through_break=%zu)\n",
+                         "serving_through_break=%zu transport_diverged=%zu "
+                         "transport_mismatches=%zu)\n",
                  diverged_total, recovered ? 1 : 0, mismatches,
-                 serving_during_break);
+                 serving_during_break, transport_diverged,
+                 transport_mismatches);
     return 1;
   }
   return 0;

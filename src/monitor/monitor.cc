@@ -56,7 +56,8 @@ FairnessMonitor::FairnessMonitor(serve::FalccEngine* engine,
       windows_(window_options),
       detector_(options.detector, std::move(baselines)),
       refresher_(engine, RefresherOptions{options.delta_dir,
-                                          options.checkpoint_every}) {}
+                                          options.checkpoint_every,
+                                          options.feed_listen}) {}
 
 Result<std::unique_ptr<FairnessMonitor>> FairnessMonitor::Attach(
     serve::FalccEngine* engine, MonitorOptions options) {

@@ -59,6 +59,11 @@ struct MonitorOptions {
   /// late-joining replicas bootstrap without replaying history (0 =
   /// never).
   size_t checkpoint_every = 8;
+  /// Forwarded to RefresherOptions::feed_listen: when non-empty (with
+  /// delta_dir set), published artifacts are also pushed to socket
+  /// subscribers on this endpoint (`tcp://host:port` or `unix://path`)
+  /// so replicas see refreshes without polling the directory.
+  std::string feed_listen;
 };
 
 /// What one Poll() did.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "replicate/publisher.h"
+#include "replicate/socket_feed.h"
 #include "util/timer.h"
 
 namespace falcc::monitor {
@@ -107,22 +108,40 @@ Result<RefreshOutcome> Refresher::RefreshCluster(const ClusterWindow& window,
 
 void Refresher::PublishDelta(const FalccModel& next, size_t cluster,
                              uint64_t base_hash, RefreshOutcome* outcome) {
-  if (publisher_ == nullptr) {
+  if (publisher_ == nullptr && socket_publisher_ == nullptr) {
     replicate::DeltaPublisherOptions publisher_options;
     publisher_options.dir = options_.delta_dir;
     publisher_options.checkpoint_every = options_.checkpoint_every;
-    Result<replicate::DeltaPublisher> opened =
-        replicate::DeltaPublisher::Open(publisher_options);
-    if (!opened.ok()) {
-      delta_failures_.fetch_add(1, std::memory_order_relaxed);
-      return;
+    if (!options_.feed_listen.empty()) {
+      // Socket mode: the SocketPublisher owns the directory publisher,
+      // so every artifact is still written to delta_dir (durable store,
+      // catch-up source) before being pushed to subscribers.
+      replicate::SocketPublisherOptions socket_options;
+      socket_options.listen = options_.feed_listen;
+      socket_options.publisher = publisher_options;
+      Result<std::unique_ptr<replicate::SocketPublisher>> opened =
+          replicate::SocketPublisher::Open(std::move(socket_options));
+      if (!opened.ok()) {
+        delta_failures_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      socket_publisher_ = std::move(opened).value();
+    } else {
+      Result<replicate::DeltaPublisher> opened =
+          replicate::DeltaPublisher::Open(publisher_options);
+      if (!opened.ok()) {
+        delta_failures_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      publisher_ = std::make_unique<replicate::DeltaPublisher>(
+          std::move(opened).value());
     }
-    publisher_ = std::make_unique<replicate::DeltaPublisher>(
-        std::move(opened).value());
   }
   const size_t clusters[] = {cluster};
   Result<replicate::PublishReport> report =
-      publisher_->PublishDelta(next, clusters, base_hash);
+      socket_publisher_ != nullptr
+          ? socket_publisher_->PublishDelta(next, clusters, base_hash)
+          : publisher_->PublishDelta(next, clusters, base_hash);
   if (!report.ok()) {
     delta_failures_.fetch_add(1, std::memory_order_relaxed);
     return;

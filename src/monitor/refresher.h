@@ -25,6 +25,7 @@
 
 namespace falcc::replicate {
 class DeltaPublisher;
+class SocketPublisher;
 }  // namespace falcc::replicate
 
 namespace falcc::monitor {
@@ -47,6 +48,15 @@ struct RefresherOptions {
   /// superseded artifacts, so late-joining replicas bootstrap without
   /// replaying history. 0 = never checkpoint.
   size_t checkpoint_every = 8;
+  /// When non-empty (requires delta_dir), artifacts are published
+  /// through a replicate::SocketPublisher listening on this endpoint
+  /// (`tcp://host:port` or `unix://path`): the directory stays the
+  /// durable store and catch-up source, and every write is also pushed
+  /// to connected subscribers, cutting propagation lag below any poll
+  /// interval. Like the directory publisher, the listener is opened
+  /// lazily on the first install — subscribers reconnect with backoff,
+  /// so starting them early is fine.
+  std::string feed_listen;
 };
 
 /// Result of one refresh attempt.
@@ -97,8 +107,11 @@ class Refresher {
   RefresherOptions options_;
   /// Lazily opened on the first publish (creating the directory then);
   /// sequencing, temp+rename writes, checkpoint cadence, and GC all
-  /// live in the publisher.
+  /// live in the publisher. Exactly one of the two is ever open:
+  /// socket_publisher_ (which wraps its own directory publisher) when
+  /// feed_listen is set, publisher_ otherwise.
   std::unique_ptr<replicate::DeltaPublisher> publisher_;
+  std::unique_ptr<replicate::SocketPublisher> socket_publisher_;
   std::atomic<uint64_t> attempts_{0};
   std::atomic<uint64_t> installed_{0};
   std::atomic<uint64_t> rejected_{0};

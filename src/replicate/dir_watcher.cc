@@ -1,0 +1,133 @@
+#include "replicate/dir_watcher.h"
+
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/inotify.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+
+namespace falcc::replicate {
+
+#if defined(__linux__)
+
+namespace {
+
+bool InotifyDisabledByEnv() {
+  const char* value = std::getenv("FALCC_NO_INOTIFY");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+}  // namespace
+
+DirectoryWatcher::DirectoryWatcher(const std::string& dir) {
+  if (InotifyDisabledByEnv()) return;
+  const int fd = inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+  if (fd < 0) return;
+  // IN_MOVED_TO is the publisher's rename-into-place; the rest cover
+  // direct writers (tests, rsync) and GC unlinks.
+  const int wd = inotify_add_watch(
+      fd, dir.c_str(),
+      IN_MOVED_TO | IN_CLOSE_WRITE | IN_CREATE | IN_DELETE | IN_MOVED_FROM);
+  if (wd < 0) {
+    // ENOSPC (watch limit), missing directory, or no permission: fall
+    // back to polling rather than failing the feed.
+    ::close(fd);
+    return;
+  }
+  int fds[2] = {-1, -1};
+  if (pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(fd);
+    return;
+  }
+  inotify_fd_ = fd;
+  watch_fd_ = wd;
+  pipe_read_ = fds[0];
+  pipe_write_ = fds[1];
+}
+
+DirectoryWatcher::~DirectoryWatcher() {
+  if (inotify_fd_ >= 0) ::close(inotify_fd_);
+  if (pipe_read_ >= 0) ::close(pipe_read_);
+  if (pipe_write_ >= 0) ::close(pipe_write_);
+}
+
+bool DirectoryWatcher::Wait(double timeout_seconds) {
+  if (inotify_fd_ < 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(std::max(timeout_seconds, 0.0)),
+                 [&] { return cancel_pending_; });
+    cancel_pending_ = false;
+    return false;
+  }
+  struct pollfd fds[2];
+  fds[0] = {inotify_fd_, POLLIN, 0};
+  fds[1] = {pipe_read_, POLLIN, 0};
+  const int timeout_ms = static_cast<int>(
+      std::clamp(timeout_seconds * 1000.0, 0.0, 3600.0 * 1000.0));
+  const int ready = ::poll(fds, 2, timeout_ms);
+  if (ready <= 0) return false;  // timeout or EINTR: a plain poll tick
+  bool event = false;
+  if ((fds[0].revents & POLLIN) != 0) {
+    // Drain everything queued; the caller rescans the directory anyway,
+    // so the individual event records carry no extra information.
+    char buffer[4096];
+    while (::read(inotify_fd_, buffer, sizeof(buffer)) > 0) {
+    }
+    event = true;
+  }
+  if ((fds[1].revents & POLLIN) != 0) {
+    char drain[16];
+    while (::read(pipe_read_, drain, sizeof(drain)) > 0) {
+    }
+  }
+  return event;
+}
+
+void DirectoryWatcher::Cancel() {
+  if (inotify_fd_ < 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancel_pending_ = true;
+    }
+    cv_.notify_all();
+    return;
+  }
+  const char byte = 'x';
+  // The pipe is non-blocking; if it is already full a wake is already
+  // pending, which is all Cancel promises.
+  (void)!::write(pipe_write_, &byte, 1);
+}
+
+#else  // !defined(__linux__)
+
+DirectoryWatcher::DirectoryWatcher(const std::string& dir) { (void)dir; }
+
+DirectoryWatcher::~DirectoryWatcher() = default;
+
+bool DirectoryWatcher::Wait(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock,
+               std::chrono::duration<double>(std::max(timeout_seconds, 0.0)),
+               [&] { return cancel_pending_; });
+  cancel_pending_ = false;
+  return false;
+}
+
+void DirectoryWatcher::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace falcc::replicate

@@ -1,0 +1,63 @@
+// DirectoryWatcher: wake on feed-directory changes instead of polling.
+//
+// On Linux this is an inotify watch on the feed directory for the
+// events a publisher's `.tmp` + rename convention produces (IN_MOVED_TO
+// for the rename, plus create/close-write/delete so out-of-convention
+// writers and GC still wake consumers). Events queue in the inotify fd
+// between Wait calls, so a rename that lands while the consumer is
+// processing the previous batch is never lost — the next Wait returns
+// immediately.
+//
+// Everywhere inotify is unavailable — non-Linux builds, watch limits
+// (ENOSPC), or the FALCC_NO_INOTIFY=1 env override — the watcher
+// degrades to a plain interruptible sleep: Wait blocks for the timeout
+// and reports "no event", which callers treat as a poll tick. Cancel()
+// wakes the current (or next) Wait exactly once, via a self-pipe in
+// inotify mode so a blocked poll(2) wakes without signals.
+
+#ifndef FALCC_REPLICATE_DIR_WATCHER_H_
+#define FALCC_REPLICATE_DIR_WATCHER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace falcc::replicate {
+
+class DirectoryWatcher {
+ public:
+  /// Never fails: when the inotify watch cannot be established the
+  /// watcher silently falls back to timed sleeps.
+  explicit DirectoryWatcher(const std::string& dir);
+  ~DirectoryWatcher();
+
+  DirectoryWatcher(const DirectoryWatcher&) = delete;
+  DirectoryWatcher& operator=(const DirectoryWatcher&) = delete;
+
+  /// Blocks until a directory event arrives (returns true), the timeout
+  /// elapses, or Cancel wakes it (both false). In fallback mode always
+  /// returns false. A non-positive timeout still drains pending events.
+  bool Wait(double timeout_seconds);
+
+  /// Wakes the in-progress Wait, or makes the next one return
+  /// immediately; consumed by exactly one Wait.
+  void Cancel();
+
+  /// True when the inotify watch is live (fallback otherwise).
+  bool using_inotify() const { return inotify_fd_ >= 0; }
+
+ private:
+  int inotify_fd_ = -1;
+  int watch_fd_ = -1;
+  int pipe_read_ = -1;
+  int pipe_write_ = -1;
+
+  // Fallback mode: interruptible sleep.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancel_pending_ = false;
+};
+
+}  // namespace falcc::replicate
+
+#endif  // FALCC_REPLICATE_DIR_WATCHER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "io/snapshot.h"
+#include "replicate/dir_watcher.h"
 
 namespace falcc::replicate {
 
@@ -65,14 +67,48 @@ void SniffArtifact(const std::string& path, FeedEntry* entry) {
 
 }  // namespace
 
+void DeltaFeed::WaitForChange(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait_for(lock,
+                    std::chrono::duration<double>(std::max(timeout_seconds, 0.0)),
+                    [&] { return cancel_pending_ || change_pending_; });
+  cancel_pending_ = false;
+  change_pending_ = false;
+}
+
+void DeltaFeed::CancelWait() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    cancel_pending_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void DeltaFeed::NotifyChange() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    change_pending_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
 std::string SequencedName(uint64_t sequence, const std::string& stem) {
   std::string digits = std::to_string(sequence);
-  if (digits.size() < 8) digits.insert(0, 8 - digits.size(), '0');
+  if (digits.size() < 8) {
+    digits.insert(0, 8 - digits.size(), '0');
+  } else if (digits.size() > 8) {
+    // Width extension: one 'z' per digit past 8. 'z' sorts after every
+    // digit, so every wider name sorts after every narrower one and
+    // lexicographic order stays numeric order.
+    digits.insert(0, digits.size() - 8, 'z');
+  }
   return digits + "-" + stem;
 }
 
 Result<uint64_t> ParseSequence(const std::string& filename) {
   size_t i = 0;
+  while (i < filename.size() && filename[i] == 'z') ++i;
+  const size_t zs = i;
   uint64_t sequence = 0;
   while (i < filename.size() && filename[i] >= '0' && filename[i] <= '9') {
     const uint64_t digit = static_cast<uint64_t>(filename[i] - '0');
@@ -83,14 +119,24 @@ Result<uint64_t> ParseSequence(const std::string& filename) {
     sequence = sequence * 10 + digit;
     ++i;
   }
-  if (i == 0 || i >= filename.size() || filename[i] != '-') {
+  const size_t digits = i - zs;
+  if (digits == 0 || i >= filename.size() || filename[i] != '-') {
     return Status::InvalidArgument(
         "ParseSequence: no '<digits>-' prefix in '" + filename + "'");
+  }
+  // A 'z' run must match the width extension exactly, so every sequence
+  // has one canonical name and directory order stays unambiguous.
+  if (zs > 0 && digits != zs + 8) {
+    return Status::InvalidArgument(
+        "ParseSequence: width prefix inconsistent in '" + filename + "'");
   }
   return sequence;
 }
 
-DirectoryFeed::DirectoryFeed(std::string dir) : dir_(std::move(dir)) {}
+DirectoryFeed::DirectoryFeed(std::string dir, bool wake_on_events)
+    : dir_(std::move(dir)), wake_on_events_(wake_on_events) {}
+
+DirectoryFeed::~DirectoryFeed() = default;
 
 Result<std::vector<FeedEntry>> DirectoryFeed::Poll(uint64_t after_sequence) {
   std::error_code ec;
@@ -125,6 +171,40 @@ Result<std::vector<FeedEntry>> DirectoryFeed::Poll(uint64_t after_sequence) {
                                               : a.path < b.path;
             });
   return entries;
+}
+
+DirectoryWatcher* DirectoryFeed::EnsureWatcher() {
+  std::lock_guard<std::mutex> lock(watcher_mu_);
+  if (watcher_ == nullptr) {
+    watcher_ = std::make_unique<DirectoryWatcher>(dir_);
+  }
+  return watcher_.get();
+}
+
+void DirectoryFeed::WaitForChange(double timeout_seconds) {
+  if (!wake_on_events_) {
+    DeltaFeed::WaitForChange(timeout_seconds);
+    return;
+  }
+  // With a live inotify watch this returns early on rename-into-place;
+  // under ENOSPC / env override / non-Linux the watcher itself degrades
+  // to the same interruptible sleep the base class provides.
+  EnsureWatcher()->Wait(timeout_seconds);
+}
+
+void DirectoryFeed::CancelWait() {
+  if (!wake_on_events_) {
+    DeltaFeed::CancelWait();
+    return;
+  }
+  // Create-on-cancel keeps the wake: a cancel that races the first wait
+  // lands in the same watcher the wait will use.
+  EnsureWatcher()->Cancel();
+}
+
+bool DirectoryFeed::watching() const {
+  std::lock_guard<std::mutex> lock(watcher_mu_);
+  return watcher_ != nullptr && watcher_->using_inotify();
 }
 
 }  // namespace falcc::replicate

@@ -20,14 +20,25 @@
 #include <vector>
 
 #include "replicate/puller.h"
+#include "replicate/socket_feed.h"
 #include "serve/engine.h"
 
 namespace falcc::replicate {
 
 struct ReplicaFleetOptions {
   size_t num_replicas = 4;
-  /// Feed directory every replica follows.
+  /// Feed directory every replica follows (directory transport).
   std::string feed_dir;
+  /// Socket feed endpoint (`tcp://host:port` / `unix://path`); when set
+  /// it wins over feed_dir and each replica subscribes over its own
+  /// connection with its own spool.
+  std::string feed_endpoint;
+  /// Per-replica socket feed options (spool_dir is always overridden to
+  /// a per-replica temp spool; jitter_seed is offset per replica).
+  SocketFeedOptions socket;
+  /// Directory transport: wake pullers via inotify where available
+  /// instead of pure interval polling. Off = the bench baseline.
+  bool watch_directory = true;
   /// Per-replica puller options; jitter_seed is offset per replica so
   /// backoff never synchronizes across the fleet.
   DeltaPullerOptions puller;

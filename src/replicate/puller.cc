@@ -343,19 +343,30 @@ void DeltaPuller::Stop() {
     worker = std::move(thread_);
   }
   thread_cv_.notify_all();
+  // The loop may be parked in the feed's wait (inotify poll, socket
+  // backoff sleep); the cancel is consumed by exactly one wait, so a
+  // later Start() is unaffected.
+  feed_->CancelWait();
   worker.join();
 }
 
 void DeltaPuller::PollLoop() {
-  const auto interval = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(
-          std::max(options_.poll_interval_seconds, 1e-4)));
-  std::unique_lock<std::mutex> lock(thread_mu_);
-  while (!stop_) {
-    lock.unlock();
+  const double interval = std::max(options_.poll_interval_seconds, 1e-4);
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(thread_mu_);
+      if (stop_) return;
+    }
     PollOnce();
-    lock.lock();
-    thread_cv_.wait_for(lock, interval, [&] { return stop_; });
+    {
+      std::lock_guard<std::mutex> lock(thread_mu_);
+      if (stop_) return;
+    }
+    // Push-capable feeds wake this early (inotify rename, socket frame
+    // arrival); the interval is only the re-poll ceiling. A cancel
+    // issued between the check above and this wait is consumed here, so
+    // Stop never blocks for a full interval.
+    feed_->WaitForChange(interval);
   }
 }
 

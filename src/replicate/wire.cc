@@ -1,0 +1,183 @@
+#include "replicate/wire.h"
+
+#include "io/snapshot.h"
+
+namespace falcc::replicate {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t GetU16(std::string_view data, size_t at) {
+  uint16_t v = 0;
+  for (int i = 1; i >= 0; --i) {
+    v = static_cast<uint16_t>((v << 8) |
+                              static_cast<uint8_t>(data[at + static_cast<size_t>(i)]));
+  }
+  return v;
+}
+
+uint32_t GetU32(std::string_view data, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view data, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+uint8_t EncodeKind(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kDelta:
+      return 1;
+    case ArtifactKind::kFull:
+      return 2;
+    case ArtifactKind::kUnreadable:
+      return 0;
+  }
+  return 0;
+}
+
+/// Every rule DecodeFrame enforces beyond the checksum, shared with
+/// EncodeFrame's assertions so the two sides cannot drift.
+Status ValidateFrame(const WireFrame& frame) {
+  if (frame.payload.size() > kWireMaxPayload) {
+    return Status::InvalidArgument("wire: payload exceeds 64 MiB cap");
+  }
+  switch (frame.type) {
+    case FrameType::kArtifact:
+      if (frame.kind != ArtifactKind::kDelta &&
+          frame.kind != ArtifactKind::kFull) {
+        return Status::InvalidArgument("wire: ARTIFACT without a kind");
+      }
+      if (frame.payload.empty()) {
+        return Status::InvalidArgument("wire: empty ARTIFACT payload");
+      }
+      if (frame.kind != ArtifactKind::kDelta && frame.base_hash != 0) {
+        return Status::InvalidArgument(
+            "wire: base_hash on a non-delta artifact");
+      }
+      return Status::OK();
+    case FrameType::kHello:
+      if (frame.payload != kWireGreeting) {
+        return Status::InvalidArgument("wire: HELLO greeting mismatch");
+      }
+      break;
+    case FrameType::kSubscribe:
+    case FrameType::kHeartbeat:
+    case FrameType::kEof:
+      if (!frame.payload.empty()) {
+        return Status::InvalidArgument("wire: control frame with payload");
+      }
+      break;
+    default:
+      return Status::InvalidArgument("wire: unknown frame type");
+  }
+  if (frame.kind != ArtifactKind::kUnreadable) {
+    return Status::InvalidArgument("wire: kind on a control frame");
+  }
+  if (frame.base_hash != 0) {
+    return Status::InvalidArgument("wire: base_hash on a control frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(const WireFrame& frame) {
+  const Status valid = ValidateFrame(frame);
+  FALCC_CHECK(valid.ok(), ("EncodeFrame: " + valid.ToString()).c_str());
+  std::string out;
+  out.reserve(kWireHeaderBytes + frame.payload.size());
+  PutU32(&out, kWireMagic);
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(EncodeKind(frame.kind)));
+  PutU16(&out, 0);  // reserved
+  PutU64(&out, frame.sequence);
+  PutU64(&out, frame.base_hash);
+  PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  PutU64(&out, io::Fnv1a(frame.payload));
+  out.append(frame.payload);
+  return out;
+}
+
+Result<FrameDecode> DecodeFrame(std::string_view data) {
+  FrameDecode decode;
+  if (data.size() < kWireHeaderBytes) return decode;  // need more
+  if (GetU32(data, 0) != kWireMagic) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  const uint8_t type = static_cast<uint8_t>(data[4]);
+  if (type < 1 || type > 5) {
+    return Status::InvalidArgument("wire: unknown frame type " +
+                                   std::to_string(type));
+  }
+  const uint8_t kind = static_cast<uint8_t>(data[5]);
+  if (kind > 2) {
+    return Status::InvalidArgument("wire: unknown artifact kind " +
+                                   std::to_string(kind));
+  }
+  if (GetU16(data, 6) != 0) {
+    return Status::InvalidArgument("wire: nonzero reserved bits");
+  }
+  const uint32_t payload_len = GetU32(data, 24);
+  if (payload_len > kWireMaxPayload) {
+    return Status::InvalidArgument("wire: payload length " +
+                                   std::to_string(payload_len) +
+                                   " exceeds 64 MiB cap");
+  }
+  const size_t total = kWireHeaderBytes + payload_len;
+  if (data.size() < total) return decode;  // need more
+  WireFrame& frame = decode.frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.kind = kind == 1   ? ArtifactKind::kDelta
+               : kind == 2 ? ArtifactKind::kFull
+                           : ArtifactKind::kUnreadable;
+  frame.sequence = GetU64(data, 8);
+  frame.base_hash = GetU64(data, 16);
+  frame.payload.assign(data.substr(kWireHeaderBytes, payload_len));
+  const uint64_t checksum = GetU64(data, 28);
+  if (io::Fnv1a(frame.payload) != checksum) {
+    return Status::InvalidArgument("wire: payload checksum mismatch");
+  }
+  FALCC_RETURN_IF_ERROR(ValidateFrame(frame));
+  decode.complete = true;
+  decode.consumed = total;
+  return decode;
+}
+
+Result<std::optional<WireFrame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  Result<FrameDecode> decoded = DecodeFrame(buffer_);
+  if (!decoded.ok()) {
+    error_ = decoded.status();
+    return error_;
+  }
+  if (!decoded.value().complete) return std::optional<WireFrame>();
+  buffer_.erase(0, decoded.value().consumed);
+  return std::optional<WireFrame>(std::move(decoded.value().frame));
+}
+
+}  // namespace falcc::replicate

@@ -1,0 +1,115 @@
+// Wire framing for the socket feed transport.
+//
+// A feed connection is a byte stream of length-prefixed frames, each a
+// fixed 36-byte little-endian header followed by the payload:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic       0xFA1CCFEE
+//        4     1  type        HELLO / SUBSCRIBE / ARTIFACT / HEARTBEAT / EOF
+//        5     1  kind        0 = none, 1 = delta, 2 = full snapshot
+//        6     2  reserved    must be zero
+//        8     8  sequence    feed sequence (meaning depends on type)
+//       16     8  base_hash   delta artifacts: base ContentHash
+//       24     4  payload_len bytes following the header (<= 64 MiB)
+//       28     8  checksum    FNV-1a 64 of the payload
+//       36     …  payload
+//
+// ARTIFACT frames carry the exact artifact bytes a DirectoryFeed would
+// read from disk, plus the FeedEntry metadata (sequence, kind, base
+// hash) in the header, so a SocketFeed can spool them and hand the same
+// chain semantics to DeltaPuller. The other frame types carry control:
+// SUBSCRIBE (client → server) asks for replay from `sequence` (0 means
+// from the start of the retained feed), HELLO (server → client) acks
+// with the publisher's next_sequence and a protocol-version greeting
+// payload, HEARTBEAT proves liveness while the feed is idle, and EOF
+// announces a clean shutdown.
+//
+// Decoding is strict: a frame either round-trips byte-identically
+// through EncodeFrame or is rejected with a message — there are no
+// "best effort" accepts. That property is what FuzzWireFrame
+// (src/testing/fuzz.cc) checks, and it keeps a corrupted or malicious
+// stream from ever smuggling an artifact past the checksum.
+
+#ifndef FALCC_REPLICATE_WIRE_H_
+#define FALCC_REPLICATE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "replicate/feed.h"
+#include "util/status.h"
+
+namespace falcc::replicate {
+
+inline constexpr uint32_t kWireMagic = 0xFA1CCFEEu;
+inline constexpr size_t kWireHeaderBytes = 36;
+/// Artifacts are ~150-byte deltas or few-MB checkpoints; anything
+/// claiming more than this is a corrupt length, not a big artifact.
+inline constexpr uint32_t kWireMaxPayload = 64u << 20;
+/// HELLO payload: protocol version greeting, checked verbatim.
+inline constexpr char kWireGreeting[] = "falcc-feed-v1";
+
+enum class FrameType : uint8_t {
+  kHello = 1,      ///< server → client: ack; sequence = next_sequence
+  kSubscribe = 2,  ///< client → server: replay from `sequence` (0 = start)
+  kArtifact = 3,   ///< one feed artifact; payload = artifact bytes
+  kHeartbeat = 4,  ///< idle liveness; sequence = last published
+  kEof = 5,        ///< clean shutdown notice
+};
+
+struct WireFrame {
+  FrameType type = FrameType::kHeartbeat;
+  /// ARTIFACT only (kDelta or kFull); control frames carry kUnreadable,
+  /// which encodes as 0.
+  ArtifactKind kind = ArtifactKind::kUnreadable;
+  uint64_t sequence = 0;
+  uint64_t base_hash = 0;  ///< delta ARTIFACT only; 0 otherwise
+  std::string payload;
+};
+
+/// Serializes a frame. FALCC_CHECKs the same invariants DecodeFrame
+/// enforces (payload cap, kind/type consistency), so every encoded
+/// frame decodes.
+std::string EncodeFrame(const WireFrame& frame);
+
+/// DecodeFrame result: `complete` is false when `data` holds only a
+/// frame prefix (read more bytes and retry; `consumed` is 0). When
+/// complete, `consumed` is the exact frame size in bytes.
+struct FrameDecode {
+  bool complete = false;
+  size_t consumed = 0;
+  WireFrame frame;
+};
+
+/// Decodes the first frame in `data`. Errors (bad magic, nonzero
+/// reserved bits, unknown type, kind/type mismatch, oversized length,
+/// checksum mismatch, non-canonical control payload) mean the stream is
+/// corrupt and the connection must be dropped — resynchronizing inside
+/// a byte stream is guesswork.
+Result<FrameDecode> DecodeFrame(std::string_view data);
+
+/// Incremental decoder over a socket's byte stream. Append whatever
+/// recv() produced, then drain Next() until it returns nullopt (need
+/// more bytes) or an error (drop the connection).
+class FrameDecoder {
+ public:
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// One decoded frame, nullopt when the buffer holds no complete
+  /// frame, or the first error — which is sticky: a corrupt stream
+  /// stays corrupt.
+  Result<std::optional<WireFrame>> Next();
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  Status error_ = Status::OK();
+};
+
+}  // namespace falcc::replicate
+
+#endif  // FALCC_REPLICATE_WIRE_H_

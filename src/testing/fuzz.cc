@@ -10,6 +10,7 @@
 #include "core/falcc.h"
 #include "data/csv_dataset.h"
 #include "io/snapshot.h"
+#include "replicate/wire.h"
 #include "testing/invariants.h"
 #include "testing/mutator.h"
 #include "util/csv.h"
@@ -223,6 +224,85 @@ Status FuzzCsvParse(const std::string& data) {
   }
   if (round.value().rows.size() != table.rows.size()) {
     return Status::Internal("row count changed across ToCsv round trip");
+  }
+  return Status::OK();
+}
+
+Status FuzzWireFrame(const std::string& data) {
+  namespace repl = ::falcc::replicate;
+  // One-shot walk: decode frame after frame until the stream rejects or
+  // runs out of complete frames.
+  std::vector<repl::WireFrame> frames;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const std::string_view rest = std::string_view(data).substr(offset);
+    Result<repl::FrameDecode> decoded = repl::DecodeFrame(rest);
+    if (!decoded.ok()) {
+      // A reject is fine — a corrupt stream must be dropped — but it
+      // has to say why.
+      if (decoded.status().message().empty()) {
+        return Status::Internal("wire rejection with empty error message");
+      }
+      break;
+    }
+    if (!decoded.value().complete) {
+      if (decoded.value().consumed != 0) {
+        return Status::Internal("incomplete decode claims consumed bytes");
+      }
+      break;  // a frame prefix: legal tail of any stream
+    }
+    const size_t consumed = decoded.value().consumed;
+    if (consumed < repl::kWireHeaderBytes || consumed > rest.size()) {
+      return Status::Internal("DecodeFrame consumed out of range: " +
+                              std::to_string(consumed));
+    }
+    // Anything accepted must round-trip byte-identically: decode must
+    // never canonicalize, or redelivery dedup and checksum replay
+    // could disagree about what was received.
+    const std::string reencoded = repl::EncodeFrame(decoded.value().frame);
+    if (std::string_view(reencoded) != rest.substr(0, consumed)) {
+      return Status::Internal(
+          "decoded frame does not re-encode byte-identically");
+    }
+    frames.push_back(std::move(decoded.value().frame));
+    offset += consumed;
+  }
+
+  // The streaming decoder fed one byte at a time must agree exactly —
+  // frame boundaries may never depend on recv() chunking.
+  repl::FrameDecoder decoder;
+  std::vector<repl::WireFrame> streamed;
+  bool rejected = false;
+  for (const char byte : data) {
+    decoder.Append(std::string_view(&byte, 1));
+    while (true) {
+      Result<std::optional<repl::WireFrame>> next = decoder.Next();
+      if (!next.ok()) {
+        if (next.status().message().empty()) {
+          return Status::Internal("streaming rejection with empty message");
+        }
+        rejected = true;
+        break;
+      }
+      if (!next.value().has_value()) break;
+      streamed.push_back(std::move(*next.value()));
+    }
+    if (rejected) break;
+  }
+  if (streamed.size() != frames.size()) {
+    return Status::Internal(
+        "streaming decoder frame count diverged: " +
+        std::to_string(streamed.size()) + " vs " +
+        std::to_string(frames.size()));
+  }
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const repl::WireFrame& a = frames[i];
+    const repl::WireFrame& b = streamed[i];
+    if (a.type != b.type || a.kind != b.kind || a.sequence != b.sequence ||
+        a.base_hash != b.base_hash || a.payload != b.payload) {
+      return Status::Internal("streaming decoder frame " + std::to_string(i) +
+                              " diverged from one-shot decode");
+    }
   }
   return Status::OK();
 }

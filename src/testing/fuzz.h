@@ -63,6 +63,14 @@ Status FuzzCsvParse(const std::string& data);
 /// compiled kernels. Bind the base with a lambda to get a FuzzTarget.
 Status FuzzDeltaApply(const FalccModel& base, const std::string& data);
 
+/// Contract for the socket-feed wire codec (replicate/wire.h) on an
+/// arbitrary byte stream: walking DecodeFrame over it must either
+/// reject with a clean message, stop at an incomplete tail, or decode
+/// frames that re-encode byte-identically to the consumed bytes — and
+/// the streaming FrameDecoder fed the same stream one byte at a time
+/// must produce the identical frame sequence.
+Status FuzzWireFrame(const std::string& data);
+
 /// Runs `target` on `options.iterations` mutated variants of the seed
 /// inputs (round-robin). Returns OK when no input violated the contract;
 /// otherwise an error naming the first finding. `stats` is optional.

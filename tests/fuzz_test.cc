@@ -1,4 +1,5 @@
-// Deterministic fuzz harness over the snapshot loader and CSV parser.
+// Deterministic fuzz harness over the snapshot loader, CSV parser, and
+// socket-feed wire codec.
 //
 // Two layers, matching how the corpus workflow runs:
 //  * FuzzCorpusTest — replays every checked-in regression input from
@@ -20,6 +21,7 @@
 #include "data/csv_dataset.h"
 #include "data/split.h"
 #include "datagen/synthetic.h"
+#include "replicate/wire.h"
 #include "testing/invariants.h"
 #include "util/csv.h"
 
@@ -31,6 +33,7 @@ using testing::FuzzIterationsFromEnv;
 using testing::FuzzOptions;
 using testing::FuzzSnapshotLoad;
 using testing::FuzzStats;
+using testing::FuzzWireFrame;
 using testing::LoadCorpus;
 using testing::RunFuzz;
 
@@ -100,6 +103,46 @@ const std::string& TinyDelta() {
   return *bytes;
 }
 
+// A valid frame stream covering every wire frame type: the structure-
+// aware seed for wire mutation.
+std::string WireSeedStream() {
+  using replicate::ArtifactKind;
+  using replicate::EncodeFrame;
+  using replicate::FrameType;
+  using replicate::WireFrame;
+  std::string out;
+  WireFrame hello;
+  hello.type = FrameType::kHello;
+  hello.sequence = 4;
+  hello.payload = replicate::kWireGreeting;
+  out += EncodeFrame(hello);
+  WireFrame subscribe;
+  subscribe.type = FrameType::kSubscribe;
+  subscribe.sequence = 2;
+  out += EncodeFrame(subscribe);
+  WireFrame full;
+  full.type = FrameType::kArtifact;
+  full.kind = ArtifactKind::kFull;
+  full.sequence = 2;
+  full.payload = "full-snapshot-bytes";
+  out += EncodeFrame(full);
+  WireFrame delta;
+  delta.type = FrameType::kArtifact;
+  delta.kind = ArtifactKind::kDelta;
+  delta.sequence = 3;
+  delta.base_hash = 0x1234abcdull;
+  delta.payload = "delta-bytes";
+  out += EncodeFrame(delta);
+  WireFrame heartbeat;
+  heartbeat.type = FrameType::kHeartbeat;
+  heartbeat.sequence = 3;
+  out += EncodeFrame(heartbeat);
+  WireFrame eof;
+  eof.type = FrameType::kEof;
+  out += EncodeFrame(eof);
+  return out;
+}
+
 std::string TinyCsv() {
   SyntheticConfig cfg;
   cfg.num_samples = 24;
@@ -145,6 +188,15 @@ TEST(FuzzCorpusTest, CsvCorpusReplaysClean) {
   }
 }
 
+TEST(FuzzCorpusTest, WireCorpusReplaysClean) {
+  const std::vector<std::string> corpus = CorpusOrDie("wire");
+  ASSERT_FALSE(corpus.empty()) << "tests/corpus/wire is missing";
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Status st = FuzzWireFrame(corpus[i]);
+    EXPECT_TRUE(st.ok()) << "corpus input " << i << ": " << st.ToString();
+  }
+}
+
 TEST(FuzzCorpusTest, ValidSeedsPassTheContracts) {
   // The unmutated seeds themselves must satisfy the accept-side checks;
   // otherwise every smoke finding would be noise.
@@ -153,6 +205,7 @@ TEST(FuzzCorpusTest, ValidSeedsPassTheContracts) {
   EXPECT_TRUE(FuzzSnapshotLoad(LegacySnapshot()).ok());
   EXPECT_TRUE(testing::FuzzDeltaApply(TinyModel(), TinyDelta()).ok());
   EXPECT_TRUE(FuzzCsvParse(TinyCsv()).ok());
+  EXPECT_TRUE(FuzzWireFrame(WireSeedStream()).ok());
 }
 
 TEST(SnapshotRegressionTest, ZeroLengthSnapshotIsRejected) {
@@ -285,6 +338,21 @@ TEST(FuzzSmokeTest, DeltaApply) {
         return testing::FuzzDeltaApply(base, data);
       },
       options, &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.iterations, options.iterations);
+}
+
+TEST(FuzzSmokeTest, WireFrame) {
+  std::vector<std::string> seeds = {WireSeedStream()};
+  for (std::string& input : CorpusOrDie("wire")) {
+    seeds.push_back(std::move(input));
+  }
+  FuzzOptions options;
+  options.seed = 0x3142f00d;
+  options.iterations = FuzzIterationsFromEnv(2000);
+  options.failure_dir = ::testing::TempDir() + "/falcc-fuzz-wire";
+  FuzzStats stats;
+  const Status st = RunFuzz(seeds, FuzzWireFrame, options, &stats);
   EXPECT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(stats.iterations, options.iterations);
 }

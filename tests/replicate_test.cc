@@ -4,18 +4,32 @@
 // corrupt artifact, persistent gap, deleted checkpoint — the replica
 // must never stop serving), redelivery idempotency, late-joiner
 // bootstrap, fleet convergence, and the pull-while-classify race the
-// TSan stage exercises.
+// TSan stage exercises. The socket transport rides the same harness:
+// wire-codec round trips and reject sweeps, the directory watcher,
+// socket fleet convergence, and the partition/fault suite (mid-frame
+// drops at every byte offset, heartbeat timeouts, slow-subscriber
+// backpressure, publisher restarts).
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -23,10 +37,14 @@
 #include "core/falcc.h"
 #include "data/split.h"
 #include "datagen/synthetic.h"
+#include "io/snapshot.h"
+#include "replicate/dir_watcher.h"
 #include "replicate/feed.h"
 #include "replicate/fleet.h"
 #include "replicate/publisher.h"
 #include "replicate/puller.h"
+#include "replicate/socket_feed.h"
+#include "replicate/wire.h"
 #include "serve/engine.h"
 #include "serve/sharded_engine.h"
 #include "testing/faulty_stream.h"
@@ -49,9 +67,25 @@ using replicate::ParseSequence;
 using replicate::PublishedArtifact;
 using replicate::PublishReport;
 using replicate::PullReport;
+using replicate::DecodeFrame;
+using replicate::DirectoryWatcher;
+using replicate::EncodeFrame;
+using replicate::FrameDecode;
+using replicate::FrameDecoder;
+using replicate::FrameType;
+using replicate::kWireGreeting;
+using replicate::kWireHeaderBytes;
+using replicate::kWireMagic;
 using replicate::ReplicaFleet;
 using replicate::ReplicaFleetOptions;
 using replicate::SequencedName;
+using replicate::SocketFeed;
+using replicate::SocketFeedOptions;
+using replicate::SocketFeedStats;
+using replicate::SocketPublisher;
+using replicate::SocketPublisherOptions;
+using replicate::SocketPublisherStats;
+using replicate::WireFrame;
 
 TrainValTest MakeSplits(uint64_t seed = 11, size_t n = 2000) {
   SyntheticConfig cfg;
@@ -776,6 +810,838 @@ TEST(PullerConcurrencyTest, BackgroundPullWhileClassifyRace) {
   puller.Stop();
   EXPECT_EQ(puller.ServingHash().value(), target);
   EXPECT_EQ(puller.Stats().deltas_applied, 5u);
+}
+
+// --- Wire codec --------------------------------------------------------
+
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+WireFrame HelloFrame(uint64_t next_sequence) {
+  WireFrame frame;
+  frame.type = FrameType::kHello;
+  frame.sequence = next_sequence;
+  frame.payload = kWireGreeting;
+  return frame;
+}
+
+WireFrame SubscribeFrame(uint64_t from) {
+  WireFrame frame;
+  frame.type = FrameType::kSubscribe;
+  frame.sequence = from;
+  return frame;
+}
+
+WireFrame ArtifactFrame(uint64_t sequence, ArtifactKind kind,
+                        std::string payload, uint64_t base_hash = 0) {
+  WireFrame frame;
+  frame.type = FrameType::kArtifact;
+  frame.kind = kind;
+  frame.sequence = sequence;
+  frame.base_hash = base_hash;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+/// The wire layout assembled by hand, so tests can express frames
+/// EncodeFrame itself refuses to produce.
+std::string RawFrame(uint8_t type, uint8_t kind, uint64_t sequence,
+                     uint64_t base_hash, const std::string& payload) {
+  std::string out;
+  const auto put32 = [&out](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  const auto put64 = [&out](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put32(kWireMagic);
+  out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(kind));
+  out.push_back(0);
+  out.push_back(0);
+  put64(sequence);
+  put64(base_hash);
+  put32(static_cast<uint32_t>(payload.size()));
+  put64(io::Fnv1a(payload));
+  out += payload;
+  return out;
+}
+
+TEST(WireCodecTest, EveryFrameTypeRoundTripsByteIdentically) {
+  std::vector<WireFrame> frames;
+  frames.push_back(HelloFrame(42));
+  frames.push_back(SubscribeFrame(7));
+  frames.push_back(
+      ArtifactFrame(3, ArtifactKind::kDelta, "delta-bytes", 0x1234abcdull));
+  frames.push_back(
+      ArtifactFrame(4, ArtifactKind::kFull, std::string(1 << 10, '\xab')));
+  WireFrame heartbeat;
+  heartbeat.type = FrameType::kHeartbeat;
+  heartbeat.sequence = 9;
+  frames.push_back(heartbeat);
+  WireFrame eof;
+  eof.type = FrameType::kEof;
+  frames.push_back(eof);
+
+  for (const WireFrame& frame : frames) {
+    const std::string bytes = EncodeFrame(frame);
+    const Result<FrameDecode> decoded = DecodeFrame(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded.value().complete);
+    EXPECT_EQ(decoded.value().consumed, bytes.size());
+    const WireFrame& out = decoded.value().frame;
+    EXPECT_EQ(out.type, frame.type);
+    EXPECT_EQ(out.kind, frame.kind);
+    EXPECT_EQ(out.sequence, frame.sequence);
+    EXPECT_EQ(out.base_hash, frame.base_hash);
+    EXPECT_EQ(out.payload, frame.payload);
+    EXPECT_EQ(EncodeFrame(out), bytes);
+  }
+}
+
+TEST(WireCodecTest, MalformedFramesRejectWithDescriptiveErrors) {
+  const std::string valid =
+      EncodeFrame(ArtifactFrame(1, ArtifactKind::kDelta, "payload", 5));
+  const auto expect_reject = [](const std::string& bytes, const char* what) {
+    const Result<FrameDecode> decoded = DecodeFrame(bytes);
+    ASSERT_FALSE(decoded.ok()) << what;
+    EXPECT_FALSE(decoded.status().message().empty()) << what;
+  };
+  {
+    std::string b = valid;
+    b[0] = static_cast<char>(b[0] ^ 0xFF);
+    expect_reject(b, "bad magic");
+  }
+  {
+    std::string b = valid;
+    b[4] = 0;
+    expect_reject(b, "frame type 0");
+  }
+  {
+    std::string b = valid;
+    b[4] = 9;
+    expect_reject(b, "unknown frame type");
+  }
+  {
+    std::string b = valid;
+    b[5] = 3;
+    expect_reject(b, "unknown artifact kind");
+  }
+  {
+    std::string b = valid;
+    b[6] = 1;
+    expect_reject(b, "nonzero reserved bits");
+  }
+  {
+    // A payload-length field past the cap rejects from the header alone,
+    // before any attempt to buffer 4 GiB.
+    std::string b = valid;
+    for (size_t at = 24; at < 28; ++at) b[at] = static_cast<char>(0xFF);
+    expect_reject(b, "oversize payload length");
+  }
+  {
+    std::string b = valid;
+    b.back() = static_cast<char>(b.back() ^ 0x01);
+    expect_reject(b, "payload checksum");
+  }
+  // Semantically invalid frames with correct checksums.
+  expect_reject(RawFrame(3, 0, 1, 0, "x"), "ARTIFACT without a kind");
+  expect_reject(RawFrame(3, 1, 1, 5, ""), "empty ARTIFACT payload");
+  expect_reject(RawFrame(3, 2, 1, 5, "x"), "base_hash on a full artifact");
+  expect_reject(RawFrame(4, 1, 0, 0, ""), "kind on a control frame");
+  expect_reject(RawFrame(5, 0, 0, 7, ""), "base_hash on a control frame");
+  expect_reject(RawFrame(4, 0, 0, 0, "x"), "payload on a HEARTBEAT");
+  expect_reject(RawFrame(2, 0, 0, 0, "x"), "payload on a SUBSCRIBE");
+  expect_reject(RawFrame(1, 0, 0, 0, "hi"), "HELLO greeting mismatch");
+}
+
+TEST(WireCodecTest, EveryPrefixOfAValidStreamAsksForMoreBytes) {
+  std::string stream;
+  stream += EncodeFrame(HelloFrame(2));
+  stream += EncodeFrame(ArtifactFrame(1, ArtifactKind::kFull, "full-bytes"));
+  stream += EncodeFrame(SubscribeFrame(3));
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Append(std::string_view(stream).substr(0, cut));
+    size_t frames = 0;
+    for (;;) {
+      const Result<std::optional<WireFrame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << "cut at " << cut << ": "
+                             << next.status().ToString();
+      if (!next.value().has_value()) break;
+      ++frames;
+    }
+    EXPECT_LE(frames, 3u) << "cut at " << cut;
+  }
+}
+
+TEST(WireCodecTest, StreamingDecoderMatchesOneShotFrameForFrame) {
+  const std::vector<WireFrame> sent = {
+      HelloFrame(6),
+      ArtifactFrame(4, ArtifactKind::kDelta, "delta-bytes", 0xfeedull),
+      ArtifactFrame(5, ArtifactKind::kFull, "full-bytes"),
+  };
+  std::string stream;
+  for (const WireFrame& frame : sent) stream += EncodeFrame(frame);
+
+  FrameDecoder decoder;
+  std::vector<WireFrame> received;
+  for (char byte : stream) {
+    decoder.Append(std::string_view(&byte, 1));
+    for (;;) {
+      Result<std::optional<WireFrame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next.value().has_value()) break;
+      received.push_back(std::move(next).value().value());
+    }
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  for (size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].type, sent[i].type) << i;
+    EXPECT_EQ(received[i].kind, sent[i].kind) << i;
+    EXPECT_EQ(received[i].sequence, sent[i].sequence) << i;
+    EXPECT_EQ(received[i].base_hash, sent[i].base_hash) << i;
+    EXPECT_EQ(received[i].payload, sent[i].payload) << i;
+  }
+}
+
+TEST(FeedNameTest, SequencedNameWidthExtensionKeepsOrderPastEightDigits) {
+  // The regression: without a width marker, "100000000-" sorts before
+  // "99999999-" and the feed's apply order silently inverts at the
+  // hundred-millionth artifact.
+  const std::string last8 = SequencedName(99'999'999ull, "a.falcc");
+  const std::string first9 = SequencedName(100'000'000ull, "a.falcc");
+  EXPECT_EQ(last8, "99999999-a.falcc");
+  EXPECT_EQ(first9, "z100000000-a.falcc");
+  EXPECT_LT(last8, first9);
+  EXPECT_EQ(ParseSequence(last8).value(), 99'999'999ull);
+  EXPECT_EQ(ParseSequence(first9).value(), 100'000'000ull);
+  // Strictly ordered across every width boundary the scheme crosses.
+  const uint64_t probes[] = {1ull,
+                             99'999'999ull,
+                             100'000'000ull,
+                             999'999'999ull,
+                             1'000'000'000ull,
+                             123'456'789'012ull};
+  for (size_t i = 0; i + 1 < std::size(probes); ++i) {
+    const std::string lo = SequencedName(probes[i], "a.falcc");
+    const std::string hi = SequencedName(probes[i + 1], "a.falcc");
+    EXPECT_LT(lo, hi) << probes[i] << " vs " << probes[i + 1];
+    EXPECT_EQ(ParseSequence(lo).value(), probes[i]);
+  }
+  // Only canonical widths parse: one marker demands exactly nine digits.
+  EXPECT_FALSE(ParseSequence("z00000001-a.falcc").ok());
+  EXPECT_FALSE(ParseSequence("z1234567890-a.falcc").ok());
+}
+
+// --- Directory watcher -------------------------------------------------
+
+TEST(DirectoryWatcherTest, RenameIntoWatchedDirectoryWakesTheWait) {
+  const std::string dir = FreshDir("replicate_watch_wake");
+  DirectoryWatcher watcher(dir);
+  if (!watcher.using_inotify()) GTEST_SKIP() << "inotify unavailable";
+  std::thread writer([&dir] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::string tmp = dir + "/artifact.tmp";
+    WriteFile(tmp, "bytes");
+    fs::rename(tmp, dir + "/00000001-a.falcc");
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(watcher.Wait(10.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  writer.join();
+  // Once the queued events are drained the watcher quiesces: waits time
+  // out instead of spinning on stale events.
+  while (watcher.Wait(0.05)) {
+  }
+  EXPECT_FALSE(watcher.Wait(0.05));
+}
+
+TEST(DirectoryWatcherTest, EventBetweenWaitsIsNotLost) {
+  const std::string dir = FreshDir("replicate_watch_queued");
+  DirectoryWatcher watcher(dir);
+  if (!watcher.using_inotify()) GTEST_SKIP() << "inotify unavailable";
+  // Nobody is waiting when the artifact lands; the event queues in the
+  // kernel and the next Wait returns without sleeping out its timeout.
+  WriteFile(dir + "/00000001-a.falcc", "bytes");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(watcher.Wait(10.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(DirectoryWatcherTest, EnvOverrideForcesFallbackAndCancelWakes) {
+  ::setenv("FALCC_NO_INOTIFY", "1", 1);
+  const std::string dir = FreshDir("replicate_watch_fallback");
+  DirectoryWatcher watcher(dir);
+  ::unsetenv("FALCC_NO_INOTIFY");
+  EXPECT_FALSE(watcher.using_inotify());
+  // The fallback never reports filesystem events — only timeouts...
+  WriteFile(dir + "/00000001-a.falcc", "bytes");
+  EXPECT_FALSE(watcher.Wait(0.02));
+  // ...and cancellations, which cut a long wait short.
+  std::thread canceller([&watcher] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    watcher.Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(watcher.Wait(10.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  canceller.join();
+}
+
+TEST(DirectoryWatcherTest, WatcherAndPollDrivenPullersConvergeIdentically) {
+  const std::string dir = FreshDir("replicate_watch_equiv");
+  DeltaPublisher publisher = OpenPublisher(dir, 0);
+  FalccModel head = FreshModel();
+  publisher.PublishCheckpoint(head).value();
+
+  // Same feed directory, two wake strategies: a watcher-driven puller
+  // with a long poll interval, and a pure poller with a short one.
+  serve::FalccEngine watched_engine(NoFlusher());
+  DeltaPullerOptions watched_options = FastPuller();
+  watched_options.poll_interval_seconds = 0.5;
+  DeltaPuller watched(&watched_engine,
+                      std::make_unique<DirectoryFeed>(dir, true),
+                      watched_options);
+
+  serve::FalccEngine polled_engine(NoFlusher());
+  DeltaPullerOptions polled_options = FastPuller();
+  polled_options.poll_interval_seconds = 1e-3;
+  DeltaPuller polled(&polled_engine,
+                     std::make_unique<DirectoryFeed>(dir, false),
+                     polled_options);
+
+  watched.Start();
+  polled.Start();
+  for (size_t event = 0; event < 3; ++event) {
+    FalccModel next = NextVersion(head, event % head.num_clusters());
+    const size_t clusters[] = {event % head.num_clusters()};
+    ASSERT_TRUE(publisher.PublishDelta(next, clusters, HashOf(head)).ok());
+    head = std::move(next);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const uint64_t target = HashOf(head);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Result<uint64_t> a = watched.ServingHash();
+    const Result<uint64_t> b = polled.ServingHash();
+    if (a.ok() && b.ok() && a.value() == target && b.value() == target) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  watched.Stop();
+  polled.Stop();
+  EXPECT_EQ(watched.ServingHash().value(), target);
+  EXPECT_EQ(polled.ServingHash().value(), target);
+  // The two strategies applied the identical artifact sequence — wakes
+  // change latency, never the chain.
+  EXPECT_EQ(watched.Stats().deltas_applied, polled.Stats().deltas_applied);
+  EXPECT_EQ(watched.Stats().deltas_applied, 3u);
+}
+
+// --- Socket transport --------------------------------------------------
+
+std::string SocketPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  return path.string();
+}
+
+int ConnectUnixSocket(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FALCC_CHECK(fd >= 0, "test: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  FALCC_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+              "test: connect() failed");
+  return fd;
+}
+
+void SendRaw(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; the test asserts on what arrived
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Receives into `decoder` until `want` frames decoded or the deadline
+/// passes; returns the decoded frames.
+std::vector<WireFrame> RecvFrames(int fd, FrameDecoder* decoder, size_t want,
+                                  double timeout_seconds) {
+  std::vector<WireFrame> frames;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(timeout_seconds);
+  while (frames.size() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (;;) {
+      Result<std::optional<WireFrame>> next = decoder->Next();
+      if (!next.ok() || !next.value().has_value()) break;
+      frames.push_back(std::move(next).value().value());
+    }
+    if (frames.size() >= want) break;
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 50) <= 0) continue;
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    decoder->Append(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  return frames;
+}
+
+/// A fake publisher: accepts connections serially and hands each to the
+/// scripted handler. The tests use it to misbehave in ways the real
+/// SocketPublisher never would — drop mid-frame, go silent, babble.
+class ScriptedServer {
+ public:
+  using Handler = std::function<void(ScriptedServer*, int fd, size_t index)>;
+
+  ScriptedServer(std::string path, Handler handler)
+      : path_(std::move(path)), handler_(std::move(handler)) {
+    ::unlink(path_.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    FALCC_CHECK(listen_fd_ >= 0, "test: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path_.c_str());
+    FALCC_CHECK(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "test: bind() failed");
+    FALCC_CHECK(::listen(listen_fd_, 64) == 0, "test: listen() failed");
+    thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~ScriptedServer() { Stop(); }
+
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+  size_t connections() const {
+    return connections_.load(std::memory_order_acquire);
+  }
+  std::string endpoint() const { return "unix://" + path_; }
+
+ private:
+  void AcceptLoop() {
+    size_t index = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      pollfd p{listen_fd_, POLLIN, 0};
+      if (::poll(&p, 1, 20) <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      connections_.fetch_add(1, std::memory_order_release);
+      handler_(this, fd, index++);
+      ::close(fd);
+    }
+  }
+
+  std::string path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> connections_{0};
+  bool stopped_ = false;
+};
+
+bool WaitConverged(ReplicaFleet* fleet, uint64_t hash,
+                   double timeout_seconds = 30.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    fleet->PollAll();
+    if (fleet->ConvergedTo(hash)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(SocketEndpointTest, SchemesAreRecognizedAndDirectoriesAreNot) {
+  EXPECT_TRUE(replicate::IsSocketEndpoint("tcp://127.0.0.1:9000"));
+  EXPECT_TRUE(replicate::IsSocketEndpoint("unix:///tmp/feed.sock"));
+  EXPECT_FALSE(replicate::IsSocketEndpoint("/var/lib/falcc/feed"));
+  EXPECT_FALSE(replicate::IsSocketEndpoint("feed"));
+}
+
+TEST(SocketFleetTest, ReplicasConvergeOverAUnixSocketFeed) {
+  const std::string dir = FreshDir("replicate_sock_fleet");
+  SocketPublisherOptions po;
+  po.listen = "unix://" + SocketPath("sock_fleet.sock");
+  po.publisher.dir = dir;
+  po.publisher.checkpoint_every = 0;
+  po.heartbeat_interval_seconds = 0.05;
+  std::unique_ptr<SocketPublisher> publisher =
+      SocketPublisher::Open(po).value();
+  FalccModel head = FreshModel();
+  publisher->PublishCheckpoint(head).value();
+  const std::string model_path =
+      (fs::path(::testing::TempDir()) / "sock_fleet_v0.falcc").string();
+  ASSERT_TRUE(head.SaveToFile(model_path).ok());
+
+  ReplicaFleetOptions options;
+  options.num_replicas = 4;
+  options.feed_endpoint = publisher->endpoint();
+  options.puller = FastPuller();
+  options.socket.reconnect_initial_seconds = 0.01;
+  options.socket.reconnect_max_seconds = 0.05;
+  ReplicaFleet fleet(options);
+  ASSERT_TRUE(fleet.Bootstrap(model_path).ok());
+  // The replicas subscribed after the checkpoint was published: it
+  // reaches them via catch-up replay, not the filesystem.
+  ASSERT_TRUE(WaitConverged(&fleet, HashOf(head)));
+  EXPECT_GE(publisher->Stats().catchup_artifacts, 1u);
+
+  for (size_t event = 0; event < 3; ++event) {
+    FalccModel next = NextVersion(head, event % head.num_clusters());
+    const size_t clusters[] = {event % head.num_clusters()};
+    publisher->PublishDelta(next, clusters, HashOf(head)).value();
+    head = std::move(next);
+    ASSERT_TRUE(WaitConverged(&fleet, HashOf(head))) << "event " << event;
+  }
+
+  // Bit-identical decisions across the socket-fed fleet.
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  for (size_t i = 0; i < s.test.num_rows(); ++i) {
+    const auto row = s.test.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const ClassifyRequest request{flat, s.test.num_features()};
+  const ClassifyResponse primary = head.ClassifyBatch(request).value();
+  for (size_t r = 0; r < fleet.size(); ++r) {
+    const ClassifyResponse replica =
+        fleet.engine(r)->ClassifyBatch(request).value();
+    ASSERT_EQ(replica.decisions.size(), primary.decisions.size());
+    for (size_t i = 0; i < primary.decisions.size(); ++i) {
+      const SampleDecision& p = primary.decisions[i];
+      const SampleDecision& d = replica.decisions[i];
+      ASSERT_TRUE(p.label == d.label && p.probability == d.probability &&
+                  p.cluster == d.cluster && p.group == d.group &&
+                  p.model == d.model)
+          << "replica " << r << " sample " << i;
+    }
+  }
+  publisher->Close();
+}
+
+TEST(SocketPartitionTest, MidFrameDropAtEveryByteOffsetStillDelivers) {
+  const std::string checkpoint_payload = "full-snapshot-payload";
+  const std::string delta_payload = "delta-payload";
+  std::string stream;
+  stream += EncodeFrame(HelloFrame(3));
+  stream += EncodeFrame(ArtifactFrame(1, ArtifactKind::kFull,
+                                      checkpoint_payload));
+  stream += EncodeFrame(ArtifactFrame(2, ArtifactKind::kDelta, delta_payload,
+                                      0xfeedull));
+  // Connection i dies after byte i: every possible mid-frame cut, from
+  // an empty HELLO through one byte short of the full stream. Once the
+  // offsets are exhausted the server finally sends everything.
+  ScriptedServer server(
+      SocketPath("sock_drop.sock"),
+      [&stream](ScriptedServer*, int fd, size_t index) {
+        SendRaw(fd, std::string_view(stream).substr(
+                        0, std::min(index, stream.size())));
+      });
+
+  SocketFeedOptions options;
+  options.reconnect_initial_seconds = 1e-4;
+  options.reconnect_max_seconds = 1e-3;
+  options.reconnect_jitter = 0.0;
+  options.liveness_timeout_seconds = 0.25;
+  std::unique_ptr<SocketFeed> feed =
+      SocketFeed::Connect(server.endpoint(), options).value();
+
+  std::vector<FeedEntry> entries;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline) {
+    entries = feed->Poll(0).value();
+    if (entries.size() == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(entries.size(), 2u) << "after " << server.connections()
+                                << " connections";
+  EXPECT_GT(server.connections(), stream.size());
+  // Both artifacts arrived exactly once, byte-identical, despite every
+  // earlier connection dying mid-frame.
+  EXPECT_EQ(entries[0].sequence, 1u);
+  EXPECT_EQ(entries[0].kind, ArtifactKind::kFull);
+  EXPECT_EQ(ReadAllBytes(entries[0].path), checkpoint_payload);
+  EXPECT_EQ(entries[1].sequence, 2u);
+  EXPECT_EQ(entries[1].kind, ArtifactKind::kDelta);
+  EXPECT_EQ(entries[1].base_hash, 0xfeedull);
+  EXPECT_EQ(ReadAllBytes(entries[1].path), delta_payload);
+  const SocketFeedStats stats = feed->Stats();
+  EXPECT_EQ(stats.artifacts_spooled, 2u);
+  EXPECT_GE(stats.connects, 1u);
+  server.Stop();
+}
+
+TEST(SocketPartitionTest, HeartbeatTimeoutTearsDownAndReconnects) {
+  const std::string hello = EncodeFrame(HelloFrame(1));
+  // A publisher that hangs without closing: handshake completes, then
+  // silence. Only the liveness timeout can detect this.
+  ScriptedServer server(
+      SocketPath("sock_silent.sock"),
+      [&hello](ScriptedServer* server, int fd, size_t) {
+        SendRaw(fd, hello);
+        while (!server->stopping()) {
+          pollfd p{fd, POLLIN, 0};
+          if (::poll(&p, 1, 20) <= 0) continue;
+          char buf[256];
+          const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+          if (n == 0) return;  // the subscriber gave up on us
+          if (n < 0 && errno != EAGAIN && errno != EINTR) return;
+        }
+      });
+
+  SocketFeedOptions options;
+  options.reconnect_initial_seconds = 1e-3;
+  options.reconnect_max_seconds = 5e-3;
+  options.liveness_timeout_seconds = 0.1;
+  std::unique_ptr<SocketFeed> feed =
+      SocketFeed::Connect(server.endpoint(), options).value();
+
+  // Meanwhile the replica keeps serving its installed snapshot.
+  serve::FalccEngine engine(NoFlusher());
+  engine.Install(FreshModel());
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  const auto row = s.test.Row(0);
+  flat.insert(flat.end(), row.begin(), row.end());
+  const ClassifyRequest request{flat, s.test.num_features()};
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    EXPECT_TRUE(engine.ClassifyBatch(request).ok());
+    const SocketFeedStats stats = feed->Stats();
+    if (stats.liveness_timeouts >= 2 && stats.connects >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const SocketFeedStats stats = feed->Stats();
+  EXPECT_GE(stats.liveness_timeouts, 2u);
+  EXPECT_GE(stats.connects, 2u);
+  EXPECT_EQ(stats.artifacts_spooled, 0u);
+  server.Stop();
+}
+
+TEST(SocketPartitionTest, SlowSubscriberIsDroppedToTheNewestCheckpoint) {
+  const std::string dir = FreshDir("replicate_sock_slow");
+  const std::string path = SocketPath("sock_slow.sock");
+  SocketPublisherOptions po;
+  po.listen = "unix://" + path;
+  po.publisher.dir = dir;
+  po.publisher.checkpoint_every = 1;  // every delta is chased by a full
+  po.max_queue = 2;
+  po.send_buffer_bytes = 4096;  // tiny SO_SNDBUF: sends stall fast
+  po.send_timeout_seconds = 60.0;  // the stall must outlive the test, not the socket
+  po.heartbeat_interval_seconds = 0.05;
+  std::unique_ptr<SocketPublisher> publisher =
+      SocketPublisher::Open(po).value();
+
+  // A raw subscriber that handshakes and then stops reading.
+  const int fd = ConnectUnixSocket(path);
+  SendRaw(fd, EncodeFrame(SubscribeFrame(0)));
+  FrameDecoder decoder;
+  const std::vector<WireFrame> hello = RecvFrames(fd, &decoder, 1, 10.0);
+  ASSERT_EQ(hello.size(), 1u);
+  ASSERT_EQ(hello[0].type, FrameType::kHello);
+
+  // Publish while the subscriber stalls. Enough bytes must go out to
+  // overflow the kernel socket buffer and stall the sender mid-entry —
+  // only then can the bounded queue overflow and force a re-plan.
+  FalccModel head = FreshModel();
+  publisher->PublishCheckpoint(head).value();
+  for (size_t event = 0; event < 16; ++event) {
+    FalccModel next = NextVersion(head, event % head.num_clusters());
+    const size_t clusters[] = {event % head.num_clusters()};
+    publisher->PublishDelta(next, clusters, HashOf(head)).value();
+    head = std::move(next);
+  }
+  // The overflow happened while the sender was stalled mid-checkpoint;
+  // the re-plan (and its drop-to-checkpoint accounting) happens when the
+  // sender next dequeues — i.e. once the subscriber starts reading.
+  // Somewhere in the drained stream is a full checkpoint carrying the
+  // publisher's final state, byte-identical to a local save of the same
+  // model.
+  const std::string want = SaveBytes(head);
+  bool recovered = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!recovered && std::chrono::steady_clock::now() < deadline) {
+    const std::vector<WireFrame> frames = RecvFrames(fd, &decoder, 1, 5.0);
+    if (frames.empty()) break;
+    for (const WireFrame& frame : frames) {
+      if (frame.type == FrameType::kArtifact &&
+          frame.kind == ArtifactKind::kFull && frame.payload == want) {
+        recovered = true;
+      }
+    }
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_GE(publisher->Stats().drops_to_checkpoint, 1u);
+  ::close(fd);
+  publisher->Close();
+}
+
+TEST(SocketPartitionTest, PublisherRestartResubscribesAndReconverges) {
+  const std::string dir = FreshDir("replicate_sock_restart");
+  SocketPublisherOptions po;
+  po.listen = "unix://" + SocketPath("sock_restart.sock");
+  po.publisher.dir = dir;
+  po.publisher.checkpoint_every = 0;
+  po.heartbeat_interval_seconds = 0.05;
+  std::unique_ptr<SocketPublisher> publisher =
+      SocketPublisher::Open(po).value();
+  FalccModel head = FreshModel();
+  publisher->PublishCheckpoint(head).value();
+  const std::string model_path =
+      (fs::path(::testing::TempDir()) / "sock_restart_v0.falcc").string();
+  ASSERT_TRUE(head.SaveToFile(model_path).ok());
+
+  ReplicaFleetOptions options;
+  options.num_replicas = 2;
+  options.feed_endpoint = publisher->endpoint();
+  options.puller = FastPuller();
+  options.socket.reconnect_initial_seconds = 0.01;
+  options.socket.reconnect_max_seconds = 0.05;
+  options.socket.liveness_timeout_seconds = 0.3;
+  ReplicaFleet fleet(options);
+  ASSERT_TRUE(fleet.Bootstrap(model_path).ok());
+  ASSERT_TRUE(WaitConverged(&fleet, HashOf(head)));
+  {
+    FalccModel next = NextVersion(head, 0);
+    const size_t clusters[] = {0};
+    publisher->PublishDelta(next, clusters, HashOf(head)).value();
+    head = std::move(next);
+  }
+  ASSERT_TRUE(WaitConverged(&fleet, HashOf(head)));
+
+  // The publisher dies. Replicas keep serving what they have.
+  publisher->Close();
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  const auto row = s.test.Row(0);
+  flat.insert(flat.end(), row.begin(), row.end());
+  const ClassifyRequest request{flat, s.test.num_features()};
+  EXPECT_TRUE(fleet.engine(0)->ClassifyBatch(request).ok());
+  EXPECT_TRUE(fleet.ConvergedTo(HashOf(head)));
+
+  // A new publisher binds the same endpoint over the same durable feed
+  // directory: sequences resume, replicas resubscribe from their last
+  // applied position, and the next delta converges the fleet again.
+  std::unique_ptr<SocketPublisher> revived = SocketPublisher::Open(po).value();
+  {
+    FalccModel next = NextVersion(head, 1 % head.num_clusters());
+    const size_t clusters[] = {1 % head.num_clusters()};
+    revived->PublishDelta(next, clusters, HashOf(head)).value();
+    head = std::move(next);
+  }
+  EXPECT_TRUE(WaitConverged(&fleet, HashOf(head)));
+  revived->Close();
+}
+
+// The socket variant of the pull-while-classify race: the receiver
+// thread spools frames and notifies, the puller thread applies, the
+// classify thread reads — all concurrently (TSan coverage).
+TEST(PullerConcurrencyTest, SocketPullWhileClassifyRace) {
+  const std::string dir = FreshDir("replicate_sock_race");
+  SocketPublisherOptions po;
+  po.listen = "unix://" + SocketPath("sock_race.sock");
+  po.publisher.dir = dir;
+  po.publisher.checkpoint_every = 0;
+  po.heartbeat_interval_seconds = 0.05;
+  std::unique_ptr<SocketPublisher> publisher =
+      SocketPublisher::Open(po).value();
+  FalccModel head = FreshModel();
+  publisher->PublishCheckpoint(head).value();
+
+  serve::FalccEngine engine(NoFlusher());
+  engine.Install(FreshModel());
+
+  SocketFeedOptions feed_options;
+  feed_options.reconnect_initial_seconds = 0.01;
+  feed_options.reconnect_max_seconds = 0.05;
+  std::unique_ptr<SocketFeed> feed =
+      SocketFeed::Connect(publisher->endpoint(), feed_options).value();
+  DeltaPullerOptions options = FastPuller();
+  options.poll_interval_seconds = 0.05;  // frames push their own wakes
+  DeltaPuller puller(&engine, std::move(feed), options);
+  puller.Start();
+
+  const TrainValTest s = MakeSplits();
+  std::vector<double> flat;
+  const size_t rows = std::min<size_t>(s.test.num_rows(), 64);
+  for (size_t i = 0; i < rows; ++i) {
+    const auto row = s.test.Row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const size_t width = s.test.num_features();
+
+  std::atomic<bool> stop{false};
+  std::thread classifier([&] {
+    const ClassifyRequest request{flat, width};
+    while (!stop.load(std::memory_order_acquire)) {
+      const Result<ClassifyResponse> response = engine.ClassifyBatch(request);
+      EXPECT_TRUE(response.ok());
+    }
+  });
+
+  for (size_t event = 0; event < 5; ++event) {
+    FalccModel next = NextVersion(head, event % head.num_clusters());
+    const size_t clusters[] = {event % head.num_clusters()};
+    ASSERT_TRUE(publisher->PublishDelta(next, clusters, HashOf(head)).ok());
+    head = std::move(next);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const uint64_t target = HashOf(head);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Result<uint64_t> serving = puller.ServingHash();
+    if (serving.ok() && serving.value() == target) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  classifier.join();
+  puller.Stop();
+  EXPECT_EQ(puller.ServingHash().value(), target);
+  EXPECT_EQ(puller.Stats().deltas_applied, 5u);
+  publisher->Close();
 }
 
 }  // namespace

@@ -17,7 +17,11 @@
 #      --smoke run, which exits non-zero if any fleet replica fails to
 #      converge on the primary's content hash, serves decisions that
 #      are not bit-identical to the primary's, stops serving during an
-#      injected chain break, or fails to recover from it,
+#      injected chain break, or fails to recover from it, plus a
+#      bench_replicate --smoke --transport=socket run gating the
+#      socket-push transport alone: a 4-replica fleet following a
+#      unix-socket SocketPublisher feed must converge on every event
+#      with decisions bit-identical to the primary's,
 #   2. ThreadSanitizer build run with FALCC_THREADS=4 so data races in the
 #      parallel runtime, the serving engine's hot-swap/micro-batch paths
 #      (including concurrent classify during a hot-swap kernel recompile,
@@ -81,6 +85,9 @@ if [[ "$run_plain" == 1 ]]; then
   ctest --test-dir build -L replicate --output-on-failure
   cmake --build build -j "$jobs" --target bench_replicate
   ./build/bench/bench_replicate --smoke --out=build/BENCH_replicate_smoke.json
+  echo "=== check 1/3 (cont.): socket-transport smoke (convergence + identity gate) ==="
+  ./build/bench/bench_replicate --smoke --transport=socket \
+    --out=build/BENCH_replicate_socket_smoke.json
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

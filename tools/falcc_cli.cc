@@ -9,12 +9,14 @@
 //   falcc_cli predict --model model.falcc --data data.csv [--label label]
 //   falcc_cli classify --model model.falcc --data data.csv [--label label]
 //                     [--metrics-out metrics.json] [--compiled on|off]
-//                     [--shards N] [--slo-us K] [--follow dir]
+//                     [--shards N] [--slo-us K]
+//                     [--follow dir|tcp://host:port|unix://path]
 //   falcc_cli monitor --model model.falcc --data data.csv [--label label]
 //                     [--chunk 256] [--poll-every 1] [--repeat 1]
 //                     [--window 512] [--threshold 1.0] [--slack 0.05]
 //                     [--min-samples 100] [--drift-cluster C]
 //                     [--drift-start N] [--metrics-out metrics.json]
+//                     [--delta-dir feed/ [--listen tcp://host:port]]
 //   falcc_cli audit   --data data.csv --sensitive race [--label label]
 //   falcc_cli inspect --data data.csv --sensitive race [--label label]
 //                     [--proxy-threshold 0.5]
@@ -22,6 +24,8 @@
 //   falcc_cli snapshot verify  --model model.falcc
 //   falcc_cli snapshot diff    --model a.falcc --other b.falcc
 //   falcc_cli replicate status --dir feed/
+//   falcc_cli replicate serve-feed --dir feed/ --listen tcp://host:port
+//                     [--duration-s N] [--heartbeat-s 0.2]
 //
 // Flags take values as either `--flag value` or `--flag=value`; flags
 // may repeat where noted (--sensitive).
@@ -53,12 +57,22 @@
 // exactly the combo sections the delta carries; `replicate status` lists
 // a feed directory's artifacts in apply order and walks the delta chain
 // (checkpoint loads + delta applications), reporting breaks and the head
-// content hash. `classify --follow DIR` drains the feed through a
-// DeltaPuller before classifying, so the decisions come from the feed's
-// head snapshot rather than the --model file as shipped.
+// content hash; `replicate serve-feed` is the push gateway: it serves a
+// feed directory over a socket endpoint (SocketPublisher), waking on
+// directory events (inotify where available) to forward artifacts an
+// external publisher writes, so replicas on other hosts follow without
+// a shared filesystem. `classify --follow SPEC` drains the feed through
+// a DeltaPuller before classifying, so the decisions come from the
+// feed's head snapshot rather than the --model file as shipped — SPEC
+// is a feed directory, or a `tcp://host:port` / `unix://path` endpoint
+// to subscribe to a serve-feed (or `monitor --listen`) publisher.
+// `monitor --delta-dir D --listen EP` publishes refreshes through a
+// socket publisher: artifacts land in D (the durable store) and are
+// pushed to subscribers on EP.
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -83,8 +97,10 @@
 #include "fairness/proxy.h"
 #include "io/snapshot.h"
 #include "monitor/monitor.h"
+#include "replicate/dir_watcher.h"
 #include "replicate/feed.h"
 #include "replicate/puller.h"
+#include "replicate/socket_feed.h"
 #include "serve/engine.h"
 #include "serve/sharded_engine.h"
 #include "serve/snapshot_source.h"
@@ -300,25 +316,53 @@ int Predict(const Args& args) {
   return 0;
 }
 
-// Drains a replication feed before classifying: a DeltaPuller over a
-// DirectoryFeed applies every pending artifact — deltas in chain order,
-// checkpoints as full reloads — until a poll sees nothing new and no
-// recovery is pending (bounded, so a feed that is permanently broken
-// degrades to serving the last-good snapshot instead of hanging the
-// command). Works for both engine shapes via the puller's overloads.
+// `--follow` accepts either transport: a feed directory (DirectoryFeed)
+// or a `tcp://host:port` / `unix://path` socket endpoint (SocketFeed
+// subscribing to a serve-feed or `monitor --listen` publisher).
+Result<std::unique_ptr<replicate::DeltaFeed>> OpenFeed(
+    const std::string& spec) {
+  if (replicate::IsSocketEndpoint(spec)) {
+    Result<std::unique_ptr<replicate::SocketFeed>> feed =
+        replicate::SocketFeed::Connect(spec);
+    if (!feed.ok()) return feed.status();
+    return std::unique_ptr<replicate::DeltaFeed>(std::move(feed).value());
+  }
+  return std::unique_ptr<replicate::DeltaFeed>(
+      std::make_unique<replicate::DirectoryFeed>(spec));
+}
+
+// Drains a replication feed before classifying: a DeltaPuller applies
+// every pending artifact — deltas in chain order, checkpoints as full
+// reloads — until a poll sees nothing new and no recovery is pending
+// (bounded, so a feed that is permanently broken degrades to serving
+// the last-good snapshot instead of hanging the command). A directory
+// is drained as fast as Poll can scan it; a socket feed subscribes in
+// the background, so an empty poll there waits briefly for the catch-up
+// replay to land (up to ~2s of cumulative idle) instead of concluding
+// the feed is empty on the first look. Works for both engine shapes via
+// the puller's overloads.
 template <typename Engine>
-void DrainFeed(Engine* engine, const std::string& dir) {
-  replicate::DeltaPuller puller(
-      engine, std::make_unique<replicate::DirectoryFeed>(dir));
-  for (int i = 0; i < 64; ++i) {
+Status DrainFeed(Engine* engine, const std::string& spec) {
+  Result<std::unique_ptr<replicate::DeltaFeed>> feed = OpenFeed(spec);
+  if (!feed.ok()) return feed.status();
+  replicate::DeltaFeed* raw = feed.value().get();
+  const int idle_budget = replicate::IsSocketEndpoint(spec) ? 40 : 1;
+  replicate::DeltaPuller puller(engine, std::move(feed).value());
+  int idle = 0;
+  for (int i = 0; i < 4096 && idle < idle_budget; ++i) {
     const replicate::PullReport report = puller.PollOnce();
-    if (report.entries_seen == 0 && !report.recovery_pending) break;
+    if (report.entries_seen == 0 && !report.recovery_pending) {
+      ++idle;
+      if (idle < idle_budget) raw->WaitForChange(0.05);
+    } else {
+      idle = 0;
+    }
   }
   const replicate::DeltaPullerStats stats = puller.Stats();
   std::fprintf(stderr,
                "follow %s: %llu deltas applied, %llu full reloads, "
                "%llu recoveries, %llu quarantined (feed position %llu)\n",
-               dir.c_str(),
+               spec.c_str(),
                static_cast<unsigned long long>(stats.deltas_applied),
                static_cast<unsigned long long>(stats.full_reloads),
                static_cast<unsigned long long>(stats.recoveries),
@@ -328,8 +372,9 @@ void DrainFeed(Engine* engine, const std::string& dir) {
     std::fprintf(stderr,
                  "follow %s: feed degraded (%s); serving last-good "
                  "snapshot\n",
-                 dir.c_str(), stats.last_error.c_str());
+                 spec.c_str(), stats.last_error.c_str());
   }
+  return Status::OK();
 }
 
 // Serving-path classification: routes all rows through the validated
@@ -414,7 +459,10 @@ int ClassifySamples(const Args& args) {
     serve::ShardedEngine engine(options);
     engine.Install(std::move(model).value());
     const std::string follow = args.Get("follow", "");
-    if (!follow.empty()) DrainFeed(&engine, follow);
+    if (!follow.empty()) {
+      const Status drained = DrainFeed(&engine, follow);
+      if (!drained.ok()) return Fail(drained);
+    }
     const size_t rows = width == 0 ? 0 : flat.size() / width;
     std::vector<serve::ShardTicket> tickets;
     tickets.reserve(rows);
@@ -438,7 +486,10 @@ int ClassifySamples(const Args& args) {
     serve::FalccEngine engine(options);
     engine.Install(std::move(model).value());
     const std::string follow = args.Get("follow", "");
-    if (!follow.empty()) DrainFeed(&engine, follow);
+    if (!follow.empty()) {
+      const Status drained = DrainFeed(&engine, follow);
+      if (!drained.ok()) return Fail(drained);
+    }
     ClassifyRequest request;
     request.features = flat;
     request.num_features = width;
@@ -537,6 +588,13 @@ int Monitor(const Args& args) {
   monitor_options.detector.min_samples = args.GetSize("min-samples", 100);
   monitor_options.delta_dir = args.Get("delta-dir", "");
   monitor_options.checkpoint_every = args.GetSize("checkpoint-every", 8);
+  monitor_options.feed_listen = args.Get("listen", "");
+  if (!monitor_options.feed_listen.empty() &&
+      monitor_options.delta_dir.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--listen needs --delta-dir (the socket publisher's durable "
+        "store and catch-up source)"));
+  }
   Result<std::unique_ptr<monitor::FairnessMonitor>> attached =
       monitor::FairnessMonitor::Attach(&engine, monitor_options);
   if (!attached.ok()) return Fail(attached.status());
@@ -953,14 +1011,90 @@ int ReplicateStatus(const Args& args) {
   return breaks == 0 && unreadable == 0 ? 0 : 1;
 }
 
+/// Push gateway: serves a feed directory over a socket endpoint. An
+/// external publisher (a `monitor --delta-dir` on this host, an rsync
+/// loop, anything that follows the temp+rename convention) keeps
+/// writing artifacts into --dir; this command watches the directory
+/// (inotify where available, poll ticks elsewhere) and pushes every new
+/// artifact to connected subscribers, who also get catch-up replay of
+/// the retained feed on SUBSCRIBE. Runs until --duration-s elapses
+/// (forever when 0 or unset).
+int ReplicateServeFeed(const Args& args) {
+  const std::string dir = args.Get("dir", "");
+  const std::string listen = args.Get("listen", "");
+  if (dir.empty() || listen.empty()) {
+    return Fail(Status::InvalidArgument("--dir and --listen required"));
+  }
+  if (!replicate::IsSocketEndpoint(listen)) {
+    return Fail(Status::InvalidArgument(
+        "--listen must be tcp://host:port or unix://path, got '" + listen +
+        "'"));
+  }
+  const double duration = args.GetDouble("duration-s", 0.0);
+
+  replicate::SocketPublisherOptions options;
+  options.listen = listen;
+  options.publisher.dir = dir;
+  // Gateway mode never publishes artifacts itself: the external
+  // publisher owns the checkpoint cadence and GC.
+  options.publisher.checkpoint_every = 0;
+  options.publisher.gc = false;
+  options.heartbeat_interval_seconds =
+      args.GetDouble("heartbeat-s", options.heartbeat_interval_seconds);
+  Result<std::unique_ptr<replicate::SocketPublisher>> publisher =
+      replicate::SocketPublisher::Open(std::move(options));
+  if (!publisher.ok()) return Fail(publisher.status());
+  std::fprintf(stderr, "serving feed %s at %s\n", dir.c_str(),
+               publisher.value()->endpoint().c_str());
+
+  replicate::DirectoryWatcher watcher(dir);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration));
+  size_t forwarded_total = 0;
+  while (duration <= 0.0 || std::chrono::steady_clock::now() < deadline) {
+    const Result<size_t> forwarded = publisher.value()->ForwardNewArtifacts();
+    if (!forwarded.ok()) {
+      // Transient (e.g. the directory briefly unlistable): report and
+      // keep serving; subscribers stay connected via heartbeats.
+      std::fprintf(stderr, "serve-feed: forward failed: %s\n",
+                   forwarded.status().ToString().c_str());
+    } else if (forwarded.value() > 0) {
+      forwarded_total += forwarded.value();
+      std::fprintf(stderr, "serve-feed: forwarded %zu artifacts (%zu total)\n",
+                   forwarded.value(), forwarded_total);
+    }
+    // Inotify wake on a rename-into-place, else a poll tick; either way
+    // the loop re-scans, so the fallback only costs latency.
+    watcher.Wait(0.5);
+  }
+  const replicate::SocketPublisherStats stats = publisher.value()->Stats();
+  publisher.value()->Close();
+  std::fprintf(
+      stderr,
+      "serve-feed: %llu connections, %llu live pushes, %llu catch-up, "
+      "%llu heartbeats, %llu drops to checkpoint, %llu send errors\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.artifacts_sent),
+      static_cast<unsigned long long>(stats.catchup_artifacts),
+      static_cast<unsigned long long>(stats.heartbeats_sent),
+      static_cast<unsigned long long>(stats.drops_to_checkpoint),
+      static_cast<unsigned long long>(stats.send_errors));
+  return 0;
+}
+
 int Replicate(int argc, char** argv) {
   const std::string action = argc >= 3 ? argv[2] : "";
-  if (action != "status") {
+  if (action != "status" && action != "serve-feed") {
     return Fail(Status::InvalidArgument(
-        "usage: falcc_cli replicate status --dir <feed-dir>"));
+        "usage: falcc_cli replicate status --dir <feed-dir> | "
+        "replicate serve-feed --dir <feed-dir> --listen <endpoint> "
+        "[--duration-s N]"));
   }
   const Args args(argc - 1, argv + 1);
   if (!args.status().ok()) return Fail(args.status());
+  if (action == "serve-feed") return ReplicateServeFeed(args);
   return ReplicateStatus(args);
 }
 
